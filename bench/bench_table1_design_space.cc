@@ -1,0 +1,87 @@
+// Table I: design-space comparison of datacenter schedulers.
+//
+// The paper's Table I is a qualitative capability matrix. This harness
+// prints the matrix and cross-checks the five implemented rows against the
+// scheduler registry (every implemented scheduler must exist and report the
+// matching name), so the table cannot drift from the code.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "runner/registry.h"
+#include "sim/engine.h"
+#include "util/format.h"
+
+namespace {
+
+struct Row {
+  const char* scheduler;
+  const char* control_plane;
+  const char* binding;
+  const char* queuing;
+  const char* reordering;
+  const char* load_balancing;
+  const char* constraints;
+  const char* implemented;  // registry name or "-"
+};
+
+constexpr Row kRows[] = {
+    {"Borg", "Hierarchical", "Early", "Global", "x", "Static", "yes", "-"},
+    {"Mesos", "Hierarchical", "Early", "Global", "x", "Static", "yes", "-"},
+    {"Paragon", "Monolithic", "Early", "Global", "x", "Static", "yes", "-"},
+    {"Sparrow", "Distributed", "Late", "Worker side", "x", "Static",
+     "Trivial", "sparrow-c"},
+    {"Hawk", "Hybrid", "Late", "Worker side", "x", "Stealing", "Trivial",
+     "hawk-c"},
+    {"Eagle", "Hybrid", "Late", "Worker side", "SRPT", "Stealing", "Trivial",
+     "eagle-c"},
+    {"YacC+D", "Hybrid", "Early", "Both", "SRPT", "Adaptive", "yes",
+     "yacc-d"},
+    {"Tetrisched", "Monolithic", "Early", "Global", "x", "Static", "Trivial",
+     "-"},
+    {"Choosy", "Hierarchical", "Early", "Global", "x", "Static",
+     "Single resource", "-"},
+    {"Phoenix", "Hybrid", "Late", "Worker side", "CRV based", "Adaptive",
+     "Multi resource", "phoenix"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  phoenix::util::Flags flags;
+  flags.Parse(argc, argv);
+  if (!flags.Validate()) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 1;
+  }
+
+  std::printf("== Table I: design space of datacenter schedulers ==\n\n");
+  phoenix::util::TextTable table({"Scheduler", "Control Plane", "Binding",
+                                  "Queuing", "Queue Reordering",
+                                  "Load Balancing", "Placement constraints",
+                                  "In this repo"});
+  for (const Row& row : kRows) {
+    table.AddRow({row.scheduler, row.control_plane, row.binding, row.queuing,
+                  row.reordering, row.load_balancing, row.constraints,
+                  row.implemented});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Validate the implemented rows against the registry.
+  phoenix::sim::Engine engine;
+  const auto cluster = phoenix::bench::MakeCluster(8, 1);
+  phoenix::sched::SchedulerConfig config;
+  std::size_t implemented = 0;
+  for (const Row& row : kRows) {
+    if (std::string(row.implemented) == "-") continue;
+    auto s = phoenix::runner::MakeScheduler(row.implemented, engine, cluster,
+                                            config);
+    if (s->name() != row.implemented) {
+      std::fprintf(stderr, "registry mismatch for %s\n", row.implemented);
+      return 1;
+    }
+    ++implemented;
+  }
+  std::printf("validated %zu implemented schedulers against the registry\n",
+              implemented);
+  return 0;
+}

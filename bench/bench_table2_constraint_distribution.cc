@@ -1,0 +1,72 @@
+// Table II: distribution of constraints in the Google trace and the
+// relative slowdown of jobs requesting each constraint kind.
+//
+// Shares/occurrences come from characterizing the synthesized Google trace;
+// relative slowdowns are *measured* by running the trace under Eagle-C and
+// comparing, per constraint kind, the mean short-job response of jobs
+// requesting that kind against unconstrained short jobs (exactly the
+// paper's definition: "slowdown of a constrained job w.r.t an equivalent
+// but unconstrained job").
+#include <array>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "trace/characterize.h"
+
+using namespace phoenix;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.Parse(argc, argv);
+  const auto o = bench::ParseBenchOptions(flags, 300, 1);
+  bench::PrintHeader("Table II: constraint distribution + relative slowdown",
+                     o, "Table II (Google trace characterization)");
+
+  const auto trace = bench::MakeTrace("google", o);
+  const auto cluster = bench::MakeCluster(o.nodes, o.seed);
+  const auto usage = trace::CharacterizeConstraints(trace);
+
+  // Measure per-kind slowdown under Eagle-C.
+  const auto runs = bench::Run("eagle-c", trace, cluster, o);
+  const auto& report = runs.reports()[0];
+
+  // Mean short-job response by requested attribute kind.
+  std::array<double, cluster::kNumAttrs> sum{};
+  std::array<std::size_t, cluster::kNumAttrs> count{};
+  double unconstrained_sum = 0;
+  std::size_t unconstrained_count = 0;
+  for (const auto& job : report.jobs) {
+    if (!job.short_class) continue;
+    const auto& spec = trace.job(job.id);
+    if (!spec.constrained()) {
+      unconstrained_sum += job.response();
+      ++unconstrained_count;
+      continue;
+    }
+    for (const auto& c : spec.constraints) {
+      sum[static_cast<std::size_t>(c.attr)] += job.response();
+      ++count[static_cast<std::size_t>(c.attr)];
+    }
+  }
+  const double base =
+      unconstrained_count > 0 ? unconstrained_sum / unconstrained_count : 1.0;
+
+  util::TextTable table({"Task Constraint", "Relative Slowdown (measured)",
+                         "Paper", "% Share", "Occurrence"});
+  for (std::size_t a = 0; a < cluster::kNumAttrs; ++a) {
+    const double slowdown =
+        count[a] > 0 ? (sum[a] / static_cast<double>(count[a])) / base : 0.0;
+    table.AddRow({std::string(cluster::AttrName(static_cast<cluster::Attr>(a))),
+                  util::StrFormat("%.2fx", slowdown),
+                  util::StrFormat("%.2fx", cluster::AttrPaperSlowdowns()[a]),
+                  util::StrFormat("%.2f", usage.shares[a]),
+                  util::WithCommas(static_cast<std::int64_t>(
+                      usage.occurrences[a]))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("unconstrained short jobs: %zu (mean response %s)\n",
+              unconstrained_count, util::HumanDuration(base).c_str());
+  std::printf("paper shape: constrained kinds slow down ~1.8-2x; ISA "
+              "dominates the share column\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "cluster/attributes.h"
+
+namespace phoenix::cluster {
+
+std::string_view AttrName(Attr attr) {
+  switch (attr) {
+    case Attr::kArch: return "Architecture (ISA)";
+    case Attr::kNumCores: return "Number of Cores";
+    case Attr::kEthernetSpeed: return "Ethernet Speed";
+    case Attr::kMaxDisks: return "Maximum Disks";
+    case Attr::kMinDisks: return "Minimum Disks";
+    case Attr::kKernelVersion: return "Kernel Version";
+    case Attr::kPlatformFamily: return "Platform Family";
+    case Attr::kCpuClock: return "CPU Clock Speed";
+    case Attr::kMinMemory: return "Minimum Memory";
+  }
+  return "?";
+}
+
+std::string_view CrvDimName(CrvDim dim) {
+  switch (dim) {
+    case CrvDim::kCpu: return "cpu";
+    case CrvDim::kMem: return "mem";
+    case CrvDim::kDisk: return "disk";
+    case CrvDim::kOs: return "os";
+    case CrvDim::kClock: return "clock";
+    case CrvDim::kNet: return "net_bandwidth";
+  }
+  return "?";
+}
+
+const std::array<AttrDomain, kNumAttrs>& AttrCatalog() {
+  // Machine-mix weights are chosen so that common requests (x86, few cores,
+  // 1 Gbps) are widely satisfiable while tail requests (POWER, 32 cores,
+  // 40 Gbps) are scarce — reproducing Fig 6's supply curve where only ~12 %
+  // of nodes satisfy a typical 2-constraint set and ~5 % a 6-constraint set.
+  static const std::array<AttrDomain, kNumAttrs> catalog = {{
+      // kArch: 0=x86, 1=arm, 2=power
+      {Attr::kArch, 3, {0, 1, 2}, {0.72, 0.20, 0.08}, true},
+      // kNumCores
+      {Attr::kNumCores, 5, {2, 4, 8, 16, 32}, {0.10, 0.30, 0.35, 0.18, 0.07},
+       false},
+      // kEthernetSpeed (Gbps)
+      {Attr::kEthernetSpeed, 3, {1, 10, 40}, {0.55, 0.38, 0.07}, false},
+      // kMaxDisks (number of spindles/SSDs)
+      {Attr::kMaxDisks, 5, {1, 2, 4, 8, 12}, {0.18, 0.30, 0.28, 0.16, 0.08},
+       false},
+      // kMinDisks shares the same physical property / domain
+      {Attr::kMinDisks, 5, {1, 2, 4, 8, 12}, {0.18, 0.30, 0.28, 0.16, 0.08},
+       false},
+      // kKernelVersion (major version, ordered)
+      {Attr::kKernelVersion, 4, {1, 2, 3, 4}, {0.12, 0.33, 0.40, 0.15}, false},
+      // kPlatformFamily (categorical chipset generation)
+      {Attr::kPlatformFamily, 4, {0, 1, 2, 3}, {0.35, 0.30, 0.23, 0.12}, true},
+      // kCpuClock (units of 100 MHz: 2.0 .. 3.6 GHz)
+      {Attr::kCpuClock, 5, {20, 24, 28, 32, 36}, {0.15, 0.28, 0.30, 0.18, 0.09},
+       false},
+      // kMinMemory (GB)
+      {Attr::kMinMemory, 5, {16, 32, 64, 128, 256},
+       {0.15, 0.30, 0.30, 0.17, 0.08}, false},
+  }};
+  return catalog;
+}
+
+const std::array<double, kNumAttrs>& AttrDemandShares() {
+  // Table II "% Share", renormalized without the job-level "Number of
+  // Nodes" row (0.28 %) and with a 0.50 % share granted to the synthetic
+  // memory attribute. Order matches enum Attr.
+  static const std::array<double, kNumAttrs> shares = {
+      80.64,  // Architecture (ISA)
+      18.28,  // Number of Cores
+      0.18,   // Ethernet Speed
+      8.57,   // Maximum Disks
+      0.66,   // Minimum Disks
+      0.21,   // Kernel Version
+      0.05,   // Platform Family
+      0.16,   // CPU Clock Speed
+      0.50,   // Minimum Memory (synthetic; see attributes.h)
+  };
+  return shares;
+}
+
+const std::array<double, kNumAttrs>& AttrPaperSlowdowns() {
+  static const std::array<double, kNumAttrs> slowdowns = {
+      2.03,  // Architecture (ISA)
+      1.90,  // Number of Cores
+      1.91,  // Ethernet Speed
+      1.90,  // Maximum Disks
+      0.91,  // Minimum Disks
+      1.77,  // Kernel Version
+      1.77,  // Platform Family
+      1.76,  // CPU Clock Speed
+      1.50,  // Minimum Memory (no paper row; nominal)
+  };
+  return slowdowns;
+}
+
+}  // namespace phoenix::cluster

@@ -1,0 +1,102 @@
+// Machine attribute catalog for the heterogeneous cluster.
+//
+// The attribute kinds mirror the constraint kinds the paper extracts from
+// the Google cluster trace (Table II): ISA/architecture, number of cores,
+// ethernet speed, maximum/minimum disks, kernel version, platform family and
+// CPU clock speed. We add a minimum-memory attribute so that every dimension
+// of the paper's Constraint Resource Vector <cpu, mem, disk, os, clock,
+// net_bandwidth> is exercised (Table II has no memory constraint because the
+// 2011 trace hashes it away; its share here is kept small).
+//
+// "Number of Nodes" in Table II is a job-level (gang-size) request rather
+// than a per-machine property; it is modeled in the trace layer as the
+// job's task count, not as a machine attribute.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace phoenix::cluster {
+
+/// Machine attribute kinds. Values are small integers from the per-kind
+/// domain (see AttrDomain); semantics follow Table II of the paper.
+enum class Attr : std::uint8_t {
+  kArch = 0,          // instruction-set architecture (categorical)
+  kNumCores,          // cores per machine
+  kEthernetSpeed,     // NIC speed, Gbps
+  kMaxDisks,          // number of attached disks (upper-bound requests use <)
+  kMinDisks,          // same physical property, lower-bound requests (>)
+  kKernelVersion,     // OS kernel major version (categorical, ordered)
+  kPlatformFamily,    // chipset / platform generation (categorical)
+  kCpuClock,          // CPU clock, units of 100 MHz
+  kMinMemory,         // installed DRAM, GB
+};
+
+inline constexpr std::size_t kNumAttrs = 9;
+
+/// The paper's CRV dimensions: <cpu, mem, disk, os, clock, net_bandwidth>.
+enum class CrvDim : std::uint8_t {
+  kCpu = 0,
+  kMem,
+  kDisk,
+  kOs,
+  kClock,
+  kNet,
+};
+
+inline constexpr std::size_t kNumCrvDims = 6;
+
+/// Maps an attribute kind onto the CRV dimension whose demand/supply ratio
+/// it contributes to (paper §IV-A).
+constexpr CrvDim AttrToCrvDim(Attr attr) {
+  switch (attr) {
+    case Attr::kArch:
+    case Attr::kNumCores:
+      return CrvDim::kCpu;
+    case Attr::kMinMemory:
+      return CrvDim::kMem;
+    case Attr::kMaxDisks:
+    case Attr::kMinDisks:
+      return CrvDim::kDisk;
+    case Attr::kKernelVersion:
+    case Attr::kPlatformFamily:
+      return CrvDim::kOs;
+    case Attr::kCpuClock:
+      return CrvDim::kClock;
+    case Attr::kEthernetSpeed:
+      return CrvDim::kNet;
+  }
+  return CrvDim::kCpu;  // unreachable
+}
+
+std::string_view AttrName(Attr attr);
+std::string_view CrvDimName(CrvDim dim);
+
+/// Value domain of one attribute kind. Values are drawn from `values`;
+/// machine_weights give the (unnormalized) probability that a machine ships
+/// with each value, chosen to reproduce a realistically skewed fleet
+/// (e.g. x86 dominates the ISA mix).
+struct AttrDomain {
+  Attr attr;
+  std::size_t num_values;
+  std::array<std::int32_t, 8> values;
+  std::array<double, 8> machine_weights;
+  /// True for categorical attributes where only equality constraints make
+  /// sense (ISA, platform family).
+  bool categorical;
+};
+
+/// Returns the catalog of all attribute domains, indexed by Attr.
+const std::array<AttrDomain, kNumAttrs>& AttrCatalog();
+
+/// Relative share of constrained tasks requesting each attribute kind,
+/// matching the "% Share" column of Table II (renormalized over the machine
+/// attributes; the job-level "Number of Nodes" row is excluded).
+const std::array<double, kNumAttrs>& AttrDemandShares();
+
+/// Relative slowdown reported in Table II for jobs requesting each kind
+/// (used only for reporting comparisons, never by the scheduler).
+const std::array<double, kNumAttrs>& AttrPaperSlowdowns();
+
+}  // namespace phoenix::cluster

@@ -1,0 +1,97 @@
+#include "cluster/builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace phoenix::cluster {
+
+namespace {
+
+/// Draws an index from unnormalized weights[0..n).
+std::size_t WeightedDraw(const std::array<double, 8>& weights, std::size_t n,
+                         util::Rng& rng) {
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += weights[i];
+  double x = rng.Uniform(0.0, total);
+  for (std::size_t i = 0; i < n; ++i) {
+    x -= weights[i];
+    if (x <= 0) return i;
+  }
+  return n - 1;
+}
+
+/// Index of the largest weight (the "most common" value used when
+/// heterogeneity is dialed down).
+std::size_t ArgMax(const std::array<double, 8>& weights, std::size_t n) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (weights[i] > weights[best]) best = i;
+  }
+  return best;
+}
+
+/// Index whose weight-CDF bucket contains quantile q — the value a machine
+/// of hardware generation q carries for this attribute.
+std::size_t IndexFromQuantile(const std::array<double, 8>& weights,
+                              std::size_t n, double q) {
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += weights[i];
+  double x = q * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    x -= weights[i];
+    if (x <= 0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace
+
+std::vector<Machine> BuildFleet(const FleetOptions& options) {
+  PHOENIX_CHECK_MSG(options.num_machines > 0, "fleet must be non-empty");
+  PHOENIX_CHECK_MSG(options.heterogeneity >= 0.0 && options.heterogeneity <= 1.0,
+                    "heterogeneity must be in [0,1]");
+  util::Rng rng(options.seed ^ 0xc1f651c67c62c6e0ULL);
+  const auto& catalog = AttrCatalog();
+
+  std::vector<Machine> fleet;
+  fleet.reserve(options.num_machines);
+  PHOENIX_CHECK_MSG(options.attribute_correlation >= 0.0 &&
+                        options.attribute_correlation <= 1.0,
+                    "attribute_correlation must be in [0,1]");
+  PHOENIX_CHECK_MSG(options.machines_per_rack > 0,
+                    "machines_per_rack must be positive");
+  for (std::size_t i = 0; i < options.num_machines; ++i) {
+    Machine m;
+    m.id = static_cast<MachineId>(i);
+    m.rack = static_cast<RackId>(i / options.machines_per_rack);
+    const double generation = rng.NextDouble();  // latent hardware vintage
+    for (std::size_t a = 0; a < kNumAttrs; ++a) {
+      const AttrDomain& domain = catalog[a];
+      std::size_t value_index;
+      if (!rng.Bernoulli(options.heterogeneity)) {
+        value_index = ArgMax(domain.machine_weights, domain.num_values);
+      } else if (rng.Bernoulli(options.attribute_correlation)) {
+        value_index = IndexFromQuantile(domain.machine_weights,
+                                        domain.num_values, generation);
+      } else {
+        value_index = WeightedDraw(domain.machine_weights, domain.num_values, rng);
+      }
+      m.attrs[a] = domain.values[value_index];
+    }
+    // MinDisks and MaxDisks describe the same physical property: keep them
+    // consistent on a machine so a "> k disks" and "< k disks" request see
+    // the same hardware.
+    m.Set(Attr::kMinDisks, m.Get(Attr::kMaxDisks));
+    fleet.push_back(m);
+  }
+  return fleet;
+}
+
+Cluster BuildCluster(const FleetOptions& options) {
+  return Cluster(BuildFleet(options));
+}
+
+}  // namespace phoenix::cluster

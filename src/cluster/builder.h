@@ -1,0 +1,43 @@
+// Fleet generation.
+//
+// Builds a heterogeneous machine fleet whose attribute mix follows the
+// machine_weights in the attribute catalog. With the default catalog the
+// resulting supply curve matches Figure 6 of the paper: roughly 12 % of
+// nodes satisfy a representative 2-constraint request, decaying to ~5 % at
+// 6 constraints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace phoenix::cluster {
+
+struct FleetOptions {
+  std::size_t num_machines = 1000;
+  std::uint64_t seed = 1;
+  /// Scales heterogeneity: 1.0 uses the catalog weights as-is; 0.0 collapses
+  /// every attribute to its most common value (homogeneous fleet). Used by
+  /// ablation benches.
+  double heterogeneity = 1.0;
+  /// Machines per rack (failure domain). Racks are filled in machine-id
+  /// order; the last rack may be partial.
+  std::size_t machines_per_rack = 40;
+  /// Cross-attribute correlation in [0,1]: each machine draws a latent
+  /// "generation" quantile; with this probability an attribute takes the
+  /// value at that quantile of its own distribution instead of an
+  /// independent draw. Real fleets are bought in generations — new machines
+  /// have more cores AND faster NICs AND newer kernels — which is what
+  /// keeps the satisfying pool of a 6-constraint request near 5 % of nodes
+  /// (paper Fig 6) instead of the vanishing product of marginals.
+  double attribute_correlation = 0.6;
+};
+
+/// Generates the machine list for a fleet.
+std::vector<Machine> BuildFleet(const FleetOptions& options);
+
+/// Convenience: generates machines and wraps them in a Cluster.
+Cluster BuildCluster(const FleetOptions& options);
+
+}  // namespace phoenix::cluster

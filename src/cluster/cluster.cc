@@ -1,0 +1,106 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace phoenix::cluster {
+
+namespace {
+
+// Encodes (attr, op, value) into a single ordered key. Attribute values in
+// this codebase are small non-negative integers (see AttrCatalog), so 16
+// bits are plenty.
+std::uint32_t EncodePredicate(const Constraint& c) {
+  PHOENIX_CHECK_MSG(c.value >= 0 && c.value < (1 << 16),
+                    "constraint value out of encodable range");
+  return (static_cast<std::uint32_t>(c.attr) << 20) |
+         (static_cast<std::uint32_t>(c.op) << 16) |
+         static_cast<std::uint32_t>(c.value);
+}
+
+}  // namespace
+
+Cluster::Cluster(std::vector<Machine> machines)
+    : machines_(std::move(machines)), all_(machines_.size()) {
+  PHOENIX_CHECK_MSG(!machines_.empty(), "cluster must have at least one machine");
+  std::set<RackId> racks;
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    PHOENIX_CHECK_MSG(machines_[i].id == i,
+                      "machine ids must be dense and ordered");
+    racks.insert(machines_[i].rack);
+  }
+  num_racks_ = racks.size();
+  all_.SetAll();
+}
+
+const util::Bitset& Cluster::Satisfying(const Constraint& c) const {
+  const std::uint32_t key = EncodePredicate(c);
+  const auto it = predicate_cache_.find(key);
+  if (it != predicate_cache_.end()) return it->second;
+  util::Bitset bits(machines_.size());
+  for (const auto& m : machines_) {
+    if (m.Satisfies(c)) bits.Set(m.id);
+  }
+  return predicate_cache_.emplace(key, std::move(bits)).first->second;
+}
+
+Cluster::SetKey Cluster::KeyFor(const ConstraintSet& cs) {
+  SetKey key;
+  key.reserve(cs.size());
+  for (const auto& c : cs) key.push_back(EncodePredicate(c));
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+const util::Bitset& Cluster::Satisfying(const ConstraintSet& cs) const {
+  if (cs.empty()) return all_;
+  const SetKey key = KeyFor(cs);
+  const auto it = pool_cache_.find(key);
+  if (it != pool_cache_.end()) return it->second;
+  util::Bitset pool = Satisfying(cs[0]);
+  for (std::size_t i = 1; i < cs.size(); ++i) pool.AndWith(Satisfying(cs[i]));
+  return pool_cache_.emplace(key, std::move(pool)).first->second;
+}
+
+MachineId Cluster::SampleSatisfying(const ConstraintSet& cs,
+                                    util::Rng& rng) const {
+  const std::size_t bit = Satisfying(cs).SampleSetBit(rng);
+  return bit == SIZE_MAX ? kInvalidMachine : static_cast<MachineId>(bit);
+}
+
+std::vector<MachineId> Cluster::SampleSatisfying(const ConstraintSet& cs,
+                                                 std::size_t k,
+                                                 util::Rng& rng) const {
+  std::vector<MachineId> out;
+  const util::Bitset& pool = Satisfying(cs);
+  if (!pool.Any()) return out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(static_cast<MachineId>(pool.SampleSetBit(rng)));
+  }
+  return out;
+}
+
+std::vector<MachineId> Cluster::SampleDistinctSatisfying(
+    const ConstraintSet& cs, std::size_t k, util::Rng& rng) const {
+  const util::Bitset& pool = Satisfying(cs);
+  std::vector<std::uint32_t> candidates;
+  pool.CollectSetBits(candidates);
+  if (candidates.size() <= k) {
+    return {candidates.begin(), candidates.end()};
+  }
+  // Partial Fisher–Yates over the candidate list.
+  std::vector<MachineId> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.NextBounded(candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+    out.push_back(candidates[i]);
+  }
+  return out;
+}
+
+}  // namespace phoenix::cluster

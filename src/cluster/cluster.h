@@ -1,0 +1,83 @@
+// The cluster: a fixed fleet of heterogeneous machines plus a predicate
+// index for fast constraint matching.
+//
+// Probe routing must answer "give me k random machines satisfying this
+// constraint set" millions of times per run, so the cluster precomputes one
+// bitset per (attribute, operator, value) predicate over the small value
+// domains; a constraint set's candidate pool is the AND of its predicates'
+// bitsets. Pools are memoized per distinct constraint set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/constraint.h"
+#include "cluster/machine.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace phoenix::cluster {
+
+class Cluster {
+ public:
+  explicit Cluster(std::vector<Machine> machines);
+
+  std::size_t size() const { return machines_.size(); }
+  const Machine& machine(MachineId id) const { return machines_[id]; }
+  const std::vector<Machine>& machines() const { return machines_; }
+
+  /// Number of distinct racks (failure domains). Machines built without
+  /// rack assignment (kInvalidRack) count as one shared pseudo-rack.
+  std::size_t num_racks() const { return num_racks_; }
+  RackId rack_of(MachineId id) const { return machines_[id].rack; }
+
+  /// Bitset of machines satisfying one predicate. O(1) after construction.
+  /// Predicates with values outside the attribute's domain return a
+  /// domain-clamped answer (e.g. "> max_value" yields the empty set).
+  const util::Bitset& Satisfying(const Constraint& c) const;
+
+  /// Bitset of machines satisfying every constraint in the set (memoized).
+  /// The unconstrained set returns the all-ones bitset.
+  const util::Bitset& Satisfying(const ConstraintSet& cs) const;
+
+  /// Number of machines satisfying the set.
+  std::size_t CountSatisfying(const ConstraintSet& cs) const {
+    return Satisfying(cs).Count();
+  }
+
+  /// Samples one machine uniformly among those satisfying `cs`;
+  /// kInvalidMachine if none exists.
+  MachineId SampleSatisfying(const ConstraintSet& cs, util::Rng& rng) const;
+
+  /// Samples `k` machines (with replacement, like Sparrow's power-of-d
+  /// probing) among those satisfying `cs`. Returns fewer than k only when
+  /// the candidate pool is empty.
+  std::vector<MachineId> SampleSatisfying(const ConstraintSet& cs,
+                                          std::size_t k,
+                                          util::Rng& rng) const;
+
+  /// Samples `k` *distinct* machines satisfying `cs` (used by the
+  /// centralized planes). Returns all candidates if fewer than k exist.
+  std::vector<MachineId> SampleDistinctSatisfying(const ConstraintSet& cs,
+                                                  std::size_t k,
+                                                  util::Rng& rng) const;
+
+ private:
+  // Canonical key for memoizing constraint-set pools. hard/soft does not
+  // affect matching, so it is excluded.
+  using SetKey = std::vector<std::uint32_t>;
+  static SetKey KeyFor(const ConstraintSet& cs);
+
+  std::vector<Machine> machines_;
+  util::Bitset all_;
+  std::size_t num_racks_ = 1;
+
+  // Lazily built per-predicate bitsets, keyed by the encoded (attr, op,
+  // value) triple. The distinct-predicate count is bounded by the small
+  // value domains, so each is computed once by a single fleet scan.
+  mutable std::map<std::uint32_t, util::Bitset> predicate_cache_;
+  mutable std::map<SetKey, util::Bitset> pool_cache_;
+};
+
+}  // namespace phoenix::cluster

@@ -1,0 +1,77 @@
+#include "cluster/constraint.h"
+
+#include "util/check.h"
+#include "util/format.h"
+
+namespace phoenix::cluster {
+
+std::string_view OpName(ConstraintOp op) {
+  switch (op) {
+    case ConstraintOp::kLess: return "<";
+    case ConstraintOp::kGreater: return ">";
+    case ConstraintOp::kEqual: return "=";
+  }
+  return "?";
+}
+
+std::string Constraint::ToString() const {
+  return util::StrFormat("%.*s %.*s %d (%s)",
+                         static_cast<int>(AttrName(attr).size()),
+                         AttrName(attr).data(),
+                         static_cast<int>(OpName(op).size()),
+                         OpName(op).data(), value, hard ? "hard" : "soft");
+}
+
+ConstraintSet::ConstraintSet(std::vector<Constraint> constraints) {
+  for (const auto& c : constraints) Add(c);
+}
+
+void ConstraintSet::Add(const Constraint& c) {
+  PHOENIX_CHECK_MSG(constraints_.size() < kMaxConstraintsPerTask,
+                    "a task carries at most 6 constraints");
+  for (const auto& existing : constraints_) {
+    PHOENIX_CHECK_MSG(existing.attr != c.attr,
+                      "duplicate attribute in constraint set");
+  }
+  constraints_.push_back(c);
+}
+
+bool ConstraintSet::HasHard() const {
+  for (const auto& c : constraints_)
+    if (c.hard) return true;
+  return false;
+}
+
+bool ConstraintSet::HasSoft() const {
+  for (const auto& c : constraints_)
+    if (!c.hard) return true;
+  return false;
+}
+
+ConstraintSet ConstraintSet::HardOnly() const {
+  ConstraintSet out;
+  for (const auto& c : constraints_)
+    if (c.hard) out.Add(c);
+  return out;
+}
+
+ConstraintSet ConstraintSet::WithoutConstraint(std::size_t index) const {
+  PHOENIX_CHECK(index < constraints_.size());
+  ConstraintSet out;
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (i != index) out.Add(constraints_[i]);
+  }
+  return out;
+}
+
+std::string ConstraintSet::ToString() const {
+  if (constraints_.empty()) return "{unconstrained}";
+  std::string out = "{";
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += constraints_[i].ToString();
+  }
+  return out + "}";
+}
+
+}  // namespace phoenix::cluster

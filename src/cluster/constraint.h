@@ -1,0 +1,83 @@
+// Task placement constraints.
+//
+// A constraint is a predicate (attribute, operator, value) over a machine's
+// attribute vector, with a hard/soft classification (paper §III-A): hard
+// constraints must be satisfied for the task to run; soft constraints may be
+// relaxed by admission control at a performance penalty.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/attributes.h"
+
+namespace phoenix::cluster {
+
+/// Comparison operators allowed in the traces (paper §V-A: <, >, =).
+enum class ConstraintOp : std::uint8_t { kLess = 0, kGreater, kEqual };
+
+std::string_view OpName(ConstraintOp op);
+
+struct Constraint {
+  Attr attr = Attr::kArch;
+  ConstraintOp op = ConstraintOp::kEqual;
+  std::int32_t value = 0;
+  bool hard = true;
+
+  /// Does a machine value satisfy this predicate?
+  bool Satisfies(std::int32_t machine_value) const {
+    switch (op) {
+      case ConstraintOp::kLess: return machine_value < value;
+      case ConstraintOp::kGreater: return machine_value > value;
+      case ConstraintOp::kEqual: return machine_value == value;
+    }
+    return false;
+  }
+
+  bool operator==(const Constraint&) const = default;
+
+  /// "Kernel Version > 2 (hard)"
+  std::string ToString() const;
+};
+
+/// A task's constraint set: at most kMaxConstraintsPerTask entries with
+/// distinct attributes (matching the paper's 1..6 constraints per job).
+inline constexpr std::size_t kMaxConstraintsPerTask = 6;
+
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+  explicit ConstraintSet(std::vector<Constraint> constraints);
+
+  void Add(const Constraint& c);
+
+  bool empty() const { return constraints_.empty(); }
+  std::size_t size() const { return constraints_.size(); }
+  const Constraint& operator[](std::size_t i) const { return constraints_[i]; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  auto begin() const { return constraints_.begin(); }
+  auto end() const { return constraints_.end(); }
+
+  /// True if any constraint is hard.
+  bool HasHard() const;
+  /// True if any constraint is soft.
+  bool HasSoft() const;
+
+  /// A copy with the soft constraints removed (used by admission control
+  /// when negotiating an unsatisfiable request down to its hard core).
+  ConstraintSet HardOnly() const;
+
+  /// A copy with the single soft constraint at `index` removed.
+  ConstraintSet WithoutConstraint(std::size_t index) const;
+
+  bool operator==(const ConstraintSet&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace phoenix::cluster

@@ -1,0 +1,18 @@
+#include "cluster/machine.h"
+
+#include "util/format.h"
+
+namespace phoenix::cluster {
+
+std::string Machine::ToString() const {
+  std::string out = util::StrFormat("machine %u [", id);
+  for (std::size_t a = 0; a < kNumAttrs; ++a) {
+    if (a > 0) out += ", ";
+    const auto name = AttrName(static_cast<Attr>(a));
+    out += util::StrFormat("%.*s=%d", static_cast<int>(name.size()),
+                           name.data(), attrs[a]);
+  }
+  return out + "]";
+}
+
+}  // namespace phoenix::cluster

@@ -1,0 +1,48 @@
+// A machine's static attribute vector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cluster/attributes.h"
+#include "cluster/constraint.h"
+
+namespace phoenix::cluster {
+
+using MachineId = std::uint32_t;
+inline constexpr MachineId kInvalidMachine = 0xffffffffu;
+
+using RackId = std::uint32_t;
+inline constexpr RackId kInvalidRack = 0xffffffffu;
+
+/// Immutable hardware/software description of one worker machine. Runtime
+/// queue state lives in the scheduler layer (sched::WorkerState); this struct
+/// is what constraints are matched against.
+struct Machine {
+  MachineId id = kInvalidMachine;
+  /// Failure domain for placement preferences (§III-A: jobs spread replicas
+  /// across racks for fault tolerance or co-locate for data locality).
+  RackId rack = kInvalidRack;
+  std::array<std::int32_t, kNumAttrs> attrs{};
+
+  std::int32_t Get(Attr attr) const {
+    return attrs[static_cast<std::size_t>(attr)];
+  }
+  void Set(Attr attr, std::int32_t value) {
+    attrs[static_cast<std::size_t>(attr)] = value;
+  }
+
+  bool Satisfies(const Constraint& c) const { return c.Satisfies(Get(c.attr)); }
+
+  bool Satisfies(const ConstraintSet& cs) const {
+    for (const auto& c : cs) {
+      if (!Satisfies(c)) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace phoenix::cluster

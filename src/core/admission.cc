@@ -1,0 +1,56 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace phoenix::core {
+
+AdmissionController::AdmissionController(const cluster::Cluster& cluster,
+                                         double crv_threshold,
+                                         double soft_relax_penalty,
+                                         std::size_t max_relaxations)
+    : cluster_(cluster), crv_threshold_(crv_threshold),
+      soft_relax_penalty_(soft_relax_penalty),
+      max_relaxations_(max_relaxations) {
+  PHOENIX_CHECK(crv_threshold > 0);
+  PHOENIX_CHECK(soft_relax_penalty >= 1.0);
+}
+
+std::size_t AdmissionController::Negotiate(sched::JobRuntime& job,
+                                           const CrvSnapshot& snapshot) {
+  // Only short (latency-critical) jobs benefit: long jobs amortize queueing
+  // and should keep their requested placement quality.
+  if (!job.short_class) return 0;
+
+  std::size_t relaxed = 0;
+  bool changed = true;
+  while (changed && relaxed < max_relaxations_) {
+    changed = false;
+    const std::size_t pool = cluster_.CountSatisfying(job.effective);
+    // Negotiation only pays when the job is actually cornered: a roomy pool
+    // queues briefly even at peak, and the relaxation penalty would be pure
+    // loss.
+    if (pool >= cluster_.size() / 10) break;
+    for (std::size_t i = 0; i < job.effective.size(); ++i) {
+      const cluster::Constraint& c = job.effective[i];
+      if (c.hard) continue;
+      const double ratio = snapshot.RatioFor(cluster::AttrToCrvDim(c.attr));
+      if (ratio <= crv_threshold_) continue;
+      // Require the trade to buy real placement freedom (>= 2x the pool).
+      const cluster::ConstraintSet without = job.effective.WithoutConstraint(i);
+      if (cluster_.CountSatisfying(without) < 2 * std::max<std::size_t>(pool, 1)) {
+        continue;
+      }
+      job.effective = without;
+      job.duration_multiplier *= soft_relax_penalty_;
+      ++job.relaxed_constraints;
+      ++relaxed;
+      changed = true;
+      break;  // indices shifted; rescan
+    }
+  }
+  return relaxed;
+}
+
+}  // namespace phoenix::core

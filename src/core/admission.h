@@ -1,0 +1,34 @@
+// Proactive admission control (paper contribution #2).
+//
+// When the CRV table shows a dimension congested beyond the threshold,
+// Phoenix negotiates the *soft* constraints of newly arriving short jobs
+// that touch the hot dimensions: the constraint is relaxed (dropped) in
+// exchange for a modeled per-constraint service-time penalty, widening the
+// candidate pool and keeping the job off the congested queues. Hard
+// constraints are never relaxed here.
+#pragma once
+
+#include "cluster/cluster.h"
+#include "core/crv.h"
+#include "sched/types.h"
+
+namespace phoenix::core {
+
+class AdmissionController {
+ public:
+  AdmissionController(const cluster::Cluster& cluster, double crv_threshold,
+                      double soft_relax_penalty, std::size_t max_relaxations);
+
+  /// Negotiates `job`'s soft constraints against the current CRV snapshot.
+  /// Returns the number of constraints relaxed; updates job.effective and
+  /// job.duration_multiplier.
+  std::size_t Negotiate(sched::JobRuntime& job, const CrvSnapshot& snapshot);
+
+ private:
+  const cluster::Cluster& cluster_;
+  double crv_threshold_;
+  double soft_relax_penalty_;
+  std::size_t max_relaxations_;
+};
+
+}  // namespace phoenix::core

@@ -1,0 +1,58 @@
+#include "core/crv.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/format.h"
+
+namespace phoenix::core {
+
+std::string CrvSnapshot::ToString() const {
+  std::string out = "CRV{";
+  for (std::size_t d = 0; d < cluster::kNumCrvDims; ++d) {
+    if (d > 0) out += ", ";
+    const auto name = cluster::CrvDimName(static_cast<cluster::CrvDim>(d));
+    out += util::StrFormat("%.*s=%.3f", static_cast<int>(name.size()),
+                           name.data(), ratio[d]);
+  }
+  return out + "}";
+}
+
+CrvMonitor::CrvMonitor(const cluster::Cluster& cluster) : cluster_(cluster) {}
+
+void CrvMonitor::OnEnqueue(const cluster::ConstraintSet& cs) {
+  for (const auto& c : cs) {
+    const auto dim = static_cast<std::size_t>(cluster::AttrToCrvDim(c.attr));
+    const std::size_t pool = cluster_.Satisfying(c).Count();
+    ++demand_[dim];
+    if (pool > 0) load_[dim] += 1.0 / static_cast<double>(pool);
+  }
+}
+
+void CrvMonitor::OnDequeue(const cluster::ConstraintSet& cs) {
+  for (const auto& c : cs) {
+    const auto dim = static_cast<std::size_t>(cluster::AttrToCrvDim(c.attr));
+    const std::size_t pool = cluster_.Satisfying(c).Count();
+    PHOENIX_CHECK_MSG(demand_[dim] > 0, "CRV demand underflow");
+    --demand_[dim];
+    if (pool > 0) {
+      load_[dim] =
+          std::max(0.0, load_[dim] - 1.0 / static_cast<double>(pool));
+    }
+  }
+}
+
+CrvSnapshot CrvMonitor::TakeSnapshot() const {
+  CrvSnapshot snap;
+  for (std::size_t d = 0; d < cluster::kNumCrvDims; ++d) {
+    snap.demand[d] = static_cast<std::uint64_t>(demand_[d]);
+    snap.ratio[d] = load_[d];
+    if (snap.ratio[d] > snap.max_ratio) {
+      snap.max_ratio = snap.ratio[d];
+      snap.max_dim = static_cast<cluster::CrvDim>(d);
+    }
+  }
+  return snap;
+}
+
+}  // namespace phoenix::core

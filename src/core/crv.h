@@ -1,0 +1,61 @@
+// Constraint Resource Vector accounting (paper §IV-A).
+//
+// The CRV_Monitor tracks, per CRV dimension <cpu, mem, disk, os, clock,
+// net_bandwidth>, the demand/supply ratio of constrained work currently
+// queued in the cluster. Demand and supply are combined per queued
+// constraint: a queued entry with a constraint whose satisfying pool has P
+// machines contributes 1/P to its dimension — i.e. the ratio is "queued
+// tasks per machine able to serve them", directly comparable across
+// dimensions and thresholds (ratio 1.0 = one queued task per capable
+// machine). Counters update incrementally on enqueue/dequeue; Phoenix
+// snapshots them into the CRV_Lookup_Table every heartbeat.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.h"
+
+namespace phoenix::core {
+
+/// The CRV_Lookup_Table contents at one heartbeat.
+struct CrvSnapshot {
+  std::array<double, cluster::kNumCrvDims> ratio{};
+  std::array<std::uint64_t, cluster::kNumCrvDims> demand{};
+  double max_ratio = 0;
+  cluster::CrvDim max_dim = cluster::CrvDim::kCpu;
+
+  bool CongestedAbove(double threshold) const { return max_ratio > threshold; }
+  double RatioFor(cluster::CrvDim dim) const {
+    return ratio[static_cast<std::size_t>(dim)];
+  }
+
+  std::string ToString() const;
+};
+
+class CrvMonitor {
+ public:
+  explicit CrvMonitor(const cluster::Cluster& cluster);
+
+  /// A constrained entry entered / left a worker queue.
+  void OnEnqueue(const cluster::ConstraintSet& cs);
+  void OnDequeue(const cluster::ConstraintSet& cs);
+
+  /// Computes the current demand/supply ratios (Algorithm 1's
+  /// CRV_Lookup_Table refresh).
+  CrvSnapshot TakeSnapshot() const;
+
+  /// Queued entries currently demanding `dim`.
+  std::uint64_t DemandFor(cluster::CrvDim dim) const {
+    return static_cast<std::uint64_t>(
+        demand_[static_cast<std::size_t>(dim)]);
+  }
+
+ private:
+  const cluster::Cluster& cluster_;
+  std::array<std::int64_t, cluster::kNumCrvDims> demand_{};
+  std::array<double, cluster::kNumCrvDims> load_{};  // sum of 1/pool
+};
+
+}  // namespace phoenix::core

@@ -1,0 +1,130 @@
+#include "core/phoenix.h"
+
+#include <algorithm>
+
+namespace phoenix::core {
+
+using cluster::MachineId;
+using sched::JobRuntime;
+using sched::QueueEntry;
+using sched::WorkerState;
+
+PhoenixScheduler::PhoenixScheduler(sim::Engine& engine,
+                                   const cluster::Cluster& cluster,
+                                   const sched::SchedulerConfig& config)
+    : EagleScheduler(engine, cluster, config),
+      monitor_(cluster),
+      admission_(cluster, config.crv_threshold, config.soft_relax_penalty,
+                 config.phoenix_max_relaxations) {}
+
+void PhoenixScheduler::AdmitJob(JobRuntime& job) {
+  // Forced relaxation first (unsatisfiable sets must still run somewhere)…
+  EagleScheduler::AdmitJob(job);
+  // …then proactive negotiation against the congested dimensions.
+  if (config().phoenix_admission) {
+    const std::size_t relaxed = admission_.Negotiate(job, snapshot_);
+    counters().soft_constraints_relaxed += relaxed;
+  }
+}
+
+void PhoenixScheduler::OnHeartbeat() {
+  EagleScheduler::OnHeartbeat();  // idle-worker steal retry
+  snapshot_ = monitor_.TakeSnapshot();
+  congested_ = snapshot_.CongestedAbove(config().crv_threshold);
+  bool any_marked = false;
+  for (std::size_t i = 0; i < num_workers(); ++i) {
+    WorkerState& w = worker(static_cast<MachineId>(i));
+    w.last_wait_estimate = w.estimator.EstimateWait();
+    w.crv_marked = congested_ && w.last_wait_estimate > config().qwait_threshold;
+    any_marked = any_marked || w.crv_marked;
+  }
+  if (congested_ && any_marked) ++counters().crv_reorder_rounds;
+
+  // Record the refresh; decimate by dropping every other sample once the
+  // cap is hit, so arbitrarily long runs keep a bounded, uniform history.
+  history_.push_back({engine().Now(), snapshot_, congested_});
+  if (history_.size() >= kMaxHistory) {
+    std::vector<CrvSample> halved;
+    halved.reserve(history_.size() / 2 + 1);
+    for (std::size_t i = 0; i < history_.size(); i += 2) {
+      halved.push_back(history_[i]);
+    }
+    history_ = std::move(halved);
+  }
+}
+
+bool PhoenixScheduler::TouchesHotDim(const JobRuntime& job) const {
+  for (const auto& c : job.effective) {
+    if (cluster::AttrToCrvDim(c.attr) == snapshot_.max_dim) return true;
+  }
+  return false;
+}
+
+std::size_t PhoenixScheduler::SelectNextIndex(const WorkerState& worker) {
+  if (!config().phoenix_crv_reorder || !(congested_ && worker.crv_marked)) {
+    return EagleScheduler::SelectNextIndex(worker);  // SRPT + slack
+  }
+  // CRV-based reordering: among *short* entries demanding the hottest
+  // dimension, run the shortest first; entries on cooler dimensions (or
+  // none) wait. Long bound tasks are never promoted — the reordering
+  // exists to pull latency-critical constrained work forward.
+  std::size_t best = SIZE_MAX;
+  for (std::size_t i = 0; i < worker.queue.size(); ++i) {
+    if (!worker.queue[i].short_class) continue;
+    if (!TouchesHotDim(runtime(worker.queue[i].job))) continue;
+    if (best == SIZE_MAX ||
+        worker.queue[i].est_duration < worker.queue[best].est_duration) {
+      best = i;
+    }
+  }
+  if (best == SIZE_MAX) {
+    return EagleScheduler::SelectNextIndex(worker);
+  }
+  const std::size_t index = IndexRespectingSlack(worker, best);
+  if (index != 0) ++counters().tasks_reordered_crv;
+  return index;
+}
+
+std::vector<MachineId> PhoenixScheduler::ChooseProbeTargets(
+    const JobRuntime& job) {
+  if (!config().phoenix_wait_aware_probes) {
+    return EagleScheduler::ChooseProbeTargets(job);
+  }
+  const std::size_t wanted = config().probe_ratio * job.num_tasks();
+  // Over-sample through Eagle's SSS-aware path, then keep the targets with
+  // the lowest heartbeat E[W] estimates.
+  std::vector<MachineId> candidates = EagleScheduler::ChooseProbeTargets(job);
+  {
+    std::vector<MachineId> more = EagleScheduler::ChooseProbeTargets(job);
+    candidates.insert(candidates.end(), more.begin(), more.end());
+  }
+  if (candidates.size() <= wanted) return candidates;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](MachineId a, MachineId b) {
+                     return worker(a).last_wait_estimate <
+                            worker(b).last_wait_estimate;
+                   });
+  candidates.resize(wanted);
+  return candidates;
+}
+
+bool PhoenixScheduler::UseStickyBatchProbing(const JobRuntime& job) const {
+  // Stickiness is suspended during congested periods: it commits work to a
+  // queue whose wait the CRV table says is mispriced (§VI-A).
+  if (config().phoenix_suspend_sbp && congested_) return false;
+  return EagleScheduler::UseStickyBatchProbing(job);
+}
+
+void PhoenixScheduler::OnEntryEnqueued(const WorkerState& worker,
+                                       const QueueEntry& entry) {
+  EagleScheduler::OnEntryEnqueued(worker, entry);
+  monitor_.OnEnqueue(runtime(entry.job).effective);
+}
+
+void PhoenixScheduler::OnEntryDequeued(const WorkerState& worker,
+                                       const QueueEntry& entry) {
+  EagleScheduler::OnEntryDequeued(worker, entry);
+  monitor_.OnDequeue(runtime(entry.job).effective);
+}
+
+}  // namespace phoenix::core

@@ -1,0 +1,80 @@
+// Phoenix: the constraint-aware hybrid scheduler (the paper's contribution).
+//
+// Built on Eagle-C (hybrid planes, SSS, SRPT, sticky batch probing) and
+// extended with (Table I last row):
+//   * a CRV_Monitor that maintains per-dimension demand/supply ratios of
+//     constrained queued work, refreshed into a lookup-table snapshot every
+//     heartbeat (9 s);
+//   * per-worker Pollaczek-Khinchine M/G/1 waiting-time estimates E[W]
+//     (Equation 1), also refreshed at the heartbeat;
+//   * adaptive queue reordering (Algorithm 1): while any CRV dimension is
+//     congested (ratio > CRV_threshold), workers whose E[W] exceeds
+//     Qwait_threshold reorder by CRV — tasks demanding the hottest
+//     dimension run first (they have the fewest alternative workers),
+//     SRPT among equals, bounded by the slack/starvation threshold;
+//     otherwise plain SRPT, which is tail-optimal at moderate load;
+//   * proactive admission control: soft constraints touching congested
+//     dimensions are negotiated away at arrival for short jobs;
+//   * wait-aware probe placement: probe targets are chosen from the
+//     satisfying pool by lowest estimated E[W] rather than uniformly; and
+//     sticky batch probing is suspended during congested periods, since
+//     stickiness is a poor wait-time estimator under constraint surges
+//     (paper §VI-A).
+#pragma once
+
+#include "core/admission.h"
+#include "core/crv.h"
+#include "sched/eagle.h"
+
+namespace phoenix::core {
+
+class PhoenixScheduler : public sched::EagleScheduler {
+ public:
+  PhoenixScheduler(sim::Engine& engine, const cluster::Cluster& cluster,
+                   const sched::SchedulerConfig& config);
+
+  std::string name() const override { return "phoenix"; }
+
+  /// Current CRV table contents (for tests and the examples).
+  const CrvSnapshot& snapshot() const { return snapshot_; }
+  bool congested() const { return congested_; }
+
+  /// One CRV_Lookup_Table refresh, timestamped.
+  struct CrvSample {
+    double time = 0;
+    CrvSnapshot snapshot;
+    bool congested = false;
+  };
+
+  /// Heartbeat-by-heartbeat history of the CRV table (capped at
+  /// kMaxHistory samples by uniform decimation) — the observability feed a
+  /// production CRV_Monitor would export.
+  const std::vector<CrvSample>& crv_history() const { return history_; }
+
+ protected:
+  void AdmitJob(sched::JobRuntime& job) override;
+  std::vector<cluster::MachineId> ChooseProbeTargets(
+      const sched::JobRuntime& job) override;
+  std::size_t SelectNextIndex(const sched::WorkerState& worker) override;
+  void OnHeartbeat() override;
+  bool UseStickyBatchProbing(const sched::JobRuntime& job) const override;
+  void OnEntryEnqueued(const sched::WorkerState& worker,
+                       const sched::QueueEntry& entry) override;
+  void OnEntryDequeued(const sched::WorkerState& worker,
+                       const sched::QueueEntry& entry) override;
+
+ private:
+  /// True if the job's effective constraints touch the snapshot's hottest
+  /// dimension.
+  bool TouchesHotDim(const sched::JobRuntime& job) const;
+
+  static constexpr std::size_t kMaxHistory = 4096;
+
+  CrvMonitor monitor_;
+  AdmissionController admission_;
+  CrvSnapshot snapshot_;
+  bool congested_ = false;
+  std::vector<CrvSample> history_;
+};
+
+}  // namespace phoenix::core

@@ -1,0 +1,74 @@
+#include "metrics/fairness.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace phoenix::metrics {
+
+double JainIndex(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0, sum_sq = 0;
+  for (const double v : values) {
+    PHOENIX_DCHECK(v >= 0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+namespace {
+
+bool Matches(const JobOutcome& job, ClassFilter cf, ConstraintFilter kf) {
+  if (cf == ClassFilter::kShort && !job.short_class) return false;
+  if (cf == ClassFilter::kLong && job.short_class) return false;
+  if (kf == ConstraintFilter::kConstrained && !job.constrained) return false;
+  if (kf == ConstraintFilter::kUnconstrained && job.constrained) return false;
+  return true;
+}
+
+double CriticalPath(const trace::Job& spec) {
+  return *std::max_element(spec.task_durations.begin(),
+                           spec.task_durations.end());
+}
+
+}  // namespace
+
+std::vector<double> Slowdowns(const SimReport& report,
+                              const trace::Trace& trace, ClassFilter cf,
+                              ConstraintFilter kf) {
+  std::vector<double> out;
+  for (const auto& job : report.jobs) {
+    if (!Matches(job, cf, kf)) continue;
+    const double ideal = CriticalPath(trace.job(job.id));
+    out.push_back(job.response() / std::max(ideal, 1e-9));
+  }
+  return out;
+}
+
+FairnessSummary ComputeFairness(const SimReport& report,
+                                const trace::Trace& trace) {
+  FairnessSummary s;
+  s.jain_all = JainIndex(Slowdowns(report, trace, ClassFilter::kAll,
+                                   ConstraintFilter::kAll));
+  s.jain_short = JainIndex(Slowdowns(report, trace, ClassFilter::kShort,
+                                     ConstraintFilter::kAll));
+  s.jain_long = JainIndex(Slowdowns(report, trace, ClassFilter::kLong,
+                                    ConstraintFilter::kAll));
+  const auto uncon = Slowdowns(report, trace, ClassFilter::kAll,
+                               ConstraintFilter::kUnconstrained);
+  const auto con = Slowdowns(report, trace, ClassFilter::kAll,
+                             ConstraintFilter::kConstrained);
+  auto mean = [](const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    double sum = 0;
+    for (const double x : v) sum += x;
+    return sum / static_cast<double>(v.size());
+  };
+  const double mc = mean(con);
+  s.unconstrained_to_constrained = mc > 0 ? mean(uncon) / mc : 1.0;
+  return s;
+}
+
+}  // namespace phoenix::metrics

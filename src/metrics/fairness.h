@@ -1,0 +1,40 @@
+// Fairness metrics.
+//
+// The paper claims Phoenix "does not affect the fairness ... of the other
+// long and unconstrained jobs" (§I, §VI-D). We quantify that with two
+// standard measures over per-job slowdowns (response / ideal service):
+//   * Jain's fairness index  (Σx)² / (n·Σx²)  — 1.0 is perfectly fair,
+//     1/n is maximally unfair;
+//   * the max-min slowdown ratio between job slices.
+#pragma once
+
+#include <vector>
+
+#include "metrics/report.h"
+#include "trace/trace.h"
+
+namespace phoenix::metrics {
+
+/// Jain's fairness index of a non-negative sample. Returns 1.0 for empty or
+/// all-zero input (vacuously fair).
+double JainIndex(const std::vector<double>& values);
+
+/// Per-job slowdown: response time divided by the job's critical path on an
+/// empty cluster (its longest task). Always >= ~1.
+std::vector<double> Slowdowns(const SimReport& report,
+                              const trace::Trace& trace, ClassFilter cf,
+                              ConstraintFilter kf);
+
+struct FairnessSummary {
+  double jain_all = 1.0;            // over every job's slowdown
+  double jain_short = 1.0;
+  double jain_long = 1.0;
+  /// Mean slowdown of unconstrained jobs / mean slowdown of constrained
+  /// jobs: < 1 means unconstrained jobs are treated better.
+  double unconstrained_to_constrained = 1.0;
+};
+
+FairnessSummary ComputeFairness(const SimReport& report,
+                                const trace::Trace& trace);
+
+}  // namespace phoenix::metrics

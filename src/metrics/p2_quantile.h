@@ -1,0 +1,43 @@
+// P² (piecewise-parabolic) streaming quantile estimator — Jain & Chlamtac,
+// CACM 1985.
+//
+// Tracks one quantile of a stream in O(1) memory and O(1) per sample,
+// without storing observations. The simulator's reports use exact
+// percentiles (we keep every job outcome anyway); this estimator exists for
+// *online* consumers — e.g. a monitor that wants a live p99 of queue waits
+// without retaining history — and is validated against the exact
+// percentiles in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace phoenix::metrics {
+
+class P2Quantile {
+ public:
+  /// q in (0, 1): the quantile to track (0.99 = p99).
+  explicit P2Quantile(double q);
+
+  void Add(double x);
+
+  /// Current estimate. Exact while fewer than 5 samples have been seen.
+  double Value() const;
+
+  std::uint64_t count() const { return count_; }
+  double quantile() const { return q_; }
+
+ private:
+  double Parabolic(int i, double d) const;
+  double Linear(int i, double d) const;
+
+  double q_;
+  std::uint64_t count_ = 0;
+  // Marker heights, positions and desired positions (5-marker P²).
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> desired_inc_{};
+};
+
+}  // namespace phoenix::metrics

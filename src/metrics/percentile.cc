@@ -1,0 +1,69 @@
+#include "metrics/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace phoenix::metrics {
+
+double Percentile(std::vector<double>& values, double p) {
+  PHOENIX_CHECK_MSG(p >= 0 && p <= 100, "percentile must be in [0,100]");
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) return values[lo];
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double PercentileCopy(const std::vector<double>& values, double p) {
+  std::vector<double> copy = values;
+  return Percentile(copy, p);
+}
+
+PercentileSummary Summarize(const std::vector<double>& values) {
+  PercentileSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> copy = values;
+  std::sort(copy.begin(), copy.end());
+  auto at = [&](double p) {
+    const double rank = p / 100.0 * static_cast<double>(copy.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    if (lo == hi) return copy[lo];
+    const double frac = rank - static_cast<double>(lo);
+    return copy[lo] * (1.0 - frac) + copy[hi] * frac;
+  };
+  s.p50 = at(50);
+  s.p90 = at(90);
+  s.p99 = at(99);
+  s.max = copy.back();
+  double sum = 0;
+  for (const double v : copy) sum += v;
+  s.mean = sum / static_cast<double>(copy.size());
+  return s;
+}
+
+std::vector<CdfPoint> ComputeCdf(std::vector<double> values,
+                                 std::size_t max_points) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty()) return cdf;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t points = std::min(max_points, n);
+  cdf.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Evenly spaced ranks, always including the max.
+    const std::size_t rank =
+        points == 1 ? n - 1 : i * (n - 1) / (points - 1);
+    cdf.push_back({values[rank],
+                   static_cast<double>(rank + 1) / static_cast<double>(n)});
+  }
+  return cdf;
+}
+
+}  // namespace phoenix::metrics

@@ -1,0 +1,41 @@
+// Exact percentile / distribution helpers.
+//
+// The paper reports 50th/90th/99th percentile job response times; sample
+// counts per run are at most a few million, so exact selection is cheap and
+// avoids sketch error in the very tail we care about.
+#pragma once
+
+#include <vector>
+
+namespace phoenix::metrics {
+
+/// p in [0, 100]. Linear interpolation between closest ranks
+/// (the "exclusive" definition used by numpy's default). The input vector is
+/// reordered (sorted) in place. Returns 0 for an empty input.
+double Percentile(std::vector<double>& values, double p);
+
+/// Convenience for untouched callers: copies, then computes.
+double PercentileCopy(const std::vector<double>& values, double p);
+
+struct PercentileSummary {
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double mean = 0;
+  double max = 0;
+  std::size_t count = 0;
+};
+
+/// One pass over a copy of `values`.
+PercentileSummary Summarize(const std::vector<double>& values);
+
+/// Empirical CDF: sorted (value, cumulative fraction) pairs, decimated to at
+/// most `max_points` for plotting/printing.
+struct CdfPoint {
+  double value;
+  double fraction;
+};
+std::vector<CdfPoint> ComputeCdf(std::vector<double> values,
+                                 std::size_t max_points = 64);
+
+}  // namespace phoenix::metrics

@@ -1,0 +1,111 @@
+#include "metrics/report.h"
+
+#include "util/check.h"
+
+namespace phoenix::metrics {
+
+namespace {
+
+bool Matches(const JobOutcome& job, ClassFilter cf, ConstraintFilter kf) {
+  switch (cf) {
+    case ClassFilter::kAll: break;
+    case ClassFilter::kShort:
+      if (!job.short_class) return false;
+      break;
+    case ClassFilter::kLong:
+      if (job.short_class) return false;
+      break;
+  }
+  switch (kf) {
+    case ConstraintFilter::kAll: break;
+    case ConstraintFilter::kConstrained:
+      if (!job.constrained) return false;
+      break;
+    case ConstraintFilter::kUnconstrained:
+      if (job.constrained) return false;
+      break;
+  }
+  return true;
+}
+
+}  // namespace
+
+double SimReport::Utilization() const {
+  if (num_workers == 0 || makespan <= 0) return 0;
+  return total_busy_time / (static_cast<double>(num_workers) * makespan);
+}
+
+std::vector<double> SimReport::ResponseTimes(ClassFilter cf,
+                                             ConstraintFilter kf) const {
+  std::vector<double> out;
+  for (const auto& job : jobs) {
+    if (Matches(job, cf, kf)) out.push_back(job.response());
+  }
+  return out;
+}
+
+std::vector<double> SimReport::QueuingDelays(ClassFilter cf,
+                                             ConstraintFilter kf) const {
+  std::vector<double> out;
+  for (const auto& job : jobs) {
+    if (Matches(job, cf, kf)) out.push_back(job.queuing_delay);
+  }
+  return out;
+}
+
+PercentileSummary SimReport::ResponseSummary(ClassFilter cf,
+                                             ConstraintFilter kf) const {
+  return Summarize(ResponseTimes(cf, kf));
+}
+
+PercentileSummary SimReport::QueuingSummary(ClassFilter cf,
+                                            ConstraintFilter kf) const {
+  return Summarize(QueuingDelays(cf, kf));
+}
+
+std::size_t SimReport::CountJobs(ClassFilter cf, ConstraintFilter kf) const {
+  std::size_t n = 0;
+  for (const auto& job : jobs) {
+    if (Matches(job, cf, kf)) ++n;
+  }
+  return n;
+}
+
+std::size_t SimReport::CountTasks(ClassFilter cf, ConstraintFilter kf) const {
+  std::size_t n = 0;
+  for (const auto& job : jobs) {
+    if (Matches(job, cf, kf)) n += job.num_tasks;
+  }
+  return n;
+}
+
+void SimReport::CheckInvariants() const {
+  for (const auto& job : jobs) {
+    PHOENIX_CHECK_MSG(job.completion >= job.submit,
+                      "job completed before it was submitted");
+    PHOENIX_CHECK_MSG(job.queuing_delay >= 0, "negative queuing delay");
+    PHOENIX_CHECK_MSG(job.max_task_wait >= job.queuing_delay - 1e-9,
+                      "max task wait below mean task wait");
+    PHOENIX_CHECK_MSG(job.num_tasks > 0, "job outcome with zero tasks");
+    PHOENIX_CHECK_MSG(job.completion <= makespan + 1e-9,
+                      "job completed after makespan");
+  }
+  PHOENIX_CHECK_MSG(total_busy_time >= 0, "negative busy time");
+  if (num_workers > 0 && makespan > 0) {
+    PHOENIX_CHECK_MSG(Utilization() <= 1.0 + 1e-9,
+                      "utilization above 100% with single-slot workers");
+  }
+}
+
+double SpeedupAtPercentile(const SimReport& treatment,
+                           const SimReport& baseline, double percentile,
+                           ClassFilter cf, ConstraintFilter kf) {
+  auto t = treatment.ResponseTimes(cf, kf);
+  auto b = baseline.ResponseTimes(cf, kf);
+  const double tv = Percentile(t, percentile);
+  const double bv = Percentile(b, percentile);
+  if (tv <= 0) return 0;
+  return bv / tv;
+}
+
+}  // namespace phoenix::metrics

@@ -1,0 +1,103 @@
+// Simulation outcome report.
+//
+// Every experiment in the paper is a view over the same per-job outcomes:
+// response time (completion - submit) and queuing delay (mean task wait),
+// sliced by job class (short/long, per the scheduler's own classification)
+// and constrainedness — plus scheduler-internal counters (Table III's
+// reordering statistics) and measured cluster utilization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/percentile.h"
+#include "sim/simtime.h"
+#include "trace/job.h"
+
+namespace phoenix::metrics {
+
+struct JobOutcome {
+  trace::JobId id = trace::kInvalidJob;
+  sim::SimTime submit = 0;
+  sim::SimTime completion = 0;
+  /// Mean over tasks of (execution start - job submit).
+  double queuing_delay = 0;
+  /// Max over tasks of (execution start - job submit) — the straggler wait.
+  double max_task_wait = 0;
+  std::size_t num_tasks = 0;
+  bool short_class = true;   // the scheduler's classification
+  bool constrained = false;
+  /// Distinct racks that executed this job's tasks.
+  std::size_t racks_used = 0;
+  trace::PlacementPref placement = trace::PlacementPref::kNone;
+
+  double response() const { return completion - submit; }
+};
+
+/// Job-slice selectors.
+enum class ClassFilter { kAll, kShort, kLong };
+enum class ConstraintFilter { kAll, kConstrained, kUnconstrained };
+
+/// Scheduler-internal counters (Table III and overhead accounting).
+struct SchedulerCounters {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_cancelled = 0;
+  std::uint64_t tasks_reordered_crv = 0;
+  std::uint64_t tasks_reordered_srpt = 0;
+  std::uint64_t tasks_stolen = 0;
+  std::uint64_t soft_constraints_relaxed = 0;
+  std::uint64_t tasks_admission_rejected = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t crv_reorder_rounds = 0;
+  /// Spread-preference jobs that had to double up on a rack.
+  std::uint64_t placement_spread_violations = 0;
+  /// Colocate-preference tasks that landed off the job's anchor rack.
+  std::uint64_t placement_colocate_misses = 0;
+  /// Probes declined at resolution to preserve a spread preference.
+  std::uint64_t probes_declined_placement = 0;
+  /// Machine failures injected and tasks rescheduled because of them.
+  std::uint64_t machine_failures = 0;
+  std::uint64_t tasks_rescheduled_failure = 0;
+};
+
+class SimReport {
+ public:
+  std::string scheduler_name;
+  std::string trace_name;
+  std::size_t num_workers = 0;
+  std::vector<JobOutcome> jobs;
+  SchedulerCounters counters;
+  /// Sum over workers of busy (executing) time, seconds.
+  double total_busy_time = 0;
+  /// Simulated time at which the last task finished.
+  sim::SimTime makespan = 0;
+
+  /// Measured average utilization: busy time / (workers * makespan).
+  double Utilization() const;
+
+  /// Response times of jobs matching the filters.
+  std::vector<double> ResponseTimes(ClassFilter cf,
+                                    ConstraintFilter kf) const;
+  /// Queuing delays of jobs matching the filters.
+  std::vector<double> QueuingDelays(ClassFilter cf, ConstraintFilter kf) const;
+
+  PercentileSummary ResponseSummary(ClassFilter cf, ConstraintFilter kf) const;
+  PercentileSummary QueuingSummary(ClassFilter cf, ConstraintFilter kf) const;
+
+  std::size_t CountJobs(ClassFilter cf, ConstraintFilter kf) const;
+  std::size_t CountTasks(ClassFilter cf, ConstraintFilter kf) const;
+
+  /// Structural sanity checks (completion >= submit, etc). Aborts on
+  /// violation; called by the runner after each simulation.
+  void CheckInvariants() const;
+};
+
+/// speedup = baseline / treatment for a given percentile of short-job
+/// response times (how the paper reports "Phoenix improves by N x").
+double SpeedupAtPercentile(const SimReport& treatment,
+                           const SimReport& baseline, double percentile,
+                           ClassFilter cf = ClassFilter::kShort,
+                           ConstraintFilter kf = ConstraintFilter::kAll);
+
+}  // namespace phoenix::metrics

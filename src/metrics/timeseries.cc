@@ -1,0 +1,32 @@
+#include "metrics/timeseries.h"
+
+#include "util/check.h"
+
+namespace phoenix::metrics {
+
+TimeSeries::TimeSeries(sim::SimTime horizon, std::size_t num_buckets)
+    : width_(horizon / static_cast<double>(num_buckets)),
+      sums_(num_buckets, 0.0),
+      counts_(num_buckets, 0) {
+  PHOENIX_CHECK_MSG(horizon > 0 && num_buckets > 0, "invalid time series shape");
+}
+
+void TimeSeries::Add(sim::SimTime t, double value) {
+  PHOENIX_CHECK_MSG(t >= 0, "negative sample time");
+  auto b = static_cast<std::size_t>(t / width_);
+  if (b >= sums_.size()) b = sums_.size() - 1;
+  sums_[b] += value;
+  ++counts_[b];
+}
+
+sim::SimTime TimeSeries::bucket_time(std::size_t i) const {
+  PHOENIX_CHECK(i < sums_.size());
+  return (static_cast<double>(i) + 0.5) * width_;
+}
+
+double TimeSeries::bucket_mean(std::size_t i) const {
+  PHOENIX_CHECK(i < sums_.size());
+  return counts_[i] == 0 ? 0.0 : sums_[i] / static_cast<double>(counts_[i]);
+}
+
+}  // namespace phoenix::metrics

@@ -1,0 +1,35 @@
+// Bucketed time series (Fig 3: queuing delay of constrained vs
+// unconstrained jobs over simulated time).
+#pragma once
+
+#include <vector>
+
+#include "sim/simtime.h"
+
+namespace phoenix::metrics {
+
+/// Accumulates (time, value) samples into fixed-width time buckets and
+/// reports the per-bucket mean.
+class TimeSeries {
+ public:
+  /// Buckets cover [0, horizon) in `num_buckets` equal slices; samples at or
+  /// beyond the horizon land in the last bucket.
+  TimeSeries(sim::SimTime horizon, std::size_t num_buckets);
+
+  void Add(sim::SimTime t, double value);
+
+  std::size_t num_buckets() const { return sums_.size(); }
+  sim::SimTime bucket_width() const { return width_; }
+  /// Mid-point time of bucket i.
+  sim::SimTime bucket_time(std::size_t i) const;
+  /// Mean of samples in bucket i (0 if empty).
+  double bucket_mean(std::size_t i) const;
+  std::size_t bucket_count(std::size_t i) const { return counts_[i]; }
+
+ private:
+  sim::SimTime width_;
+  std::vector<double> sums_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace phoenix::metrics

@@ -1,0 +1,58 @@
+#include "queueing/distributions.h"
+
+#include <numbers>
+
+namespace phoenix::queueing {
+
+double SampleExponential(util::Rng& rng, double rate) {
+  PHOENIX_DCHECK(rate > 0);
+  // 1 - U in (0, 1] avoids log(0).
+  return -std::log(1.0 - rng.NextDouble()) / rate;
+}
+
+double SampleBoundedPareto(util::Rng& rng, double alpha, double lo, double hi) {
+  PHOENIX_DCHECK(alpha > 0 && lo > 0 && hi > lo);
+  const double u = rng.NextDouble();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  // Inverse CDF of the bounded Pareto.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+double SampleStandardNormal(util::Rng& rng) {
+  const double u1 = 1.0 - rng.NextDouble();  // (0, 1]
+  const double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double SampleLogNormal(util::Rng& rng, double mu, double sigma) {
+  PHOENIX_DCHECK(sigma >= 0);
+  return std::exp(mu + sigma * SampleStandardNormal(rng));
+}
+
+double BoundedParetoMean(double alpha, double lo, double hi) {
+  PHOENIX_CHECK(alpha > 0 && lo > 0 && hi > lo);
+  if (alpha == 1.0) {
+    return std::log(hi / lo) / (1.0 / lo - 1.0 / hi);
+  }
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return (la / (1.0 - la / ha)) * (alpha / (alpha - 1.0)) *
+         (1.0 / std::pow(lo, alpha - 1.0) - 1.0 / std::pow(hi, alpha - 1.0));
+}
+
+double BoundedParetoSecondMoment(double alpha, double lo, double hi) {
+  PHOENIX_CHECK(alpha > 0 && lo > 0 && hi > lo);
+  if (alpha == 2.0) {
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return (la / (1.0 - la / ha)) * alpha * std::log(hi / lo);
+  }
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return (la / (1.0 - la / ha)) * (alpha / (alpha - 2.0)) *
+         (1.0 / std::pow(lo, alpha - 2.0) - 1.0 / std::pow(hi, alpha - 2.0));
+}
+
+}  // namespace phoenix::queueing

@@ -1,0 +1,37 @@
+// Random-variate samplers used by the trace generators.
+//
+// The paper's workloads are heavy-tailed: "task execution times are Pareto
+// bound, where short jobs constitute 80 % to 90 % of the total jobs"
+// (§V-A), with bursty arrivals whose peak-to-median rate ratio ranges from
+// 9:1 to 260:1. BoundedPareto and the on/off modulated Poisson process in
+// trace/generators.cc implement exactly those shapes.
+#pragma once
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace phoenix::queueing {
+
+/// Exponential(rate). Mean = 1/rate.
+double SampleExponential(util::Rng& rng, double rate);
+
+/// Bounded (truncated) Pareto on [lo, hi] with tail index alpha.
+/// Classic heavy-tail model for task service times.
+double SampleBoundedPareto(util::Rng& rng, double alpha, double lo, double hi);
+
+/// Log-normal with the given location/scale of the underlying normal.
+double SampleLogNormal(util::Rng& rng, double mu, double sigma);
+
+/// Standard normal via Box–Muller (single value; the spare is discarded to
+/// keep the generator stateless and the draw count deterministic).
+double SampleStandardNormal(util::Rng& rng);
+
+/// Closed-form mean of the bounded Pareto (used to calibrate generator load).
+double BoundedParetoMean(double alpha, double lo, double hi);
+
+/// Closed-form second moment of the bounded Pareto.
+double BoundedParetoSecondMoment(double alpha, double lo, double hi);
+
+}  // namespace phoenix::queueing

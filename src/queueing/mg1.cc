@@ -1,0 +1,83 @@
+#include "queueing/mg1.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace phoenix::queueing {
+
+double PkWait(double rho, double es, double es2) {
+  PHOENIX_DCHECK(rho >= 0 && es >= 0 && es2 >= 0);
+  if (es <= 0) return 0.0;
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho / (1.0 - rho) * es2 / (2.0 * es);
+}
+
+double Mm1Wait(double lambda, double mu) {
+  PHOENIX_CHECK(lambda >= 0 && mu > 0);
+  const double rho = lambda / mu;
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho / (mu - lambda);
+}
+
+double ErlangC(double lambda, double mu, unsigned servers) {
+  PHOENIX_CHECK(lambda >= 0 && mu > 0 && servers > 0);
+  const double a = lambda / mu;  // offered load, Erlangs
+  const double c = servers;
+  if (lambda >= c * mu) return 1.0;
+  if (lambda == 0) return 0.0;
+  // Erlang-B recurrence B(k) = a*B(k-1) / (k + a*B(k-1)) stays in (0,1],
+  // so it cannot overflow even for thousands of servers; Erlang-C follows
+  // as C = B / (1 - rho*(1-B)).
+  double b = 1.0;
+  for (unsigned k = 1; k <= servers; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  const double rho = a / c;
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double MmcWait(double lambda, double mu, unsigned servers) {
+  PHOENIX_CHECK(lambda >= 0 && mu > 0 && servers > 0);
+  const double c = servers;
+  if (lambda >= c * mu) return std::numeric_limits<double>::infinity();
+  if (lambda == 0) return 0.0;
+  return ErlangC(lambda, mu, servers) / (c * mu - lambda);
+}
+
+WorkerWaitEstimator::WorkerWaitEstimator(std::size_t window)
+    : interarrival_(window), service_(window) {}
+
+void WorkerWaitEstimator::OnArrival(sim::SimTime now) {
+  if (last_arrival_ >= 0.0) {
+    interarrival_.Add(now - last_arrival_);
+  }
+  last_arrival_ = now;
+}
+
+void WorkerWaitEstimator::OnServiceComplete(double service_time) {
+  PHOENIX_DCHECK(service_time >= 0);
+  service_.Add(service_time);
+}
+
+double WorkerWaitEstimator::lambda() const {
+  const double mean_gap = interarrival_.mean();
+  return mean_gap > 0 ? 1.0 / mean_gap : 0.0;
+}
+
+double WorkerWaitEstimator::EstimateRho() const {
+  return lambda() * service_.mean();
+}
+
+double WorkerWaitEstimator::EstimateWait() const {
+  if (interarrival_.empty() || service_.empty()) return 0.0;
+  return PkWait(EstimateRho(), service_.mean(), service_.second_moment());
+}
+
+void WorkerWaitEstimator::Clear() {
+  interarrival_.Clear();
+  service_.Clear();
+  last_arrival_ = -1.0;
+}
+
+}  // namespace phoenix::queueing

@@ -1,0 +1,70 @@
+// Pollaczek–Khinchine M/G/1 waiting-time estimation (paper Equation 1).
+//
+//   E[W] = rho / (1 - rho) * E[S^2] / (2 E[S])
+//
+// Phoenix estimates the expected waiting time of every worker queue from
+// the worker's recent inter-arrival times (lambda) and service times (E[S],
+// E[S^2]), then uses the estimate to decide which congested queues to
+// reorder. The paper argues the estimator is accurate for its setting
+// because the hybrid split (long jobs -> centralized, short -> distributed)
+// keeps per-queue service-time variance low, preserving the stationarity
+// the P-K formula assumes (§IV-A).
+#pragma once
+
+#include "queueing/stats.h"
+#include "sim/simtime.h"
+
+namespace phoenix::queueing {
+
+/// Pure closed-form P-K wait. rho >= 1 returns +infinity (unstable queue —
+/// callers treat it as "beyond any threshold").
+double PkWait(double rho, double es, double es2);
+
+/// Closed-form M/M/1 waiting time (exponential service). Used by tests as
+/// an independent check: P-K with E[S^2] = 2/mu^2 must reduce to this.
+double Mm1Wait(double lambda, double mu);
+
+/// Erlang-C: probability an arrival must wait in an M/M/c queue with
+/// arrival rate lambda, per-server rate mu and c servers. Returns 1.0 for
+/// an unstable system (lambda >= c*mu).
+double ErlangC(double lambda, double mu, unsigned servers);
+
+/// Mean waiting time in an M/M/c queue (infinite for unstable systems).
+/// With c=1 this reduces to Mm1Wait — a cross-check used in tests. The
+/// multi-server form bounds what a *pooled* scheduler could achieve versus
+/// the paper's per-worker queues, quantifying the price of distribution.
+double MmcWait(double lambda, double mu, unsigned servers);
+
+/// Online per-worker estimator implementing Algorithm 1's
+/// Estimate_Waiting_Time procedure: lambda <- Avg(inter-arrival rate),
+/// mu <- Avg(last serviced tasks), E[W] <- Equation 1.
+class WorkerWaitEstimator {
+ public:
+  /// `window`: number of recent samples kept for each moment estimate.
+  explicit WorkerWaitEstimator(std::size_t window = 64);
+
+  /// Records a task/probe arrival at the worker at time `now`.
+  void OnArrival(sim::SimTime now);
+
+  /// Records a completed service of duration `service_time`.
+  void OnServiceComplete(double service_time);
+
+  /// Current estimate of E[W]; +infinity when the observed load is >= 1,
+  /// 0 when there is not yet enough data to estimate.
+  double EstimateWait() const;
+
+  /// Observed utilization rho = lambda * E[S] (0 when unseeded).
+  double EstimateRho() const;
+
+  double lambda() const;
+  double expected_service() const { return service_.mean(); }
+
+  void Clear();
+
+ private:
+  WindowedStats interarrival_;
+  WindowedStats service_;
+  sim::SimTime last_arrival_ = -1.0;
+};
+
+}  // namespace phoenix::queueing

@@ -1,0 +1,59 @@
+#include "runner/experiment.h"
+
+#include "runner/registry.h"
+#include "sim/engine.h"
+#include "util/check.h"
+
+namespace phoenix::runner {
+
+metrics::SimReport RunSimulation(const trace::Trace& trace,
+                                 const cluster::Cluster& cluster,
+                                 const RunOptions& options) {
+  sim::Engine engine;
+  auto scheduler =
+      MakeScheduler(options.scheduler, engine, cluster, options.config);
+  scheduler->SubmitTrace(trace);
+  engine.Run();
+  PHOENIX_CHECK_MSG(engine.Empty(), "event queue failed to drain");
+  return scheduler->BuildReport();
+}
+
+RepeatedRuns::RepeatedRuns(const trace::Trace& trace,
+                           const cluster::Cluster& cluster, RunOptions options,
+                           std::size_t runs) {
+  PHOENIX_CHECK(runs > 0);
+  reports_.reserve(runs);
+  const std::uint64_t base_seed = options.config.seed;
+  for (std::size_t i = 0; i < runs; ++i) {
+    options.config.seed = base_seed + i;
+    reports_.push_back(RunSimulation(trace, cluster, options));
+  }
+}
+
+double RepeatedRuns::MeanResponsePercentile(
+    double p, metrics::ClassFilter cf, metrics::ConstraintFilter kf) const {
+  double sum = 0;
+  for (const auto& report : reports_) {
+    auto values = report.ResponseTimes(cf, kf);
+    sum += metrics::Percentile(values, p);
+  }
+  return sum / static_cast<double>(reports_.size());
+}
+
+double RepeatedRuns::MeanQueuingPercentile(double p, metrics::ClassFilter cf,
+                                           metrics::ConstraintFilter kf) const {
+  double sum = 0;
+  for (const auto& report : reports_) {
+    auto values = report.QueuingDelays(cf, kf);
+    sum += metrics::Percentile(values, p);
+  }
+  return sum / static_cast<double>(reports_.size());
+}
+
+double RepeatedRuns::MeanUtilization() const {
+  double sum = 0;
+  for (const auto& report : reports_) sum += report.Utilization();
+  return sum / static_cast<double>(reports_.size());
+}
+
+}  // namespace phoenix::runner

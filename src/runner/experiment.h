@@ -1,0 +1,50 @@
+// Experiment harness: trace + cluster + scheduler -> report, with the
+// multi-seed averaging the paper uses ("results averaged over five runs to
+// ensure consistency", §V-B — the schedulers are stochastic in probe and
+// steal target selection).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "metrics/report.h"
+#include "sched/types.h"
+#include "trace/trace.h"
+
+namespace phoenix::runner {
+
+struct RunOptions {
+  std::string scheduler = "phoenix";
+  sched::SchedulerConfig config;
+};
+
+/// One full simulation. The trace's short cutoff overrides
+/// options.config.short_cutoff. Aborts if any job fails to complete.
+metrics::SimReport RunSimulation(const trace::Trace& trace,
+                                 const cluster::Cluster& cluster,
+                                 const RunOptions& options);
+
+/// The same workload under `runs` scheduler seeds (config.seed + i).
+class RepeatedRuns {
+ public:
+  RepeatedRuns(const trace::Trace& trace, const cluster::Cluster& cluster,
+               RunOptions options, std::size_t runs);
+
+  const std::vector<metrics::SimReport>& reports() const { return reports_; }
+
+  /// Mean across runs of the given percentile of response times for the
+  /// selected job slice.
+  double MeanResponsePercentile(double p, metrics::ClassFilter cf,
+                                metrics::ConstraintFilter kf) const;
+  /// Same for queuing delays.
+  double MeanQueuingPercentile(double p, metrics::ClassFilter cf,
+                               metrics::ConstraintFilter kf) const;
+  /// Mean measured utilization across runs.
+  double MeanUtilization() const;
+
+ private:
+  std::vector<metrics::SimReport> reports_;
+};
+
+}  // namespace phoenix::runner

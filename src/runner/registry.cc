@@ -1,0 +1,45 @@
+#include "runner/registry.h"
+
+#include "core/phoenix.h"
+#include "sched/central.h"
+#include "sched/eagle.h"
+#include "sched/hawk.h"
+#include "sched/sparrow.h"
+#include "sched/yaccd.h"
+#include "util/check.h"
+
+namespace phoenix::runner {
+
+const std::vector<std::string>& SchedulerNames() {
+  static const std::vector<std::string> names = {
+      "phoenix", "eagle-c", "hawk-c", "sparrow-c", "yacc-d", "central-c"};
+  return names;
+}
+
+std::unique_ptr<sched::SchedulerBase> MakeScheduler(
+    const std::string& name, sim::Engine& engine,
+    const cluster::Cluster& cluster, const sched::SchedulerConfig& config) {
+  if (name == "phoenix") {
+    return std::make_unique<core::PhoenixScheduler>(engine, cluster, config);
+  }
+  if (name == "eagle-c") {
+    return std::make_unique<sched::EagleScheduler>(engine, cluster, config);
+  }
+  if (name == "hawk-c") {
+    return std::make_unique<sched::HawkScheduler>(engine, cluster, config);
+  }
+  if (name == "sparrow-c") {
+    return std::make_unique<sched::SparrowScheduler>(engine, cluster, config);
+  }
+  if (name == "yacc-d") {
+    return std::make_unique<sched::YaccDScheduler>(engine, cluster, config);
+  }
+  if (name == "central-c") {
+    return std::make_unique<sched::CentralScheduler>(engine, cluster, config);
+  }
+  PHOENIX_CHECK_MSG(
+      false,
+      "unknown scheduler (phoenix|eagle-c|hawk-c|sparrow-c|yacc-d|central-c)");
+}
+
+}  // namespace phoenix::runner

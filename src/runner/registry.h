@@ -1,0 +1,22 @@
+// Scheduler registry: name -> instance.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/base.h"
+
+namespace phoenix::runner {
+
+/// Names accepted by MakeScheduler: "phoenix", "eagle-c", "hawk-c",
+/// "sparrow-c", "yacc-d".
+const std::vector<std::string>& SchedulerNames();
+
+/// Instantiates a scheduler by name. Aborts on unknown names (experiment
+/// harnesses should fail loudly on typos).
+std::unique_ptr<sched::SchedulerBase> MakeScheduler(
+    const std::string& name, sim::Engine& engine,
+    const cluster::Cluster& cluster, const sched::SchedulerConfig& config);
+
+}  // namespace phoenix::runner

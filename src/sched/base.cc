@@ -1,0 +1,637 @@
+#include "sched/base.h"
+
+#include <algorithm>
+
+#include "queueing/distributions.h"
+
+#include "util/check.h"
+
+namespace phoenix::sched {
+
+using cluster::MachineId;
+using trace::JobId;
+
+SchedulerBase::SchedulerBase(sim::Engine& engine,
+                             const cluster::Cluster& cluster,
+                             const SchedulerConfig& config)
+    : engine_(engine), cluster_(cluster), config_(config),
+      rng_(config.seed ^ 0x5851f42d4c957f2dULL) {
+  workers_.reserve(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto w = std::make_unique<WorkerState>(config_.estimator_window);
+    w->id = static_cast<MachineId>(i);
+    workers_.push_back(std::move(w));
+  }
+}
+
+void SchedulerBase::SubmitTrace(const trace::Trace& trace) {
+  PHOENIX_CHECK_MSG(jobs_.empty(), "SubmitTrace may be called once");
+  trace_name_ = trace.name();
+  config_.short_cutoff = trace.short_cutoff();
+  jobs_.resize(trace.size());
+  for (const trace::Job& spec : trace.jobs()) {
+    JobRuntime& job = jobs_[spec.id];
+    job.spec = &spec;
+    job.id = spec.id;
+    job.effective = spec.constraints;
+    job.constrained = spec.constrained();
+    if (spec.placement != trace::PlacementPref::kNone) {
+      job.used_racks.Resize(cluster_.num_racks());
+    }
+    engine_.ScheduleAt(spec.submit_time, [this, id = spec.id] {
+      HandleJobArrival(id);
+    });
+  }
+  heartbeat_running_ = true;
+  engine_.ScheduleAfter(config_.heartbeat_interval, [this] { HeartbeatTick(); });
+  if (config_.machine_mtbf > 0) {
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      ScheduleNextFailure(static_cast<MachineId>(i));
+    }
+  }
+}
+
+void SchedulerBase::ScheduleNextFailure(MachineId id) {
+  const double delay =
+      queueing::SampleExponential(rng_, 1.0 / config_.machine_mtbf);
+  engine_.ScheduleAfter(delay, [this, id] {
+    if (AllJobsDone()) return;  // let the run drain
+    FailMachine(*workers_[id]);
+  });
+}
+
+std::uint32_t SchedulerBase::TakeNextTaskIndex(JobRuntime& job) {
+  if (!job.replay_tasks.empty()) {
+    const std::uint32_t index = job.replay_tasks.back();
+    job.replay_tasks.pop_back();
+    return index;
+  }
+  PHOENIX_CHECK(job.next_unplaced < job.num_tasks());
+  return job.next_unplaced++;
+}
+
+void SchedulerBase::RedispatchEntry(QueueEntry entry, double delay) {
+  JobRuntime& job = jobs_[entry.job];
+  ++counters_.tasks_rescheduled_failure;
+  if (entry.kind == QueueEntry::Kind::kProbe) {
+    const MachineId target = cluster_.SampleSatisfying(job.effective, rng_);
+    PHOENIX_CHECK(target != cluster::kInvalidMachine);
+    ++job.outstanding_probes;
+    ++counters_.probes_sent;
+    SendEntry(target, entry, delay);
+    return;
+  }
+  // Bound task: re-bind to the least-loaded live satisfying worker.
+  std::vector<MachineId> candidates = ChooseLongCandidates(job);
+  PHOENIX_CHECK(!candidates.empty());
+  const sim::SimTime now = engine_.Now();
+  MachineId best = cluster::kInvalidMachine;
+  double best_load = sim::kTimeInfinity;
+  for (const MachineId c : candidates) {
+    const WorkerState& w = *workers_[c];
+    if (w.failed) continue;
+    const double running_rem = w.busy ? std::max(0.0, w.busy_until - now) : 0.0;
+    const double load = w.est_queued_work + running_rem;
+    if (load < best_load) {
+      best_load = load;
+      best = c;
+    }
+  }
+  // All sampled candidates down: any satisfying worker (the delivery bounce
+  // re-dispatches again if that one is down too).
+  if (best == cluster::kInvalidMachine) {
+    best = cluster_.SampleSatisfying(job.effective, rng_);
+    PHOENIX_CHECK(best != cluster::kInvalidMachine);
+  }
+  SendEntry(best, entry, std::max(delay, 2 * config_.rtt));
+}
+
+void SchedulerBase::FailMachine(WorkerState& worker) {
+  if (worker.failed) return;
+  worker.failed = true;
+  ++counters_.machine_failures;
+
+  // Kill the in-flight slot event (probe resolution, sticky fetch, or task
+  // completion) and recover its work.
+  if (worker.busy) {
+    engine_.Cancel(worker.pending_event);
+    if (worker.running_job != trace::kInvalidJob) {
+      // Running task is lost: un-count its unfinished service and replay it.
+      JobRuntime& job = jobs_[worker.running_job];
+      total_busy_time_ -= std::max(0.0, worker.busy_until - engine_.Now());
+      job.replay_tasks.push_back(worker.running_index);
+      ++counters_.tasks_rescheduled_failure;
+      if (UsesDistributedPlane(job)) {
+        QueueEntry probe;
+        probe.kind = QueueEntry::Kind::kProbe;
+        probe.job = job.id;
+        probe.est_duration = EstimatedTaskDuration(job);
+        probe.short_class = job.short_class;
+        RedispatchEntry(probe, config_.rtt);
+        --counters_.tasks_rescheduled_failure;  // RedispatchEntry counted too
+      } else {
+        QueueEntry bound;
+        bound.kind = QueueEntry::Kind::kBoundTask;
+        bound.job = job.id;
+        bound.task_index = TakeNextTaskIndex(job);
+        bound.est_duration = EstimatedTaskDuration(job);
+        bound.short_class = job.short_class;
+        RedispatchEntry(bound, config_.rtt);
+        --counters_.tasks_rescheduled_failure;
+      }
+      worker.running_job = trace::kInvalidJob;
+    } else if (worker.resolving) {
+      // The probe being resolved never took a task; send it elsewhere.
+      JobRuntime& job = jobs_[worker.resolving_entry.job];
+      PHOENIX_CHECK(job.outstanding_probes > 0);
+      --job.outstanding_probes;
+      if (!job.AllPlaced()) RedispatchEntry(worker.resolving_entry, config_.rtt);
+    } else {
+      // A sticky-batch fetch was in flight: no task was taken yet. Cover the
+      // job's remaining unplaced tasks with fresh probes so it cannot
+      // strand (its other probes may all have resolved already).
+      // The fetch's job id is not stored; stranding is prevented because
+      // sticky fetches only run for jobs with unplaced tasks, which are
+      // also covered by the queue drain below and by outstanding probes.
+    }
+    worker.resolving = false;
+    worker.busy = false;
+  }
+
+  // Drain the queue, re-dispatching every entry to live workers.
+  while (!worker.queue.empty()) {
+    QueueEntry entry = RemoveQueueAt(worker, worker.queue.size() - 1);
+    if (entry.kind == QueueEntry::Kind::kProbe) {
+      JobRuntime& job = jobs_[entry.job];
+      PHOENIX_CHECK(job.outstanding_probes > 0);
+      --job.outstanding_probes;
+      if (job.AllPlaced()) continue;  // stale probe: drop silently
+    }
+    RedispatchEntry(entry, config_.rtt);
+  }
+
+  // Repair and the next failure cycle.
+  const double repair =
+      queueing::SampleExponential(rng_, 1.0 / config_.machine_mttr);
+  engine_.ScheduleAfter(repair, [this, wid = worker.id] {
+    RepairMachine(*workers_[wid]);
+  });
+}
+
+void SchedulerBase::RepairMachine(WorkerState& worker) {
+  PHOENIX_CHECK(worker.failed);
+  worker.failed = false;
+  worker.steal_inflight = false;
+  worker.estimator.Clear();
+  TryStartNext(worker);
+  if (!AllJobsDone()) ScheduleNextFailure(worker.id);
+}
+
+void SchedulerBase::HeartbeatTick() {
+  ++counters_.heartbeats;
+  OnHeartbeat();
+  if (AllJobsDone()) {
+    heartbeat_running_ = false;
+    return;  // let the event queue drain so Run() terminates
+  }
+  engine_.ScheduleAfter(config_.heartbeat_interval, [this] { HeartbeatTick(); });
+}
+
+void SchedulerBase::HandleJobArrival(JobId id) {
+  JobRuntime& job = jobs_[id];
+  job.short_class =
+      EstimatedTaskDuration(job) <= config_.short_cutoff;
+  AdmitJob(job);
+  if (UsesDistributedPlane(job)) {
+    PlaceDistributed(job);
+  } else {
+    PlaceCentralized(job);
+  }
+}
+
+// Base admission control: *forced* relaxation only. If no machine satisfies
+// the full set, soft constraints are dropped scarcest-pool-first; if the
+// hard core is itself unsatisfiable, all constraints are dropped so the job
+// can run (counted in tasks_admission_rejected). Phoenix layers proactive
+// negotiation on top of this (core/phoenix.cc).
+void SchedulerBase::AdmitJob(JobRuntime& job) {
+  while (cluster_.CountSatisfying(job.effective) == 0) {
+    // Find the soft constraint with the smallest individual pool.
+    std::size_t victim = job.effective.size();
+    std::size_t victim_pool = SIZE_MAX;
+    for (std::size_t i = 0; i < job.effective.size(); ++i) {
+      if (job.effective[i].hard) continue;
+      const std::size_t pool = cluster_.Satisfying(job.effective[i]).Count();
+      if (pool < victim_pool) {
+        victim_pool = pool;
+        victim = i;
+      }
+    }
+    if (victim == job.effective.size()) {
+      // Only hard constraints left and still unsatisfiable: the request
+      // cannot be honored anywhere. Run it unconstrained rather than
+      // stranding the tasks.
+      if (!job.effective.empty()) {
+        counters_.tasks_admission_rejected += job.num_tasks();
+        job.effective = cluster::ConstraintSet();
+        job.duration_multiplier *= config_.soft_relax_penalty;
+      }
+      return;
+    }
+    job.effective = job.effective.WithoutConstraint(victim);
+    job.duration_multiplier *= config_.soft_relax_penalty;
+    ++job.relaxed_constraints;
+    ++counters_.soft_constraints_relaxed;
+  }
+}
+
+bool SchedulerBase::UsesDistributedPlane(const JobRuntime& job) const {
+  return job.short_class;
+}
+
+std::vector<MachineId> SchedulerBase::ChooseProbeTargets(
+    const JobRuntime& job) {
+  return cluster_.SampleSatisfying(
+      job.effective, config_.probe_ratio * job.num_tasks(), rng_);
+}
+
+std::vector<MachineId> SchedulerBase::ChooseLongCandidates(
+    const JobRuntime& job) {
+  return cluster_.SampleDistinctSatisfying(job.effective, config_.power_of_d,
+                                           rng_);
+}
+
+std::size_t SchedulerBase::SelectNextIndex(const WorkerState& worker) {
+  return IndexRespectingSlack(worker, 0);
+}
+
+void SchedulerBase::OnWorkerIdle(WorkerState&) {}
+void SchedulerBase::OnHeartbeat() {}
+bool SchedulerBase::UseStickyBatchProbing(const JobRuntime&) const {
+  return false;
+}
+void SchedulerBase::OnEntryEnqueued(const WorkerState&, const QueueEntry&) {}
+void SchedulerBase::OnEntryDequeued(const WorkerState&, const QueueEntry&) {}
+
+std::size_t SchedulerBase::IndexRespectingSlack(const WorkerState& worker,
+                                                std::size_t preferred) const {
+  for (std::size_t i = 0; i < worker.queue.size(); ++i) {
+    if (worker.queue[i].bypass_count >= config_.slack_threshold) {
+      return i;  // oldest starved entry runs next, no matter what
+    }
+  }
+  return preferred;
+}
+
+void SchedulerBase::FilterByPlacement(
+    const JobRuntime& job, std::vector<MachineId>& candidates) const {
+  if (job.placement() == trace::PlacementPref::kNone || candidates.empty()) {
+    return;
+  }
+  std::vector<MachineId> filtered;
+  filtered.reserve(candidates.size());
+  if (job.placement() == trace::PlacementPref::kSpread) {
+    for (const MachineId id : candidates) {
+      if (!job.used_racks.Test(cluster_.rack_of(id))) filtered.push_back(id);
+    }
+  } else {  // kColocate
+    if (job.anchor_rack == cluster::kInvalidRack) return;  // anchor not set yet
+    for (const MachineId id : candidates) {
+      if (cluster_.rack_of(id) == job.anchor_rack) filtered.push_back(id);
+    }
+  }
+  if (!filtered.empty()) candidates = std::move(filtered);
+}
+
+void SchedulerBase::NoteRackCommitment(JobRuntime& job, cluster::RackId rack) {
+  switch (job.placement()) {
+    case trace::PlacementPref::kNone:
+      return;
+    case trace::PlacementPref::kSpread:
+      if (job.used_racks.Test(rack)) {
+        ++counters_.placement_spread_violations;
+      } else {
+        job.used_racks.Set(rack);
+      }
+      return;
+    case trace::PlacementPref::kColocate:
+      if (job.anchor_rack == cluster::kInvalidRack) {
+        job.anchor_rack = rack;
+      } else if (rack != job.anchor_rack) {
+        ++counters_.placement_colocate_misses;
+      }
+      job.used_racks.Set(rack);
+      return;
+  }
+}
+
+void SchedulerBase::PlaceDistributed(JobRuntime& job) {
+  // Colocate jobs anchor to a rack up front (production systems anchor to
+  // the rack holding the job's input data), so the probes themselves can be
+  // steered there.
+  if (job.placement() == trace::PlacementPref::kColocate &&
+      job.anchor_rack == cluster::kInvalidRack) {
+    const MachineId anchor = cluster_.SampleSatisfying(job.effective, rng_);
+    if (anchor != cluster::kInvalidMachine) {
+      job.anchor_rack = cluster_.rack_of(anchor);
+    }
+  }
+  std::vector<MachineId> targets = ChooseProbeTargets(job);
+  PHOENIX_CHECK_MSG(!targets.empty(),
+                    "admission control must leave a satisfiable pool");
+  FilterByPlacement(job, targets);
+  // The placement filter may have shrunk the list below the probe budget;
+  // a job needs at least one live probe per task or its tail strands. Top
+  // up, preferring the anchor rack for colocate jobs before spilling over.
+  const std::size_t wanted = config_.probe_ratio * job.num_tasks();
+  std::size_t attempts = 0;
+  while (targets.size() < wanted && attempts < 6 * wanted) {
+    ++attempts;
+    const MachineId extra = cluster_.SampleSatisfying(job.effective, rng_);
+    if (extra == cluster::kInvalidMachine) break;
+    if (job.placement() == trace::PlacementPref::kColocate &&
+        job.anchor_rack != cluster::kInvalidRack &&
+        cluster_.rack_of(extra) != job.anchor_rack &&
+        attempts < 4 * wanted) {
+      continue;  // keep trying for the anchor rack first
+    }
+    targets.push_back(extra);
+  }
+  PHOENIX_CHECK_MSG(targets.size() >= job.num_tasks(),
+                    "probe budget below task count");
+  counters_.probes_sent += targets.size();
+  job.outstanding_probes += static_cast<std::uint32_t>(targets.size());
+  QueueEntry entry;
+  entry.kind = QueueEntry::Kind::kProbe;
+  entry.job = job.id;
+  entry.est_duration = EstimatedTaskDuration(job);
+  entry.short_class = job.short_class;
+  for (const MachineId target : targets) {
+    SendEntry(target, entry, config_.rtt);
+  }
+}
+
+void SchedulerBase::PlaceCentralized(JobRuntime& job) {
+  const sim::SimTime now = engine_.Now();
+  while (!job.AllPlaced()) {
+    const std::uint32_t index = TakeNextTaskIndex(job);
+    std::vector<MachineId> candidates = ChooseLongCandidates(job);
+    PHOENIX_CHECK_MSG(!candidates.empty(),
+                      "admission control must leave a satisfiable pool");
+    FilterByPlacement(job, candidates);
+    MachineId best = candidates[0];
+    double best_load = sim::kTimeInfinity;
+    for (const MachineId c : candidates) {
+      const WorkerState& w = *workers_[c];
+      if (w.failed) continue;  // delivery would only bounce
+      const double running_rem =
+          w.busy ? std::max(0.0, w.busy_until - now) : 0.0;
+      const double load = w.est_queued_work + running_rem;
+      if (load < best_load) {
+        best_load = load;
+        best = c;
+      }
+    }
+    NoteRackCommitment(job, cluster_.rack_of(best));
+    QueueEntry entry;
+    entry.kind = QueueEntry::Kind::kBoundTask;
+    entry.job = job.id;
+    entry.task_index = index;
+    entry.est_duration = EstimatedTaskDuration(job);
+    entry.short_class = job.short_class;
+    SendEntry(best, entry, config_.rtt);
+  }
+}
+
+void SchedulerBase::SendEntry(MachineId target, QueueEntry entry,
+                              double delay) {
+  engine_.ScheduleAfter(delay, [this, target, entry]() mutable {
+    WorkerState& w = *workers_[target];
+    if (w.failed) {
+      // The destination died in transit: bounce to a live worker. Stale
+      // probes (job fully placed) just dissolve.
+      if (entry.kind == QueueEntry::Kind::kProbe) {
+        JobRuntime& job = jobs_[entry.job];
+        PHOENIX_CHECK(job.outstanding_probes > 0);
+        --job.outstanding_probes;
+        if (job.AllPlaced()) {
+          ++counters_.probes_cancelled;
+          return;
+        }
+      }
+      RedispatchEntry(entry, 1.0 * sim::kSecond);
+      return;
+    }
+    entry.enqueue_time = engine_.Now();
+    entry.bypass_count = 0;
+    w.queue.push_back(entry);
+    w.est_queued_work += entry.est_duration;
+    if (entry.kind == QueueEntry::Kind::kBoundTask && !entry.short_class) {
+      ++w.long_entries;
+    }
+    w.estimator.OnArrival(engine_.Now());
+    w.steal_inflight = false;  // incoming work satisfies any pending steal
+    OnEntryEnqueued(w, entry);
+    TryStartNext(w);
+  });
+}
+
+QueueEntry SchedulerBase::PopQueueAt(WorkerState& worker, std::size_t index) {
+  PHOENIX_CHECK(index < worker.queue.size());
+  for (std::size_t i = 0; i < index; ++i) {
+    ++worker.queue[i].bypass_count;
+  }
+  return RemoveQueueAt(worker, index);
+}
+
+QueueEntry SchedulerBase::RemoveQueueAt(WorkerState& worker,
+                                        std::size_t index) {
+  PHOENIX_CHECK(index < worker.queue.size());
+  QueueEntry entry = worker.queue[index];
+  worker.queue.erase(worker.queue.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+  worker.est_queued_work =
+      std::max(0.0, worker.est_queued_work - entry.est_duration);
+  if (entry.kind == QueueEntry::Kind::kBoundTask && !entry.short_class) {
+    PHOENIX_CHECK(worker.long_entries > 0);
+    --worker.long_entries;
+  }
+  OnEntryDequeued(worker, entry);
+  return entry;
+}
+
+void SchedulerBase::TryStartNext(WorkerState& worker) {
+  if (worker.busy || worker.failed) return;
+  if (worker.queue.empty()) {
+    OnWorkerIdle(worker);
+    return;
+  }
+  const std::size_t index = SelectNextIndex(worker);
+  PHOENIX_CHECK_MSG(index < worker.queue.size(),
+                    "queue discipline returned an out-of-range index");
+  QueueEntry entry = PopQueueAt(worker, index);
+  if (entry.kind == QueueEntry::Kind::kBoundTask) {
+    StartService(worker, jobs_[entry.job], entry.task_index);
+    return;
+  }
+  // Probe: hold the slot while fetching the task over one RTT (late binding).
+  worker.busy = true;
+  worker.resolving = true;
+  worker.resolving_entry = entry;
+  worker.pending_event =
+      engine_.ScheduleAfter(config_.rtt, [this, wid = worker.id, entry] {
+        WorkerState& w = *workers_[wid];
+        w.resolving = false;
+        ResolveProbe(w, entry);
+      });
+}
+
+void SchedulerBase::ResolveProbe(WorkerState& worker, QueueEntry entry) {
+  JobRuntime& job = jobs_[entry.job];
+  PHOENIX_CHECK(job.outstanding_probes > 0);
+  --job.outstanding_probes;
+  if (!job.AllPlaced()) {
+    // Spread preference: decline this probe if the rack already hosts a
+    // task of the job AND enough probes remain in flight to cover the
+    // unplaced tasks elsewhere (the preference is soft — with no slack
+    // left, accept and count the violation via NoteRackCommitment).
+    const cluster::RackId rack = cluster_.rack_of(worker.id);
+    const auto remaining =
+        static_cast<std::uint32_t>(job.num_tasks()) - job.next_unplaced +
+        static_cast<std::uint32_t>(job.replay_tasks.size());
+    if (job.placement() == trace::PlacementPref::kSpread &&
+        job.used_racks.Test(rack) && job.outstanding_probes >= remaining) {
+      ++counters_.probes_declined_placement;
+      worker.busy = false;
+      TryStartNext(worker);
+      return;
+    }
+    const std::uint32_t index = TakeNextTaskIndex(job);
+    NoteRackCommitment(job, rack);
+    worker.busy = false;  // StartService re-claims the slot
+    StartService(worker, job, index);
+    return;
+  }
+  // All tasks already placed elsewhere: the proxy probe dissolves.
+  ++counters_.probes_cancelled;
+  worker.busy = false;
+  TryStartNext(worker);
+}
+
+void SchedulerBase::RecordTaskStart(JobRuntime& job, sim::SimTime start) {
+  const double wait = start - job.spec->submit_time;
+  PHOENIX_CHECK_MSG(wait >= 0, "task started before job submission");
+  job.sum_task_wait += wait;
+  job.max_task_wait = std::max(job.max_task_wait, wait);
+  ++job.task_starts;
+}
+
+void SchedulerBase::StartService(WorkerState& worker, JobRuntime& job,
+                                 std::uint32_t task_index) {
+  PHOENIX_CHECK_MSG(!worker.busy, "worker slot already held");
+  const sim::SimTime now = engine_.Now();
+  const double duration = job.ActualDuration(task_index);
+  RecordTaskStart(job, now);
+  worker.busy = true;
+  worker.running_job = job.id;
+  worker.running_index = task_index;
+  worker.busy_until = now + duration;
+  total_busy_time_ += duration;
+  worker.pending_event =
+      engine_.ScheduleAt(worker.busy_until, [this, wid = worker.id, duration] {
+        WorkerState& w = *workers_[wid];
+        w.estimator.OnServiceComplete(duration);
+        FinishService(w);
+      });
+}
+
+void SchedulerBase::FinishService(WorkerState& worker) {
+  JobRuntime& job = jobs_[worker.running_job];
+  const sim::SimTime now = engine_.Now();
+  ++job.completed;
+  makespan_ = std::max(makespan_, now);
+  worker.running_job = trace::kInvalidJob;
+  if (job.Done()) {
+    job.completion = now;
+    ++jobs_done_;
+  }
+  if (!job.AllPlaced() && job.placement() != trace::PlacementPref::kSpread &&
+      UseStickyBatchProbing(job)) {
+    // Sticky batch probing: keep the slot and fetch the job's next task
+    // directly, skipping the probe queue (Eagle §"divide and stick").
+    worker.pending_event = engine_.ScheduleAfter(
+        config_.rtt, [this, wid = worker.id, jid = job.id] {
+          WorkerState& w = *workers_[wid];
+          JobRuntime& j = jobs_[jid];
+          w.busy = false;
+          if (!j.AllPlaced()) {
+            NoteRackCommitment(j, cluster_.rack_of(w.id));
+            StartService(w, j, TakeNextTaskIndex(j));
+          } else {
+            TryStartNext(w);
+          }
+        });
+    return;
+  }
+  worker.busy = false;
+  TryStartNext(worker);
+}
+
+bool SchedulerBase::TryStealFor(WorkerState& worker) {
+  if (worker.steal_inflight) return false;
+  const cluster::Machine& self = cluster_.machine(worker.id);
+  for (std::size_t attempt = 0; attempt < config_.steal_candidates; ++attempt) {
+    const auto victim_id =
+        static_cast<MachineId>(rng_.NextBounded(workers_.size()));
+    if (victim_id == worker.id) continue;
+    WorkerState& victim = *workers_[victim_id];
+    if (victim.failed) continue;
+    for (std::size_t i = 0; i < victim.queue.size(); ++i) {
+      const QueueEntry& candidate = victim.queue[i];
+      if (candidate.kind != QueueEntry::Kind::kProbe || !candidate.short_class) {
+        continue;
+      }
+      if (!self.Satisfies(jobs_[candidate.job].effective)) continue;
+      // Move the probe: one RTT to ask the victim plus one to transfer.
+      QueueEntry stolen = RemoveQueueAt(victim, i);
+      ++counters_.tasks_stolen;
+      worker.steal_inflight = true;
+      SendEntry(worker.id, stolen, 2 * config_.rtt);
+      return true;
+    }
+  }
+  return false;
+}
+
+metrics::SimReport SchedulerBase::BuildReport() const {
+  PHOENIX_CHECK_MSG(jobs_done_ == jobs_.size(),
+                    "BuildReport called before every job completed");
+  metrics::SimReport report;
+  report.scheduler_name = name();
+  report.trace_name = trace_name_;
+  report.num_workers = workers_.size();
+  report.counters = counters_;
+  report.total_busy_time = total_busy_time_;
+  report.makespan = makespan_;
+  report.jobs.reserve(jobs_.size());
+  for (const JobRuntime& job : jobs_) {
+    metrics::JobOutcome out;
+    out.id = job.id;
+    out.submit = job.spec->submit_time;
+    out.completion = job.completion;
+    out.num_tasks = job.num_tasks();
+    out.queuing_delay =
+        job.sum_task_wait /
+        static_cast<double>(std::max<std::uint32_t>(job.task_starts, 1));
+    out.max_task_wait = job.max_task_wait;
+    out.short_class = job.short_class;
+    out.constrained = job.constrained;
+    out.placement = job.placement();
+    out.racks_used = job.used_racks.Count();
+    report.jobs.push_back(out);
+  }
+  report.CheckInvariants();
+  return report;
+}
+
+}  // namespace phoenix::sched

@@ -1,0 +1,201 @@
+// Scheduler framework base class.
+//
+// Implements the machinery every scheduler in the paper shares:
+//   * job arrival + short/long classification (estimated mean task duration
+//     against the trace cutoff),
+//   * the distributed plane: constraint-aware probe placement with late
+//     binding (a probe reaching a worker's slot fetches the job's next
+//     unplaced task over one RTT, or resolves to a no-op),
+//   * the centralized plane: power-of-d least-loaded early binding,
+//   * the single-slot worker loop with pluggable queue discipline,
+//   * per-worker P-K wait estimators and the heartbeat tick,
+//   * outcome accounting into a metrics::SimReport.
+//
+// Subclasses (Sparrow, Hawk, Eagle, Yacc-D, Phoenix) override the protected
+// hooks; see each header for which design axis of Table I it changes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "metrics/report.h"
+#include "sched/types.h"
+#include "sim/engine.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace phoenix::sched {
+
+class SchedulerBase {
+ public:
+  SchedulerBase(sim::Engine& engine, const cluster::Cluster& cluster,
+                const SchedulerConfig& config);
+  virtual ~SchedulerBase() = default;
+
+  SchedulerBase(const SchedulerBase&) = delete;
+  SchedulerBase& operator=(const SchedulerBase&) = delete;
+
+  /// Human-readable scheduler name ("phoenix", "eagle-c", ...).
+  virtual std::string name() const = 0;
+
+  /// Registers every job arrival of `trace` with the engine and starts the
+  /// heartbeat. Call once, before engine.Run().
+  void SubmitTrace(const trace::Trace& trace);
+
+  /// Builds the report. Call after engine.Run() has drained. Aborts if any
+  /// job is incomplete (task-conservation invariant).
+  metrics::SimReport BuildReport() const;
+
+  const SchedulerConfig& config() const { return config_; }
+  const cluster::Cluster& cluster() const { return cluster_; }
+
+ protected:
+  // ---- Hooks -------------------------------------------------------------
+
+  /// Called when a job arrives, before placement. Default: no-op.
+  /// Phoenix overrides this for proactive admission control.
+  virtual void AdmitJob(JobRuntime& job);
+
+  /// True if the scheduler routes this job through the distributed
+  /// (probe-based) plane. Default: short jobs. Sparrow: everything.
+  virtual bool UsesDistributedPlane(const JobRuntime& job) const;
+
+  /// Distributed-plane placement: choose the workers to probe for `job`
+  /// (default: probe_ratio * tasks samples, uniform over the satisfying
+  /// pool). Eagle filters long-occupied workers (SSS); Phoenix prefers low
+  /// estimated wait.
+  virtual std::vector<cluster::MachineId> ChooseProbeTargets(
+      const JobRuntime& job);
+
+  /// Centralized-plane candidate pool for one long task (default:
+  /// power-of-d sample of the satisfying pool; Hawk excludes its short-only
+  /// partition).
+  virtual std::vector<cluster::MachineId> ChooseLongCandidates(
+      const JobRuntime& job);
+
+  /// Queue discipline: index of the entry to run next. Default 0 (FIFO).
+  /// The framework charges a bypass to every entry in front of the
+  /// selection. Implementations must respect the slack threshold themselves
+  /// (helper: IndexRespectingSlack).
+  virtual std::size_t SelectNextIndex(const WorkerState& worker);
+
+  /// Called when a worker goes idle with an empty queue. Hawk/Eagle steal
+  /// here. Default: no-op.
+  virtual void OnWorkerIdle(WorkerState& worker);
+
+  /// Heartbeat tick (every config.heartbeat_interval). Default: no-op.
+  /// Phoenix refreshes the CRV table and wait estimates here.
+  virtual void OnHeartbeat();
+
+  /// Sticky batch probing: after finishing a task of a job with unplaced
+  /// tasks, fetch the next task of the same job directly (Eagle). Default
+  /// off. Phoenix disables it during CRV-congested periods.
+  virtual bool UseStickyBatchProbing(const JobRuntime& job) const;
+
+  /// Entry admitted into a worker queue (after transit). Phoenix maintains
+  /// CRV demand counters here. Default: no-op.
+  virtual void OnEntryEnqueued(const WorkerState& worker,
+                               const QueueEntry& entry);
+  /// Entry removed from a worker queue (selected, stolen or migrated).
+  virtual void OnEntryDequeued(const WorkerState& worker,
+                               const QueueEntry& entry);
+
+  // ---- Machinery available to subclasses ---------------------------------
+
+  /// Applies slack: if any entry has been bypassed slack_threshold times,
+  /// the oldest such entry must run next; otherwise returns `preferred`.
+  std::size_t IndexRespectingSlack(const WorkerState& worker,
+                                   std::size_t preferred) const;
+
+  /// Sends `entry` toward worker `target`; it lands after `delay` seconds.
+  void SendEntry(cluster::MachineId target, QueueEntry entry, double delay);
+
+  /// Removes queue[index] from `worker`, charging bypasses to entries in
+  /// front of it (use for execution pops). Returns the entry.
+  QueueEntry PopQueueAt(WorkerState& worker, std::size_t index);
+
+  /// Removes queue[index] without charging bypasses (use for migrations and
+  /// steals — the entries in front are not being overtaken by execution).
+  QueueEntry RemoveQueueAt(WorkerState& worker, std::size_t index);
+
+  /// If the worker is free, picks the next entry and runs it.
+  void TryStartNext(WorkerState& worker);
+
+  /// Attempts one Hawk-style steal for an idle worker: contacts
+  /// steal_candidates random workers and moves over the first short probe
+  /// this worker satisfies. Returns true if a steal is in flight.
+  bool TryStealFor(WorkerState& worker);
+
+  /// Applies the job's rack placement preference to a candidate list:
+  /// spread drops racks the job already uses, colocate keeps the anchor
+  /// rack — each only if at least one candidate survives (preferences are
+  /// soft; an empty filter falls back to the unfiltered list).
+  void FilterByPlacement(const JobRuntime& job,
+                         std::vector<cluster::MachineId>& candidates) const;
+
+  /// Records that a task of `job` was committed to `rack`, charging
+  /// spread-violation / colocate-miss counters as appropriate.
+  void NoteRackCommitment(JobRuntime& job, cluster::RackId rack);
+
+  /// Next task index to hand out: failure replays first, then fresh tasks.
+  std::uint32_t TakeNextTaskIndex(JobRuntime& job);
+
+  JobRuntime& runtime(trace::JobId id) { return jobs_[id]; }
+  const JobRuntime& runtime(trace::JobId id) const { return jobs_[id]; }
+  WorkerState& worker(cluster::MachineId id) { return *workers_[id]; }
+  std::size_t num_workers() const { return workers_.size(); }
+  std::size_t num_jobs() const { return jobs_.size(); }
+
+  sim::Engine& engine() { return engine_; }
+  util::Rng& rng() { return rng_; }
+  metrics::SchedulerCounters& counters() { return counters_; }
+  const metrics::SchedulerCounters& counters_view() const { return counters_; }
+
+  /// Estimated one-task duration the scheduler knows for a job.
+  double EstimatedTaskDuration(const JobRuntime& job) const {
+    return job.spec->mean_task_duration();
+  }
+
+  /// True when every submitted job has completed.
+  bool AllJobsDone() const { return jobs_done_ == jobs_.size(); }
+
+ private:
+  void HandleJobArrival(trace::JobId id);
+  // Failure injection.
+  void ScheduleNextFailure(cluster::MachineId id);
+  void FailMachine(WorkerState& worker);
+  void RepairMachine(WorkerState& worker);
+  /// Re-dispatches an entry that lost its worker: probes are re-sent to a
+  /// fresh satisfying target, bound tasks are re-bound least-loaded.
+  /// `delay` is the transit time (bounces off still-failed destinations use
+  /// a backoff so a fully-failed pool cannot spin the event loop).
+  void RedispatchEntry(QueueEntry entry, double delay);
+
+  void PlaceDistributed(JobRuntime& job);
+  void PlaceCentralized(JobRuntime& job);
+  void ResolveProbe(WorkerState& worker, QueueEntry entry);
+  void StartService(WorkerState& worker, JobRuntime& job,
+                    std::uint32_t task_index);
+  void FinishService(WorkerState& worker);
+  void HeartbeatTick();
+  void RecordTaskStart(JobRuntime& job, sim::SimTime start);
+
+  sim::Engine& engine_;
+  const cluster::Cluster& cluster_;
+  SchedulerConfig config_;
+  util::Rng rng_;
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<JobRuntime> jobs_;
+  std::size_t jobs_done_ = 0;
+
+  std::string trace_name_;
+  metrics::SchedulerCounters counters_;
+  double total_busy_time_ = 0;
+  sim::SimTime makespan_ = 0;
+  bool heartbeat_running_ = false;
+};
+
+}  // namespace phoenix::sched

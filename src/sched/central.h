@@ -1,0 +1,28 @@
+// Central-C: a monolithic, fully centralized baseline in the spirit of the
+// first-generation schedulers of Table I (Borg/Mesos-like early binding
+// through one global placement loop).
+//
+// Every job — short or long — is bound early to the least-loaded satisfying
+// worker (power-of-d over the full fleet), queues are FIFO and there is no
+// stealing, reordering or probing. It is constraint-aware in placement
+// (like the paper's "-C" extensions) but has none of the latency machinery,
+// so it bounds how much of Phoenix's win comes from the hybrid design
+// itself rather than from constraint awareness.
+#pragma once
+
+#include "sched/base.h"
+
+namespace phoenix::sched {
+
+class CentralScheduler : public SchedulerBase {
+ public:
+  using SchedulerBase::SchedulerBase;
+
+  std::string name() const override { return "central-c"; }
+
+ protected:
+  /// Everything goes through the centralized early-binding plane.
+  bool UsesDistributedPlane(const JobRuntime&) const override { return false; }
+};
+
+}  // namespace phoenix::sched

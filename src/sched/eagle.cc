@@ -1,0 +1,60 @@
+#include "sched/eagle.h"
+
+namespace phoenix::sched {
+
+bool EagleScheduler::LongBusy(const WorkerState& worker) const {
+  if (worker.long_entries > 0) return true;
+  if (worker.busy && worker.running_job != trace::kInvalidJob &&
+      !runtime(worker.running_job).short_class) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<cluster::MachineId> EagleScheduler::ChooseProbeTargets(
+    const JobRuntime& job) {
+  const std::size_t wanted = config().probe_ratio * job.num_tasks();
+  const util::Bitset& pool = cluster().Satisfying(job.effective);
+  std::vector<cluster::MachineId> targets;
+  targets.reserve(wanted);
+  // Rejection-sample against the SSS bit vector: skip long-occupied workers
+  // while the budget lasts, then accept anything satisfying so constrained
+  // jobs still get their probes out.
+  const std::size_t budget = 4 * wanted;
+  std::size_t draws = 0;
+  while (targets.size() < wanted && draws < budget) {
+    ++draws;
+    const std::size_t bit = pool.SampleSetBit(rng());
+    if (bit == SIZE_MAX) break;
+    const auto id = static_cast<cluster::MachineId>(bit);
+    if (!LongBusy(worker(id))) targets.push_back(id);
+  }
+  while (targets.size() < wanted) {
+    const std::size_t bit = pool.SampleSetBit(rng());
+    if (bit == SIZE_MAX) break;
+    targets.push_back(static_cast<cluster::MachineId>(bit));
+  }
+  return targets;
+}
+
+std::size_t EagleScheduler::SrptIndex(const WorkerState& worker) const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < worker.queue.size(); ++i) {
+    if (worker.queue[i].est_duration < worker.queue[best].est_duration) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t EagleScheduler::SelectNextIndex(const WorkerState& worker) {
+  const std::size_t index = IndexRespectingSlack(worker, SrptIndex(worker));
+  if (index != 0) ++counters().tasks_reordered_srpt;
+  return index;
+}
+
+bool EagleScheduler::UseStickyBatchProbing(const JobRuntime&) const {
+  return true;
+}
+
+}  // namespace phoenix::sched

@@ -1,0 +1,47 @@
+#include "sched/hawk.h"
+
+#include <cmath>
+
+namespace phoenix::sched {
+
+HawkScheduler::HawkScheduler(sim::Engine& engine,
+                             const cluster::Cluster& cluster,
+                             const SchedulerConfig& config)
+    : SchedulerBase(engine, cluster, config) {
+  short_partition_end_ = static_cast<cluster::MachineId>(
+      std::llround(config.hawk_short_partition *
+                   static_cast<double>(cluster.size())));
+}
+
+std::vector<cluster::MachineId> HawkScheduler::ChooseLongCandidates(
+    const JobRuntime& job) {
+  // Sample generously, drop candidates inside the short-only partition, and
+  // fall back to the unfiltered pool if the whole sample was reserved (a
+  // heavily constrained job whose pool lies inside the partition must still
+  // run somewhere).
+  std::vector<cluster::MachineId> sample = cluster().SampleDistinctSatisfying(
+      job.effective, 2 * config().power_of_d, rng());
+  std::vector<cluster::MachineId> filtered;
+  filtered.reserve(sample.size());
+  for (const auto id : sample) {
+    if (id >= short_partition_end_) filtered.push_back(id);
+  }
+  if (filtered.empty()) return sample;
+  if (filtered.size() > config().power_of_d) {
+    filtered.resize(config().power_of_d);
+  }
+  return filtered;
+}
+
+void HawkScheduler::OnWorkerIdle(WorkerState& worker) {
+  TryStealFor(worker);
+}
+
+void HawkScheduler::OnHeartbeat() {
+  for (std::size_t i = 0; i < num_workers(); ++i) {
+    WorkerState& w = worker(static_cast<cluster::MachineId>(i));
+    if (!w.busy && w.queue.empty()) TryStealFor(w);
+  }
+}
+
+}  // namespace phoenix::sched

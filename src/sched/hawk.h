@@ -1,0 +1,43 @@
+// Hawk-C: hybrid scheduling (Delgado et al., USENIX ATC'15) extended with
+// constraint-aware sampling, as the paper's "Hawk-C" comparator.
+//
+// Design axes (Table I): hybrid control plane (centralized long jobs,
+// distributed short jobs), late binding, worker-side FIFO queues, NO
+// reordering, random work stealing by idle workers, and a small cluster
+// partition reserved for short jobs so long tasks cannot occupy every
+// worker.
+#pragma once
+
+#include "sched/base.h"
+
+namespace phoenix::sched {
+
+class HawkScheduler : public SchedulerBase {
+ public:
+  HawkScheduler(sim::Engine& engine, const cluster::Cluster& cluster,
+                const SchedulerConfig& config);
+
+  std::string name() const override { return "hawk-c"; }
+
+ protected:
+  /// Long placement avoids the short-reserved partition when possible.
+  std::vector<cluster::MachineId> ChooseLongCandidates(
+      const JobRuntime& job) override;
+
+  /// Idle workers steal queued short probes from random victims.
+  void OnWorkerIdle(WorkerState& worker) override;
+
+  /// Idle workers whose steal attempt failed retry each heartbeat, so a
+  /// burst landing after a worker went idle still gets pulled over.
+  void OnHeartbeat() override;
+
+  /// Machines with id < this are reserved for short work.
+  cluster::MachineId short_partition_end() const {
+    return short_partition_end_;
+  }
+
+ private:
+  cluster::MachineId short_partition_end_;
+};
+
+}  // namespace phoenix::sched

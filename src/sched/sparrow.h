@@ -1,0 +1,27 @@
+// Sparrow-C: fully distributed probe-based scheduling (Ousterhout et al.,
+// SOSP'13) extended with constraint-aware sampling, as the paper's
+// "Sparrow-C" comparator.
+//
+// Design axes (Table I): distributed control plane, late binding, worker-
+// side FIFO queues, no reordering, static load balancing (batch sampling
+// only), trivial constraint handling — probes are sampled from the
+// constraint-satisfying pool but there is no long/short split, so short
+// tasks suffer head-of-line blocking behind long ones.
+#pragma once
+
+#include "sched/base.h"
+
+namespace phoenix::sched {
+
+class SparrowScheduler : public SchedulerBase {
+ public:
+  using SchedulerBase::SchedulerBase;
+
+  std::string name() const override { return "sparrow-c"; }
+
+ protected:
+  /// Sparrow has no centralized plane: every job is probed.
+  bool UsesDistributedPlane(const JobRuntime&) const override { return true; }
+};
+
+}  // namespace phoenix::sched

@@ -1,0 +1,199 @@
+// Shared runtime types of the scheduler framework.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cluster/constraint.h"
+#include "cluster/machine.h"
+#include "util/bitset.h"
+#include "queueing/mg1.h"
+#include "sim/simtime.h"
+#include "trace/job.h"
+
+namespace phoenix::sched {
+
+/// Tunables shared by every scheduler. Defaults follow the paper's stated
+/// choices (§V-A, §VI-C): probe ratio 2, 0.5 ms RTT, 9 s heartbeat,
+/// starvation/slack threshold 5.
+struct SchedulerConfig {
+  /// One-way control-plane latency model: every probe delivery, late-binding
+  /// task fetch, steal, and migration pays this constant (paper: 0.5 ms).
+  double rtt = 0.5 * sim::kMillisecond;
+
+  /// Probes sent per short task (paper finds 2 optimal).
+  std::size_t probe_ratio = 2;
+
+  /// CRV monitor / node manager synchronization period (paper: 9 s).
+  double heartbeat_interval = 9.0;
+
+  /// Jobs whose estimated mean task duration is <= this are "short" and go
+  /// through the distributed plane. Set from the trace by the runner.
+  double short_cutoff = 90.0;
+
+  /// Workers an idle node contacts per steal attempt (Hawk/Eagle).
+  std::size_t steal_candidates = 4;
+
+  /// Fraction of the cluster Hawk reserves for short jobs only.
+  double hawk_short_partition = 0.09;
+
+  /// Max times a queued entry may be bypassed by reordering (paper: 5).
+  std::size_t slack_threshold = 5;
+
+  /// CRV demand/supply ratio above which a dimension counts as congested
+  /// and Phoenix switches that queue from SRPT to CRV reordering.
+  double crv_threshold = 1.0;
+
+  /// Estimated queue wait (seconds) marking a worker for CRV reordering.
+  double qwait_threshold = 10.0;
+
+  /// Service-time multiplier applied per relaxed soft constraint — the
+  /// "performance trade-off" of §III-A's negotiation. The ablation bench
+  /// shows tail gains are insensitive in 1.05-1.25 while median cost grows
+  /// with the penalty; 1.1 models a modest placement-quality loss.
+  double soft_relax_penalty = 1.1;
+
+  /// Candidate count for power-of-d least-loaded placement in the
+  /// centralized (long-job) plane.
+  std::size_t power_of_d = 8;
+
+  /// Samples kept by each worker's P-K wait estimator.
+  std::size_t estimator_window = 64;
+
+  std::uint64_t seed = 1;
+
+  // Phoenix feature toggles (for the ablation benches; all on by default).
+  /// CRV-based reordering of congested marked queues (Algorithm 1).
+  bool phoenix_crv_reorder = true;
+  /// Proactive soft-constraint negotiation at admission.
+  bool phoenix_admission = true;
+  /// E[W]-guided probe target selection.
+  bool phoenix_wait_aware_probes = true;
+  /// Suspension of sticky batch probing during congested periods. Off by
+  /// default: ablation (bench_ablation_design_choices) shows stickiness
+  /// remains beneficial under this simulator's congestion model, so Phoenix
+  /// keeps SBP and relies on the CRV table for wait estimation instead.
+  bool phoenix_suspend_sbp = false;
+
+  /// Cap on proactively negotiated (soft) constraints per job. The paper
+  /// negotiates "in which all the constraints could not be satisfied"; one
+  /// relaxation per job keeps the placement-quality trade bounded.
+  std::size_t phoenix_max_relaxations = 1;
+
+  // Failure injection (0 disables). Machines fail with exponential
+  // inter-failure times of mean machine_mtbf seconds; a failed machine's
+  // queue is re-dispatched, its running task is replayed elsewhere, and the
+  // machine returns after an exponential repair of mean machine_mttr.
+  double machine_mtbf = 0.0;
+  double machine_mttr = 600.0;
+};
+
+/// An entry in a worker queue: either a late-binding proxy probe for a short
+/// job, or a task bound early by the centralized plane.
+struct QueueEntry {
+  enum class Kind : std::uint8_t { kProbe, kBoundTask };
+
+  Kind kind = Kind::kProbe;
+  trace::JobId job = trace::kInvalidJob;
+  /// Valid for bound tasks only; probes late-bind to the job's next task.
+  std::uint32_t task_index = 0;
+  /// Estimated task duration used by SRPT / load accounting (the job's mean
+  /// task estimate, as production schedulers have from history).
+  double est_duration = 0;
+  sim::SimTime enqueue_time = 0;
+  /// Times this entry has been bypassed by queue reordering.
+  std::uint32_t bypass_count = 0;
+  /// The job is classified short by the scheduler.
+  bool short_class = true;
+};
+
+/// Runtime bookkeeping for a job being scheduled.
+struct JobRuntime {
+  const trace::Job* spec = nullptr;
+  trace::JobId id = trace::kInvalidJob;
+  /// Constraints after admission-control relaxation.
+  cluster::ConstraintSet effective;
+  /// True if the original request was constrained (for reporting).
+  bool constrained = false;
+  bool short_class = true;
+  /// Service-time multiplier from relaxed soft constraints.
+  double duration_multiplier = 1.0;
+  std::uint32_t relaxed_constraints = 0;
+
+  std::uint32_t next_unplaced = 0;  // tasks are handed out in index order
+  std::uint32_t completed = 0;
+  /// Live proxy probes for this job (sent minus resolved).
+  std::uint32_t outstanding_probes = 0;
+  /// Task indices killed by a machine failure, awaiting re-execution.
+  std::vector<std::uint32_t> replay_tasks;
+
+  /// Racks that already host (or are bound to host) a task of this job —
+  /// the state behind the spread/colocate placement preferences.
+  util::Bitset used_racks;
+  cluster::RackId anchor_rack = cluster::kInvalidRack;
+
+  trace::PlacementPref placement() const { return spec->placement; }
+
+  double sum_task_wait = 0;
+  double max_task_wait = 0;
+  /// Task executions started (exceeds num_tasks when failures replay work).
+  std::uint32_t task_starts = 0;
+  sim::SimTime completion = 0;
+
+  std::size_t num_tasks() const { return spec->task_durations.size(); }
+  bool AllPlaced() const {
+    return next_unplaced >= num_tasks() && replay_tasks.empty();
+  }
+  bool Done() const { return completed >= num_tasks(); }
+  /// Actual service time of a task, including any relaxation penalty.
+  double ActualDuration(std::uint32_t index) const {
+    return spec->task_durations[index] * duration_multiplier;
+  }
+};
+
+/// Runtime state of one worker (single execution slot + queue, §V-A).
+struct WorkerState {
+  cluster::MachineId id = cluster::kInvalidMachine;
+  std::deque<QueueEntry> queue;
+
+  /// True while the slot is held: resolving a probe, fetching, or executing.
+  bool busy = false;
+  trace::JobId running_job = trace::kInvalidJob;
+  std::uint32_t running_index = 0;
+  sim::SimTime busy_until = 0;
+
+  /// Sum of est_duration of queued entries plus the running remainder —
+  /// the load signal for least-loaded placement and rebalancing.
+  double est_queued_work = 0;
+
+  /// Count of long (centrally bound) entries queued or running; drives the
+  /// Succinct State Sharing bit the distributed schedulers see.
+  std::uint32_t long_entries = 0;
+
+  /// Online P-K estimator (Algorithm 1's Estimate_Waiting_Time inputs).
+  queueing::WorkerWaitEstimator estimator;
+
+  /// Phoenix: E[W] snapshot taken at the last heartbeat.
+  double last_wait_estimate = 0;
+  /// Phoenix: marked for CRV-based reordering at the last heartbeat.
+  bool crv_marked = false;
+
+  /// A steal request is in flight (prevents steal storms).
+  bool steal_inflight = false;
+
+  /// Failure injection: machine is currently down.
+  bool failed = false;
+  /// The cancellable in-flight event while the slot is held: a probe
+  /// resolution, a sticky-batch fetch, or the running task's completion.
+  std::uint64_t pending_event = 0;
+  /// Valid while the slot is held for a probe resolution (so a failure can
+  /// re-dispatch the probe).
+  bool resolving = false;
+  QueueEntry resolving_entry;
+
+  explicit WorkerState(std::size_t estimator_window)
+      : estimator(estimator_window) {}
+};
+
+}  // namespace phoenix::sched

@@ -1,0 +1,61 @@
+#include "sched/yaccd.h"
+
+#include <algorithm>
+
+namespace phoenix::sched {
+
+std::size_t YaccDScheduler::SelectNextIndex(const WorkerState& worker) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < worker.queue.size(); ++i) {
+    if (worker.queue[i].est_duration < worker.queue[best].est_duration) {
+      best = i;
+    }
+  }
+  const std::size_t index = IndexRespectingSlack(worker, best);
+  if (index != 0) ++counters().tasks_reordered_srpt;
+  return index;
+}
+
+void YaccDScheduler::OnHeartbeat() {
+  // Mean queued work across the fleet.
+  double total = 0;
+  for (std::size_t i = 0; i < num_workers(); ++i) {
+    total += worker(static_cast<cluster::MachineId>(i)).est_queued_work;
+  }
+  const double mean = total / static_cast<double>(num_workers());
+  if (mean <= 0) return;
+
+  for (std::size_t i = 0; i < num_workers(); ++i) {
+    WorkerState& w = worker(static_cast<cluster::MachineId>(i));
+    if (w.est_queued_work <= kShedFactor * mean) continue;
+    // Shed from the queue tail (the work that would wait longest) until the
+    // worker is back near the mean.
+    while (!w.queue.empty() && w.est_queued_work > kShedTarget * mean) {
+      const std::size_t tail = w.queue.size() - 1;
+      const JobRuntime& job = runtime(w.queue[tail].job);
+      // Find a less-loaded satisfying worker; skip the move if none is
+      // meaningfully better.
+      const auto candidates = cluster().SampleDistinctSatisfying(
+          job.effective, config().power_of_d, rng());
+      cluster::MachineId best = cluster::kInvalidMachine;
+      double best_load = w.est_queued_work;
+      for (const auto c : candidates) {
+        if (c == w.id) continue;
+        const double load = worker(c).est_queued_work;
+        if (load < best_load) {
+          best_load = load;
+          best = c;
+        }
+      }
+      if (best == cluster::kInvalidMachine ||
+          best_load > 0.5 * w.est_queued_work) {
+        break;
+      }
+      QueueEntry moved = RemoveQueueAt(w, tail);
+      ++counters().tasks_stolen;  // migrations share the rebalance counter
+      SendEntry(best, moved, 2 * config().rtt);
+    }
+  }
+}
+
+}  // namespace phoenix::sched

@@ -1,0 +1,40 @@
+// Yacc-D: "Yaq-c/d"-style efficient queue management (Rasley et al.,
+// EuroSys'16) — the early-binding comparator of Figure 2.
+//
+// Design axes (Table I): hybrid control plane, EARLY binding (every task is
+// bound to a concrete worker queue at submission; there are no probes),
+// SRPT queue reordering, and adaptive load balancing: each heartbeat the
+// node manager migrates queued tasks from overloaded workers to underloaded
+// satisfying workers.
+#pragma once
+
+#include "sched/base.h"
+
+namespace phoenix::sched {
+
+class YaccDScheduler : public SchedulerBase {
+ public:
+  using SchedulerBase::SchedulerBase;
+
+  std::string name() const override { return "yacc-d"; }
+
+ protected:
+  /// Early binding for everything: both planes place through the
+  /// centralized least-loaded path.
+  bool UsesDistributedPlane(const JobRuntime&) const override { return false; }
+
+  /// SRPT with the slack bound (Yaq's queue reordering).
+  std::size_t SelectNextIndex(const WorkerState& worker) override;
+
+  /// Adaptive rebalancing pass.
+  void OnHeartbeat() override;
+
+ private:
+  /// Load above which a worker sheds queued tasks, as a multiple of the
+  /// cluster-mean queued work.
+  static constexpr double kShedFactor = 2.0;
+  /// Migration stops once the worker is back under this multiple.
+  static constexpr double kShedTarget = 1.25;
+};
+
+}  // namespace phoenix::sched

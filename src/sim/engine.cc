@@ -1,0 +1,60 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+namespace phoenix::sim {
+
+Engine::EventId Engine::ScheduleAt(SimTime at, Callback cb) {
+  PHOENIX_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  PHOENIX_CHECK_MSG(cb != nullptr, "null event callback");
+  const EventId id = next_seq_++;
+  heap_.push(Entry{at, id, std::move(cb)});
+  ++live_events_;
+  return id;
+}
+
+bool Engine::Cancel(EventId id) {
+  if (id >= next_seq_) return false;
+  // The cancelled list stays small (probes cancel their siblings promptly),
+  // so a sorted vector + binary search beats a hash set here.
+  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+  if (it != cancelled_.end() && *it == id) return false;  // already cancelled
+  cancelled_.insert(it, id);
+  PHOENIX_CHECK(live_events_ > 0);
+  --live_events_;
+  return true;
+}
+
+void Engine::SkipCancelled() {
+  while (!heap_.empty()) {
+    const EventId id = heap_.top().seq;
+    const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end() || *it != id) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+std::uint64_t Engine::Run(SimTime until) {
+  std::uint64_t fired = 0;
+  while (Step(until)) ++fired;
+  return fired;
+}
+
+bool Engine::Step(SimTime until) {
+  SkipCancelled();
+  if (heap_.empty() || heap_.top().time > until) return false;
+  // Move the callback out before popping: the callback may schedule events,
+  // which mutates the heap.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  PHOENIX_CHECK(live_events_ > 0);
+  --live_events_;
+  PHOENIX_CHECK_MSG(entry.time >= now_, "event time went backwards");
+  now_ = entry.time;
+  ++events_fired_;
+  entry.cb();
+  return true;
+}
+
+}  // namespace phoenix::sim

@@ -1,0 +1,79 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop over a min-heap of (time, sequence) keyed
+// events. Sequence numbers make execution order deterministic for events
+// scheduled at the same instant (FIFO in scheduling order), which in turn
+// makes every experiment reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/simtime.h"
+#include "util/check.h"
+
+namespace phoenix::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle for cancellation.
+  using EventId = std::uint64_t;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulation time. Valid inside callbacks and after Run* returns.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `at` (>= Now()).
+  EventId ScheduleAt(SimTime at, Callback cb);
+
+  /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
+  EventId ScheduleAfter(SimTime delay, Callback cb) {
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns true if the event had not yet fired.
+  /// Cancellation is O(1): the heap entry is tombstoned and skipped later.
+  bool Cancel(EventId id);
+
+  /// Runs until the event queue drains or `until` is reached, whichever is
+  /// first. Returns the number of events fired by this call.
+  std::uint64_t Run(SimTime until = kTimeInfinity);
+
+  /// Runs exactly one event if any is pending before `until`.
+  /// Returns true if an event fired.
+  bool Step(SimTime until = kTimeInfinity);
+
+  bool Empty() const { return live_events_ == 0; }
+  std::uint64_t events_fired() const { return events_fired_; }
+  std::uint64_t events_scheduled() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // doubles as EventId
+    Callback cb;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  // Pops tombstoned (cancelled) entries off the heap top.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<EventId> cancelled_;  // sorted lazily; see engine.cc
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t live_events_ = 0;
+  std::uint64_t events_fired_ = 0;
+};
+
+}  // namespace phoenix::sim

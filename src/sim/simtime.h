@@ -1,0 +1,21 @@
+// Simulation time.
+//
+// Time is a double in seconds since simulation start. The paper's traces are
+// second-granularity with sub-millisecond scheduling latencies (0.5 ms RTT),
+// which a double represents exactly enough for month-long runs (~2.6e6 s,
+// leaving ~1e-10 s of resolution).
+#pragma once
+
+namespace phoenix::sim {
+
+using SimTime = double;
+
+inline constexpr SimTime kMillisecond = 1e-3;
+inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMinute = 60.0;
+inline constexpr SimTime kHour = 3600.0;
+
+/// Sentinel for "no deadline".
+inline constexpr SimTime kTimeInfinity = 1e300;
+
+}  // namespace phoenix::sim

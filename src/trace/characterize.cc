@@ -1,0 +1,56 @@
+#include "trace/characterize.h"
+
+namespace phoenix::trace {
+
+ConstraintUsage CharacterizeConstraints(const Trace& trace) {
+  ConstraintUsage usage;
+  for (const Job& job : trace.jobs()) {
+    if (!job.constrained()) {
+      ++usage.unconstrained_jobs;
+      continue;
+    }
+    ++usage.constrained_jobs;
+    const std::size_t k = job.constraints.size();
+    if (k >= 1 && k <= cluster::kMaxConstraintsPerTask) {
+      usage.demand_pct[k - 1] += 1.0;  // counts for now; normalized below
+    }
+    for (const auto& c : job.constraints) {
+      usage.occurrences[static_cast<std::size_t>(c.attr)] += job.num_tasks();
+      usage.total_occurrences += job.num_tasks();
+    }
+  }
+  if (usage.total_occurrences > 0) {
+    for (std::size_t a = 0; a < cluster::kNumAttrs; ++a) {
+      usage.shares[a] = 100.0 * static_cast<double>(usage.occurrences[a]) /
+                        static_cast<double>(usage.total_occurrences);
+    }
+  }
+  if (usage.constrained_jobs > 0) {
+    for (auto& d : usage.demand_pct) {
+      d = 100.0 * d / static_cast<double>(usage.constrained_jobs);
+    }
+  }
+  return usage;
+}
+
+std::array<double, cluster::kMaxConstraintsPerTask> SupplyCurve(
+    const Trace& trace, const cluster::Cluster& cluster) {
+  std::array<double, cluster::kMaxConstraintsPerTask> sum{};
+  std::array<std::uint64_t, cluster::kMaxConstraintsPerTask> count{};
+  for (const Job& job : trace.jobs()) {
+    const std::size_t k = job.constraints.size();
+    if (k == 0 || k > cluster::kMaxConstraintsPerTask) continue;
+    const double frac =
+        static_cast<double>(cluster.CountSatisfying(job.constraints)) /
+        static_cast<double>(cluster.size());
+    sum[k - 1] += frac;
+    ++count[k - 1];
+  }
+  std::array<double, cluster::kMaxConstraintsPerTask> out{};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = count[i] > 0 ? 100.0 * sum[i] / static_cast<double>(count[i]) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace phoenix::trace

@@ -1,0 +1,42 @@
+// Trace characterization (paper §III-B, Table II, Fig 6).
+//
+// Computes, from a trace (and optionally a cluster), the constraint-usage
+// statistics the paper reports: per-attribute occurrence counts and shares,
+// the demand distribution of constraints-per-job, and the supply curve —
+// the fraction of machines able to satisfy the constraint sets of given
+// cardinality that jobs actually request.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "trace/trace.h"
+
+namespace phoenix::trace {
+
+struct ConstraintUsage {
+  /// Tasks requesting each attribute kind (a task with k constraints counts
+  /// once per kind), indexed by cluster::Attr.
+  std::array<std::uint64_t, cluster::kNumAttrs> occurrences{};
+  /// occurrences normalized to percentages.
+  std::array<double, cluster::kNumAttrs> shares{};
+  std::uint64_t total_occurrences = 0;
+
+  /// Jobs demanding exactly k constraints (index 0 => 1 constraint), as a
+  /// percentage of constrained jobs — Fig 6's "Demand of jobs" series.
+  std::array<double, cluster::kMaxConstraintsPerTask> demand_pct{};
+
+  std::uint64_t constrained_jobs = 0;
+  std::uint64_t unconstrained_jobs = 0;
+};
+
+ConstraintUsage CharacterizeConstraints(const Trace& trace);
+
+/// Fig 6's "Supply of nodes" series: for each k in 1..6, the mean fraction
+/// (as a percentage) of machines satisfying the k-constraint sets jobs in
+/// the trace request. Entries with no k-constraint job are 0.
+std::array<double, cluster::kMaxConstraintsPerTask> SupplyCurve(
+    const Trace& trace, const cluster::Cluster& cluster);
+
+}  // namespace phoenix::trace

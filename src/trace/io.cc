@@ -1,0 +1,161 @@
+#include "trace/io.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/format.h"
+
+namespace phoenix::trace {
+
+namespace {
+
+char OpChar(cluster::ConstraintOp op) {
+  switch (op) {
+    case cluster::ConstraintOp::kLess: return '<';
+    case cluster::ConstraintOp::kGreater: return '>';
+    case cluster::ConstraintOp::kEqual: return '=';
+  }
+  return '?';
+}
+
+bool ParseOp(char c, cluster::ConstraintOp* op) {
+  switch (c) {
+    case '<': *op = cluster::ConstraintOp::kLess; return true;
+    case '>': *op = cluster::ConstraintOp::kGreater; return true;
+    case '=': *op = cluster::ConstraintOp::kEqual; return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+void WriteTrace(const Trace& trace, std::ostream& out) {
+  // Round-trip exact doubles.
+  out << std::setprecision(17);
+  out << "# phoenix-trace v1 name=" << trace.name()
+      << " short_cutoff=" << trace.short_cutoff() << "\n";
+  for (const Job& job : trace.jobs()) {
+    out << job.submit_time << '|' << (job.short_job ? 1 : 0) << '|';
+    for (std::size_t i = 0; i < job.task_durations.size(); ++i) {
+      if (i > 0) out << ',';
+      out << job.task_durations[i];
+    }
+    out << '|';
+    const auto& cs = job.constraints;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (i > 0) out << ';';
+      out << static_cast<int>(cs[i].attr) << ':' << OpChar(cs[i].op) << ':'
+          << cs[i].value << ':' << (cs[i].hard ? 1 : 0);
+    }
+    // Optional 5th field: rack placement preference (n/s/c).
+    out << '|'
+        << (job.placement == PlacementPref::kSpread
+                ? 's'
+                : job.placement == PlacementPref::kColocate ? 'c' : 'n')
+        << '\n';
+  }
+}
+
+void WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  PHOENIX_CHECK_MSG(out.good(), "cannot open trace file for writing");
+  WriteTrace(trace, out);
+  out.flush();
+  PHOENIX_CHECK_MSG(out.good(), "trace write failed");
+}
+
+Trace ReadTrace(std::istream& in, std::string* error) {
+  PHOENIX_CHECK(error != nullptr);
+  error->clear();
+  std::string name = "trace";
+  double short_cutoff = 90.0;
+  std::vector<Job> jobs;
+
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& msg) {
+    *error = util::StrFormat("line %zu: %s", line_no, msg.c_str());
+    return Trace();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = util::Trim(line);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Header fields are optional; pick out name= and short_cutoff=.
+      for (const auto& tok : util::Split(line, ' ')) {
+        if (tok.rfind("name=", 0) == 0) name = tok.substr(5);
+        if (tok.rfind("short_cutoff=", 0) == 0)
+          short_cutoff = std::atof(tok.c_str() + 13);
+      }
+      continue;
+    }
+    const auto fields = util::Split(line, '|');
+    if (fields.size() != 4 && fields.size() != 5) {
+      return fail("expected 4 or 5 |-separated fields");
+    }
+
+    Job job;
+    job.id = static_cast<JobId>(jobs.size());
+    job.submit_time = std::atof(fields[0].c_str());
+    job.short_job = fields[1] == "1";
+    if (!jobs.empty() && job.submit_time < jobs.back().submit_time) {
+      return fail("jobs out of submit-time order");
+    }
+
+    for (const auto& d : util::Split(fields[2], ',')) {
+      const double duration = std::atof(d.c_str());
+      if (duration <= 0) return fail("non-positive task duration");
+      job.task_durations.push_back(duration);
+    }
+    if (job.task_durations.empty()) return fail("job with no tasks");
+
+    if (!fields[3].empty()) {
+      for (const auto& spec : util::Split(fields[3], ';')) {
+        const auto parts = util::Split(spec, ':');
+        if (parts.size() != 4) return fail("constraint needs attr:op:value:hard");
+        cluster::Constraint c;
+        const int attr = std::atoi(parts[0].c_str());
+        if (attr < 0 || attr >= static_cast<int>(cluster::kNumAttrs)) {
+          return fail("constraint attribute out of range");
+        }
+        c.attr = static_cast<cluster::Attr>(attr);
+        if (parts[1].size() != 1 || !ParseOp(parts[1][0], &c.op)) {
+          return fail("bad constraint operator");
+        }
+        c.value = std::atoi(parts[2].c_str());
+        c.hard = parts[3] == "1";
+        job.constraints.Add(c);
+      }
+    }
+    if (fields.size() == 5 && !fields[4].empty()) {
+      switch (fields[4][0]) {
+        case 'n': job.placement = PlacementPref::kNone; break;
+        case 's': job.placement = PlacementPref::kSpread; break;
+        case 'c': job.placement = PlacementPref::kColocate; break;
+        default: return fail("bad placement preference (n/s/c)");
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  Trace trace(name, std::move(jobs));
+  trace.set_short_cutoff(short_cutoff);
+  return trace;
+}
+
+Trace ReadTraceFile(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    *error = "cannot open trace file: " + path;
+    return Trace();
+  }
+  return ReadTrace(in, error);
+}
+
+}  // namespace phoenix::trace

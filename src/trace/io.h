@@ -1,0 +1,30 @@
+// Trace serialization.
+//
+// Text format, one job per line (after a header), so users can replay their
+// own production traces or archive synthesized ones:
+//
+//   # phoenix-trace v1 name=<name> short_cutoff=<seconds>
+//   <submit_time>|<short 0/1>|<dur,dur,...>|<attr:op:value:hard;...>
+//
+// `op` is one of < > =; the constraint field is empty for unconstrained
+// jobs. Durations are seconds (floating point).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace phoenix::trace {
+
+/// Writes `trace` to a stream / file. Aborts on I/O failure to a file.
+void WriteTrace(const Trace& trace, std::ostream& out);
+void WriteTraceFile(const Trace& trace, const std::string& path);
+
+/// Parses a trace. On malformed input returns an empty trace and fills
+/// `error`. Jobs are re-numbered densely in file order and must be sorted
+/// by submit time.
+Trace ReadTrace(std::istream& in, std::string* error);
+Trace ReadTraceFile(const std::string& path, std::string* error);
+
+}  // namespace phoenix::trace

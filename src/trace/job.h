@@ -1,0 +1,58 @@
+// Workload model: jobs and tasks.
+//
+// A job arrives at `submit_time` with a set of tasks (each with a service
+// time on any satisfying machine) and a constraint set shared by its tasks
+// (the Google trace attaches constraints at task-group level; like the
+// paper we treat a job's tasks as requesting the same constraint set).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "cluster/constraint.h"
+#include "sim/simtime.h"
+
+namespace phoenix::trace {
+
+using JobId = std::uint32_t;
+inline constexpr JobId kInvalidJob = 0xffffffffu;
+
+/// Combinatorial / affinity placement preferences (paper §III-A): spread
+/// tasks across racks for fault tolerance, or co-locate them on one rack
+/// for data locality. These are preferences, not hard requirements — the
+/// schedulers satisfy them when capacity allows and count violations.
+enum class PlacementPref : std::uint8_t { kNone = 0, kSpread, kColocate };
+
+struct Job {
+  JobId id = kInvalidJob;
+  sim::SimTime submit_time = 0;
+  /// Service time of each task, seconds, on a satisfying machine.
+  std::vector<double> task_durations;
+  /// Placement constraints requested by every task of this job.
+  cluster::ConstraintSet constraints;
+  /// Rack-level affinity preference for the job's tasks.
+  PlacementPref placement = PlacementPref::kNone;
+  /// Ground-truth class assigned by the generator (short = latency-critical).
+  /// Schedulers do NOT read this; they classify by estimated runtime against
+  /// the trace's short-job cutoff, as Hawk/Eagle do.
+  bool short_job = true;
+
+  std::size_t num_tasks() const { return task_durations.size(); }
+
+  double total_work() const {
+    return std::accumulate(task_durations.begin(), task_durations.end(), 0.0);
+  }
+
+  /// Mean task duration — the "estimated task runtime" hybrid schedulers
+  /// receive with a job submission (from historical runs in production).
+  double mean_task_duration() const {
+    return task_durations.empty() ? 0.0
+                                  : total_work() /
+                                        static_cast<double>(num_tasks());
+  }
+
+  bool constrained() const { return !constraints.empty(); }
+};
+
+}  // namespace phoenix::trace

@@ -1,0 +1,176 @@
+#include "trace/synthesizer.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace phoenix::trace {
+
+using cluster::Attr;
+using cluster::AttrCatalog;
+using cluster::AttrDemandShares;
+using cluster::AttrDomain;
+using cluster::Constraint;
+using cluster::ConstraintOp;
+using cluster::ConstraintSet;
+using cluster::kNumAttrs;
+
+namespace {
+
+/// Index whose machine-weight CDF bucket contains quantile q — the value a
+/// machine of hardware generation q would carry (mirrors the fleet
+/// builder's correlation model).
+std::size_t IndexFromQuantile(const AttrDomain& domain, double q) {
+  double total = 0;
+  for (std::size_t i = 0; i < domain.num_values; ++i) {
+    total += domain.machine_weights[i];
+  }
+  double x = q * total;
+  for (std::size_t i = 0; i < domain.num_values; ++i) {
+    x -= domain.machine_weights[i];
+    if (x <= 0) return i;
+  }
+  return domain.num_values - 1;
+}
+
+}  // namespace
+
+ConstraintSynthesizer::ConstraintSynthesizer(const SynthesizerOptions& options,
+                                             std::uint64_t seed)
+    : options_(options), rng_(seed ^ 0xa3c59ac2ed1b8f15ULL) {
+  PHOENIX_CHECK(options.constrained_fraction >= 0 &&
+                options.constrained_fraction <= 1);
+  PHOENIX_CHECK(options.hard_fraction >= 0 && options.hard_fraction <= 1);
+  PHOENIX_CHECK(options.demand_skew >= 0 && options.demand_skew <= 1);
+  PHOENIX_CHECK(options.value_correlation >= 0 &&
+                options.value_correlation <= 1);
+}
+
+std::size_t ConstraintSynthesizer::DrawNumConstraints() {
+  double total = 0;
+  for (const double w : options_.num_constraints_weights) total += w;
+  PHOENIX_CHECK_MSG(total > 0, "constraint-count weights sum to zero");
+  double x = rng_.Uniform(0.0, total);
+  for (std::size_t k = 0; k < options_.num_constraints_weights.size(); ++k) {
+    x -= options_.num_constraints_weights[k];
+    if (x <= 0) return k + 1;
+  }
+  return options_.num_constraints_weights.size();
+}
+
+Attr ConstraintSynthesizer::DrawAttr(std::uint32_t exclude_mask) {
+  const auto& shares = AttrDemandShares();
+  double total = 0;
+  for (std::size_t a = 0; a < kNumAttrs; ++a) {
+    if (!(exclude_mask & (1u << a))) total += shares[a];
+  }
+  PHOENIX_CHECK_MSG(total > 0, "no attribute kinds left to draw");
+  double x = rng_.Uniform(0.0, total);
+  for (std::size_t a = 0; a < kNumAttrs; ++a) {
+    if (exclude_mask & (1u << a)) continue;
+    x -= shares[a];
+    if (x <= 0) return static_cast<Attr>(a);
+  }
+  for (std::size_t a = kNumAttrs; a-- > 0;) {
+    if (!(exclude_mask & (1u << a))) return static_cast<Attr>(a);
+  }
+  PHOENIX_CHECK_MSG(false, "unreachable");
+}
+
+Constraint ConstraintSynthesizer::SynthesizeConstraint(Attr attr,
+                                                       double generation) {
+  const AttrDomain& domain = AttrCatalog()[static_cast<std::size_t>(attr)];
+  Constraint c;
+  c.attr = attr;
+  c.hard = rng_.Bernoulli(options_.hard_fraction);
+
+  // Value selection, in priority order:
+  //   1. generation-coherent (value_correlation): the band the job's latent
+  //      hardware vintage maps to — multi-constraint sets then describe a
+  //      consistent machine, keeping their joint pool realistic;
+  //   2. scarce-chasing (demand_skew): uniform over the domain;
+  //   3. independent machine-mix draw (demand follows supply).
+  const bool coherent = rng_.Bernoulli(options_.value_correlation);
+  std::size_t value_index;
+  if (coherent) {
+    value_index = IndexFromQuantile(domain, generation);
+  } else if (rng_.Bernoulli(options_.demand_skew)) {
+    value_index = rng_.NextBounded(domain.num_values);
+  } else {
+    double total = 0;
+    for (std::size_t i = 0; i < domain.num_values; ++i)
+      total += domain.machine_weights[i];
+    double x = rng_.Uniform(0.0, total);
+    value_index = domain.num_values - 1;
+    for (std::size_t i = 0; i < domain.num_values; ++i) {
+      x -= domain.machine_weights[i];
+      if (x <= 0) {
+        value_index = i;
+        break;
+      }
+    }
+  }
+
+  // Operator: categorical attributes only support equality; ordered ones
+  // use the three operators of §V-A. Lower-bound attributes (MinDisks,
+  // MinMemory) semantically use '>'; MaxDisks uses '<'; the rest mix.
+  // For coherent draws the bound is placed one step *toward* satisfiable
+  // territory (e.g. "> value just below the generation's band"), so the
+  // job's own generation band satisfies its bound constraints.
+  if (domain.categorical) {
+    c.op = ConstraintOp::kEqual;
+    c.value = domain.values[value_index];
+    return c;
+  }
+  const auto bounded_greater = [&] {
+    c.op = ConstraintOp::kGreater;
+    std::size_t idx = value_index;
+    if (coherent && idx > 0) --idx;  // band `generation` itself satisfies
+    if (idx + 1 >= domain.num_values) idx = domain.num_values - 2;
+    c.value = domain.values[idx];
+  };
+  const auto bounded_less = [&] {
+    c.op = ConstraintOp::kLess;
+    std::size_t idx = value_index;
+    if (coherent && idx + 1 < domain.num_values) ++idx;
+    if (idx == 0) idx = 1;
+    c.value = domain.values[idx];
+  };
+  switch (attr) {
+    case Attr::kMinDisks:
+    case Attr::kMinMemory:
+      bounded_greater();
+      return c;
+    case Attr::kMaxDisks:
+      bounded_less();
+      return c;
+    default: {
+      const double r = rng_.NextDouble();
+      if (r < 0.6) {
+        c.op = ConstraintOp::kEqual;
+        c.value = domain.values[value_index];
+      } else if (r < 0.85) {
+        bounded_greater();
+      } else {
+        bounded_less();
+      }
+      return c;
+    }
+  }
+}
+
+ConstraintSet ConstraintSynthesizer::Synthesize() {
+  if (!rng_.Bernoulli(options_.constrained_fraction)) return ConstraintSet();
+  const std::size_t k = DrawNumConstraints();
+  const double generation = rng_.NextDouble();
+  ConstraintSet cs;
+  std::uint32_t used = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Attr attr = DrawAttr(used);
+    used |= 1u << static_cast<std::uint32_t>(attr);
+    cs.Add(SynthesizeConstraint(attr, generation));
+  }
+  return cs;
+}
+
+}  // namespace phoenix::trace

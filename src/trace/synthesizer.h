@@ -1,0 +1,77 @@
+// Constraint synthesis (paper §III-B).
+//
+// The paper embeds task placement constraints into the Yahoo and Cloudera
+// traces using the benchmarking model of Sharma et al. (SoCC'11): draw, per
+// job, whether it is constrained, how many distinct constraint kinds it
+// requests, which kinds (weighted by the Google-trace frequency vector of
+// Table II) and what operator/value each predicate carries. This class is
+// that model; the Google generator uses it too, since the public trace
+// hashes the real constraint values.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cluster/attributes.h"
+#include "cluster/constraint.h"
+#include "util/rng.h"
+
+namespace phoenix::trace {
+
+struct SynthesizerOptions {
+  /// Fraction of jobs that carry at least one constraint. Table III: ~50 %
+  /// of tasks are constrained across all three traces.
+  double constrained_fraction = 0.5;
+
+  /// Distribution of the number of distinct constraints per constrained job
+  /// (index 0 => 1 constraint). Matches the demand curve of Fig 6: a mode
+  /// at 2 constraints (~33 %), ~80 % of jobs asking <= 3, tail out to 6.
+  std::array<double, cluster::kMaxConstraintsPerTask> num_constraints_weights =
+      {0.25, 0.33, 0.22, 0.12, 0.05, 0.03};
+
+  /// Probability that a constraint is hard (non-negotiable). The remainder
+  /// are soft and may be relaxed by admission control (§III-A). Most
+  /// Google-trace constraints behave as mandatory placement predicates, so
+  /// the default mix is hard-heavy.
+  double hard_fraction = 0.85;
+
+  /// Probability that a predicate value is drawn uniformly from the
+  /// attribute's domain instead of from the machine-mix weights. A higher
+  /// value makes requests rarer in supply (more contention on scarce
+  /// hardware) — this models jobs chasing the newest/most exotic machines.
+  double demand_skew = 0.35;
+
+  /// Probability that a constraint's value follows the job's latent
+  /// "hardware generation" quantile instead of an independent draw. Jobs
+  /// describe a coherent machine ("recent SKU: many cores AND new kernel
+  /// AND fast NIC"), which — together with the fleet's own cross-attribute
+  /// correlation (cluster::FleetOptions::attribute_correlation) — keeps
+  /// multi-constraint requests satisfiable by a realistic slice of nodes
+  /// (paper Fig 6: ~5 % of nodes still satisfy 6-constraint sets).
+  double value_correlation = 0.7;
+};
+
+class ConstraintSynthesizer {
+ public:
+  explicit ConstraintSynthesizer(const SynthesizerOptions& options,
+                                 std::uint64_t seed);
+
+  /// Draws the constraint set for the next job (possibly empty).
+  cluster::ConstraintSet Synthesize();
+
+  /// Draws a single constraint on the given attribute kind, for a job of
+  /// latent hardware-generation quantile `generation` in [0,1].
+  cluster::Constraint SynthesizeConstraint(cluster::Attr attr,
+                                           double generation);
+
+  const SynthesizerOptions& options() const { return options_; }
+
+ private:
+  std::size_t DrawNumConstraints();
+  cluster::Attr DrawAttr(std::uint32_t exclude_mask);
+
+  SynthesizerOptions options_;
+  util::Rng rng_;
+};
+
+}  // namespace phoenix::trace

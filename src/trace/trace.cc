@@ -1,0 +1,109 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace phoenix::trace {
+
+Trace::Trace(std::string name, std::vector<Job> jobs)
+    : name_(std::move(name)), jobs_(std::move(jobs)) {
+  CheckInvariants();
+}
+
+void Trace::CheckInvariants() const {
+  sim::SimTime prev = -1.0;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& job = jobs_[i];
+    PHOENIX_CHECK_MSG(job.id == i, "job ids must be dense and ordered");
+    PHOENIX_CHECK_MSG(job.submit_time >= prev,
+                      "jobs must be sorted by submit time");
+    PHOENIX_CHECK_MSG(!job.task_durations.empty(), "job with zero tasks");
+    for (const double d : job.task_durations) {
+      PHOENIX_CHECK_MSG(d > 0, "task durations must be positive");
+    }
+    prev = job.submit_time;
+  }
+}
+
+TraceStats Trace::ComputeStats() const {
+  TraceStats s;
+  s.num_jobs = jobs_.size();
+  for (const Job& job : jobs_) {
+    s.num_tasks += job.num_tasks();
+    s.total_work += job.total_work();
+    if (job.constrained()) {
+      ++s.constrained_jobs;
+      s.constrained_tasks += job.num_tasks();
+    }
+    if (job.short_job) ++s.short_jobs;
+    s.horizon = std::max(s.horizon, job.submit_time);
+  }
+  if (s.num_tasks > 0) {
+    s.mean_task_duration = s.total_work / static_cast<double>(s.num_tasks);
+  }
+  if (s.num_jobs > 0) {
+    s.short_job_fraction =
+        static_cast<double>(s.short_jobs) / static_cast<double>(s.num_jobs);
+  }
+  if (s.num_tasks > 0) {
+    s.constrained_task_fraction = static_cast<double>(s.constrained_tasks) /
+                                  static_cast<double>(s.num_tasks);
+  }
+
+  // Burstiness: bucket arrivals into ~200 buckets over the horizon and
+  // compare the peak bucket to the median non-empty bucket.
+  if (s.num_jobs > 2 && s.horizon > 0) {
+    constexpr std::size_t kBuckets = 200;
+    std::vector<std::size_t> buckets(kBuckets, 0);
+    for (const Job& job : jobs_) {
+      auto b = static_cast<std::size_t>(job.submit_time / s.horizon *
+                                        (kBuckets - 1));
+      ++buckets[b];
+    }
+    std::vector<std::size_t> nonempty;
+    for (const auto c : buckets)
+      if (c > 0) nonempty.push_back(c);
+    if (!nonempty.empty()) {
+      std::sort(nonempty.begin(), nonempty.end());
+      const std::size_t peak = nonempty.back();
+      const std::size_t median = nonempty[nonempty.size() / 2];
+      s.peak_to_median_arrival =
+          static_cast<double>(peak) / static_cast<double>(std::max<std::size_t>(median, 1));
+    }
+  }
+  return s;
+}
+
+double Trace::OfferedLoad(std::size_t num_workers) const {
+  PHOENIX_CHECK(num_workers > 0);
+  const TraceStats s = ComputeStats();
+  if (s.horizon <= 0) return 0;
+  return s.total_work / (static_cast<double>(num_workers) * s.horizon);
+}
+
+Trace Trace::WithoutConstraints() const {
+  std::vector<Job> stripped = jobs_;
+  for (Job& job : stripped) job.constraints = cluster::ConstraintSet();
+  Trace out(name_ + "-unconstrained", std::move(stripped));
+  out.set_short_cutoff(short_cutoff_);
+  return out;
+}
+
+double ComputeShortJobCutoff(const std::vector<Job>& jobs,
+                             double short_fraction) {
+  PHOENIX_CHECK_MSG(short_fraction > 0 && short_fraction < 1,
+                    "short fraction must be in (0,1)");
+  if (jobs.empty()) return 0;
+  std::vector<double> durations;
+  durations.reserve(jobs.size());
+  for (const Job& job : jobs) durations.push_back(job.mean_task_duration());
+  std::sort(durations.begin(), durations.end());
+  const auto idx = static_cast<std::size_t>(
+      short_fraction * static_cast<double>(durations.size() - 1));
+  return durations[idx];
+}
+
+}  // namespace phoenix::trace

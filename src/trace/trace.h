@@ -1,0 +1,71 @@
+// A trace: the job stream a simulation replays, plus summary statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/job.h"
+
+namespace phoenix::trace {
+
+struct TraceStats {
+  std::size_t num_jobs = 0;
+  std::size_t num_tasks = 0;
+  std::size_t constrained_jobs = 0;
+  std::size_t constrained_tasks = 0;
+  std::size_t short_jobs = 0;
+  double total_work = 0;         // sum of all task durations, seconds
+  double horizon = 0;            // last submit time
+  double mean_task_duration = 0;
+  double short_job_fraction = 0;
+  double constrained_task_fraction = 0;
+  /// Peak-to-median ratio of the per-bucket arrival rate (burstiness metric
+  /// the paper quotes as 9:1 .. 260:1).
+  double peak_to_median_arrival = 0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, std::vector<Job> jobs);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Job>& jobs() const { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  const Job& job(std::size_t i) const { return jobs_[i]; }
+
+  /// Duration threshold separating short from long jobs, in seconds.
+  /// Hybrid schedulers compare a job's estimated (mean) task duration to
+  /// this cutoff. Computed by the generator (or ComputeShortJobCutoff).
+  double short_cutoff() const { return short_cutoff_; }
+  void set_short_cutoff(double cutoff) { short_cutoff_ = cutoff; }
+
+  /// Aggregate statistics (recomputed on call; O(tasks)).
+  TraceStats ComputeStats() const;
+
+  /// Expected cluster utilization if replayed against `num_workers`
+  /// single-slot workers: total_work / (workers * horizon).
+  double OfferedLoad(std::size_t num_workers) const;
+
+  /// Returns a copy of this trace with every constraint removed — the
+  /// paper's "Baseline"/unconstrained comparator (Fig 2, Fig 4).
+  Trace WithoutConstraints() const;
+
+  /// Validates ordering/shape invariants; aborts on violation. Called by
+  /// generators and the reader.
+  void CheckInvariants() const;
+
+ private:
+  std::string name_;
+  std::vector<Job> jobs_;   // sorted by submit_time
+  double short_cutoff_ = 90.0;
+};
+
+/// Picks the short/long cutoff used by the hybrid schedulers: the paper
+/// follows Hawk/Eagle, which split at a duration such that roughly
+/// `short_fraction` of jobs are short. Implemented as the short_fraction
+/// quantile of the jobs' mean task durations.
+double ComputeShortJobCutoff(const std::vector<Job>& jobs,
+                             double short_fraction);
+
+}  // namespace phoenix::trace

@@ -1,0 +1,88 @@
+#include "trace/transform.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace phoenix::trace {
+
+Trace ScaleArrivalRate(const Trace& trace, double factor) {
+  PHOENIX_CHECK_MSG(factor > 0, "rate factor must be positive");
+  std::vector<Job> jobs = trace.jobs();
+  if (!jobs.empty()) {
+    const sim::SimTime base = jobs.front().submit_time;
+    for (Job& job : jobs) {
+      job.submit_time = base + (job.submit_time - base) / factor;
+    }
+  }
+  Trace out(trace.name() + "-x" + std::to_string(factor), std::move(jobs));
+  out.set_short_cutoff(trace.short_cutoff());
+  return out;
+}
+
+Trace SliceWindow(const Trace& trace, sim::SimTime begin, sim::SimTime end) {
+  PHOENIX_CHECK_MSG(end > begin, "empty slice window");
+  std::vector<Job> kept;
+  for (const Job& job : trace.jobs()) {
+    if (job.submit_time < begin || job.submit_time >= end) continue;
+    Job copy = job;
+    copy.id = static_cast<JobId>(kept.size());
+    copy.submit_time -= begin;
+    kept.push_back(std::move(copy));
+  }
+  Trace out(trace.name() + "-window", std::move(kept));
+  out.set_short_cutoff(trace.short_cutoff());
+  return out;
+}
+
+Trace OnlyShortJobs(const Trace& trace) {
+  return FilterJobs(trace, [](const Job& j) { return j.short_job; }, "-short");
+}
+
+Trace OnlyLongJobs(const Trace& trace) {
+  return FilterJobs(trace, [](const Job& j) { return !j.short_job; }, "-long");
+}
+
+Trace OnlyConstrainedJobs(const Trace& trace) {
+  return FilterJobs(trace, [](const Job& j) { return j.constrained(); },
+                    "-constrained");
+}
+
+Trace Merge(const Trace& a, const Trace& b) {
+  std::vector<Job> merged;
+  merged.reserve(a.size() + b.size());
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    const bool take_a =
+        ib >= b.size() ||
+        (ia < a.size() && a.job(ia).submit_time <= b.job(ib).submit_time);
+    Job copy = take_a ? a.job(ia++) : b.job(ib++);
+    copy.id = static_cast<JobId>(merged.size());
+    merged.push_back(std::move(copy));
+  }
+  const double short_fraction = [&merged] {
+    if (merged.empty()) return 0.9;
+    std::size_t s = 0;
+    for (const Job& j : merged) s += j.short_job;
+    return std::clamp(static_cast<double>(s) / merged.size(), 0.01, 0.99);
+  }();
+  const double cutoff = ComputeShortJobCutoff(merged, short_fraction);
+  Trace out(a.name() + "+" + b.name(), std::move(merged));
+  out.set_short_cutoff(cutoff);
+  return out;
+}
+
+Trace ResynthesizeConstraints(const Trace& trace,
+                              const SynthesizerOptions& options,
+                              std::uint64_t seed) {
+  ConstraintSynthesizer synth(options, seed);
+  std::vector<Job> jobs = trace.jobs();
+  for (Job& job : jobs) {
+    job.constraints = synth.Synthesize();
+  }
+  Trace out(trace.name() + "-resynth", std::move(jobs));
+  out.set_short_cutoff(trace.short_cutoff());
+  return out;
+}
+
+}  // namespace phoenix::trace

@@ -1,0 +1,57 @@
+// Trace transformations.
+//
+// Utilities for working with workload traces the way the paper's authors
+// work with theirs: rescale the arrival intensity (the utilization sweeps),
+// slice a time window out of a month-long capture, keep only a job class,
+// overlay two workloads on one cluster, or re-synthesize constraints into a
+// constraint-free production trace (§III-B's embedding procedure applied to
+// a file instead of a generator).
+#pragma once
+
+#include "trace/synthesizer.h"
+#include "trace/trace.h"
+
+namespace phoenix::trace {
+
+/// Compresses (factor > 1) or stretches (factor < 1) inter-arrival times by
+/// `factor`, raising or lowering offered load proportionally without
+/// touching job shapes. Job 0 keeps its submit time.
+Trace ScaleArrivalRate(const Trace& trace, double factor);
+
+/// Keeps jobs submitted in [begin, end); submit times are shifted so the
+/// window starts at 0. Job ids are re-densified.
+Trace SliceWindow(const Trace& trace, sim::SimTime begin, sim::SimTime end);
+
+/// Keeps only jobs matching the predicate. Ids re-densified, order kept.
+template <typename Pred>
+Trace FilterJobs(const Trace& trace, Pred&& pred, const std::string& suffix) {
+  std::vector<Job> kept;
+  for (const Job& job : trace.jobs()) {
+    if (!pred(job)) continue;
+    Job copy = job;
+    copy.id = static_cast<JobId>(kept.size());
+    kept.push_back(std::move(copy));
+  }
+  Trace out(trace.name() + suffix, std::move(kept));
+  out.set_short_cutoff(trace.short_cutoff());
+  return out;
+}
+
+/// Convenience filters.
+Trace OnlyShortJobs(const Trace& trace);
+Trace OnlyLongJobs(const Trace& trace);
+Trace OnlyConstrainedJobs(const Trace& trace);
+
+/// Interleaves two traces by submit time onto one timeline (both start at
+/// their own t=0). The short cutoff is recomputed over the union at the
+/// blended short fraction.
+Trace Merge(const Trace& a, const Trace& b);
+
+/// Replaces every job's constraints with fresh draws from the synthesizer —
+/// §III-B's procedure for embedding constraints into the (constraint-free)
+/// Yahoo and Cloudera traces, usable on any loaded trace file.
+Trace ResynthesizeConstraints(const Trace& trace,
+                              const SynthesizerOptions& options,
+                              std::uint64_t seed);
+
+}  // namespace phoenix::trace

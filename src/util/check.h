@@ -1,0 +1,38 @@
+// Lightweight runtime-check macros used across the Phoenix codebase.
+//
+// PHOENIX_CHECK fires in every build type (these guard simulation invariants
+// whose violation would silently corrupt results, so they are never compiled
+// out). PHOENIX_DCHECK is for hot-path checks and compiles away in NDEBUG
+// builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace phoenix::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "PHOENIX_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace phoenix::util
+
+#define PHOENIX_CHECK(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) ::phoenix::util::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define PHOENIX_CHECK_MSG(expr, msg)                                   \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::phoenix::util::CheckFailed(__FILE__, __LINE__, #expr, msg);    \
+  } while (0)
+
+#ifdef NDEBUG
+#define PHOENIX_DCHECK(expr) ((void)0)
+#else
+#define PHOENIX_DCHECK(expr) PHOENIX_CHECK(expr)
+#endif

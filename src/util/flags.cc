@@ -1,0 +1,102 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace phoenix::util {
+
+namespace {
+
+bool LooksLikeFlag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+bool Flags::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!LooksLikeFlag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--no-name` boolean negation.
+    if (arg.rfind("no-", 0) == 0) {
+      values_[arg.substr(3)] = "false";
+      continue;
+    }
+    // `--name value` if the next token is not itself a flag, else bare bool.
+    if (i + 1 < argc && !LooksLikeFlag(argv[i + 1])) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+  return true;
+}
+
+std::string Flags::GetString(const std::string& name, const std::string& def) {
+  declared_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::GetInt(const std::string& name, std::int64_t def) {
+  declared_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    error_ = "flag --" + name + " expects an integer, got '" + it->second + "'";
+    return def;
+  }
+  return v;
+}
+
+double Flags::GetDouble(const std::string& name, double def) {
+  declared_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    error_ = "flag --" + name + " expects a number, got '" + it->second + "'";
+    return def;
+  }
+  return v;
+}
+
+bool Flags::GetBool(const std::string& name, bool def) {
+  declared_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  error_ = "flag --" + name + " expects a boolean, got '" + v + "'";
+  return def;
+}
+
+bool Flags::Provided(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+bool Flags::Validate() {
+  if (!error_.empty()) return false;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!declared_.count(name)) {
+      error_ = "unknown flag --" + name;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace phoenix::util

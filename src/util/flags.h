@@ -1,0 +1,46 @@
+// Minimal command-line flag parser shared by the bench harnesses and
+// examples.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name` forms. Unknown flags are an error (so typos in experiment
+// sweeps fail loudly instead of silently running defaults).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace phoenix::util {
+
+class Flags {
+ public:
+  /// Parses argv. Returns false (and fills error()) on malformed input or,
+  /// after Get* calls, on unknown-flag detection via Validate().
+  bool Parse(int argc, const char* const* argv);
+
+  /// Declares + reads a flag. Each getter records the flag name so Validate()
+  /// can reject unrecognized arguments.
+  std::string GetString(const std::string& name, const std::string& def);
+  std::int64_t GetInt(const std::string& name, std::int64_t def);
+  double GetDouble(const std::string& name, double def);
+  bool GetBool(const std::string& name, bool def);
+
+  /// True if the user supplied the flag explicitly.
+  bool Provided(const std::string& name) const;
+
+  /// Returns false if any parsed flag was never declared via a getter.
+  bool Validate();
+
+  const std::string& error() const { return error_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> declared_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace phoenix::util

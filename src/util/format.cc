@@ -1,0 +1,105 @@
+#include "util/format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace phoenix::util {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  PHOENIX_CHECK_MSG(n >= 0, "vsnprintf failed");
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanDuration(double seconds) {
+  if (seconds < 0) return "-" + HumanDuration(-seconds);
+  if (seconds < 1.0) return StrFormat("%.1fms", seconds * 1e3);
+  if (seconds < 120.0) return StrFormat("%.2fs", seconds);
+  if (seconds < 7200.0) return StrFormat("%.1fmin", seconds / 60.0);
+  return StrFormat("%.1fh", seconds / 3600.0);
+}
+
+std::string WithCommas(std::int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return negative ? "-" + out : out;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  PHOENIX_CHECK_MSG(cells.size() == header_.size(),
+                    "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddRule() { rows_.emplace_back(); }
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto rule = [&] {
+    std::string s = "+";
+    for (const std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : line(row);
+  }
+  out += rule();
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace phoenix::util

@@ -1,0 +1,51 @@
+// String and table formatting helpers for experiment output.
+//
+// The bench harnesses print the same row/series structure the paper's tables
+// and figures report; TextTable keeps those aligned without dragging in a
+// heavyweight dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phoenix::util {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats seconds with an adaptive unit (ms / s / min / h).
+std::string HumanDuration(double seconds);
+
+/// Formats a count with thousands separators ("15,000").
+std::string WithCommas(std::int64_t value);
+
+/// Simple aligned ASCII table used by the bench harnesses.
+///
+///   TextTable t({"Trace", "p50", "p99"});
+///   t.AddRow({"Google", "0.52", "0.48"});
+///   std::cout << t.ToString();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  std::string ToString() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+/// Splits on a delimiter; keeps empty fields (CSV semantics).
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+}  // namespace phoenix::util

@@ -1,0 +1,74 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.h"
+
+namespace phoenix::util {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  PHOENIX_CHECK_MSG(hi > lo && buckets > 0, "invalid histogram bounds");
+}
+
+void LinearHistogram::Add(double value, std::uint64_t count) {
+  total_ += count;
+  if (value < lo_) {
+    underflow_ += count;
+    return;
+  }
+  if (value >= hi_) {
+    overflow_ += count;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((value - lo_) / bucket_width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge at hi_
+  counts_[idx] += count;
+}
+
+double LinearHistogram::bucket_lo(std::size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+double LinearHistogram::Quantile(double q) const {
+  PHOENIX_CHECK_MSG(total_ > 0, "quantile of empty histogram");
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * bucket_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string LinearHistogram::ToAscii(std::size_t width) const {
+  std::uint64_t max_count = 1;
+  for (const auto c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) /
+                     static_cast<double>(max_count) *
+                     static_cast<double>(width)));
+    out += StrFormat("%12.3f | %-*s %llu\n", bucket_lo(i),
+                     static_cast<int>(width), std::string(bar, '#').c_str(),
+                     static_cast<unsigned long long>(counts_[i]));
+  }
+  if (underflow_ > 0)
+    out += StrFormat("  underflow: %llu\n",
+                     static_cast<unsigned long long>(underflow_));
+  if (overflow_ > 0)
+    out += StrFormat("   overflow: %llu\n",
+                     static_cast<unsigned long long>(overflow_));
+  return out;
+}
+
+}  // namespace phoenix::util

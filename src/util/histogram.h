@@ -1,0 +1,41 @@
+// Fixed-bucket and log-bucket histograms for simulation statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace phoenix::util {
+
+/// Histogram over [lo, hi) with `buckets` equal-width buckets plus an
+/// underflow and an overflow bucket.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double value, std::uint64_t count = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation inside the
+  /// containing bucket. Requires total() > 0.
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering, `width` characters for the largest bar.
+  std::string ToAscii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace phoenix::util

@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything stochastic in Phoenix (trace synthesis, probe target sampling,
+// work stealing, ...) draws from an explicitly threaded Rng so that a given
+// seed reproduces a simulation bit-for-bit. The generator is xoshiro256**
+// (Blackman & Vigna), seeded through splitmix64; it is far faster than
+// std::mt19937_64 and has no measurable bias for our use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace phoenix::util {
+
+/// One step of the splitmix64 generator; used to expand a 64-bit seed into
+/// the 256-bit xoshiro state and as a cheap stateless hash.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator, so it can be used
+/// with <random> distributions as well, though the convenience members below
+/// cover everything the simulator needs.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x8f1e3b2c9d4a5f60ULL) { Reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed.
+  void Reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). Uses the top 53 bits.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    PHOENIX_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    PHOENIX_DCHECK(bound > 0);
+    // 128-bit multiply; __uint128_t is available on all supported compilers.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    PHOENIX_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Derives an independent child generator; used to give each simulation
+  /// component (trace gen, scheduler, stealing, ...) its own stream so that
+  /// adding draws in one component does not perturb another.
+  Rng Fork() {
+    return Rng(Next() ^ 0xd6e8feb86659fd93ULL);
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace phoenix::util

@@ -1,0 +1,139 @@
+// Tests for machine failure injection: tasks killed by failures are
+// replayed, queues are re-dispatched, and every job still completes —
+// the fault-tolerance behaviour the paper's spread constraints motivate.
+#include <gtest/gtest.h>
+
+#include "cluster/builder.h"
+#include "runner/experiment.h"
+#include "trace/generators.h"
+
+namespace phoenix {
+namespace {
+
+metrics::SimReport RunWithFailures(const std::string& scheduler,
+                                   const trace::Trace& t,
+                                   const cluster::Cluster& cl, double mtbf,
+                                   double mttr, std::uint64_t seed = 13) {
+  runner::RunOptions o;
+  o.scheduler = scheduler;
+  o.config.seed = seed;
+  o.config.machine_mtbf = mtbf;
+  o.config.machine_mttr = mttr;
+  return runner::RunSimulation(t, cl, o);
+}
+
+TEST(Failures, DisabledByDefault) {
+  const auto cl = cluster::BuildCluster({.num_machines = 40, .seed = 13});
+  const auto t = trace::GenerateGoogleTrace(500, 40, 0.7, 13);
+  runner::RunOptions o;
+  o.scheduler = "phoenix";
+  const auto report = runner::RunSimulation(t, cl, o);
+  EXPECT_EQ(report.counters.machine_failures, 0u);
+  EXPECT_EQ(report.counters.tasks_rescheduled_failure, 0u);
+}
+
+class FailureSchedulerTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FailureSchedulerTest, EveryJobCompletesUnderChurn) {
+  const auto cl = cluster::BuildCluster({.num_machines = 60, .seed = 17});
+  const auto t = trace::GenerateGoogleTrace(1500, 60, 0.8, 17);
+  const auto report = RunWithFailures(GetParam(), t, cl, /*mtbf=*/3000,
+                                      /*mttr=*/200);
+  EXPECT_EQ(report.jobs.size(), t.size());
+  EXPECT_GT(report.counters.machine_failures, 0u);
+  report.CheckInvariants();
+}
+
+TEST_P(FailureSchedulerTest, ChurnOnlySlowsThingsDown) {
+  const auto cl = cluster::BuildCluster({.num_machines = 60, .seed = 19});
+  const auto t = trace::GenerateGoogleTrace(1000, 60, 0.7, 19);
+  runner::RunOptions clean_opts;
+  clean_opts.scheduler = GetParam();
+  clean_opts.config.seed = 19;
+  const auto clean = runner::RunSimulation(t, cl, clean_opts);
+  const auto churned = RunWithFailures(GetParam(), t, cl, 2000, 300, 19);
+  // Replayed work means at least as much total service time.
+  EXPECT_GE(churned.total_busy_time, clean.total_busy_time - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, FailureSchedulerTest,
+                         ::testing::Values("phoenix", "eagle-c", "hawk-c",
+                                           "sparrow-c", "yacc-d", "central-c"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+TEST(Failures, TaskKilledMidRunIsReplayed) {
+  // One machine, one long task; MTBF far below the task duration guarantees
+  // at least one mid-run kill, yet the job must finish.
+  const auto cl = cluster::BuildCluster({.num_machines = 1, .seed = 23});
+  trace::Job job;
+  job.id = 0;
+  job.submit_time = 0;
+  job.task_durations = {50.0};
+  trace::Trace t("failover", {job});
+  t.set_short_cutoff(100.0);
+  const auto report = RunWithFailures("sparrow-c", t, cl, /*mtbf=*/20,
+                                      /*mttr=*/5);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_GT(report.counters.machine_failures, 0u);
+  EXPECT_GT(report.counters.tasks_rescheduled_failure, 0u);
+  // The job took at least one aborted attempt plus the full run.
+  EXPECT_GT(report.jobs[0].response(), 50.0);
+}
+
+TEST(Failures, BusyTimeStaysConsistent) {
+  // Utilization accounting must not leak when unfinished service is
+  // refunded on failure: busy time stays within [work, work * many-retries]
+  // and utilization stays <= 1 (checked by CheckInvariants inside).
+  const auto cl = cluster::BuildCluster({.num_machines = 30, .seed = 29});
+  const auto t = trace::GenerateYahooTrace(600, 30, 0.7, 29);
+  const auto report = RunWithFailures("eagle-c", t, cl, 1500, 200, 29);
+  double work = 0;
+  for (const auto& j : t.jobs()) work += j.total_work();
+  EXPECT_GE(report.total_busy_time, work * 0.9);
+  EXPECT_LE(report.Utilization(), 1.0 + 1e-9);
+}
+
+TEST(Failures, RescheduleCounterTracksChurnIntensity) {
+  const auto cl = cluster::BuildCluster({.num_machines = 40, .seed = 31});
+  const auto t = trace::GenerateGoogleTrace(800, 40, 0.75, 31);
+  const auto light = RunWithFailures("phoenix", t, cl, 20000, 100, 31);
+  const auto heavy = RunWithFailures("phoenix", t, cl, 1000, 100, 31);
+  EXPECT_GT(heavy.counters.machine_failures,
+            light.counters.machine_failures);
+  EXPECT_GT(heavy.counters.tasks_rescheduled_failure,
+            light.counters.tasks_rescheduled_failure);
+}
+
+TEST(Failures, SpreadJobsSurviveRackFailure) {
+  // Spread placement plus failures: jobs complete and the spread preference
+  // still yields multi-rack placements.
+  const auto cl = cluster::BuildCluster(
+      {.num_machines = 60, .seed = 37, .machines_per_rack = 10});
+  auto o = trace::GoogleProfile();
+  o.num_jobs = 800;
+  o.num_workers = 60;
+  o.seed = 37;
+  o.spread_fraction = 0.5;
+  const auto t = trace::GenerateTrace("g", o);
+  const auto report = RunWithFailures("phoenix", t, cl, 3000, 250, 37);
+  EXPECT_EQ(report.jobs.size(), t.size());
+  // Aggregate check: most multi-task spread jobs still span racks despite
+  // churn (single-rack constraint pools are the legitimate exceptions).
+  std::size_t spread_multi = 0, spread_ok = 0;
+  for (const auto& j : report.jobs) {
+    if (j.placement == trace::PlacementPref::kSpread && j.num_tasks > 1) {
+      ++spread_multi;
+      spread_ok += j.racks_used >= 2;
+    }
+  }
+  ASSERT_GT(spread_multi, 0u);
+  EXPECT_GT(static_cast<double>(spread_ok) / spread_multi, 0.75);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,90 @@
+// Unit tests for the fairness metrics (paper §VI-D: Phoenix "does not
+// affect the fairness ... of the other long and unconstrained jobs").
+#include <gtest/gtest.h>
+
+#include "cluster/builder.h"
+#include "metrics/fairness.h"
+#include "runner/experiment.h"
+#include "trace/generators.h"
+
+namespace phoenix::metrics {
+namespace {
+
+TEST(JainIndex, PerfectlyFairIsOne) {
+  EXPECT_DOUBLE_EQ(JainIndex({5, 5, 5, 5}), 1.0);
+}
+
+TEST(JainIndex, MaximallyUnfairIsOneOverN) {
+  EXPECT_DOUBLE_EQ(JainIndex({1, 0, 0, 0}), 0.25);
+}
+
+TEST(JainIndex, EmptyAndZeroAreVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(JainIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(JainIndex({0, 0}), 1.0);
+}
+
+TEST(JainIndex, KnownMixedValue) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  EXPECT_NEAR(JainIndex({1, 2, 3}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainIndex, ScaleInvariant) {
+  const std::vector<double> a = {1, 2, 5, 9};
+  std::vector<double> b;
+  for (const double x : a) b.push_back(x * 100);
+  EXPECT_NEAR(JainIndex(a), JainIndex(b), 1e-12);
+}
+
+TEST(JainIndex, MonotoneInDispersion) {
+  EXPECT_GT(JainIndex({4, 5, 6}), JainIndex({1, 5, 9}));
+}
+
+class FairnessEndToEndTest : public ::testing::Test {
+ protected:
+  FairnessEndToEndTest()
+      : cluster_(cluster::BuildCluster({.num_machines = 100, .seed = 61})),
+        trace_(trace::GenerateGoogleTrace(4000, 100, 0.85, 61)) {}
+
+  metrics::SimReport Run(const std::string& scheduler) const {
+    runner::RunOptions o;
+    o.scheduler = scheduler;
+    o.config.seed = 61;
+    return runner::RunSimulation(trace_, cluster_, o);
+  }
+
+  cluster::Cluster cluster_;
+  trace::Trace trace_;
+};
+
+TEST_F(FairnessEndToEndTest, SlowdownsAreAtLeastOneIsh) {
+  const auto report = Run("phoenix");
+  const auto slowdowns = Slowdowns(report, trace_, ClassFilter::kAll,
+                                   ConstraintFilter::kAll);
+  EXPECT_EQ(slowdowns.size(), trace_.size());
+  for (const double s : slowdowns) {
+    // Response >= longest task (modulo nothing), so slowdown >= ~1.
+    EXPECT_GE(s, 0.99);
+  }
+}
+
+TEST_F(FairnessEndToEndTest, SummaryFieldsPopulated) {
+  const auto report = Run("phoenix");
+  const FairnessSummary f = ComputeFairness(report, trace_);
+  EXPECT_GT(f.jain_all, 0.0);
+  EXPECT_LE(f.jain_all, 1.0);
+  EXPECT_GT(f.jain_short, 0.0);
+  EXPECT_GT(f.jain_long, 0.0);
+  EXPECT_GT(f.unconstrained_to_constrained, 0.0);
+}
+
+// The paper's fairness claim: Phoenix's reordering does not degrade overall
+// fairness relative to Eagle-C.
+TEST_F(FairnessEndToEndTest, PhoenixFairnessComparableToEagle) {
+  const FairnessSummary p = ComputeFairness(Run("phoenix"), trace_);
+  const FairnessSummary e = ComputeFairness(Run("eagle-c"), trace_);
+  EXPECT_GT(p.jain_all, e.jain_all * 0.8);
+  EXPECT_GT(p.jain_long, e.jain_long * 0.8);
+}
+
+}  // namespace
+}  // namespace phoenix::metrics

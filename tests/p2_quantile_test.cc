@@ -1,0 +1,144 @@
+// Tests for the P² streaming quantile estimator and the Erlang-C / M/M/c
+// closed forms.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/p2_quantile.h"
+#include "metrics/percentile.h"
+#include "queueing/distributions.h"
+#include "queueing/mg1.h"
+#include "util/rng.h"
+
+namespace phoenix {
+namespace {
+
+// ---------------------------------------------------------------- P²
+
+TEST(P2Quantile, EmptyIsZero) {
+  metrics::P2Quantile p(0.5);
+  EXPECT_DOUBLE_EQ(p.Value(), 0.0);
+  EXPECT_EQ(p.count(), 0u);
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  metrics::P2Quantile p(0.5);
+  p.Add(3);
+  EXPECT_DOUBLE_EQ(p.Value(), 3.0);
+  p.Add(1);
+  EXPECT_DOUBLE_EQ(p.Value(), 2.0);  // median of {1,3}
+  p.Add(2);
+  EXPECT_DOUBLE_EQ(p.Value(), 2.0);
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  metrics::P2Quantile p(0.5);
+  util::Rng rng(1);
+  for (int i = 0; i < 50000; ++i) p.Add(rng.Uniform(0, 100));
+  EXPECT_NEAR(p.Value(), 50.0, 2.0);
+}
+
+TEST(P2Quantile, TailQuantileOfUniformStream) {
+  metrics::P2Quantile p(0.99);
+  util::Rng rng(2);
+  for (int i = 0; i < 50000; ++i) p.Add(rng.Uniform(0, 100));
+  EXPECT_NEAR(p.Value(), 99.0, 1.0);
+}
+
+TEST(P2Quantile, TracksExponentialTail) {
+  metrics::P2Quantile p(0.9);
+  util::Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    p.Add(queueing::SampleExponential(rng, 1.0));
+  }
+  // p90 of Exp(1) is ln(10) ~ 2.3026.
+  EXPECT_NEAR(p.Value(), std::log(10.0), 0.15);
+}
+
+TEST(P2Quantile, MonotoneStreamEstimatesRank) {
+  metrics::P2Quantile p(0.5);
+  for (int i = 1; i <= 10001; ++i) p.Add(i);
+  EXPECT_NEAR(p.Value(), 5001, 250);
+}
+
+TEST(P2QuantileDeathTest, RejectsDegenerateQuantiles) {
+  EXPECT_DEATH(metrics::P2Quantile(0.0), "quantile");
+  EXPECT_DEATH(metrics::P2Quantile(1.0), "quantile");
+}
+
+// Property: against exact percentiles on heavy-tailed data, relative error
+// stays bounded across seeds.
+class P2AccuracyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(P2AccuracyTest, CloseToExactOnHeavyTail) {
+  util::Rng rng(GetParam());
+  metrics::P2Quantile p90(0.9);
+  std::vector<double> all;
+  for (int i = 0; i < 40000; ++i) {
+    const double x = queueing::SampleBoundedPareto(rng, 1.3, 1.0, 1000.0);
+    p90.Add(x);
+    all.push_back(x);
+  }
+  const double exact = metrics::Percentile(all, 90);
+  EXPECT_NEAR(p90.Value(), exact, exact * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, P2AccuracyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------- Erlang
+
+TEST(Erlang, SingleServerReducesToMm1) {
+  // For c=1, ErlangC == rho and MmcWait == Mm1Wait.
+  const double lambda = 0.6, mu = 1.0;
+  EXPECT_NEAR(queueing::ErlangC(lambda, mu, 1), 0.6, 1e-12);
+  EXPECT_NEAR(queueing::MmcWait(lambda, mu, 1),
+              queueing::Mm1Wait(lambda, mu), 1e-12);
+}
+
+TEST(Erlang, KnownTextbookValue) {
+  // Classic: lambda=2/min, mu=1/min, c=3 -> P(wait) = 0.4444...
+  EXPECT_NEAR(queueing::ErlangC(2.0, 1.0, 3), 4.0 / 9.0, 1e-9);
+  // W = ErlangC / (c*mu - lambda) = (4/9)/1 = 0.4444 min.
+  EXPECT_NEAR(queueing::MmcWait(2.0, 1.0, 3), 4.0 / 9.0, 1e-9);
+}
+
+TEST(Erlang, UnstableSystems) {
+  EXPECT_DOUBLE_EQ(queueing::ErlangC(3.0, 1.0, 3), 1.0);
+  EXPECT_TRUE(std::isinf(queueing::MmcWait(3.0, 1.0, 3)));
+}
+
+TEST(Erlang, ZeroArrivalsZeroWait) {
+  EXPECT_DOUBLE_EQ(queueing::MmcWait(0.0, 1.0, 4), 0.0);
+}
+
+TEST(Erlang, PoolingBeatsPartitioning) {
+  // The reason distributed per-worker queues pay a price: one pooled M/M/c
+  // queue waits less than c separate M/M/1 queues at the same total load.
+  const double mu = 1.0;
+  const unsigned c = 10;
+  const double lambda_total = 8.0;
+  const double pooled = queueing::MmcWait(lambda_total, mu, c);
+  const double partitioned = queueing::Mm1Wait(lambda_total / c, mu);
+  EXPECT_LT(pooled, partitioned);
+}
+
+TEST(Erlang, MonotoneInServers) {
+  double prev = 1e300;
+  for (unsigned c = 2; c <= 12; ++c) {
+    const double w = queueing::MmcWait(1.8, 1.0, c);
+    EXPECT_LT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(Erlang, LargeServerCountIsNumericallyStable) {
+  // 1000 servers at 90 % load: factorial terms would overflow if computed
+  // naively; the iterative form must stay finite and in [0,1].
+  const double p_wait = queueing::ErlangC(900.0, 1.0, 1000);
+  EXPECT_GT(p_wait, 0.0);
+  EXPECT_LT(p_wait, 1.0);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,243 @@
+// Tests for rack topology and affinity placement preferences (§III-A's
+// combinatorial constraints: spread for fault tolerance, colocate for data
+// locality).
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cluster/builder.h"
+#include "runner/experiment.h"
+#include "trace/generators.h"
+#include "trace/io.h"
+
+namespace phoenix {
+namespace {
+
+using cluster::BuildCluster;
+using cluster::BuildFleet;
+
+trace::Trace OneJobTrace(trace::Job job, double cutoff = 100.0) {
+  job.id = 0;
+  trace::Trace t("placement", {std::move(job)});
+  t.set_short_cutoff(cutoff);
+  return t;
+}
+
+metrics::SimReport RunOn(const std::string& scheduler, const trace::Trace& t,
+                       const cluster::Cluster& cl) {
+  runner::RunOptions o;
+  o.scheduler = scheduler;
+  o.config.seed = 5;
+  return runner::RunSimulation(t, cl, o);
+}
+
+// ------------------------------------------------------------- topology
+
+TEST(Topology, RacksAssignedInBlocks) {
+  const auto fleet =
+      BuildFleet({.num_machines = 100, .seed = 1, .machines_per_rack = 25});
+  for (const auto& m : fleet) {
+    EXPECT_EQ(m.rack, m.id / 25);
+  }
+}
+
+TEST(Topology, ClusterCountsRacks) {
+  const auto cl = BuildCluster(
+      {.num_machines = 100, .seed = 1, .machines_per_rack = 25});
+  EXPECT_EQ(cl.num_racks(), 4u);
+  EXPECT_EQ(cl.rack_of(0), 0u);
+  EXPECT_EQ(cl.rack_of(99), 3u);
+}
+
+TEST(Topology, PartialLastRack) {
+  const auto cl =
+      BuildCluster({.num_machines = 90, .seed = 1, .machines_per_rack = 40});
+  EXPECT_EQ(cl.num_racks(), 3u);  // 40 + 40 + 10
+}
+
+TEST(TopologyDeathTest, ZeroMachinesPerRackAborts) {
+  EXPECT_DEATH(
+      BuildFleet({.num_machines = 10, .seed = 1, .machines_per_rack = 0}),
+      "machines_per_rack");
+}
+
+// ------------------------------------------------------------- spread
+
+TEST(Spread, ShortJobUsesDistinctRacksWhenPossible) {
+  // 4 tasks, 8 racks of 4 machines: every task can get its own rack.
+  const auto cl =
+      BuildCluster({.num_machines = 32, .seed = 2, .machines_per_rack = 4});
+  trace::Job job;
+  job.submit_time = 0;
+  job.task_durations = {5, 5, 5, 5};
+  job.placement = trace::PlacementPref::kSpread;
+  const auto report = RunOn("phoenix", OneJobTrace(std::move(job)), cl);
+  EXPECT_EQ(report.jobs[0].racks_used, 4u);
+  EXPECT_EQ(report.counters.placement_spread_violations, 0u);
+  EXPECT_EQ(report.jobs[0].placement, trace::PlacementPref::kSpread);
+}
+
+TEST(Spread, LongJobSpreadsThroughCentralPlane) {
+  const auto cl =
+      BuildCluster({.num_machines = 32, .seed = 3, .machines_per_rack = 4});
+  trace::Job job;
+  job.submit_time = 0;
+  job.task_durations = {500, 500, 500};
+  job.placement = trace::PlacementPref::kSpread;
+  const auto report = RunOn("eagle-c", OneJobTrace(std::move(job)), cl);
+  EXPECT_EQ(report.jobs[0].racks_used, 3u);
+  EXPECT_EQ(report.counters.placement_spread_violations, 0u);
+}
+
+TEST(Spread, ViolationsCountedWhenRacksExhausted) {
+  // 6 tasks but only 2 racks: at least 4 doubled-up placements.
+  const auto cl =
+      BuildCluster({.num_machines = 16, .seed = 4, .machines_per_rack = 8});
+  trace::Job job;
+  job.submit_time = 0;
+  job.task_durations = {500, 500, 500, 500, 500, 500};
+  job.placement = trace::PlacementPref::kSpread;
+  const auto report = RunOn("eagle-c", OneJobTrace(std::move(job)), cl);
+  EXPECT_EQ(report.jobs[0].racks_used, 2u);
+  EXPECT_EQ(report.counters.placement_spread_violations, 4u);
+}
+
+TEST(Spread, UnspecifiedJobsUnaffected) {
+  const auto cl =
+      BuildCluster({.num_machines = 16, .seed = 5, .machines_per_rack = 4});
+  trace::Job job;
+  job.submit_time = 0;
+  job.task_durations = {5, 5};
+  const auto report = RunOn("phoenix", OneJobTrace(std::move(job)), cl);
+  EXPECT_EQ(report.jobs[0].racks_used, 0u);  // no preference => not tracked
+  EXPECT_EQ(report.counters.placement_spread_violations, 0u);
+}
+
+// ------------------------------------------------------------- colocate
+
+TEST(Colocate, ShortJobLandsOnOneRack) {
+  const auto cl =
+      BuildCluster({.num_machines = 32, .seed = 6, .machines_per_rack = 8});
+  trace::Job job;
+  job.submit_time = 0;
+  job.task_durations = {3, 3, 3};
+  job.placement = trace::PlacementPref::kColocate;
+  const auto report = RunOn("phoenix", OneJobTrace(std::move(job)), cl);
+  // With 8 machines per rack and 3 tasks, co-location should succeed (a
+  // miss or two is tolerated if probes race).
+  EXPECT_LE(report.jobs[0].racks_used, 2u);
+}
+
+TEST(Colocate, CentralPlaneHonorsAnchor) {
+  const auto cl =
+      BuildCluster({.num_machines = 32, .seed = 7, .machines_per_rack = 8});
+  trace::Job job;
+  job.submit_time = 0;
+  job.task_durations = {500, 500, 500};
+  job.placement = trace::PlacementPref::kColocate;
+  const auto report = RunOn("eagle-c", OneJobTrace(std::move(job)), cl);
+  EXPECT_EQ(report.jobs[0].racks_used, 1u);
+  EXPECT_EQ(report.counters.placement_colocate_misses, 0u);
+}
+
+// ------------------------------------------------------------- generator/io
+
+TEST(PlacementGenerator, FractionsRoughlyHonored) {
+  auto o = trace::GoogleProfile();
+  o.num_jobs = 6000;
+  o.num_workers = 300;
+  o.seed = 8;
+  o.spread_fraction = 0.2;
+  o.colocate_fraction = 0.2;
+  const auto t = trace::GenerateTrace("g", o);
+  std::size_t spread = 0, colocate = 0, long_multi = 0, short_multi = 0;
+  for (const auto& j : t.jobs()) {
+    if (j.task_durations.size() < 2) continue;
+    if (j.short_job) ++short_multi; else ++long_multi;
+    spread += j.placement == trace::PlacementPref::kSpread;
+    colocate += j.placement == trace::PlacementPref::kColocate;
+  }
+  EXPECT_NEAR(static_cast<double>(spread) / long_multi, 0.2, 0.06);
+  EXPECT_NEAR(static_cast<double>(colocate) / short_multi, 0.2, 0.06);
+}
+
+TEST(PlacementGenerator, SingleTaskJobsGetNoPreference) {
+  auto o = trace::GoogleProfile();
+  o.num_jobs = 3000;
+  o.num_workers = 300;
+  o.seed = 9;
+  o.spread_fraction = 1.0;
+  o.colocate_fraction = 1.0;
+  const auto t = trace::GenerateTrace("g", o);
+  for (const auto& j : t.jobs()) {
+    if (j.task_durations.size() == 1) {
+      EXPECT_EQ(j.placement, trace::PlacementPref::kNone);
+    }
+  }
+}
+
+TEST(PlacementIo, RoundTripsPreference) {
+  auto o = trace::GoogleProfile();
+  o.num_jobs = 500;
+  o.num_workers = 100;
+  o.seed = 10;
+  o.spread_fraction = 0.5;
+  o.colocate_fraction = 0.5;
+  const auto original = trace::GenerateTrace("g", o);
+  std::stringstream buffer;
+  trace::WriteTrace(original, buffer);
+  std::string error;
+  const auto parsed = trace::ReadTrace(buffer, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed.job(i).placement, original.job(i).placement) << i;
+  }
+}
+
+TEST(PlacementIo, LegacyFourFieldFormatStillParses) {
+  std::stringstream in("1.0|1|2.0|\n");
+  std::string error;
+  const auto t = trace::ReadTrace(in, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.job(0).placement, trace::PlacementPref::kNone);
+}
+
+TEST(PlacementIo, RejectsBadPreferenceCode) {
+  std::stringstream in("1.0|1|2.0||x\n");
+  std::string error;
+  trace::ReadTrace(in, &error);
+  EXPECT_NE(error.find("placement"), std::string::npos);
+}
+
+// ------------------------------------------------------------- at scale
+
+TEST(PlacementAtScale, MixedWorkloadCompletesWithBoundedViolations) {
+  const auto cl =
+      BuildCluster({.num_machines = 120, .seed = 11, .machines_per_rack = 10});
+  auto o = trace::GoogleProfile();
+  o.num_jobs = 2000;
+  o.num_workers = 120;
+  o.seed = 11;
+  o.spread_fraction = 0.3;
+  o.colocate_fraction = 0.3;
+  const auto t = trace::GenerateTrace("g", o);
+  for (const char* name : {"phoenix", "eagle-c", "yacc-d"}) {
+    const auto report = RunOn(name, t, cl);
+    EXPECT_EQ(report.jobs.size(), t.size()) << name;
+    // Almost every multi-task spread job lands on more than one rack; the
+    // exceptions are jobs whose constraint pool fits inside a single rack.
+    std::size_t spread_multi = 0, spread_ok = 0;
+    for (const auto& j : report.jobs) {
+      if (j.placement == trace::PlacementPref::kSpread && j.num_tasks > 1) {
+        ++spread_multi;
+        spread_ok += j.racks_used >= 2;
+      }
+    }
+    ASSERT_GT(spread_multi, 0u) << name;
+    EXPECT_GT(static_cast<double>(spread_ok) / spread_multi, 0.8) << name;
+  }
+}
+
+}  // namespace
+}  // namespace phoenix

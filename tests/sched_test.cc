@@ -1,0 +1,365 @@
+// Unit tests for the scheduler framework and the baseline schedulers.
+#include <gtest/gtest.h>
+
+#include "cluster/builder.h"
+#include "runner/experiment.h"
+#include "trace/generators.h"
+#include "sched/eagle.h"
+#include "sched/hawk.h"
+#include "sched/sparrow.h"
+#include "sched/yaccd.h"
+#include "sim/engine.h"
+
+namespace phoenix::sched {
+namespace {
+
+using cluster::Attr;
+using cluster::ConstraintOp;
+using cluster::ConstraintSet;
+
+/// A trace with explicitly specified jobs for timing-exact tests.
+trace::Trace MakeTrace(std::vector<trace::Job> jobs, double cutoff) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<trace::JobId>(i);
+  }
+  trace::Trace t("test", std::move(jobs));
+  t.set_short_cutoff(cutoff);
+  return t;
+}
+
+trace::Job OneJob(double submit, std::vector<double> durations,
+                  ConstraintSet cs = {}, bool short_job = true) {
+  trace::Job j;
+  j.submit_time = submit;
+  j.task_durations = std::move(durations);
+  j.constraints = std::move(cs);
+  j.short_job = short_job;
+  return j;
+}
+
+SchedulerConfig TestConfig() {
+  SchedulerConfig c;
+  c.seed = 7;
+  return c;
+}
+
+/// Runs a scheduler (by registry name) over a trace on a generated fleet.
+metrics::SimReport RunSched(const std::string& name, const trace::Trace& t,
+                       std::size_t machines, std::uint64_t seed = 7) {
+  const cluster::Cluster cl =
+      cluster::BuildCluster({.num_machines = machines, .seed = 3});
+  runner::RunOptions o;
+  o.scheduler = name;
+  o.config = TestConfig();
+  o.config.seed = seed;
+  return runner::RunSimulation(t, cl, o);
+}
+
+// ------------------------------------------------------- timing exactness
+
+TEST(Framework, SingleShortTaskTimingIsExact) {
+  // One job, one task, one machine: probe transit (rtt) + late-binding
+  // fetch (rtt) + service.
+  const trace::Trace t = MakeTrace({OneJob(5.0, {10.0})}, 100.0);
+  const auto report = RunSched("sparrow-c", t, 1);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const auto& j = report.jobs[0];
+  const double rtt = TestConfig().rtt;
+  EXPECT_NEAR(j.completion, 5.0 + 2 * rtt + 10.0, 1e-9);
+  EXPECT_NEAR(j.queuing_delay, 2 * rtt, 1e-9);
+  EXPECT_TRUE(j.short_class);
+}
+
+TEST(Framework, SingleLongTaskTimingIsExact) {
+  // Estimated duration above cutoff: centralized early binding, one transit.
+  const trace::Trace t = MakeTrace({OneJob(2.0, {500.0})}, 100.0);
+  const auto report = RunSched("eagle-c", t, 4);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const auto& j = report.jobs[0];
+  EXPECT_FALSE(j.short_class);
+  EXPECT_NEAR(j.completion, 2.0 + TestConfig().rtt + 500.0, 1e-9);
+}
+
+TEST(Framework, TwoTasksOnOneMachineSerialize) {
+  const trace::Trace t = MakeTrace({OneJob(0.0, {10.0, 10.0})}, 100.0);
+  const auto report = RunSched("sparrow-c", t, 1);
+  const double rtt = TestConfig().rtt;
+  // Slot serializes. The second probe was already queued while task one ran,
+  // so only its late-binding fetch (one RTT) separates the two services.
+  EXPECT_GE(report.jobs[0].completion, 2 * 10.0);
+  EXPECT_NEAR(report.jobs[0].completion, 2 * rtt + 10.0 + rtt + 10.0, 1e-6);
+}
+
+TEST(Framework, BusyTimeEqualsTotalWork) {
+  const trace::Trace t =
+      MakeTrace({OneJob(0.0, {3.0, 4.0}), OneJob(1.0, {5.0})}, 100.0);
+  const auto report = RunSched("sparrow-c", t, 8);
+  EXPECT_NEAR(report.total_busy_time, 12.0, 1e-9);
+}
+
+TEST(Framework, ProbeOversupplyIsCancelled) {
+  // 1 task, probe ratio 2 => 2 probes; exactly one becomes the task.
+  const trace::Trace t = MakeTrace({OneJob(0.0, {10.0})}, 100.0);
+  const auto report = RunSched("sparrow-c", t, 8);
+  EXPECT_EQ(report.counters.probes_sent, 2u);
+  EXPECT_EQ(report.counters.probes_cancelled, 1u);
+}
+
+TEST(Framework, ResponseNeverBelowServiceTime) {
+  const trace::Trace t = MakeTrace(
+      {OneJob(0.0, {7.0}), OneJob(0.5, {3.0, 9.0}), OneJob(1.0, {2.0})}, 100.0);
+  const auto report = RunSched("eagle-c", t, 4);
+  EXPECT_GE(report.jobs[0].response(), 7.0);
+  EXPECT_GE(report.jobs[1].response(), 9.0);
+  EXPECT_GE(report.jobs[2].response(), 2.0);
+}
+
+// ------------------------------------------------------- constraints
+
+TEST(Framework, ConstrainedTaskRunsOnSatisfyingMachineOnly) {
+  // Build a 1-machine cluster; a hard constraint the machine cannot satisfy
+  // triggers forced admission relaxation (tracked in the counters) so the
+  // job still completes.
+  ConstraintSet impossible(
+      {{Attr::kNumCores, ConstraintOp::kGreater, 32, true}});
+  const trace::Trace t = MakeTrace({OneJob(0.0, {5.0}, impossible)}, 100.0);
+  const auto report = RunSched("eagle-c", t, 4);
+  EXPECT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.counters.tasks_admission_rejected, 1u);
+  EXPECT_TRUE(report.jobs[0].constrained);
+}
+
+TEST(Framework, SoftConstraintRelaxedWhenUnsatisfiableTogether) {
+  // cores > 32 is unsatisfiable; as a soft constraint it is negotiated away
+  // and the job runs with the relaxation penalty instead of being rejected.
+  ConstraintSet cs({{Attr::kNumCores, ConstraintOp::kGreater, 32, false}});
+  const trace::Trace t = MakeTrace({OneJob(0.0, {8.0}, cs)}, 100.0);
+  const auto report = RunSched("eagle-c", t, 4);
+  EXPECT_EQ(report.counters.soft_constraints_relaxed, 1u);
+  EXPECT_EQ(report.counters.tasks_admission_rejected, 0u);
+  // Service time carries the penalty.
+  EXPECT_NEAR(report.total_busy_time, 8.0 * TestConfig().soft_relax_penalty,
+              1e-9);
+}
+
+TEST(Framework, SatisfiableConstraintIsNotRelaxed) {
+  ConstraintSet cs({{Attr::kArch, ConstraintOp::kEqual, 0, true}});
+  const trace::Trace t = MakeTrace({OneJob(0.0, {5.0}, cs)}, 100.0);
+  const auto report = RunSched("eagle-c", t, 50);
+  EXPECT_EQ(report.counters.soft_constraints_relaxed, 0u);
+  EXPECT_EQ(report.counters.tasks_admission_rejected, 0u);
+}
+
+// ------------------------------------------------------- queue disciplines
+
+// Exposes the protected queue-discipline hooks for direct testing.
+class EagleProbe : public EagleScheduler {
+ public:
+  EagleProbe(sim::Engine& e, const cluster::Cluster& c,
+             const SchedulerConfig& cfg)
+      : EagleScheduler(e, c, cfg) {}
+  using EagleScheduler::IndexRespectingSlack;
+  using EagleScheduler::SelectNextIndex;
+  using EagleScheduler::SrptIndex;
+};
+
+QueueEntry Entry(double est, std::uint32_t bypass = 0) {
+  QueueEntry e;
+  e.kind = QueueEntry::Kind::kProbe;
+  e.job = 0;
+  e.est_duration = est;
+  e.bypass_count = bypass;
+  return e;
+}
+
+class DisciplineTest : public ::testing::Test {
+ protected:
+  DisciplineTest()
+      : cluster_(cluster::BuildCluster({.num_machines = 4, .seed = 1})),
+        sched_(engine_, cluster_, TestConfig()),
+        worker_(64) {
+    worker_.id = 0;
+  }
+  sim::Engine engine_;
+  cluster::Cluster cluster_;
+  EagleProbe sched_;
+  WorkerState worker_;
+};
+
+TEST_F(DisciplineTest, SrptPicksShortestEstimate) {
+  worker_.queue = {Entry(5.0), Entry(2.0), Entry(9.0)};
+  EXPECT_EQ(sched_.SrptIndex(worker_), 1u);
+  EXPECT_EQ(sched_.SelectNextIndex(worker_), 1u);
+}
+
+TEST_F(DisciplineTest, SrptBreaksTiesByArrival) {
+  worker_.queue = {Entry(2.0), Entry(2.0)};
+  EXPECT_EQ(sched_.SrptIndex(worker_), 0u);
+}
+
+TEST_F(DisciplineTest, SlackOverridesSrpt) {
+  const auto slack =
+      static_cast<std::uint32_t>(TestConfig().slack_threshold);
+  worker_.queue = {Entry(9.0, slack), Entry(1.0)};
+  // Entry 0 has exhausted its bypass budget: it must run next even though
+  // entry 1 is shorter.
+  EXPECT_EQ(sched_.SelectNextIndex(worker_), 0u);
+}
+
+TEST_F(DisciplineTest, OldestStarvedEntryWinsAmongStarved) {
+  const auto slack =
+      static_cast<std::uint32_t>(TestConfig().slack_threshold);
+  worker_.queue = {Entry(5.0), Entry(9.0, slack), Entry(8.0, slack)};
+  EXPECT_EQ(sched_.IndexRespectingSlack(worker_, 0), 1u);
+}
+
+TEST_F(DisciplineTest, SlackBelowThresholdDoesNotOverride) {
+  worker_.queue = {Entry(9.0, 1), Entry(1.0)};
+  EXPECT_EQ(sched_.SelectNextIndex(worker_), 1u);
+}
+
+// ------------------------------------------------------- end-to-end, all schedulers
+
+class AllSchedulersTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllSchedulersTest, EveryJobCompletes) {
+  const trace::Trace t = trace::GenerateGoogleTrace(800, 80, 0.8, 11);
+  const auto report = RunSched(GetParam(), t, 80);
+  EXPECT_EQ(report.jobs.size(), t.size());
+  report.CheckInvariants();  // aborts on violations
+  for (const auto& j : report.jobs) {
+    EXPECT_GE(j.response(), 0.0);
+  }
+}
+
+TEST_P(AllSchedulersTest, TaskConservation) {
+  const trace::Trace t = trace::GenerateYahooTrace(600, 60, 0.75, 13);
+  const auto report = RunSched(GetParam(), t, 60);
+  std::size_t tasks = 0;
+  for (const auto& j : report.jobs) tasks += j.num_tasks;
+  std::size_t expected = 0;
+  for (const auto& j : t.jobs()) expected += j.num_tasks();
+  EXPECT_EQ(tasks, expected);
+  // Busy time equals the sum of executed service times, which is at least
+  // the raw work (relaxation penalties can only add).
+  double work = 0;
+  for (const auto& j : t.jobs()) work += j.total_work();
+  EXPECT_GE(report.total_busy_time, work - 1e-6);
+}
+
+TEST_P(AllSchedulersTest, DeterministicForSameSeed) {
+  const trace::Trace t = trace::GenerateClouderaTrace(400, 50, 0.7, 17);
+  const auto a = RunSched(GetParam(), t, 50, 99);
+  const auto b = RunSched(GetParam(), t, 50, 99);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].completion, b.jobs[i].completion);
+    EXPECT_DOUBLE_EQ(a.jobs[i].queuing_delay, b.jobs[i].queuing_delay);
+  }
+  EXPECT_EQ(a.counters.probes_sent, b.counters.probes_sent);
+}
+
+TEST_P(AllSchedulersTest, UtilizationWithinBounds) {
+  const trace::Trace t = trace::GenerateGoogleTrace(500, 50, 0.7, 19);
+  const auto report = RunSched(GetParam(), t, 50);
+  EXPECT_GT(report.Utilization(), 0.0);
+  EXPECT_LE(report.Utilization(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllSchedulersTest,
+                         ::testing::Values("phoenix", "eagle-c", "hawk-c",
+                                           "sparrow-c", "yacc-d"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+// ------------------------------------------------------- scheduler-specific
+
+TEST(Sparrow, TreatsEverythingAsDistributed) {
+  // A long job under Sparrow still goes through probes: probes_sent covers
+  // long tasks too.
+  const trace::Trace t = MakeTrace({OneJob(0.0, {500.0, 500.0})}, 100.0);
+  const auto report = RunSched("sparrow-c", t, 8);
+  EXPECT_EQ(report.counters.probes_sent, 4u);  // ratio 2 x 2 tasks
+}
+
+TEST(Eagle, LongJobsBypassProbes) {
+  const trace::Trace t = MakeTrace({OneJob(0.0, {500.0, 500.0})}, 100.0);
+  const auto report = RunSched("eagle-c", t, 8);
+  EXPECT_EQ(report.counters.probes_sent, 0u);
+}
+
+TEST(Eagle, SrptReordersUnderContention) {
+  // Many short jobs with mixed durations on a tiny cluster build real queues.
+  std::vector<trace::Job> jobs;
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    jobs.push_back(OneJob(i * 0.01, {rng.Uniform(1.0, 50.0)}));
+  }
+  const auto report = RunSched("eagle-c", MakeTrace(std::move(jobs), 100.0), 4);
+  EXPECT_GT(report.counters.tasks_reordered_srpt, 0u);
+}
+
+TEST(Hawk, StealsWorkUnderLoad) {
+  std::vector<trace::Job> jobs;
+  util::Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    jobs.push_back(OneJob(i * 0.01, {rng.Uniform(1.0, 20.0)}));
+  }
+  const auto report = RunSched("hawk-c", MakeTrace(std::move(jobs), 100.0), 16);
+  EXPECT_GT(report.counters.tasks_stolen, 0u);
+}
+
+TEST(YaccD, BindsEverythingEarly) {
+  const trace::Trace t = MakeTrace(
+      {OneJob(0.0, {5.0, 5.0}), OneJob(0.0, {500.0})}, 100.0);
+  const auto report = RunSched("yacc-d", t, 8);
+  EXPECT_EQ(report.counters.probes_sent, 0u);
+  EXPECT_EQ(report.counters.probes_cancelled, 0u);
+}
+
+TEST(YaccD, RebalancesOverloadedQueues) {
+  // Jobs whose tasks vary wildly around their estimate: early binding
+  // mispredicts, queues behind the 120 s stragglers pile up, and the
+  // heartbeat rebalance must migrate some of their tails.
+  std::vector<trace::Job> jobs;
+  for (int i = 0; i < 150; ++i) {
+    jobs.push_back(OneJob(0.1 + i * 0.001, {1.0, 1.0, 1.0, 120.0}));
+  }
+  const auto report = RunSched("yacc-d", MakeTrace(std::move(jobs), 200.0), 16);
+  EXPECT_GT(report.counters.tasks_stolen, 0u);  // migrations share the counter
+}
+
+TEST(Heartbeat, TicksAreCounted) {
+  // A ~100 s workload sees ~100/9 heartbeats.
+  const trace::Trace t = MakeTrace({OneJob(0.0, {100.0})}, 1000.0);
+  const auto report = RunSched("eagle-c", t, 2);
+  EXPECT_GE(report.counters.heartbeats, 10u);
+  EXPECT_LE(report.counters.heartbeats, 14u);
+}
+
+TEST(FrameworkDeathTest, BuildReportBeforeCompletionAborts) {
+  sim::Engine engine;
+  const cluster::Cluster cl =
+      cluster::BuildCluster({.num_machines = 2, .seed = 1});
+  SparrowScheduler s(engine, cl, TestConfig());
+  const trace::Trace t = MakeTrace({OneJob(0.0, {5.0})}, 100.0);
+  s.SubmitTrace(t);
+  EXPECT_DEATH(s.BuildReport(), "before every job completed");
+}
+
+TEST(FrameworkDeathTest, DoubleSubmitAborts) {
+  sim::Engine engine;
+  const cluster::Cluster cl =
+      cluster::BuildCluster({.num_machines = 2, .seed = 1});
+  SparrowScheduler s(engine, cl, TestConfig());
+  const trace::Trace t = MakeTrace({OneJob(0.0, {5.0})}, 100.0);
+  s.SubmitTrace(t);
+  EXPECT_DEATH(s.SubmitTrace(t), "once");
+}
+
+}  // namespace
+}  // namespace phoenix::sched

@@ -1,0 +1,208 @@
+// Unit tests for the discrete-event engine.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace phoenix::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.Now(), 0.0);
+  EXPECT_TRUE(e.Empty());
+}
+
+TEST(Engine, FiresEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(3.0, [&] { order.push_back(3); });
+  e.ScheduleAt(1.0, [&] { order.push_back(1); });
+  e.ScheduleAt(2.0, [&] { order.push_back(2); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SameTimeEventsFireInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  e.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, NowAdvancesToEventTime) {
+  Engine e;
+  double seen = -1;
+  e.ScheduleAt(4.5, [&] { seen = e.Now(); });
+  e.Run();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+  EXPECT_DOUBLE_EQ(e.Now(), 4.5);
+}
+
+TEST(Engine, ScheduleAfterUsesRelativeTime) {
+  Engine e;
+  double fired_at = -1;
+  e.ScheduleAt(2.0, [&] {
+    e.ScheduleAfter(3.0, [&] { fired_at = e.Now(); });
+  });
+  e.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Engine, NestedSchedulingWorks) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) e.ScheduleAfter(1.0, recurse);
+  };
+  e.ScheduleAt(0.0, recurse);
+  e.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(e.Now(), 99.0);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  int fired = 0;
+  e.ScheduleAt(1.0, [&] { ++fired; });
+  e.ScheduleAt(2.0, [&] { ++fired; });
+  e.ScheduleAt(3.0, [&] { ++fired; });
+  EXPECT_EQ(e.Run(2.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.Empty());
+  EXPECT_EQ(e.Run(), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, StepFiresExactlyOne) {
+  Engine e;
+  int fired = 0;
+  e.ScheduleAt(1.0, [&] { ++fired; });
+  e.ScheduleAt(2.0, [&] { ++fired; });
+  EXPECT_TRUE(e.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.Step());
+}
+
+TEST(Engine, StepRespectsUntil) {
+  Engine e;
+  e.ScheduleAt(5.0, [] {});
+  EXPECT_FALSE(e.Step(4.0));
+  EXPECT_TRUE(e.Step(5.0));
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  int fired = 0;
+  const auto id = e.ScheduleAt(1.0, [&] { ++fired; });
+  EXPECT_TRUE(e.Cancel(id));
+  e.Run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(e.Empty());
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  Engine e;
+  const auto id = e.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(e.Cancel(id));
+  EXPECT_FALSE(e.Cancel(id));
+  e.Run();
+}
+
+TEST(Engine, CancelUnknownIdReturnsFalse) {
+  Engine e;
+  EXPECT_FALSE(e.Cancel(12345));
+}
+
+TEST(Engine, CancelMiddleEventKeepsOthers) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(1.0, [&] { order.push_back(1); });
+  const auto id = e.ScheduleAt(2.0, [&] { order.push_back(2); });
+  e.ScheduleAt(3.0, [&] { order.push_back(3); });
+  e.Cancel(id);
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Engine, CountsFiredAndScheduled) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.ScheduleAt(i, [] {});
+  const auto id = e.ScheduleAt(10, [] {});
+  e.Cancel(id);
+  e.Run();
+  EXPECT_EQ(e.events_scheduled(), 6u);
+  EXPECT_EQ(e.events_fired(), 5u);
+}
+
+TEST(Engine, EmptyReflectsLiveEvents) {
+  Engine e;
+  EXPECT_TRUE(e.Empty());
+  const auto id = e.ScheduleAt(1.0, [] {});
+  EXPECT_FALSE(e.Empty());
+  e.Cancel(id);
+  EXPECT_TRUE(e.Empty());
+}
+
+TEST(Engine, EventMayScheduleAtCurrentTime) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(1.0, [&] {
+    order.push_back(1);
+    e.ScheduleAt(1.0, [&] { order.push_back(2); });
+  });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EngineDeathTest, SchedulingInPastAborts) {
+  Engine e;
+  e.ScheduleAt(5.0, [] {});
+  e.Run();
+  EXPECT_DEATH(e.ScheduleAt(1.0, [] {}), "past");
+}
+
+TEST(EngineDeathTest, NullCallbackAborts) {
+  Engine e;
+  EXPECT_DEATH(e.ScheduleAt(1.0, Engine::Callback()), "null");
+}
+
+// Property sweep: random schedule/cancel workloads preserve global time
+// ordering and fire exactly the non-cancelled events.
+class EnginePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnginePropertyTest, RandomWorkloadIsOrderedAndExact) {
+  util::Rng rng(GetParam());
+  Engine e;
+  std::vector<Engine::EventId> ids;
+  std::vector<double> fired_times;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.Uniform(0.0, 100.0);
+    ids.push_back(e.ScheduleAt(t, [&fired_times, &e] {
+      fired_times.push_back(e.Now());
+    }));
+  }
+  // Cancel ~25 % of them.
+  std::size_t cancelled = 0;
+  for (const auto id : ids) {
+    if (rng.Bernoulli(0.25)) cancelled += e.Cancel(id);
+  }
+  e.Run();
+  EXPECT_EQ(fired_times.size(), n - cancelled);
+  EXPECT_TRUE(std::is_sorted(fired_times.begin(), fired_times.end()));
+  EXPECT_EQ(e.events_fired(), n - cancelled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace phoenix::sim

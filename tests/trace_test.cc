@@ -1,0 +1,435 @@
+// Unit tests for the workload layer: trace container, generators,
+// constraint synthesizer, serialization and characterization.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cluster/builder.h"
+#include "trace/characterize.h"
+#include "trace/generators.h"
+#include "trace/io.h"
+#include "trace/synthesizer.h"
+
+namespace phoenix::trace {
+namespace {
+
+Trace SmallGoogle(std::uint64_t seed = 1) {
+  return GenerateGoogleTrace(2000, 200, 0.8, seed);
+}
+
+// ---------------------------------------------------------------- Job
+
+TEST(Job, WorkAndMeanDuration) {
+  Job j;
+  j.task_durations = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(j.total_work(), 6.0);
+  EXPECT_DOUBLE_EQ(j.mean_task_duration(), 2.0);
+  EXPECT_EQ(j.num_tasks(), 3u);
+  EXPECT_FALSE(j.constrained());
+}
+
+// ---------------------------------------------------------------- Trace
+
+TEST(Trace, InvariantsHoldForGenerated) {
+  const Trace t = SmallGoogle();
+  t.CheckInvariants();  // aborts on violation
+  EXPECT_EQ(t.size(), 2000u);
+}
+
+TEST(TraceDeathTest, UnsortedJobsAbort) {
+  Job a, b;
+  a.id = 0;
+  a.submit_time = 5;
+  a.task_durations = {1};
+  b.id = 1;
+  b.submit_time = 2;
+  b.task_durations = {1};
+  EXPECT_DEATH(Trace("bad", {a, b}), "sorted");
+}
+
+TEST(TraceDeathTest, EmptyJobAborts) {
+  Job a;
+  a.id = 0;
+  EXPECT_DEATH(Trace("bad", {a}), "zero tasks");
+}
+
+TEST(TraceDeathTest, NonPositiveDurationAborts) {
+  Job a;
+  a.id = 0;
+  a.task_durations = {0.0};
+  EXPECT_DEATH(Trace("bad", {a}), "positive");
+}
+
+TEST(Trace, StatsCountConsistency) {
+  const Trace t = SmallGoogle();
+  const TraceStats s = t.ComputeStats();
+  EXPECT_EQ(s.num_jobs, t.size());
+  std::size_t tasks = 0;
+  for (const Job& j : t.jobs()) tasks += j.num_tasks();
+  EXPECT_EQ(s.num_tasks, tasks);
+  EXPECT_GT(s.total_work, 0.0);
+  EXPECT_GT(s.horizon, 0.0);
+  EXPECT_GT(s.peak_to_median_arrival, 1.0);
+}
+
+TEST(Trace, OfferedLoadScalesInverselyWithWorkers) {
+  const Trace t = SmallGoogle();
+  const double l200 = t.OfferedLoad(200);
+  const double l400 = t.OfferedLoad(400);
+  EXPECT_NEAR(l200 / l400, 2.0, 1e-9);
+}
+
+TEST(Trace, OfferedLoadNearTarget) {
+  const Trace t = SmallGoogle();
+  // Calibration targets 0.8 on 200 workers; sampling noise allowed.
+  EXPECT_NEAR(t.OfferedLoad(200), 0.8, 0.25);
+}
+
+TEST(Trace, WithoutConstraintsStripsEverything) {
+  const Trace t = SmallGoogle();
+  const Trace bare = t.WithoutConstraints();
+  EXPECT_EQ(bare.size(), t.size());
+  for (const Job& j : bare.jobs()) EXPECT_FALSE(j.constrained());
+  EXPECT_DOUBLE_EQ(bare.short_cutoff(), t.short_cutoff());
+  // Everything else is untouched.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(bare.job(i).task_durations, t.job(i).task_durations);
+    EXPECT_DOUBLE_EQ(bare.job(i).submit_time, t.job(i).submit_time);
+  }
+}
+
+TEST(Trace, ShortCutoffSplitsAtRequestedFraction) {
+  const Trace t = SmallGoogle();
+  std::size_t below = 0;
+  for (const Job& j : t.jobs()) below += j.mean_task_duration() <= t.short_cutoff();
+  const double frac = static_cast<double>(below) / t.size();
+  EXPECT_NEAR(frac, 0.902, 0.03);
+}
+
+TEST(ComputeShortJobCutoff, EmptyAndTrivial) {
+  EXPECT_DOUBLE_EQ(ComputeShortJobCutoff({}, 0.5), 0.0);
+  Job j;
+  j.id = 0;
+  j.task_durations = {4.0};
+  EXPECT_DOUBLE_EQ(ComputeShortJobCutoff({j}, 0.5), 4.0);
+}
+
+// ---------------------------------------------------------------- Generator
+
+TEST(Generator, DeterministicForSeed) {
+  const Trace a = SmallGoogle(9);
+  const Trace b = SmallGoogle(9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.job(i).submit_time, b.job(i).submit_time);
+    EXPECT_EQ(a.job(i).task_durations, b.job(i).task_durations);
+    EXPECT_EQ(a.job(i).constraints, b.job(i).constraints);
+  }
+}
+
+TEST(Generator, SeedsProduceDifferentTraces) {
+  const Trace a = SmallGoogle(1);
+  const Trace b = SmallGoogle(2);
+  EXPECT_NE(a.job(0).submit_time, b.job(0).submit_time);
+}
+
+TEST(Generator, ShortFractionMatchesProfile) {
+  for (const auto& [name, expected] :
+       std::vector<std::pair<std::string, double>>{
+           {"google", 0.902}, {"yahoo", 0.9156}, {"cloudera", 0.95}}) {
+    auto o = ProfileByName(name);
+    o.num_jobs = 4000;
+    o.num_workers = 300;
+    o.target_load = 0.8;
+    o.seed = 3;
+    const Trace t = GenerateTrace(name, o);
+    EXPECT_NEAR(t.ComputeStats().short_job_fraction, expected, 0.02) << name;
+  }
+}
+
+TEST(Generator, RoughlyHalfTheTasksAreConstrained) {
+  const Trace t = SmallGoogle();
+  const auto s = t.ComputeStats();
+  EXPECT_NEAR(s.constrained_task_fraction, 0.5, 0.1);
+}
+
+TEST(Generator, TaskDurationsRespectShortBounds) {
+  auto o = GoogleProfile();
+  o.num_jobs = 1000;
+  o.num_workers = 100;
+  o.seed = 4;
+  const Trace t = GenerateTrace("g", o);
+  for (const Job& j : t.jobs()) {
+    if (!j.short_job) continue;
+    for (const double d : j.task_durations) {
+      EXPECT_GE(d, o.short_lo);
+      EXPECT_LE(d, o.short_hi);
+    }
+  }
+}
+
+TEST(Generator, BurstinessIsVisible) {
+  const Trace t = SmallGoogle();
+  EXPECT_GT(t.ComputeStats().peak_to_median_arrival, 3.0);
+}
+
+TEST(Generator, NoBurstsWhenDisabled) {
+  auto o = GoogleProfile();
+  o.num_jobs = 3000;
+  o.num_workers = 200;
+  o.burst_fraction = 0.0;
+  o.seed = 5;
+  const Trace t = GenerateTrace("flat", o);
+  // Plain Poisson: peak:median of 200 buckets stays modest.
+  EXPECT_LT(t.ComputeStats().peak_to_median_arrival, 4.0);
+}
+
+TEST(Generator, ExpectedWorkPerJobIsPositiveAndOrdered) {
+  const auto g = GoogleProfile();
+  const double w = ExpectedWorkPerJob(g);
+  EXPECT_GT(w, 0.0);
+  // Long-heavy mix dominates: raising the long share raises expected work.
+  auto heavier = g;
+  heavier.short_job_fraction = 0.5;
+  EXPECT_GT(ExpectedWorkPerJob(heavier), w);
+}
+
+TEST(Generator, ProfileByNameRoundTrips) {
+  EXPECT_EQ(ProfileByName("google").num_workers, 15000u);
+  EXPECT_EQ(ProfileByName("yahoo").num_workers, 5000u);
+  EXPECT_EQ(ProfileByName("cloudera").num_workers, 15000u);
+}
+
+TEST(GeneratorDeathTest, UnknownProfileAborts) {
+  EXPECT_DEATH(ProfileByName("azure"), "unknown trace profile");
+}
+
+// ---------------------------------------------------------------- Synthesizer
+
+TEST(Synthesizer, ConstrainedFractionIsRespected) {
+  SynthesizerOptions o;
+  o.constrained_fraction = 0.5;
+  ConstraintSynthesizer synth(o, 7);
+  int constrained = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) constrained += !synth.Synthesize().empty();
+  EXPECT_NEAR(static_cast<double>(constrained) / n, 0.5, 0.02);
+}
+
+TEST(Synthesizer, ZeroFractionMeansNoConstraints) {
+  SynthesizerOptions o;
+  o.constrained_fraction = 0.0;
+  ConstraintSynthesizer synth(o, 8);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(synth.Synthesize().empty());
+}
+
+TEST(Synthesizer, ConstraintCountWithinBounds) {
+  ConstraintSynthesizer synth(SynthesizerOptions{}, 9);
+  for (int i = 0; i < 5000; ++i) {
+    const auto cs = synth.Synthesize();
+    EXPECT_LE(cs.size(), cluster::kMaxConstraintsPerTask);
+  }
+}
+
+TEST(Synthesizer, AttributesWithinSetAreDistinct) {
+  ConstraintSynthesizer synth(SynthesizerOptions{}, 10);
+  for (int i = 0; i < 2000; ++i) {
+    const auto cs = synth.Synthesize();
+    std::set<cluster::Attr> attrs;
+    for (const auto& c : cs) attrs.insert(c.attr);
+    EXPECT_EQ(attrs.size(), cs.size());
+  }
+}
+
+TEST(Synthesizer, HardFractionIsRespected) {
+  SynthesizerOptions o;
+  o.constrained_fraction = 1.0;
+  o.hard_fraction = 0.6;
+  ConstraintSynthesizer synth(o, 11);
+  int hard = 0, total = 0;
+  for (int i = 0; i < 10000; ++i) {
+    for (const auto& c : synth.Synthesize()) {
+      hard += c.hard;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hard) / total, 0.6, 0.02);
+}
+
+TEST(Synthesizer, IsaDominatesAttributeMix) {
+  SynthesizerOptions o;
+  o.constrained_fraction = 1.0;
+  ConstraintSynthesizer synth(o, 12);
+  std::array<int, cluster::kNumAttrs> counts{};
+  for (int i = 0; i < 20000; ++i) {
+    for (const auto& c : synth.Synthesize()) {
+      ++counts[static_cast<std::size_t>(c.attr)];
+    }
+  }
+  // Table II: ISA is by far the most requested attribute.
+  const int isa = counts[static_cast<std::size_t>(cluster::Attr::kArch)];
+  for (std::size_t a = 1; a < cluster::kNumAttrs; ++a) {
+    EXPECT_GT(isa, counts[a]) << "attr " << a;
+  }
+}
+
+TEST(Synthesizer, CategoricalAttrsUseEquality) {
+  SynthesizerOptions o;
+  o.constrained_fraction = 1.0;
+  ConstraintSynthesizer synth(o, 13);
+  for (int i = 0; i < 5000; ++i) {
+    for (const auto& c : synth.Synthesize()) {
+      if (c.attr == cluster::Attr::kArch ||
+          c.attr == cluster::Attr::kPlatformFamily) {
+        EXPECT_EQ(c.op, cluster::ConstraintOp::kEqual);
+      }
+    }
+  }
+}
+
+TEST(Synthesizer, EveryConstraintIsIndividuallySatisfiable) {
+  const cluster::Cluster cl =
+      cluster::BuildCluster({.num_machines = 3000, .seed = 21});
+  SynthesizerOptions o;
+  o.constrained_fraction = 1.0;
+  o.demand_skew = 1.0;  // worst case: uniform over domains
+  ConstraintSynthesizer synth(o, 14);
+  for (int i = 0; i < 3000; ++i) {
+    for (const auto& c : synth.Synthesize()) {
+      EXPECT_GT(cl.Satisfying(c).Count(), 0u) << c.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------- IO
+
+TEST(TraceIo, RoundTripsThroughText) {
+  const Trace original = GenerateGoogleTrace(300, 100, 0.7, 15);
+  std::stringstream buffer;
+  WriteTrace(original, buffer);
+  std::string error;
+  const Trace parsed = ReadTrace(buffer, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(parsed.size(), original.size());
+  EXPECT_EQ(parsed.name(), original.name());
+  EXPECT_NEAR(parsed.short_cutoff(), original.short_cutoff(), 1e-4);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Job& a = original.job(i);
+    const Job& b = parsed.job(i);
+    EXPECT_NEAR(a.submit_time, b.submit_time, 1e-6);
+    EXPECT_EQ(a.short_job, b.short_job);
+    ASSERT_EQ(a.task_durations.size(), b.task_durations.size());
+    for (std::size_t k = 0; k < a.task_durations.size(); ++k) {
+      EXPECT_NEAR(a.task_durations[k], b.task_durations[k],
+                  1e-6 * a.task_durations[k]);
+    }
+    EXPECT_EQ(a.constraints.size(), b.constraints.size());
+    for (std::size_t k = 0; k < a.constraints.size(); ++k) {
+      EXPECT_EQ(a.constraints[k], b.constraints[k]);
+    }
+  }
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  std::stringstream in("1.0|1|2.5\n");
+  std::string error;
+  ReadTrace(in, &error);
+  EXPECT_NE(error.find("|-separated"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsOutOfOrderJobs) {
+  std::stringstream in("5.0|1|1.0|\n2.0|1|1.0|\n");
+  std::string error;
+  ReadTrace(in, &error);
+  EXPECT_NE(error.find("order"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsBadDuration) {
+  std::stringstream in("1.0|1|-3|\n");
+  std::string error;
+  ReadTrace(in, &error);
+  EXPECT_NE(error.find("duration"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsBadConstraintSpec) {
+  std::stringstream in("1.0|1|2.0|0:=:1\n");
+  std::string error;
+  ReadTrace(in, &error);
+  EXPECT_NE(error.find("attr:op:value:hard"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsBadOperator) {
+  std::stringstream in("1.0|1|2.0|0:~:1:1\n");
+  std::string error;
+  ReadTrace(in, &error);
+  EXPECT_NE(error.find("operator"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsAttrOutOfRange) {
+  std::stringstream in("1.0|1|2.0|99:=:1:1\n");
+  std::string error;
+  ReadTrace(in, &error);
+  EXPECT_NE(error.find("attribute out of range"), std::string::npos);
+}
+
+TEST(TraceIo, MissingFileGivesError) {
+  std::string error;
+  ReadTraceFile("/nonexistent/path.trace", &error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::stringstream in("# a comment\n\n1.0|1|2.0|\n");
+  std::string error;
+  const Trace t = ReadTrace(in, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(t.size(), 1u);
+}
+
+// ---------------------------------------------------------------- Characterize
+
+TEST(Characterize, SharesSumToHundred) {
+  const Trace t = SmallGoogle();
+  const ConstraintUsage usage = CharacterizeConstraints(t);
+  double share_sum = 0, demand_sum = 0;
+  for (const double s : usage.shares) share_sum += s;
+  for (const double d : usage.demand_pct) demand_sum += d;
+  EXPECT_NEAR(share_sum, 100.0, 1e-6);
+  EXPECT_NEAR(demand_sum, 100.0, 1e-6);
+  EXPECT_EQ(usage.constrained_jobs + usage.unconstrained_jobs, t.size());
+}
+
+TEST(Characterize, IsaLeadsShares) {
+  const ConstraintUsage usage = CharacterizeConstraints(SmallGoogle());
+  const double isa = usage.shares[static_cast<std::size_t>(cluster::Attr::kArch)];
+  for (std::size_t a = 0; a < cluster::kNumAttrs; ++a) {
+    if (a == static_cast<std::size_t>(cluster::Attr::kArch)) continue;
+    EXPECT_GE(isa, usage.shares[a]);
+  }
+}
+
+TEST(Characterize, DemandPeaksAtTwoConstraints) {
+  const ConstraintUsage usage = CharacterizeConstraints(SmallGoogle());
+  // Fig 6: the mode of the demand distribution is 2 constraints.
+  std::size_t argmax = 0;
+  for (std::size_t k = 1; k < usage.demand_pct.size(); ++k) {
+    if (usage.demand_pct[k] > usage.demand_pct[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, 1u);  // index 1 => 2 constraints
+}
+
+TEST(Characterize, SupplyCurveDecreases) {
+  const Trace t = SmallGoogle();
+  const cluster::Cluster cl =
+      cluster::BuildCluster({.num_machines = 2000, .seed = 33});
+  const auto supply = SupplyCurve(t, cl);
+  // Monotone non-increasing over the populated prefix (Fig 6 shape).
+  for (std::size_t k = 1; k < supply.size(); ++k) {
+    if (supply[k] == 0) continue;  // no jobs with that many constraints
+    EXPECT_LE(supply[k], supply[k - 1] * 1.25) << "k=" << k + 1;
+  }
+  EXPECT_GT(supply[0], supply[5]);
+}
+
+}  // namespace
+}  // namespace phoenix::trace

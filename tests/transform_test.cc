@@ -1,0 +1,137 @@
+// Unit tests for trace transformations.
+#include <gtest/gtest.h>
+
+#include "trace/generators.h"
+#include "trace/transform.h"
+
+namespace phoenix::trace {
+namespace {
+
+Trace Base(std::uint64_t seed = 71) {
+  return GenerateGoogleTrace(1500, 150, 0.8, seed);
+}
+
+TEST(ScaleArrivalRate, DoublesOfferedLoad) {
+  const Trace t = Base();
+  const Trace fast = ScaleArrivalRate(t, 2.0);
+  fast.CheckInvariants();
+  EXPECT_EQ(fast.size(), t.size());
+  EXPECT_NEAR(fast.OfferedLoad(150), 2.0 * t.OfferedLoad(150),
+              0.05 * t.OfferedLoad(150));
+}
+
+TEST(ScaleArrivalRate, HalvesOfferedLoad) {
+  const Trace t = Base();
+  const Trace slow = ScaleArrivalRate(t, 0.5);
+  EXPECT_NEAR(slow.OfferedLoad(150), 0.5 * t.OfferedLoad(150),
+              0.05 * t.OfferedLoad(150));
+}
+
+TEST(ScaleArrivalRate, PreservesJobShapes) {
+  const Trace t = Base();
+  const Trace scaled = ScaleArrivalRate(t, 3.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(scaled.job(i).task_durations, t.job(i).task_durations);
+    EXPECT_EQ(scaled.job(i).constraints, t.job(i).constraints);
+  }
+}
+
+TEST(ScaleArrivalRateDeathTest, RejectsNonPositiveFactor) {
+  const Trace t = Base();
+  EXPECT_DEATH(ScaleArrivalRate(t, 0.0), "positive");
+}
+
+TEST(SliceWindow, KeepsOnlyWindowAndShifts) {
+  const Trace t = Base();
+  const double horizon = t.ComputeStats().horizon;
+  const Trace mid = SliceWindow(t, horizon * 0.25, horizon * 0.5);
+  mid.CheckInvariants();
+  EXPECT_GT(mid.size(), 0u);
+  EXPECT_LT(mid.size(), t.size());
+  EXPECT_LT(mid.ComputeStats().horizon, horizon * 0.26);
+  EXPECT_GE(mid.job(0).submit_time, 0.0);
+}
+
+TEST(SliceWindow, EmptyWindowYieldsEmptyTrace) {
+  const Trace t = Base();
+  const double horizon = t.ComputeStats().horizon;
+  const Trace none = SliceWindow(t, horizon * 2, horizon * 3);
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST(Filters, ShortLongPartitionTheTrace) {
+  const Trace t = Base();
+  const Trace shorts = OnlyShortJobs(t);
+  const Trace longs = OnlyLongJobs(t);
+  EXPECT_EQ(shorts.size() + longs.size(), t.size());
+  for (const Job& j : shorts.jobs()) EXPECT_TRUE(j.short_job);
+  for (const Job& j : longs.jobs()) EXPECT_FALSE(j.short_job);
+}
+
+TEST(Filters, ConstrainedFilterWorks) {
+  const Trace t = Base();
+  const Trace con = OnlyConstrainedJobs(t);
+  EXPECT_GT(con.size(), 0u);
+  for (const Job& j : con.jobs()) EXPECT_TRUE(j.constrained());
+}
+
+TEST(Filters, IdsAreReDensified) {
+  const Trace t = Base();
+  const Trace shorts = OnlyShortJobs(t);
+  for (std::size_t i = 0; i < shorts.size(); ++i) {
+    EXPECT_EQ(shorts.job(i).id, i);
+  }
+}
+
+TEST(Merge, InterleavesBySubmitTime) {
+  const Trace a = Base(1);
+  const Trace b = Base(2);
+  const Trace merged = Merge(a, b);
+  merged.CheckInvariants();  // sortedness is part of the invariants
+  EXPECT_EQ(merged.size(), a.size() + b.size());
+}
+
+TEST(Merge, CombinesWorkOverTheLongerHorizon) {
+  const Trace a = Base(3);
+  const Trace b = Base(4);
+  const Trace merged = Merge(a, b);
+  const auto sa = a.ComputeStats();
+  const auto sb = b.ComputeStats();
+  const double expected = (sa.total_work + sb.total_work) /
+                          (150.0 * std::max(sa.horizon, sb.horizon));
+  EXPECT_NEAR(merged.OfferedLoad(150), expected, 1e-9);
+  // And it is strictly heavier than either input alone.
+  EXPECT_GT(merged.OfferedLoad(150), a.OfferedLoad(150));
+  EXPECT_GT(merged.OfferedLoad(150), b.OfferedLoad(150));
+}
+
+TEST(Merge, WithEmptyIsIdentityShaped) {
+  const Trace a = Base(5);
+  Trace empty("empty", {});
+  const Trace merged = Merge(a, empty);
+  EXPECT_EQ(merged.size(), a.size());
+}
+
+TEST(Resynthesize, ReplacesConstraintMix) {
+  const Trace t = Base();
+  SynthesizerOptions all;
+  all.constrained_fraction = 1.0;
+  const Trace resynth = ResynthesizeConstraints(t, all, 99);
+  EXPECT_EQ(resynth.size(), t.size());
+  for (const Job& j : resynth.jobs()) EXPECT_TRUE(j.constrained());
+  // Shapes untouched.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(resynth.job(i).task_durations, t.job(i).task_durations);
+  }
+}
+
+TEST(Resynthesize, ZeroFractionStripsConstraints) {
+  const Trace t = Base();
+  SynthesizerOptions none;
+  none.constrained_fraction = 0.0;
+  const Trace bare = ResynthesizeConstraints(t, none, 100);
+  for (const Job& j : bare.jobs()) EXPECT_FALSE(j.constrained());
+}
+
+}  // namespace
+}  // namespace phoenix::trace
