@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_affinity_failures"
+  "../bench/bench_ext_affinity_failures.pdb"
+  "CMakeFiles/bench_ext_affinity_failures.dir/bench_ext_affinity_failures.cc.o"
+  "CMakeFiles/bench_ext_affinity_failures.dir/bench_ext_affinity_failures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_affinity_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_phoenix_vs_hawk"
+  "../bench/bench_fig10_phoenix_vs_hawk.pdb"
+  "CMakeFiles/bench_fig10_phoenix_vs_hawk.dir/bench_fig10_phoenix_vs_hawk.cc.o"
+  "CMakeFiles/bench_fig10_phoenix_vs_hawk.dir/bench_fig10_phoenix_vs_hawk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_phoenix_vs_hawk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

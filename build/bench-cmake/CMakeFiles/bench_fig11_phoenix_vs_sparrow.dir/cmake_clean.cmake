@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_phoenix_vs_sparrow"
+  "../bench/bench_fig11_phoenix_vs_sparrow.pdb"
+  "CMakeFiles/bench_fig11_phoenix_vs_sparrow.dir/bench_fig11_phoenix_vs_sparrow.cc.o"
+  "CMakeFiles/bench_fig11_phoenix_vs_sparrow.dir/bench_fig11_phoenix_vs_sparrow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_phoenix_vs_sparrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

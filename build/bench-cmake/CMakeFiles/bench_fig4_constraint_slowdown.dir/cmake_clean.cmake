@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_constraint_slowdown"
+  "../bench/bench_fig4_constraint_slowdown.pdb"
+  "CMakeFiles/bench_fig4_constraint_slowdown.dir/bench_fig4_constraint_slowdown.cc.o"
+  "CMakeFiles/bench_fig4_constraint_slowdown.dir/bench_fig4_constraint_slowdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_constraint_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

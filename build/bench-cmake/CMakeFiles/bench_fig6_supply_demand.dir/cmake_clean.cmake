@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_supply_demand"
+  "../bench/bench_fig6_supply_demand.pdb"
+  "CMakeFiles/bench_fig6_supply_demand.dir/bench_fig6_supply_demand.cc.o"
+  "CMakeFiles/bench_fig6_supply_demand.dir/bench_fig6_supply_demand.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_supply_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

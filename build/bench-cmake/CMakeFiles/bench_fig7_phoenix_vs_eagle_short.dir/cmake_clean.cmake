@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_phoenix_vs_eagle_short"
+  "../bench/bench_fig7_phoenix_vs_eagle_short.pdb"
+  "CMakeFiles/bench_fig7_phoenix_vs_eagle_short.dir/bench_fig7_phoenix_vs_eagle_short.cc.o"
+  "CMakeFiles/bench_fig7_phoenix_vs_eagle_short.dir/bench_fig7_phoenix_vs_eagle_short.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_phoenix_vs_eagle_short.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_phoenix_vs_eagle_long"
+  "../bench/bench_fig8_phoenix_vs_eagle_long.pdb"
+  "CMakeFiles/bench_fig8_phoenix_vs_eagle_long.dir/bench_fig8_phoenix_vs_eagle_long.cc.o"
+  "CMakeFiles/bench_fig8_phoenix_vs_eagle_long.dir/bench_fig8_phoenix_vs_eagle_long.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_phoenix_vs_eagle_long.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_phoenix_vs_eagle_long.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_queuing_breakdown"
+  "../bench/bench_fig9_queuing_breakdown.pdb"
+  "CMakeFiles/bench_fig9_queuing_breakdown.dir/bench_fig9_queuing_breakdown.cc.o"
+  "CMakeFiles/bench_fig9_queuing_breakdown.dir/bench_fig9_queuing_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_queuing_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_constraint_distribution"
+  "../bench/bench_table2_constraint_distribution.pdb"
+  "CMakeFiles/bench_table2_constraint_distribution.dir/bench_table2_constraint_distribution.cc.o"
+  "CMakeFiles/bench_table2_constraint_distribution.dir/bench_table2_constraint_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_constraint_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/attributes.cc" "src/cluster/CMakeFiles/phoenix_cluster.dir/attributes.cc.o" "gcc" "src/cluster/CMakeFiles/phoenix_cluster.dir/attributes.cc.o.d"
+  "/root/repo/src/cluster/builder.cc" "src/cluster/CMakeFiles/phoenix_cluster.dir/builder.cc.o" "gcc" "src/cluster/CMakeFiles/phoenix_cluster.dir/builder.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/phoenix_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/phoenix_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/constraint.cc" "src/cluster/CMakeFiles/phoenix_cluster.dir/constraint.cc.o" "gcc" "src/cluster/CMakeFiles/phoenix_cluster.dir/constraint.cc.o.d"
+  "/root/repo/src/cluster/machine.cc" "src/cluster/CMakeFiles/phoenix_cluster.dir/machine.cc.o" "gcc" "src/cluster/CMakeFiles/phoenix_cluster.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phoenix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_cluster.dir/attributes.cc.o"
+  "CMakeFiles/phoenix_cluster.dir/attributes.cc.o.d"
+  "CMakeFiles/phoenix_cluster.dir/builder.cc.o"
+  "CMakeFiles/phoenix_cluster.dir/builder.cc.o.d"
+  "CMakeFiles/phoenix_cluster.dir/cluster.cc.o"
+  "CMakeFiles/phoenix_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/phoenix_cluster.dir/constraint.cc.o"
+  "CMakeFiles/phoenix_cluster.dir/constraint.cc.o.d"
+  "CMakeFiles/phoenix_cluster.dir/machine.cc.o"
+  "CMakeFiles/phoenix_cluster.dir/machine.cc.o.d"
+  "libphoenix_cluster.a"
+  "libphoenix_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

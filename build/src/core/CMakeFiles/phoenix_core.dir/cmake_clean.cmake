@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_core.dir/admission.cc.o"
+  "CMakeFiles/phoenix_core.dir/admission.cc.o.d"
+  "CMakeFiles/phoenix_core.dir/crv.cc.o"
+  "CMakeFiles/phoenix_core.dir/crv.cc.o.d"
+  "CMakeFiles/phoenix_core.dir/phoenix.cc.o"
+  "CMakeFiles/phoenix_core.dir/phoenix.cc.o.d"
+  "libphoenix_core.a"
+  "libphoenix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

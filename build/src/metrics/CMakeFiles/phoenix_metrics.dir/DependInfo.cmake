@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/fairness.cc" "src/metrics/CMakeFiles/phoenix_metrics.dir/fairness.cc.o" "gcc" "src/metrics/CMakeFiles/phoenix_metrics.dir/fairness.cc.o.d"
+  "/root/repo/src/metrics/p2_quantile.cc" "src/metrics/CMakeFiles/phoenix_metrics.dir/p2_quantile.cc.o" "gcc" "src/metrics/CMakeFiles/phoenix_metrics.dir/p2_quantile.cc.o.d"
+  "/root/repo/src/metrics/percentile.cc" "src/metrics/CMakeFiles/phoenix_metrics.dir/percentile.cc.o" "gcc" "src/metrics/CMakeFiles/phoenix_metrics.dir/percentile.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/metrics/CMakeFiles/phoenix_metrics.dir/report.cc.o" "gcc" "src/metrics/CMakeFiles/phoenix_metrics.dir/report.cc.o.d"
+  "/root/repo/src/metrics/timeseries.cc" "src/metrics/CMakeFiles/phoenix_metrics.dir/timeseries.cc.o" "gcc" "src/metrics/CMakeFiles/phoenix_metrics.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phoenix_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phoenix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/phoenix_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/phoenix_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/phoenix_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

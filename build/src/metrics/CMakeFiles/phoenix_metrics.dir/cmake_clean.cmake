@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_metrics.dir/fairness.cc.o"
+  "CMakeFiles/phoenix_metrics.dir/fairness.cc.o.d"
+  "CMakeFiles/phoenix_metrics.dir/p2_quantile.cc.o"
+  "CMakeFiles/phoenix_metrics.dir/p2_quantile.cc.o.d"
+  "CMakeFiles/phoenix_metrics.dir/percentile.cc.o"
+  "CMakeFiles/phoenix_metrics.dir/percentile.cc.o.d"
+  "CMakeFiles/phoenix_metrics.dir/report.cc.o"
+  "CMakeFiles/phoenix_metrics.dir/report.cc.o.d"
+  "CMakeFiles/phoenix_metrics.dir/timeseries.cc.o"
+  "CMakeFiles/phoenix_metrics.dir/timeseries.cc.o.d"
+  "libphoenix_metrics.a"
+  "libphoenix_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_queueing.dir/distributions.cc.o"
+  "CMakeFiles/phoenix_queueing.dir/distributions.cc.o.d"
+  "CMakeFiles/phoenix_queueing.dir/mg1.cc.o"
+  "CMakeFiles/phoenix_queueing.dir/mg1.cc.o.d"
+  "CMakeFiles/phoenix_queueing.dir/stats.cc.o"
+  "CMakeFiles/phoenix_queueing.dir/stats.cc.o.d"
+  "libphoenix_queueing.a"
+  "libphoenix_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

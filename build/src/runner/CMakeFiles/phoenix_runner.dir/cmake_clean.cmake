@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_runner.dir/experiment.cc.o"
+  "CMakeFiles/phoenix_runner.dir/experiment.cc.o.d"
+  "CMakeFiles/phoenix_runner.dir/registry.cc.o"
+  "CMakeFiles/phoenix_runner.dir/registry.cc.o.d"
+  "libphoenix_runner.a"
+  "libphoenix_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/base.cc" "src/sched/CMakeFiles/phoenix_sched.dir/base.cc.o" "gcc" "src/sched/CMakeFiles/phoenix_sched.dir/base.cc.o.d"
+  "/root/repo/src/sched/eagle.cc" "src/sched/CMakeFiles/phoenix_sched.dir/eagle.cc.o" "gcc" "src/sched/CMakeFiles/phoenix_sched.dir/eagle.cc.o.d"
+  "/root/repo/src/sched/hawk.cc" "src/sched/CMakeFiles/phoenix_sched.dir/hawk.cc.o" "gcc" "src/sched/CMakeFiles/phoenix_sched.dir/hawk.cc.o.d"
+  "/root/repo/src/sched/yaccd.cc" "src/sched/CMakeFiles/phoenix_sched.dir/yaccd.cc.o" "gcc" "src/sched/CMakeFiles/phoenix_sched.dir/yaccd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phoenix_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phoenix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/phoenix_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/phoenix_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/phoenix_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/phoenix_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_sched.dir/base.cc.o"
+  "CMakeFiles/phoenix_sched.dir/base.cc.o.d"
+  "CMakeFiles/phoenix_sched.dir/eagle.cc.o"
+  "CMakeFiles/phoenix_sched.dir/eagle.cc.o.d"
+  "CMakeFiles/phoenix_sched.dir/hawk.cc.o"
+  "CMakeFiles/phoenix_sched.dir/hawk.cc.o.d"
+  "CMakeFiles/phoenix_sched.dir/yaccd.cc.o"
+  "CMakeFiles/phoenix_sched.dir/yaccd.cc.o.d"
+  "libphoenix_sched.a"
+  "libphoenix_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_sim.dir/engine.cc.o"
+  "CMakeFiles/phoenix_sim.dir/engine.cc.o.d"
+  "libphoenix_sim.a"
+  "libphoenix_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/characterize.cc" "src/trace/CMakeFiles/phoenix_trace.dir/characterize.cc.o" "gcc" "src/trace/CMakeFiles/phoenix_trace.dir/characterize.cc.o.d"
+  "/root/repo/src/trace/generators.cc" "src/trace/CMakeFiles/phoenix_trace.dir/generators.cc.o" "gcc" "src/trace/CMakeFiles/phoenix_trace.dir/generators.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/phoenix_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/phoenix_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/synthesizer.cc" "src/trace/CMakeFiles/phoenix_trace.dir/synthesizer.cc.o" "gcc" "src/trace/CMakeFiles/phoenix_trace.dir/synthesizer.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/phoenix_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/phoenix_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/transform.cc" "src/trace/CMakeFiles/phoenix_trace.dir/transform.cc.o" "gcc" "src/trace/CMakeFiles/phoenix_trace.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phoenix_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phoenix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/phoenix_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/phoenix_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

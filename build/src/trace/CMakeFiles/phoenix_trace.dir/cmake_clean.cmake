@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_trace.dir/characterize.cc.o"
+  "CMakeFiles/phoenix_trace.dir/characterize.cc.o.d"
+  "CMakeFiles/phoenix_trace.dir/generators.cc.o"
+  "CMakeFiles/phoenix_trace.dir/generators.cc.o.d"
+  "CMakeFiles/phoenix_trace.dir/io.cc.o"
+  "CMakeFiles/phoenix_trace.dir/io.cc.o.d"
+  "CMakeFiles/phoenix_trace.dir/synthesizer.cc.o"
+  "CMakeFiles/phoenix_trace.dir/synthesizer.cc.o.d"
+  "CMakeFiles/phoenix_trace.dir/trace.cc.o"
+  "CMakeFiles/phoenix_trace.dir/trace.cc.o.d"
+  "CMakeFiles/phoenix_trace.dir/transform.cc.o"
+  "CMakeFiles/phoenix_trace.dir/transform.cc.o.d"
+  "libphoenix_trace.a"
+  "libphoenix_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
