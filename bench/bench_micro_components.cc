@@ -40,6 +40,27 @@ void BM_EngineScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScheduleFire);
 
+// Probe-cancellation pattern: most scheduled events are cancelled before
+// firing (late binding cancels a job's sibling probes once placed). The
+// engine compacts tombstones once they outnumber half the live entries,
+// keeping the heap O(live) instead of O(scheduled).
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::Engine::EventId> ids;
+    ids.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+      ids.push_back(engine.ScheduleAt(static_cast<double>(i % 193), [] {}));
+    }
+    for (int i = 0; i < 4096; ++i) {
+      if (i % 16 != 0) engine.Cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    benchmark::DoNotOptimize(engine.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EngineCancelHeavy);
+
 void BM_ConstraintMatch(benchmark::State& state) {
   const auto& cl = SharedCluster(1);
   trace::ConstraintSynthesizer synth({.constrained_fraction = 1.0}, 2);

@@ -6,6 +6,8 @@
 //   --load=F    target offered utilization at the base fleet (default 0.85)
 //   --seed=N    master seed
 //   --runs=N    seeds averaged per data point (paper uses 5)
+//   --threads=N experiment thread budget (default: hardware concurrency;
+//               1 runs fully serial). Results are bit-identical either way.
 //   --paper     full-scale mode: the paper's 15,000/5,000-node fleets
 //
 // Scaled defaults preserve the queueing behaviour (the sweeps vary the same
@@ -17,6 +19,7 @@
 
 #include "cluster/builder.h"
 #include "runner/experiment.h"
+#include "runner/parallel.h"
 #include "trace/generators.h"
 #include "util/flags.h"
 #include "util/format.h"
@@ -29,6 +32,8 @@ struct BenchOptions {
   double load = 0.85;
   std::uint64_t seed = 42;
   std::size_t runs = 1;
+  /// Experiment thread budget; 0 means hardware concurrency.
+  std::size_t threads = 0;
   bool paper = false;
   /// When non-empty, sweep harnesses append tab-separated data rows here
   /// (one file per run, gnuplot-ready: series label + x + y columns).
@@ -51,11 +56,13 @@ inline BenchOptions ParseBenchOptions(util::Flags& flags,
   o.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   o.runs = static_cast<std::size_t>(
       flags.GetInt("runs", static_cast<std::int64_t>(default_runs)));
+  o.threads = static_cast<std::size_t>(flags.GetInt("threads", 0));
   o.tsv = flags.GetString("tsv", "");
   if (!flags.Validate()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     std::exit(1);
   }
+  runner::SetExperimentThreads(o.threads);
   return o;
 }
 

@@ -4,9 +4,17 @@
 // trace, so average utilization falls (86 % -> 43 %) and the normalized
 // response-time ratio converges toward 1. We replay the same experiment:
 // one trace calibrated to the base fleet, replayed on scaled fleets.
+//
+// The (treatment, baseline) x fleet-multiplier grid is embarrassingly
+// parallel, so cells run concurrently under the --threads budget. Cells
+// write into slots indexed by grid position, and the table/TSV are emitted
+// only after the join, in grid order — printed output and TSV rows are
+// byte-identical to a serial run (and rows can never interleave mid-line,
+// which the old write-as-you-go loop would have allowed under concurrency).
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +36,37 @@ inline void RunNormalizedSweep(const std::string& profile,
                                const std::string& baseline,
                                metrics::ClassFilter cf,
                                const BenchOptions& o) {
+  auto opts = o;
+  if (profile == "yahoo") {
+    opts.nodes = std::max<std::size_t>(o.nodes / 3, 8);
+    opts.jobs = 50 * opts.nodes;
+  }
+  const auto trace = MakeTrace(profile, opts);
+  std::printf("--- %s trace (base fleet %zu workers) ---\n", profile.c_str(),
+              opts.nodes);
+
+  // One cluster per multiplier, shared (const) by that multiplier's two
+  // cells; one result slot per (multiplier, scheduler) cell.
+  const auto& mults = SweepMultipliers();
+  std::vector<std::size_t> fleet_sizes;
+  std::vector<cluster::Cluster> clusters;
+  fleet_sizes.reserve(mults.size());
+  clusters.reserve(mults.size());
+  for (const double mult : mults) {
+    fleet_sizes.push_back(
+        static_cast<std::size_t>(static_cast<double>(opts.nodes) * mult));
+    clusters.push_back(MakeCluster(fleet_sizes.back(), opts.seed));
+  }
+  if (runner::ExperimentThreads() > 1) {
+    for (const auto& cl : clusters) runner::PrewarmClusterForTrace(cl, trace);
+  }
+  std::vector<std::optional<runner::RepeatedRuns>> cells(2 * mults.size());
+  runner::ParallelExperimentLoop(cells.size(), [&](std::size_t i) {
+    const auto& scheduler = (i % 2 == 0) ? treatment : baseline;
+    cells[i].emplace(Run(scheduler, trace, clusters[i / 2], opts));
+  });
+
+  // Join done: emit the table and TSV serially, in grid order.
   std::FILE* tsv = nullptr;
   if (!o.tsv.empty()) {
     tsv = std::fopen(o.tsv.c_str(), "a");
@@ -42,23 +81,13 @@ inline void RunNormalizedSweep(const std::string& profile,
       }
     }
   }
-  auto opts = o;
-  if (profile == "yahoo") {
-    opts.nodes = std::max<std::size_t>(o.nodes / 3, 8);
-    opts.jobs = 50 * opts.nodes;
-  }
-  const auto trace = MakeTrace(profile, opts);
-  std::printf("--- %s trace (base fleet %zu workers) ---\n", profile.c_str(),
-              opts.nodes);
   util::TextTable table({"fleet", "~paper nodes", "avg util",
                          "p50 (norm)", "p90 (norm)", "p99 (norm)",
                          "p99 " + treatment, "p99 " + baseline});
-  for (const double mult : SweepMultipliers()) {
-    const auto nodes =
-        static_cast<std::size_t>(static_cast<double>(opts.nodes) * mult);
-    const auto cluster = MakeCluster(nodes, opts.seed);
-    const auto t = Run(treatment, trace, cluster, opts);
-    const auto b = Run(baseline, trace, cluster, opts);
+  for (std::size_t m = 0; m < mults.size(); ++m) {
+    const std::size_t nodes = fleet_sizes[m];
+    const auto& t = *cells[2 * m];
+    const auto& b = *cells[2 * m + 1];
     auto norm = [&](double p) {
       const double tv =
           t.MeanResponsePercentile(p, cf, metrics::ConstraintFilter::kAll);
@@ -74,7 +103,7 @@ inline void RunNormalizedSweep(const std::string& profile,
         b.MeanResponsePercentile(99, cf, metrics::ConstraintFilter::kAll);
     table.AddRow(
         {util::WithCommas(static_cast<std::int64_t>(nodes)),
-         util::WithCommas(static_cast<std::int64_t>(15000 * mult)),
+         util::WithCommas(static_cast<std::int64_t>(15000 * mults[m])),
          util::StrFormat("%.0f%%", 100 * util),
          util::StrFormat("%.2f", norm(50)), util::StrFormat("%.2f", norm(90)),
          util::StrFormat("%.2f", norm(99)), util::HumanDuration(t99),

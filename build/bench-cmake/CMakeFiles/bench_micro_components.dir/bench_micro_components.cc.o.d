@@ -213,6 +213,9 @@ bench-cmake/CMakeFiles/bench_micro_components.dir/bench_micro_components.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/cluster/builder.h /root/repo/src/cluster/cluster.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/cluster/constraint.h /root/repo/src/cluster/attributes.h \
  /usr/include/c++/12/array /root/repo/src/cluster/machine.h \
  /root/repo/src/util/bitset.h /root/repo/src/util/check.h \
@@ -225,5 +228,5 @@ bench-cmake/CMakeFiles/bench_micro_components.dir/bench_micro_components.cc.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/trace/synthesizer.h
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/trace/synthesizer.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/runner/experiment.cc" "src/runner/CMakeFiles/phoenix_runner.dir/experiment.cc.o" "gcc" "src/runner/CMakeFiles/phoenix_runner.dir/experiment.cc.o.d"
+  "/root/repo/src/runner/parallel.cc" "src/runner/CMakeFiles/phoenix_runner.dir/parallel.cc.o" "gcc" "src/runner/CMakeFiles/phoenix_runner.dir/parallel.cc.o.d"
   "/root/repo/src/runner/registry.cc" "src/runner/CMakeFiles/phoenix_runner.dir/registry.cc.o" "gcc" "src/runner/CMakeFiles/phoenix_runner.dir/registry.cc.o.d"
   )
 

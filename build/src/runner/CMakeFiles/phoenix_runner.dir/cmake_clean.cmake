@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/phoenix_runner.dir/experiment.cc.o"
   "CMakeFiles/phoenix_runner.dir/experiment.cc.o.d"
+  "CMakeFiles/phoenix_runner.dir/parallel.cc.o"
+  "CMakeFiles/phoenix_runner.dir/parallel.cc.o.d"
   "CMakeFiles/phoenix_runner.dir/registry.cc.o"
   "CMakeFiles/phoenix_runner.dir/registry.cc.o.d"
   "libphoenix_runner.a"

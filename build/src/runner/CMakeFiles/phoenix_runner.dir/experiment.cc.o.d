@@ -129,25 +129,13 @@ src/runner/CMakeFiles/phoenix_runner.dir/experiment.cc.o: \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/cluster/constraint.h \
- /root/repo/src/cluster/attributes.h /usr/include/c++/12/array \
- /root/repo/src/cluster/machine.h /root/repo/src/util/bitset.h \
- /usr/include/c++/12/bit /root/repo/src/util/check.h \
- /root/repo/src/util/rng.h /usr/include/c++/12/limits \
- /root/repo/src/metrics/report.h /root/repo/src/metrics/percentile.h \
- /root/repo/src/sim/simtime.h /root/repo/src/trace/job.h \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sched/types.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/queueing/mg1.h \
- /root/repo/src/queueing/stats.h /root/repo/src/trace/trace.h \
- /root/repo/src/runner/registry.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/ostream /usr/include/c++/12/ios \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/ios /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
@@ -213,8 +201,24 @@ src/runner/CMakeFiles/phoenix_runner.dir/experiment.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/sched/base.h \
- /root/repo/src/sim/engine.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/cluster/constraint.h /root/repo/src/cluster/attributes.h \
+ /usr/include/c++/12/array /root/repo/src/cluster/machine.h \
+ /root/repo/src/util/bitset.h /root/repo/src/util/check.h \
+ /root/repo/src/util/rng.h /root/repo/src/metrics/report.h \
+ /root/repo/src/metrics/percentile.h /root/repo/src/sim/simtime.h \
+ /root/repo/src/trace/job.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/sched/types.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/queueing/mg1.h /root/repo/src/queueing/stats.h \
+ /root/repo/src/trace/trace.h /root/repo/src/runner/parallel.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -223,5 +227,6 @@ src/runner/CMakeFiles/phoenix_runner.dir/experiment.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/runner/registry.h /root/repo/src/sched/base.h \
+ /root/repo/src/sim/engine.h

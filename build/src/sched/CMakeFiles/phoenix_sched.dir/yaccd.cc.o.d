@@ -202,11 +202,14 @@ src/sched/CMakeFiles/phoenix_sched.dir/yaccd.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/cluster/constraint.h \
- /root/repo/src/cluster/attributes.h /usr/include/c++/12/array \
- /root/repo/src/cluster/machine.h /root/repo/src/util/bitset.h \
- /root/repo/src/util/check.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/limits /root/repo/src/metrics/report.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/cluster/constraint.h /root/repo/src/cluster/attributes.h \
+ /usr/include/c++/12/array /root/repo/src/cluster/machine.h \
+ /root/repo/src/util/bitset.h /root/repo/src/util/check.h \
+ /root/repo/src/util/rng.h /root/repo/src/metrics/report.h \
  /root/repo/src/metrics/percentile.h /root/repo/src/sim/simtime.h \
  /root/repo/src/trace/job.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
@@ -223,8 +226,7 @@ src/sched/CMakeFiles/phoenix_sched.dir/yaccd.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/trace/trace.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/trace/trace.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/flags.cc" "src/util/CMakeFiles/phoenix_util.dir/flags.cc.o" "gcc" "src/util/CMakeFiles/phoenix_util.dir/flags.cc.o.d"
   "/root/repo/src/util/format.cc" "src/util/CMakeFiles/phoenix_util.dir/format.cc.o" "gcc" "src/util/CMakeFiles/phoenix_util.dir/format.cc.o.d"
   "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/phoenix_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/phoenix_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/phoenix_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/phoenix_util.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/phoenix_util.dir/format.cc.o.d"
   "CMakeFiles/phoenix_util.dir/histogram.cc.o"
   "CMakeFiles/phoenix_util.dir/histogram.cc.o.d"
+  "CMakeFiles/phoenix_util.dir/thread_pool.cc.o"
+  "CMakeFiles/phoenix_util.dir/thread_pool.cc.o.d"
   "libphoenix_util.a"
   "libphoenix_util.pdb"
 )

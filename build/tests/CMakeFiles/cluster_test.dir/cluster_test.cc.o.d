@@ -293,6 +293,8 @@ tests/CMakeFiles/cluster_test.dir/cluster_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/cluster/builder.h /root/repo/src/cluster/cluster.h \
- /root/repo/src/cluster/constraint.h /root/repo/src/cluster/attributes.h \
- /root/repo/src/cluster/machine.h /root/repo/src/util/bitset.h \
- /root/repo/src/util/check.h /root/repo/src/util/rng.h
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/cluster/constraint.h \
+ /root/repo/src/cluster/attributes.h /root/repo/src/cluster/machine.h \
+ /root/repo/src/util/bitset.h /root/repo/src/util/check.h \
+ /root/repo/src/util/rng.h

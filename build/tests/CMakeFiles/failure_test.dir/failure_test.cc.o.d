@@ -294,13 +294,14 @@ tests/CMakeFiles/failure_test.dir/failure_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/cluster/builder.h /root/repo/src/cluster/cluster.h \
- /root/repo/src/cluster/constraint.h /root/repo/src/cluster/attributes.h \
- /root/repo/src/cluster/machine.h /root/repo/src/util/bitset.h \
- /root/repo/src/util/check.h /root/repo/src/util/rng.h \
- /root/repo/src/runner/experiment.h /root/repo/src/metrics/report.h \
- /root/repo/src/metrics/percentile.h /root/repo/src/sim/simtime.h \
- /root/repo/src/trace/job.h /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/cluster/constraint.h \
+ /root/repo/src/cluster/attributes.h /root/repo/src/cluster/machine.h \
+ /root/repo/src/util/bitset.h /root/repo/src/util/check.h \
+ /root/repo/src/util/rng.h /root/repo/src/runner/experiment.h \
+ /root/repo/src/metrics/report.h /root/repo/src/metrics/percentile.h \
+ /root/repo/src/sim/simtime.h /root/repo/src/trace/job.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/sched/types.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_runner_test.cc" "tests/CMakeFiles/parallel_runner_test.dir/parallel_runner_test.cc.o" "gcc" "tests/CMakeFiles/parallel_runner_test.dir/parallel_runner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runner/CMakeFiles/phoenix_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phoenix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/phoenix_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/phoenix_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/phoenix_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/phoenix_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/phoenix_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phoenix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phoenix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

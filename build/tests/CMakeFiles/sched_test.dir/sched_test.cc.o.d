@@ -294,13 +294,14 @@ tests/CMakeFiles/sched_test.dir/sched_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/cluster/builder.h /root/repo/src/cluster/cluster.h \
- /root/repo/src/cluster/constraint.h /root/repo/src/cluster/attributes.h \
- /root/repo/src/cluster/machine.h /root/repo/src/util/bitset.h \
- /root/repo/src/util/check.h /root/repo/src/util/rng.h \
- /root/repo/src/runner/experiment.h /root/repo/src/metrics/report.h \
- /root/repo/src/metrics/percentile.h /root/repo/src/sim/simtime.h \
- /root/repo/src/trace/job.h /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/cluster/constraint.h \
+ /root/repo/src/cluster/attributes.h /root/repo/src/cluster/machine.h \
+ /root/repo/src/util/bitset.h /root/repo/src/util/check.h \
+ /root/repo/src/util/rng.h /root/repo/src/runner/experiment.h \
+ /root/repo/src/metrics/report.h /root/repo/src/metrics/percentile.h \
+ /root/repo/src/sim/simtime.h /root/repo/src/trace/job.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/sched/types.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
@@ -330,6 +331,5 @@ tests/CMakeFiles/sched_test.dir/sched_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/trace/synthesizer.h /root/repo/src/sched/eagle.h \
  /root/repo/src/sched/hawk.h /root/repo/src/sched/base.h \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sched/sparrow.h \
+ /root/repo/src/sim/engine.h /root/repo/src/sched/sparrow.h \
  /root/repo/src/sched/yaccd.h

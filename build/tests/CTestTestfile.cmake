@@ -13,6 +13,7 @@ include("/root/repo/build/tests/metrics_test[1]_include.cmake")
 include("/root/repo/build/tests/sched_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/runner_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_runner_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/fairness_test[1]_include.cmake")
 include("/root/repo/build/tests/placement_test[1]_include.cmake")

@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 
 #include "util/check.h"
@@ -23,7 +24,8 @@ std::uint32_t EncodePredicate(const Constraint& c) {
 }  // namespace
 
 Cluster::Cluster(std::vector<Machine> machines)
-    : machines_(std::move(machines)), all_(machines_.size()) {
+    : machines_(std::move(machines)), all_(machines_.size()),
+      caches_(std::make_unique<EligibilityCaches>()) {
   PHOENIX_CHECK_MSG(!machines_.empty(), "cluster must have at least one machine");
   std::set<RackId> racks;
   for (std::size_t i = 0; i < machines_.size(); ++i) {
@@ -35,15 +37,24 @@ Cluster::Cluster(std::vector<Machine> machines)
   all_.SetAll();
 }
 
+// Both caches follow the same discipline: shared-lock lookup, then (miss)
+// compute outside any lock and insert under an exclusive lock, keeping the
+// existing entry if another thread raced us there. std::map guarantees node
+// stability, so the returned reference outlives the lock; entries are never
+// erased for the life of the cluster.
 const util::Bitset& Cluster::Satisfying(const Constraint& c) const {
   const std::uint32_t key = EncodePredicate(c);
-  const auto it = predicate_cache_.find(key);
-  if (it != predicate_cache_.end()) return it->second;
+  {
+    std::shared_lock lock(caches_->mu);
+    const auto it = caches_->predicates.find(key);
+    if (it != caches_->predicates.end()) return it->second;
+  }
   util::Bitset bits(machines_.size());
   for (const auto& m : machines_) {
     if (m.Satisfies(c)) bits.Set(m.id);
   }
-  return predicate_cache_.emplace(key, std::move(bits)).first->second;
+  std::unique_lock lock(caches_->mu);
+  return caches_->predicates.emplace(key, std::move(bits)).first->second;
 }
 
 Cluster::SetKey Cluster::KeyFor(const ConstraintSet& cs) {
@@ -57,11 +68,17 @@ Cluster::SetKey Cluster::KeyFor(const ConstraintSet& cs) {
 const util::Bitset& Cluster::Satisfying(const ConstraintSet& cs) const {
   if (cs.empty()) return all_;
   const SetKey key = KeyFor(cs);
-  const auto it = pool_cache_.find(key);
-  if (it != pool_cache_.end()) return it->second;
+  {
+    std::shared_lock lock(caches_->mu);
+    const auto it = caches_->pools.find(key);
+    if (it != caches_->pools.end()) return it->second;
+  }
+  // Compute with no lock held: the per-predicate lookups below take the
+  // same mutex themselves.
   util::Bitset pool = Satisfying(cs[0]);
   for (std::size_t i = 1; i < cs.size(); ++i) pool.AndWith(Satisfying(cs[i]));
-  return pool_cache_.emplace(key, std::move(pool)).first->second;
+  std::unique_lock lock(caches_->mu);
+  return caches_->pools.emplace(key, std::move(pool)).first->second;
 }
 
 MachineId Cluster::SampleSatisfying(const ConstraintSet& cs,

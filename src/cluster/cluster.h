@@ -6,10 +6,19 @@
 // bitset per (attribute, operator, value) predicate over the small value
 // domains; a constraint set's candidate pool is the AND of its predicates'
 // bitsets. Pools are memoized per distinct constraint set.
+//
+// The memoization is safe under concurrent const access: the parallel
+// experiment runner shares one Cluster across simultaneous seeded runs, so
+// lookups take a shared lock and cold keys are inserted under an exclusive
+// lock (std::map nodes are stable, so returned references stay valid
+// after the lock is released). Pre-warming via
+// runner::PrewarmClusterForTrace keeps the hot path on the shared lock.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "cluster/constraint.h"
@@ -69,15 +78,22 @@ class Cluster {
   using SetKey = std::vector<std::uint32_t>;
   static SetKey KeyFor(const ConstraintSet& cs);
 
+  // Lazily built eligibility indices, shared by all runs over this cluster:
+  // per-predicate bitsets keyed by the encoded (attr, op, value) triple
+  // (the distinct-predicate count is bounded by the small value domains, so
+  // each is computed once by a single fleet scan) and per-constraint-set
+  // pools. Guarded by `mu` for concurrent const access; held behind a
+  // unique_ptr so Cluster stays movable (shared_mutex is not).
+  struct EligibilityCaches {
+    std::shared_mutex mu;
+    std::map<std::uint32_t, util::Bitset> predicates;
+    std::map<SetKey, util::Bitset> pools;
+  };
+
   std::vector<Machine> machines_;
   util::Bitset all_;
   std::size_t num_racks_ = 1;
-
-  // Lazily built per-predicate bitsets, keyed by the encoded (attr, op,
-  // value) triple. The distinct-predicate count is bounded by the small
-  // value domains, so each is computed once by a single fleet scan.
-  mutable std::map<std::uint32_t, util::Bitset> predicate_cache_;
-  mutable std::map<SetKey, util::Bitset> pool_cache_;
+  std::unique_ptr<EligibilityCaches> caches_;
 };
 
 }  // namespace phoenix::cluster

@@ -92,18 +92,29 @@ std::vector<MachineId> PhoenixScheduler::ChooseProbeTargets(
   }
   const std::size_t wanted = config().probe_ratio * job.num_tasks();
   // Over-sample through Eagle's SSS-aware path, then keep the targets with
-  // the lowest heartbeat E[W] estimates.
+  // the lowest heartbeat E[W] estimates. Sampling is with replacement, so
+  // the doubled draw carries duplicates — dedupe before ranking (probing
+  // the same queue twice buys nothing), and rank with a partial sort: only
+  // the best `wanted` need ordering, not the whole candidate list. The
+  // MachineId tie-break keeps the selection deterministic (partial_sort is
+  // unstable, and E[W] estimates tie often right after a heartbeat).
   std::vector<MachineId> candidates = EagleScheduler::ChooseProbeTargets(job);
   {
     std::vector<MachineId> more = EagleScheduler::ChooseProbeTargets(job);
     candidates.insert(candidates.end(), more.begin(), more.end());
   }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
   if (candidates.size() <= wanted) return candidates;
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [this](MachineId a, MachineId b) {
-                     return worker(a).last_wait_estimate <
-                            worker(b).last_wait_estimate;
-                   });
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + static_cast<std::ptrdiff_t>(wanted),
+                    candidates.end(), [this](MachineId a, MachineId b) {
+                      const double wa = worker(a).last_wait_estimate;
+                      const double wb = worker(b).last_wait_estimate;
+                      if (wa != wb) return wa < wb;
+                      return a < b;
+                    });
   candidates.resize(wanted);
   return candidates;
 }

@@ -1,5 +1,6 @@
 #include "runner/experiment.h"
 
+#include "runner/parallel.h"
 #include "runner/registry.h"
 #include "sim/engine.h"
 #include "util/check.h"
@@ -22,12 +23,20 @@ RepeatedRuns::RepeatedRuns(const trace::Trace& trace,
                            const cluster::Cluster& cluster, RunOptions options,
                            std::size_t runs) {
   PHOENIX_CHECK(runs > 0);
-  reports_.reserve(runs);
+  reports_.resize(runs);
   const std::uint64_t base_seed = options.config.seed;
-  for (std::size_t i = 0; i < runs; ++i) {
-    options.config.seed = base_seed + i;
-    reports_.push_back(RunSimulation(trace, cluster, options));
+  // Each run owns its engine, scheduler and RNG (seed + i) and writes only
+  // its own report slot, so the fan-out is deterministic for any thread
+  // count. The cluster is the only shared state; its eligibility caches are
+  // pre-warmed here so concurrent runs stay on the shared-lock read path.
+  if (runs > 1 && ExperimentThreads() > 1 && !InParallelExperimentLoop()) {
+    PrewarmClusterForTrace(cluster, trace);
   }
+  ParallelExperimentLoop(runs, [&](std::size_t i) {
+    RunOptions run_options = options;
+    run_options.config.seed = base_seed + i;
+    reports_[i] = RunSimulation(trace, cluster, run_options);
+  });
 }
 
 double RepeatedRuns::MeanResponsePercentile(

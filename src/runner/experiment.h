@@ -26,6 +26,9 @@ metrics::SimReport RunSimulation(const trace::Trace& trace,
                                  const RunOptions& options);
 
 /// The same workload under `runs` scheduler seeds (config.seed + i).
+/// Runs execute concurrently under the runner::ExperimentThreads() budget
+/// (see runner/parallel.h); reports() is always ordered by seed offset and
+/// bit-identical to a serial execution.
 class RepeatedRuns {
  public:
   RepeatedRuns(const trace::Trace& trace, const cluster::Cluster& cluster,

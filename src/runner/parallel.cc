@@ -1,0 +1,72 @@
+#include "runner/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace phoenix::runner {
+
+namespace {
+
+std::atomic<std::size_t> g_threads{0};  // 0 = hardware default
+thread_local bool t_in_parallel_loop = false;
+
+}  // namespace
+
+std::size_t ExperimentThreads() {
+  const std::size_t t = g_threads.load(std::memory_order_relaxed);
+  return t == 0 ? util::ThreadPool::HardwareThreads() : t;
+}
+
+void SetExperimentThreads(std::size_t threads) {
+  g_threads.store(threads, std::memory_order_relaxed);
+}
+
+bool InParallelExperimentLoop() { return t_in_parallel_loop; }
+
+void ParallelExperimentLoop(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  const std::size_t budget = ExperimentThreads();
+  if (n <= 1 || budget <= 1 || t_in_parallel_loop) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  util::ThreadPool pool(std::min(budget, n));
+  pool.ParallelFor(n, [&fn](std::size_t i) {
+    t_in_parallel_loop = true;
+    fn(i);
+    t_in_parallel_loop = false;
+  });
+}
+
+void PrewarmClusterForTrace(const cluster::Cluster& cluster,
+                            const trace::Trace& trace) {
+  for (const auto& job : trace.jobs()) {
+    if (!job.constrained()) continue;
+    cluster.Satisfying(job.constraints);
+    // Both forced relaxation (SchedulerBase::AdmitJob) and Phoenix's CRV
+    // negotiation only ever *remove soft* constraints, so the reachable
+    // effective sets are exactly the soft-subset removals. Sets hold at
+    // most kMaxConstraintsPerTask (6) entries, so the enumeration is tiny,
+    // and the pool memoization dedupes repeats across jobs.
+    std::vector<std::size_t> soft;
+    for (std::size_t i = 0; i < job.constraints.size(); ++i) {
+      if (!job.constraints[i].hard) soft.push_back(i);
+    }
+    for (std::size_t mask = 1; mask < (1u << soft.size()); ++mask) {
+      cluster::ConstraintSet relaxed;
+      for (std::size_t i = 0; i < job.constraints.size(); ++i) {
+        const auto it = std::find(soft.begin(), soft.end(), i);
+        const bool removed =
+            it != soft.end() &&
+            (mask >> static_cast<std::size_t>(it - soft.begin())) & 1;
+        if (!removed) relaxed.Add(job.constraints[i]);
+      }
+      if (!relaxed.empty()) cluster.Satisfying(relaxed);
+    }
+  }
+}
+
+}  // namespace phoenix::runner

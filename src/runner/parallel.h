@@ -1,0 +1,48 @@
+// Process-wide parallel execution policy for the experiment harness.
+//
+// Everything the paper's evaluation runs is embarrassingly parallel — five
+// seeded simulations per data point, ten (scheduler, fleet) cells per
+// sweep — so the harness fans those units out over a fork/join ThreadPool.
+// Determinism is preserved by construction: every unit owns its sim::Engine
+// and RNG (derived from config.seed + index), writes into a result slot
+// keyed by its index, and all printing/serialization happens after the
+// join. Results are therefore bit-identical for any thread budget.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "cluster/cluster.h"
+#include "trace/trace.h"
+
+namespace phoenix::runner {
+
+/// Thread budget for experiment loops. Defaults to hardware_concurrency;
+/// never less than 1.
+std::size_t ExperimentThreads();
+
+/// Sets the budget (the bench harnesses wire `--threads` here). 0 restores
+/// the hardware_concurrency default; 1 restores fully serial execution.
+void SetExperimentThreads(std::size_t threads);
+
+/// True while the calling thread is inside a ParallelExperimentLoop task.
+/// Nested loops run serially (the outer loop already owns the budget).
+bool InParallelExperimentLoop();
+
+/// Runs fn(0) .. fn(n - 1). Parallel when the budget allows and the caller
+/// is not already inside a parallel loop; otherwise serial, in index order.
+/// Tasks must confine writes to per-index slots (and otherwise only touch
+/// state that is safe under concurrent const access, e.g. Cluster).
+void ParallelExperimentLoop(std::size_t n,
+                            const std::function<void(std::size_t)>& fn);
+
+/// Populates the cluster's predicate/pool caches with every constraint set
+/// the trace can request (as-submitted and hard-only, the admission
+/// fallback), so parallel runs mostly take the shared-lock read path
+/// instead of serializing on cold-key inserts (multi-step admission
+/// relaxations can still miss; the cluster's mutex covers those). Cheap:
+/// memoization dedupes.
+void PrewarmClusterForTrace(const cluster::Cluster& cluster,
+                            const trace::Trace& trace);
+
+}  // namespace phoenix::runner

@@ -4,11 +4,18 @@
 
 namespace phoenix::sim {
 
+namespace {
+// Compaction pays one O(n) rebuild to drop ~n/3 of the heap; below this
+// size the win is noise and the rebuild would run on every few cancels.
+constexpr std::size_t kMinTombstonesForCompaction = 64;
+}  // namespace
+
 Engine::EventId Engine::ScheduleAt(SimTime at, Callback cb) {
   PHOENIX_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
   PHOENIX_CHECK_MSG(cb != nullptr, "null event callback");
   const EventId id = next_seq_++;
-  heap_.push(Entry{at, id, std::move(cb)});
+  heap_.push_back(Entry{at, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   ++live_events_;
   return id;
 }
@@ -22,16 +29,34 @@ bool Engine::Cancel(EventId id) {
   cancelled_.insert(it, id);
   PHOENIX_CHECK(live_events_ > 0);
   --live_events_;
+  MaybeCompact();
   return true;
+}
+
+void Engine::MaybeCompact() {
+  if (cancelled_.size() < kMinTombstonesForCompaction ||
+      cancelled_.size() <= live_events_ / 2) {
+    return;
+  }
+  // Tombstones dominate: filter them out in one pass and re-heapify, so
+  // cancel-heavy workloads keep the heap at O(live) instead of O(scheduled).
+  std::erase_if(heap_, [this](const Entry& e) {
+    return std::binary_search(cancelled_.begin(), cancelled_.end(), e.seq);
+  });
+  cancelled_.clear();
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  ++compactions_;
+  PHOENIX_CHECK(heap_.size() == live_events_);
 }
 
 void Engine::SkipCancelled() {
   while (!heap_.empty()) {
-    const EventId id = heap_.top().seq;
+    const EventId id = heap_.front().seq;
     const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
     if (it == cancelled_.end() || *it != id) return;
     cancelled_.erase(it);
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
   }
 }
 
@@ -43,11 +68,12 @@ std::uint64_t Engine::Run(SimTime until) {
 
 bool Engine::Step(SimTime until) {
   SkipCancelled();
-  if (heap_.empty() || heap_.top().time > until) return false;
-  // Move the callback out before popping: the callback may schedule events,
-  // which mutates the heap.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  if (heap_.empty() || heap_.front().time > until) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  // Move the callback out before running it: the callback may schedule
+  // events, which mutates the heap.
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
   PHOENIX_CHECK(live_events_ > 0);
   --live_events_;
   PHOENIX_CHECK_MSG(entry.time >= now_, "event time went backwards");

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/simtime.h"
@@ -39,7 +38,10 @@ class Engine {
   }
 
   /// Cancels a pending event. Returns true if the event had not yet fired.
-  /// Cancellation is O(1): the heap entry is tombstoned and skipped later.
+  /// Cancellation tombstones the heap entry in O(1) amortized; tombstones
+  /// are skipped when popped, and the heap is compacted wholesale once
+  /// cancelled entries outnumber half of the live ones, so workloads that
+  /// cancel heavily (probe siblings) cannot grow the heap unboundedly.
   bool Cancel(EventId id);
 
   /// Runs until the event queue drains or `until` is reached, whichever is
@@ -53,6 +55,11 @@ class Engine {
   bool Empty() const { return live_events_ == 0; }
   std::uint64_t events_fired() const { return events_fired_; }
   std::uint64_t events_scheduled() const { return next_seq_; }
+  /// Heap entries currently held, including not-yet-reclaimed tombstones
+  /// (bounded by 1.5x the live count once compaction kicks in).
+  std::size_t pending_entries() const { return heap_.size(); }
+  /// Times the heap was rebuilt to shed tombstones.
+  std::uint64_t compactions() const { return compactions_; }
 
  private:
   struct Entry {
@@ -67,13 +74,18 @@ class Engine {
 
   // Pops tombstoned (cancelled) entries off the heap top.
   void SkipCancelled();
+  // Rebuilds the heap without the tombstoned entries when they dominate.
+  void MaybeCompact();
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Min-heap over Entry (std::greater on operator>), kept as a plain vector
+  // so compaction can filter it in place.
+  std::vector<Entry> heap_;
   std::vector<EventId> cancelled_;  // sorted lazily; see engine.cc
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t live_events_ = 0;
   std::uint64_t events_fired_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace phoenix::sim

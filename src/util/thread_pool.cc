@@ -1,0 +1,112 @@
+#include "util/thread_pool.h"
+
+#include "util/check.h"
+
+namespace phoenix::util {
+
+namespace {
+constexpr std::uint64_t kIndexMask = 0xffffffffULL;
+
+std::uint64_t TagFor(std::uint64_t generation) {
+  return (generation & kIndexMask) << 32;
+}
+}  // namespace
+
+std::size_t ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  batch_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::RunBatch(std::uint64_t generation,
+                          const std::function<void(std::size_t)>* fn,
+                          std::size_t size) {
+  const std::uint64_t tag = TagFor(generation);
+  std::size_t done = 0;
+  std::uint64_t t = ticket_.load(std::memory_order_acquire);
+  while ((t & ~kIndexMask) == tag && (t & kIndexMask) < size) {
+    if (!ticket_.compare_exchange_weak(t, t + 1, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      continue;
+    }
+    // A claimable index implies the batch is still registered, so `fn` (the
+    // caller's argument) is alive: ParallelFor cannot return before every
+    // claimed index reports completion below.
+    (*fn)(t & kIndexMask);
+    ++done;
+    t = ticket_.load(std::memory_order_acquire);
+  }
+  if (done > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PHOENIX_CHECK(tasks_remaining_ >= done);
+    tasks_remaining_ -= done;
+    if (tasks_remaining_ == 0) batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t size = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_ready_.wait(lock, [&] {
+        return shutdown_ || batch_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = batch_generation_;
+      fn = batch_fn_;
+      size = batch_size_;
+    }
+    // fn is null when the worker slept through an entire batch; the
+    // generation tag also protects against claiming into a newer batch.
+    if (fn != nullptr) RunBatch(seen_generation, fn, size);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t num_tasks,
+                             const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    // Inline serial path: index order matches the historical serial loops.
+    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  PHOENIX_CHECK_MSG(num_tasks <= kIndexMask, "batch too large for the ticket");
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PHOENIX_CHECK_MSG(batch_fn_ == nullptr,
+                      "ThreadPool::ParallelFor is not reentrant");
+    batch_fn_ = &fn;
+    batch_size_ = num_tasks;
+    tasks_remaining_ = num_tasks;
+    generation = ++batch_generation_;
+    ticket_.store(TagFor(generation), std::memory_order_release);
+  }
+  batch_ready_.notify_all();
+  RunBatch(generation, &fn, num_tasks);  // the caller is a worker too
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [&] { return tasks_remaining_ == 0; });
+  batch_fn_ = nullptr;
+  batch_size_ = 0;
+}
+
+}  // namespace phoenix::util

@@ -1,0 +1,70 @@
+// Fixed-size fork/join thread pool for the experiment harness.
+//
+// Deliberately work-stealing-free: a pool runs one indexed task batch at a
+// time, workers claim indices from a generation-tagged atomic ticket, and
+// the caller blocks until every index has finished. Determinism therefore
+// never depends on scheduling order — callers write results into per-index
+// slots and the batch is a pure fork/join barrier. A pool of size 1 (or a
+// batch of one task) runs inline on the calling thread, with indices in
+// order, which is byte-identical to the pre-pool serial code path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phoenix::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread participates in
+  /// every batch, so a pool of size N uses exactly N threads while a batch
+  /// runs). num_threads == 0 is clamped to 1.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads a batch may use (workers + caller).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(0) .. fn(num_tasks - 1), blocking until all complete. Tasks
+  /// must be independent; each should write only to its own result slot.
+  /// With size() == 1 or num_tasks <= 1 the indices run inline, in order.
+  /// Not reentrant: one batch at a time per pool (CHECK-enforced).
+  void ParallelFor(std::size_t num_tasks,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 when unknown).
+  static std::size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+  // Claims indices of batch `generation` until it drains or is superseded.
+  void RunBatch(std::uint64_t generation,
+                const std::function<void(std::size_t)>* fn, std::size_t size);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable batch_ready_;
+  std::condition_variable batch_done_;
+  const std::function<void(std::size_t)>* batch_fn_ = nullptr;  // guarded by mu_
+  std::size_t batch_size_ = 0;                                  // guarded by mu_
+  std::uint64_t batch_generation_ = 0;                          // guarded by mu_
+  std::size_t tasks_remaining_ = 0;                             // guarded by mu_
+  bool shutdown_ = false;                                       // guarded by mu_
+  // (generation & 0xffffffff) << 32 | next index. The tag makes a stale
+  // worker's claim on a superseded batch fail instead of stealing an index
+  // from (and running the wrong function for) the batch that replaced it.
+  std::atomic<std::uint64_t> ticket_{0};
+};
+
+}  // namespace phoenix::util

@@ -82,16 +82,26 @@ TEST_P(TraceSweepTest, BaselineWithoutConstraintsQueuesLess) {
 }
 
 // The paper's headline: Phoenix's short-job tail beats Eagle-C's at high
-// utilization on every trace.
+// utilization on every trace. Both schedulers are stochastic (probe/steal
+// target sampling), so assert the paper's multi-seed mean (§V-B averages
+// over repeated runs) rather than a single scheduler seed.
 TEST_P(TraceSweepTest, PhoenixImprovesShortJobTail) {
   const auto t = MakeTrace();
   const auto cl = MakeCluster();
-  const auto phoenix = Run("phoenix", t, cl);
-  const auto eagle = Run("eagle-c", t, cl);
-  const double speedup =
-      metrics::SpeedupAtPercentile(phoenix, eagle, 99, ClassFilter::kShort,
-                                   ConstraintFilter::kAll);
-  EXPECT_GT(speedup, 1.0);
+  constexpr std::size_t kRuns = 3;
+  runner::RunOptions po;
+  po.scheduler = "phoenix";
+  po.config.seed = 31;
+  runner::RunOptions eo = po;
+  eo.scheduler = "eagle-c";
+  const runner::RepeatedRuns phoenix(t, cl, po, kRuns);
+  const runner::RepeatedRuns eagle(t, cl, eo, kRuns);
+  const double p99_phoenix = phoenix.MeanResponsePercentile(
+      99, ClassFilter::kShort, ConstraintFilter::kAll);
+  const double p99_eagle = eagle.MeanResponsePercentile(
+      99, ClassFilter::kShort, ConstraintFilter::kAll);
+  ASSERT_GT(p99_phoenix, 0.0);
+  EXPECT_GT(p99_eagle / p99_phoenix, 1.0);
 }
 
 // Table III's premise: roughly half the tasks are constrained and the short

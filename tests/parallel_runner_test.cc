@@ -1,0 +1,197 @@
+// Concurrency tests for the parallel experiment runner: thread-pool
+// correctness, bit-identical results across thread budgets, and the
+// cluster's eligibility caches under concurrent const access. Run these
+// under ThreadSanitizer via -DPHOENIX_SANITIZE=thread (ctest -L concurrency).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cluster/builder.h"
+#include "runner/experiment.h"
+#include "runner/parallel.h"
+#include "trace/generators.h"
+#include "trace/synthesizer.h"
+#include "util/thread_pool.h"
+
+namespace phoenix::runner {
+namespace {
+
+// Restores the process-wide thread budget on scope exit so tests cannot
+// leak their setting into each other.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(std::size_t n) { SetExperimentThreads(n); }
+  ~ScopedThreads() { SetExperimentThreads(0); }
+};
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  util::ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.ParallelFor(64, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2);
+  }
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  util::ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.ParallelFor(8, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ParallelExperimentLoop, NestedLoopsRunSerial) {
+  ScopedThreads threads(4);
+  std::atomic<int> outer{0};
+  ParallelExperimentLoop(4, [&](std::size_t) {
+    EXPECT_TRUE(InParallelExperimentLoop());
+    // The inner loop must not spawn another pool; it runs inline on this
+    // worker, so per-iteration writes to this local are single-threaded.
+    int inner = 0;
+    ParallelExperimentLoop(8, [&](std::size_t) { ++inner; });
+    EXPECT_EQ(inner, 8);
+    ++outer;
+  });
+  EXPECT_EQ(outer.load(), 4);
+  EXPECT_FALSE(InParallelExperimentLoop());
+}
+
+// The tentpole guarantee: the thread budget must not leak into results.
+TEST(RepeatedRuns, BitIdenticalAcrossThreadCounts) {
+  const cluster::Cluster cl =
+      cluster::BuildCluster({.num_machines = 40, .seed = 21});
+  const auto t = trace::GenerateGoogleTrace(400, 40, 0.8, 21);
+  RunOptions o;
+  o.scheduler = "phoenix";
+
+  auto summarize = [&](std::size_t threads) {
+    ScopedThreads guard(threads);
+    const RepeatedRuns runs(t, cl, o, 4);
+    std::vector<double> values;
+    for (const auto cf : {metrics::ClassFilter::kAll,
+                          metrics::ClassFilter::kShort,
+                          metrics::ClassFilter::kLong}) {
+      values.push_back(runs.MeanResponsePercentile(
+          99, cf, metrics::ConstraintFilter::kAll));
+      values.push_back(runs.MeanQueuingPercentile(
+          90, cf, metrics::ConstraintFilter::kConstrained));
+    }
+    values.push_back(runs.MeanUtilization());
+    for (const auto& r : runs.reports()) {
+      values.push_back(static_cast<double>(r.counters.probes_sent));
+      values.push_back(static_cast<double>(r.counters.probes_cancelled));
+      values.push_back(r.makespan);
+    }
+    return values;
+  };
+
+  const auto serial = summarize(1);
+  const auto parallel = summarize(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Exact equality on purpose: same seeds, same per-run engines, no
+    // cross-run floating-point accumulation.
+    EXPECT_EQ(serial[i], parallel[i]) << "summary value " << i;
+  }
+}
+
+TEST(RepeatedRuns, ReportsStayOrderedBySeedUnderParallelism) {
+  ScopedThreads guard(4);
+  const cluster::Cluster cl =
+      cluster::BuildCluster({.num_machines = 30, .seed = 9});
+  const auto t = trace::GenerateYahooTrace(200, 30, 0.7, 9);
+  RunOptions o;
+  o.scheduler = "eagle-c";
+  o.config.seed = 100;
+  const RepeatedRuns runs(t, cl, o, 4);
+  ASSERT_EQ(runs.reports().size(), 4u);
+  // Slot i must hold seed 100 + i: rerun each seed serially and compare.
+  for (std::size_t i = 0; i < 4; ++i) {
+    RunOptions single = o;
+    single.config.seed = 100 + i;
+    const auto expected = RunSimulation(t, cl, single);
+    EXPECT_EQ(runs.reports()[i].makespan, expected.makespan) << "slot " << i;
+    EXPECT_EQ(runs.reports()[i].counters.probes_sent,
+              expected.counters.probes_sent)
+        << "slot " << i;
+  }
+}
+
+// Many threads resolving overlapping constraint sets against one Cluster:
+// the shared predicate/pool caches must neither race nor return wrong
+// pools. Run under TSan to catch the former; the latter is checked against
+// a serially-computed ground truth.
+TEST(ClusterConcurrency, SatisfyingHammer) {
+  const cluster::Cluster cl =
+      cluster::BuildCluster({.num_machines = 500, .seed = 31});
+  trace::ConstraintSynthesizer synth({.constrained_fraction = 1.0}, 31);
+  std::vector<cluster::ConstraintSet> sets;
+  for (int i = 0; i < 64; ++i) sets.push_back(synth.Synthesize());
+
+  // Ground truth from a cold, single-threaded cluster.
+  const cluster::Cluster reference =
+      cluster::BuildCluster({.num_machines = 500, .seed = 31});
+  std::vector<std::size_t> expected;
+  for (const auto& cs : sets) expected.push_back(reference.CountSatisfying(cs));
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 400;
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> mismatches{0};
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::size_t it = 0; it < kIters; ++it) {
+        // Offset start per thread so cold keys are inserted while other
+        // threads read the same and neighbouring keys.
+        const std::size_t s = (w * 11 + it) % sets.size();
+        if (cl.CountSatisfying(sets[s]) != expected[s]) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(ClusterConcurrency, SamplingSharesWarmCaches) {
+  const cluster::Cluster cl =
+      cluster::BuildCluster({.num_machines = 300, .seed = 17});
+  trace::ConstraintSynthesizer synth({.constrained_fraction = 1.0}, 17);
+  std::vector<cluster::ConstraintSet> sets;
+  for (int i = 0; i < 16; ++i) sets.push_back(synth.Synthesize());
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> bad{0};
+  for (std::size_t w = 0; w < 6; ++w) {
+    threads.emplace_back([&, w] {
+      util::Rng rng(1000 + w);  // RNGs are per-thread; the cluster is shared
+      for (std::size_t it = 0; it < 300; ++it) {
+        const auto& cs = sets[(w + it) % sets.size()];
+        for (const auto id : cl.SampleSatisfying(cs, 4, rng)) {
+          bool ok = true;
+          for (const auto& c : cs) {
+            ok = ok && cl.machine(id).Satisfies(c);
+          }
+          if (!ok) ++bad;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+}  // namespace
+}  // namespace phoenix::runner

@@ -174,6 +174,47 @@ TEST(EngineDeathTest, NullCallbackAborts) {
   EXPECT_DEATH(e.ScheduleAt(1.0, Engine::Callback()), "null");
 }
 
+TEST(Engine, CompactsTombstonesWhenCancellationsDominate) {
+  Engine e;
+  std::vector<Engine::EventId> ids;
+  const std::size_t n = 2000;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(e.ScheduleAt(static_cast<double>(i), [] {}));
+  }
+  // Cancel 90 % without popping anything: tombstones pile up in the heap
+  // until the cancelled count crosses half the live count, at which point
+  // the engine must rebuild instead of carrying them to the end of the run.
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 10 != 0) cancelled += e.Cancel(ids[i]);
+  }
+  const std::size_t live = n - cancelled;
+  EXPECT_GT(e.compactions(), 0u);
+  // Post-compaction bound: live entries plus at most live/2 fresh
+  // tombstones (plus the compaction floor of 64).
+  EXPECT_LE(e.pending_entries(), live + live / 2 + 64);
+  EXPECT_EQ(e.Run(), live);
+  EXPECT_TRUE(e.Empty());
+}
+
+TEST(Engine, CompactionPreservesOrderAndPendingEvents) {
+  Engine e;
+  std::vector<double> fired;
+  std::vector<Engine::EventId> ids;
+  for (std::size_t i = 0; i < 600; ++i) {
+    const double t = static_cast<double>((i * 7919) % 997);
+    ids.push_back(
+        e.ScheduleAt(t, [&fired, &e] { fired.push_back(e.Now()); }));
+  }
+  for (std::size_t i = 0; i < 600; ++i) {
+    if (i % 4 != 0) e.Cancel(ids[i]);
+  }
+  ASSERT_GT(e.compactions(), 0u);
+  e.Run();
+  EXPECT_EQ(fired.size(), 150u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
 // Property sweep: random schedule/cancel workloads preserve global time
 // ordering and fire exactly the non-cancelled events.
 class EnginePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
