@@ -10,6 +10,13 @@
 //               1 runs fully serial). Results are bit-identical either way.
 //   --paper     full-scale mode: the paper's 15,000/5,000-node fleets
 //
+// Observability (see EXPERIMENTS.md "Tracing and auditing"):
+//   --trace-out=F    Chrome trace_event JSON (chrome://tracing / Perfetto)
+//   --trace-jsonl=F  newline-delimited JSON event stream
+//   --timeseries=F   per-heartbeat worker TSV (+ F.crv for Phoenix runs)
+//   --audit          run the invariant auditor; abort on any violation
+// Multi-seed runs suffix each output file with ".seed<N>".
+//
 // Scaled defaults preserve the queueing behaviour (the sweeps vary the same
 // utilization axis) while finishing in seconds on one core.
 #pragma once
@@ -38,6 +45,8 @@ struct BenchOptions {
   /// When non-empty, sweep harnesses append tab-separated data rows here
   /// (one file per run, gnuplot-ready: series label + x + y columns).
   std::string tsv;
+  /// Observability outputs applied to every simulation the bench runs.
+  runner::ObsOptions obs;
 };
 
 /// Parses the common flags; exits(1) on bad input. `extra` names additional
@@ -58,6 +67,10 @@ inline BenchOptions ParseBenchOptions(util::Flags& flags,
       flags.GetInt("runs", static_cast<std::int64_t>(default_runs)));
   o.threads = static_cast<std::size_t>(flags.GetInt("threads", 0));
   o.tsv = flags.GetString("tsv", "");
+  o.obs.trace_chrome = flags.GetString("trace-out", "");
+  o.obs.trace_jsonl = flags.GetString("trace-jsonl", "");
+  o.obs.timeseries_tsv = flags.GetString("timeseries", "");
+  o.obs.audit = flags.GetBool("audit", false);
   if (!flags.Validate()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     std::exit(1);
@@ -89,6 +102,7 @@ inline runner::RepeatedRuns Run(const std::string& scheduler,
   runner::RunOptions ro;
   ro.scheduler = scheduler;
   ro.config.seed = o.seed;
+  ro.obs = o.obs;
   return runner::RepeatedRuns(t, cl, ro, o.runs);
 }
 

@@ -38,6 +38,10 @@ int main(int argc, char** argv) {
   const std::string csv_path = flags.GetString("csv", "");
   const double mtbf = flags.GetDouble("mtbf", 0.0);
   const double mttr = flags.GetDouble("mttr", 600.0);
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string trace_jsonl = flags.GetString("trace-jsonl", "");
+  const std::string timeseries = flags.GetString("timeseries", "");
+  const bool audit = flags.GetBool("audit", false);
   if (!flags.Validate()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     return 1;
@@ -45,7 +49,10 @@ int main(int argc, char** argv) {
   if (flags.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: replay_trace <trace-file> [--scheduler=phoenix] "
-                 "[--nodes=N] [--seed=N] [--csv=out.csv] [--mtbf=S --mttr=S]\n");
+                 "[--nodes=N] [--seed=N] [--csv=out.csv] [--mtbf=S --mttr=S]\n"
+                 "  observability: [--trace-out=chrome.json] "
+                 "[--trace-jsonl=events.jsonl] [--timeseries=hb.tsv] "
+                 "[--audit]\n");
     return 1;
   }
 
@@ -67,6 +74,10 @@ int main(int argc, char** argv) {
   options.config.seed = seed;
   options.config.machine_mtbf = mtbf;
   options.config.machine_mttr = mttr;
+  options.obs.trace_chrome = trace_out;
+  options.obs.trace_jsonl = trace_jsonl;
+  options.obs.timeseries_tsv = timeseries;
+  options.obs.audit = audit;
   const auto report = runner::RunSimulation(trace, cluster, options);
 
   const auto s = report.ResponseSummary(metrics::ClassFilter::kShort,

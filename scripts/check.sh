@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Repo health check: configure, build, run the full test suite, then smoke
+# the observability stack (audited bench run + Chrome trace validity).
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== audited bench smoke =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$BUILD_DIR/bench/bench_fig7_phoenix_vs_eagle_short" \
+  --nodes=60 --jobs=1200 --runs=1 --audit \
+  --trace-out="$SMOKE_DIR/trace.json" \
+  --timeseries="$SMOKE_DIR/hb.tsv" >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR/trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    records = json.load(f)
+assert isinstance(records, list) and records, "empty chrome trace"
+assert any(r.get("ph") == "X" for r in records), "no task slices"
+print(f"chrome trace ok: {len(records)} records")
+EOF
+else
+  echo "python3 not found; skipped chrome trace JSON validation"
+fi
+
+echo "== all checks passed =="

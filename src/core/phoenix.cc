@@ -24,6 +24,10 @@ void PhoenixScheduler::AdmitJob(JobRuntime& job) {
   if (config().phoenix_admission) {
     const std::size_t relaxed = admission_.Negotiate(job, snapshot_);
     counters().soft_constraints_relaxed += relaxed;
+    if (relaxed > 0) {
+      Emit(obs::EventType::kAdmissionRelax, job.id, obs::kNoId, obs::kNoId,
+           static_cast<double>(relaxed));
+    }
   }
 }
 
@@ -39,6 +43,15 @@ void PhoenixScheduler::OnHeartbeat() {
     any_marked = any_marked || w.crv_marked;
   }
   if (congested_ && any_marked) ++counters().crv_reorder_rounds;
+  if (tracing()) {
+    // Export the refreshed CRV_Lookup_Table row by row (dimension in the
+    // task field, ratio in the value) — the timeseries sink reassembles
+    // these into the per-heartbeat CRV history table.
+    for (std::size_t d = 0; d < cluster::kNumCrvDims; ++d) {
+      Emit(obs::EventType::kCrvSnapshot, obs::kNoId, obs::kNoId,
+           static_cast<std::uint32_t>(d), snapshot_.ratio[d]);
+    }
+  }
 
   // Record the refresh; decimate by dropping every other sample once the
   // cap is hit, so arbitrarily long runs keep a bounded, uniform history.
@@ -81,7 +94,12 @@ std::size_t PhoenixScheduler::SelectNextIndex(const WorkerState& worker) {
     return EagleScheduler::SelectNextIndex(worker);
   }
   const std::size_t index = IndexRespectingSlack(worker, best);
-  if (index != 0) ++counters().tasks_reordered_crv;
+  if (index != 0) {
+    ++counters().tasks_reordered_crv;
+    Emit(obs::EventType::kCrvReorder, worker.queue[index].job, worker.id,
+         static_cast<std::uint32_t>(index),
+         worker.queue[index].est_duration);
+  }
   return index;
 }
 

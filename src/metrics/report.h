@@ -59,6 +59,14 @@ struct SchedulerCounters {
   /// Machine failures injected and tasks rescheduled because of them.
   std::uint64_t machine_failures = 0;
   std::uint64_t tasks_rescheduled_failure = 0;
+  /// Probes that lost their worker to a failure and were re-sent.
+  std::uint64_t probes_bounced = 0;
+  /// Sticky-batch fetches interrupted by a failure and re-covered with a
+  /// fresh dispatch (the guard against stranding the fetched job).
+  std::uint64_t sticky_fetch_redispatches = 0;
+  /// Centralized placements where every sampled candidate was down and the
+  /// binding fell back to a fresh draw from the satisfying pool.
+  std::uint64_t placement_dead_fallbacks = 0;
 };
 
 class SimReport {

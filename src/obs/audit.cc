@@ -1,0 +1,199 @@
+#include "obs/audit.h"
+
+#include <cmath>
+
+#include "util/format.h"
+
+namespace phoenix::obs {
+
+namespace {
+// Keep the violation list bounded: one broken invariant typically fires on
+// every subsequent event, and the first few messages carry the diagnosis.
+constexpr std::size_t kMaxViolations = 64;
+}  // namespace
+
+InvariantAuditor::JobStats& InvariantAuditor::JobFor(std::uint32_t id) {
+  if (id >= jobs_.size()) jobs_.resize(id + 1);
+  return jobs_[id];
+}
+
+void InvariantAuditor::Violate(std::string message) {
+  if (violations_.size() < kMaxViolations) {
+    violations_.push_back(std::move(message));
+  }
+}
+
+void InvariantAuditor::OnEvent(const Event& event) {
+  ++events_seen_;
+  switch (event.type) {
+    case EventType::kJobArrival: {
+      JobStats& job = JobFor(event.job);
+      if (job.arrived) {
+        Violate(util::StrFormat("job %u arrived twice", event.job));
+      }
+      job.arrived = true;
+      job.tasks = static_cast<std::uint64_t>(event.value);
+      return;
+    }
+    case EventType::kJobComplete: {
+      JobStats& job = JobFor(event.job);
+      if (job.done) {
+        Violate(util::StrFormat("job %u completed twice", event.job));
+      }
+      job.done = true;
+      if (job.completes != job.tasks) {
+        Violate(util::StrFormat(
+            "job %u declared complete with %llu/%llu task completions",
+            event.job, static_cast<unsigned long long>(job.completes),
+            static_cast<unsigned long long>(job.tasks)));
+      }
+      return;
+    }
+    case EventType::kProbeSend:
+      ++JobFor(event.job).probes_sent;
+      return;
+    case EventType::kProbeResolve:
+    case EventType::kProbeCancel:
+    case EventType::kProbeDecline:
+    case EventType::kProbeBounce: {
+      JobStats& job = JobFor(event.job);
+      if (event.type == EventType::kProbeResolve) ++job.probes_resolved;
+      if (event.type == EventType::kProbeCancel) ++job.probes_cancelled;
+      if (event.type == EventType::kProbeDecline) ++job.probes_declined;
+      if (event.type == EventType::kProbeBounce) ++job.probes_bounced;
+      if (job.OutstandingProbes() < 0) {
+        Violate(util::StrFormat(
+            "job %u probe balance went negative at t=%.6f (%s)", event.job,
+            event.time, EventTypeName(event.type)));
+      }
+      return;
+    }
+    case EventType::kTaskStart:
+      ++JobFor(event.job).starts;
+      return;
+    case EventType::kTaskComplete: {
+      JobStats& job = JobFor(event.job);
+      ++job.completes;
+      if (job.completes > job.starts) {
+        Violate(util::StrFormat("job %u completed more tasks than it started",
+                             event.job));
+      }
+      if (job.arrived && job.completes > job.tasks + job.kills) {
+        Violate(util::StrFormat("job %u over-completed: %llu completions for "
+                             "%llu tasks",
+                             event.job,
+                             static_cast<unsigned long long>(job.completes),
+                             static_cast<unsigned long long>(job.tasks)));
+      }
+      return;
+    }
+    case EventType::kTaskKill:
+      ++JobFor(event.job).kills;
+      return;
+    case EventType::kMachineFail:
+    case EventType::kMachineRepair: {
+      if (event.machine == kNoId) {
+        Violate("machine lifecycle event without a machine id");
+        return;
+      }
+      if (event.machine >= machine_failed_.size()) {
+        machine_failed_.resize(event.machine + 1, false);
+      }
+      const bool down = machine_failed_[event.machine];
+      if (event.type == EventType::kMachineFail && down) {
+        Violate(util::StrFormat("machine %u failed while already down",
+                             event.machine));
+      }
+      if (event.type == EventType::kMachineRepair && !down) {
+        Violate(util::StrFormat("machine %u repaired while up", event.machine));
+      }
+      machine_failed_[event.machine] =
+          event.type == EventType::kMachineFail;
+      return;
+    }
+    default:
+      return;  // informational events carry no audited state
+  }
+}
+
+void InvariantAuditor::CheckWorker(double now, std::uint32_t machine,
+                                   bool busy, bool failed,
+                                   bool has_live_slot_event,
+                                   std::size_t queue_len,
+                                   double est_queued_work, bool final_state) {
+  if (busy && failed) {
+    Violate(util::StrFormat("machine %u busy while failed at t=%.6f", machine,
+                         now));
+  }
+  if (busy && !has_live_slot_event) {
+    Violate(util::StrFormat(
+        "machine %u busy with no pending slot event at t=%.6f (stranded "
+        "slot)",
+        machine, now));
+  }
+  if (est_queued_work < -1e-9) {
+    Violate(util::StrFormat("machine %u est_queued_work negative (%.9g)",
+                         machine, est_queued_work));
+  }
+  if (final_state) {
+    if (busy) {
+      Violate(util::StrFormat("machine %u still busy after the run drained",
+                           machine));
+    }
+    if (queue_len != 0) {
+      Violate(util::StrFormat("machine %u ended the run with %zu queued entries",
+                           machine, queue_len));
+    }
+    if (std::fabs(est_queued_work) > 1e-6) {
+      Violate(util::StrFormat(
+          "machine %u ended the run with est_queued_work %.9g", machine,
+          est_queued_work));
+    }
+  }
+}
+
+void InvariantAuditor::Finish() {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobStats& job = jobs_[i];
+    if (!job.arrived) continue;
+    if (!job.done) {
+      Violate(util::StrFormat("job %zu never completed", i));
+    }
+    if (job.OutstandingProbes() != 0) {
+      Violate(util::StrFormat(
+          "job %zu probe leak: sent %llu != resolved %llu + cancelled %llu "
+          "+ declined %llu + bounced %llu",
+          i, static_cast<unsigned long long>(job.probes_sent),
+          static_cast<unsigned long long>(job.probes_resolved),
+          static_cast<unsigned long long>(job.probes_cancelled),
+          static_cast<unsigned long long>(job.probes_declined),
+          static_cast<unsigned long long>(job.probes_bounced)));
+    }
+    if (job.completes != job.tasks) {
+      Violate(util::StrFormat("job %zu finished %llu of %llu tasks", i,
+                           static_cast<unsigned long long>(job.completes),
+                           static_cast<unsigned long long>(job.tasks)));
+    }
+    if (job.starts != job.completes + job.kills) {
+      Violate(util::StrFormat(
+          "job %zu start/completion imbalance: %llu starts, %llu "
+          "completions, %llu kills",
+          i, static_cast<unsigned long long>(job.starts),
+          static_cast<unsigned long long>(job.completes),
+          static_cast<unsigned long long>(job.kills)));
+    }
+  }
+}
+
+std::string InvariantAuditor::Summary() const {
+  if (violations_.empty()) return "no invariant violations";
+  std::string out = util::StrFormat("%zu invariant violation(s):",
+                                 violations_.size());
+  const std::size_t show = violations_.size() < 8 ? violations_.size() : 8;
+  for (std::size_t i = 0; i < show; ++i) {
+    out += "\n  - " + violations_[i];
+  }
+  return out;
+}
+
+}  // namespace phoenix::obs

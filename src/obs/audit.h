@@ -1,0 +1,81 @@
+// Online invariant auditor.
+//
+// Consumes the observability event stream during a run and checks the
+// conservation laws the scheduler framework promises:
+//
+//   * probe conservation — every probe sent is eventually resolved,
+//     cancelled, declined, or bounced, and a job's outstanding probe
+//     balance never goes negative;
+//   * task conservation — executions started equal completions plus
+//     failure kills, and every job finishes exactly its task count;
+//   * machine lifecycle — fail/repair events alternate per machine;
+//   * worker structure (fed by the scheduler at each heartbeat and at the
+//     end of the run) — a busy worker always has a live slot event, a
+//     failed worker is never busy, and queues drain by the end of the run.
+//
+// The auditor only records violations; the runner (or test) decides
+// whether to abort. `ok()` + `Summary()` give the verdict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace phoenix::obs {
+
+class InvariantAuditor final : public EventSink {
+ public:
+  InvariantAuditor() = default;
+
+  void OnEvent(const Event& event) override;
+
+  /// Structural worker check, called by the scheduler that owns the worker
+  /// state (the event stream alone cannot see slot/queue internals).
+  /// `final_state` additionally requires the worker to be drained.
+  void CheckWorker(double now, std::uint32_t machine, bool busy, bool failed,
+                   bool has_live_slot_event, std::size_t queue_len,
+                   double est_queued_work, bool final_state);
+
+  /// End-of-run conservation checks. Call after the event queue drains.
+  void Finish();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// First few violations joined for PHOENIX_CHECK messages.
+  std::string Summary() const;
+
+  std::uint64_t events_seen() const { return events_seen_; }
+
+ private:
+  struct JobStats {
+    bool arrived = false;
+    bool done = false;
+    std::uint64_t tasks = 0;  // from the arrival event's value
+    std::uint64_t probes_sent = 0;
+    std::uint64_t probes_resolved = 0;
+    std::uint64_t probes_cancelled = 0;
+    std::uint64_t probes_declined = 0;
+    std::uint64_t probes_bounced = 0;
+    std::uint64_t starts = 0;
+    std::uint64_t completes = 0;
+    std::uint64_t kills = 0;
+
+    std::int64_t OutstandingProbes() const {
+      return static_cast<std::int64_t>(probes_sent) -
+             static_cast<std::int64_t>(probes_resolved + probes_cancelled +
+                                       probes_declined + probes_bounced);
+    }
+  };
+
+  JobStats& JobFor(std::uint32_t id);
+  void Violate(std::string message);
+
+  std::vector<JobStats> jobs_;
+  std::vector<bool> machine_failed_;
+  std::vector<std::string> violations_;
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace phoenix::obs

@@ -1,0 +1,33 @@
+#include "obs/event.h"
+
+namespace phoenix::obs {
+
+EventSink::~EventSink() = default;
+void EventSink::OnWorkerSample(const WorkerSample&) {}
+void EventSink::Flush() {}
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kJobArrival: return "job_arrival";
+    case EventType::kJobComplete: return "job_complete";
+    case EventType::kAdmissionRelax: return "admission_relax";
+    case EventType::kProbeSend: return "probe_send";
+    case EventType::kProbeResolve: return "probe_resolve";
+    case EventType::kProbeCancel: return "probe_cancel";
+    case EventType::kProbeDecline: return "probe_decline";
+    case EventType::kProbeBounce: return "probe_bounce";
+    case EventType::kTaskStart: return "task_start";
+    case EventType::kTaskComplete: return "task_complete";
+    case EventType::kTaskKill: return "task_kill";
+    case EventType::kStickyFetch: return "sticky_fetch";
+    case EventType::kSteal: return "steal";
+    case EventType::kCrvReorder: return "crv_reorder";
+    case EventType::kCrvSnapshot: return "crv_snapshot";
+    case EventType::kMachineFail: return "machine_fail";
+    case EventType::kMachineRepair: return "machine_repair";
+    case EventType::kHeartbeat: return "heartbeat";
+  }
+  return "?";
+}
+
+}  // namespace phoenix::obs

@@ -1,0 +1,44 @@
+#include "obs/heartbeat_log.h"
+
+#include <cstdio>
+
+namespace phoenix::obs {
+
+void HeartbeatLog::OnEvent(const Event& event) {
+  if (event.type == EventType::kCrvSnapshot && event.task != kNoId) {
+    crv_.push_back({event.time, event.task, event.value});
+  }
+}
+
+void HeartbeatLog::OnWorkerSample(const WorkerSample& sample) {
+  samples_.push_back(sample);
+}
+
+bool HeartbeatLog::WriteTsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs(
+      "time\tmachine\tqueue_len\test_queued_work\twait_estimate\t"
+      "crv_marked\tbusy\tfailed\n",
+      f);
+  for (const WorkerSample& s : samples_) {
+    std::fprintf(f, "%.6f\t%u\t%u\t%.9g\t%.9g\t%d\t%d\t%d\n", s.time,
+                 s.machine, s.queue_len, s.est_queued_work, s.wait_estimate,
+                 s.crv_marked ? 1 : 0, s.busy ? 1 : 0, s.failed ? 1 : 0);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool HeartbeatLog::WriteCrvTsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("time\tdim\tratio\n", f);
+  for (const CrvRow& row : crv_) {
+    std::fprintf(f, "%.6f\t%u\t%.9g\n", row.time, row.dim, row.ratio);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace phoenix::obs

@@ -1,0 +1,45 @@
+// Per-heartbeat timeseries sink.
+//
+// Collects the worker samples the scheduler publishes at every heartbeat
+// (queue length, est_queued_work, P-K E[W] estimate, CRV mark) and the CRV
+// snapshot ratios Phoenix emits as kCrvSnapshot events, then exports both
+// as tab-separated tables (gnuplot/pandas-ready).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace phoenix::obs {
+
+class HeartbeatLog final : public EventSink {
+ public:
+  void OnEvent(const Event& event) override;
+  void OnWorkerSample(const WorkerSample& sample) override;
+
+  /// One row per (heartbeat, worker):
+  ///   time  machine  queue_len  est_queued_work  wait_estimate
+  ///   crv_marked  busy  failed
+  /// Returns false if the file cannot be written.
+  bool WriteTsv(const std::string& path) const;
+
+  /// One row per (heartbeat, CRV dimension): time  dim  ratio.
+  /// Empty unless the scheduler emits kCrvSnapshot events (Phoenix).
+  bool WriteCrvTsv(const std::string& path) const;
+
+  const std::vector<WorkerSample>& samples() const { return samples_; }
+  bool has_crv_history() const { return !crv_.empty(); }
+
+ private:
+  struct CrvRow {
+    double time = 0;
+    std::uint32_t dim = 0;
+    double ratio = 0;
+  };
+
+  std::vector<WorkerSample> samples_;
+  std::vector<CrvRow> crv_;
+};
+
+}  // namespace phoenix::obs

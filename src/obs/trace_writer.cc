@@ -1,0 +1,156 @@
+#include "obs/trace_writer.h"
+
+#include <cmath>
+
+namespace phoenix::obs {
+
+namespace {
+
+// JSON has no Infinity/NaN literals; clamp the (rare) non-finite estimator
+// outputs to a representable sentinel instead of corrupting the stream.
+double Finite(double v) {
+  if (std::isnan(v)) return 0.0;
+  if (std::isinf(v)) return v > 0 ? 1e300 : -1e300;
+  return v;
+}
+
+}  // namespace
+
+JsonlWriter::JsonlWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+}
+
+JsonlWriter::~JsonlWriter() {
+  Flush();
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+void JsonlWriter::OnEvent(const Event& event) {
+  if (file_ == nullptr) return;
+  // Build the record in a local buffer so the fputs below stays atomic
+  // under the lock even when stdio buffering splits writes.
+  char buf[256];
+  int n = std::snprintf(buf, sizeof buf, "{\"t\":%.9g,\"type\":\"%s\"",
+                        Finite(event.time), EventTypeName(event.type));
+  auto append = [&](const char* fmt, auto... args) {
+    if (n < 0 || n >= static_cast<int>(sizeof buf)) return;
+    const int m = std::snprintf(buf + n, sizeof buf - static_cast<size_t>(n),
+                                fmt, args...);
+    if (m > 0) n += m;
+  };
+  if (event.job != kNoId) append(",\"job\":%u", event.job);
+  if (event.machine != kNoId) append(",\"machine\":%u", event.machine);
+  if (event.task != kNoId) append(",\"task\":%u", event.task);
+  if (event.value != 0) append(",\"value\":%.9g", Finite(event.value));
+  append("}\n");
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fputs(buf, file_);
+}
+
+void JsonlWriter::OnWorkerSample(const WorkerSample& s) {
+  if (file_ == nullptr) return;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"t\":%.9g,\"type\":\"worker_sample\",\"machine\":%u,"
+                "\"queue\":%u,\"est_work\":%.9g,\"wait\":%.9g,"
+                "\"marked\":%d,\"busy\":%d,\"failed\":%d}\n",
+                Finite(s.time), s.machine, s.queue_len,
+                Finite(s.est_queued_work), Finite(s.wait_estimate),
+                s.crv_marked ? 1 : 0, s.busy ? 1 : 0, s.failed ? 1 : 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fputs(buf, file_);
+}
+
+void JsonlWriter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ != nullptr) std::fputs("[\n", file_);
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() {
+  Flush();
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+void ChromeTraceWriter::WriteRecord(const char* ph, const char* name,
+                                    double ts_us, double dur_us,
+                                    std::uint32_t tid, const Event& event) {
+  char buf[384];
+  int n = std::snprintf(
+      buf, sizeof buf,
+      "{\"name\":\"%s\",\"cat\":\"sim\",\"ph\":\"%s\",\"ts\":%.3f,"
+      "\"pid\":0,\"tid\":%u",
+      name, ph, Finite(ts_us), tid);
+  auto append = [&](const char* fmt, auto... args) {
+    if (n < 0 || n >= static_cast<int>(sizeof buf)) return;
+    const int m = std::snprintf(buf + n, sizeof buf - static_cast<size_t>(n),
+                                fmt, args...);
+    if (m > 0) n += m;
+  };
+  if (dur_us >= 0) append(",\"dur\":%.3f", Finite(dur_us));
+  if (ph[0] == 'i') append(",\"s\":\"%s\"", tid == 0 ? "g" : "t");
+  append(",\"args\":{");
+  bool first_arg = true;
+  auto arg_sep = [&] {
+    if (!first_arg) append(",");
+    first_arg = false;
+  };
+  if (event.job != kNoId) { arg_sep(); append("\"job\":%u", event.job); }
+  if (event.task != kNoId) { arg_sep(); append("\"task\":%u", event.task); }
+  arg_sep();
+  append("\"value\":%.9g", Finite(event.value));
+  append("}}");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr || closed_) return;
+  if (!first_) std::fputs(",\n", file_);
+  first_ = false;
+  std::fputs(buf, file_);
+}
+
+void ChromeTraceWriter::OnEvent(const Event& event) {
+  if (file_ == nullptr) return;
+  const double ts_us = event.time * 1e6;
+  const std::uint32_t tid = event.machine == kNoId ? 0 : event.machine + 1;
+  switch (event.type) {
+    case EventType::kTaskComplete:
+      // Render the whole service interval as one slice on the worker lane.
+      WriteRecord("X", EventTypeName(event.type),
+                  ts_us - event.value * 1e6, event.value * 1e6, tid, event);
+      return;
+    case EventType::kHeartbeat: {
+      Event counter = event;
+      WriteRecord("C", "queued_entries", ts_us, -1, 0, counter);
+      return;
+    }
+    case EventType::kCrvSnapshot: {
+      char name[32];
+      std::snprintf(name, sizeof name, "crv_dim_%u", event.task);
+      Event counter = event;
+      counter.task = kNoId;  // the dim is in the counter name
+      WriteRecord("C", name, ts_us, -1, 0, counter);
+      return;
+    }
+    default:
+      WriteRecord("i", EventTypeName(event.type), ts_us, -1, tid, event);
+      return;
+  }
+}
+
+void ChromeTraceWriter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  if (!closed_) {
+    std::fputs("\n]\n", file_);
+    closed_ = true;
+  }
+  std::fflush(file_);
+}
+
+}  // namespace phoenix::obs

@@ -1,0 +1,72 @@
+// File-backed event sinks: newline-delimited JSON for ad-hoc analysis and
+// the Chrome trace_event JSON-array format for chrome://tracing / Perfetto.
+//
+// Both writers buffer through stdio and serialize under an internal mutex,
+// so a single writer may be shared by concurrent simulations (each record
+// is written atomically). Timestamps are simulation seconds in the JSONL
+// stream and microseconds in the Chrome stream (the unit trace viewers
+// expect).
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/event.h"
+
+namespace phoenix::obs {
+
+/// One JSON object per line: {"t":..,"type":"probe_send","job":..,...}.
+/// Worker samples are written as {"type":"worker_sample",...} rows.
+class JsonlWriter final : public EventSink {
+ public:
+  explicit JsonlWriter(const std::string& path);
+  ~JsonlWriter() override;
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  /// False if the file could not be opened (events are then dropped).
+  bool ok() const { return file_ != nullptr; }
+
+  void OnEvent(const Event& event) override;
+  void OnWorkerSample(const WorkerSample& sample) override;
+  void Flush() override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Chrome trace_event writer (the `--trace-out` target).
+///
+/// Mapping: task completions become "X" (complete) slices on the executing
+/// machine's track, so a run renders as per-worker occupancy lanes;
+/// heartbeat queue totals and CRV snapshot ratios become "C" (counter)
+/// tracks; everything else is an "i" (instant) marker on its machine's
+/// track (or the global track when no machine applies).
+class ChromeTraceWriter final : public EventSink {
+ public:
+  explicit ChromeTraceWriter(const std::string& path);
+  ~ChromeTraceWriter() override;
+
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void OnEvent(const Event& event) override;
+  /// Closes the JSON array. Safe to call more than once.
+  void Flush() override;
+
+ private:
+  void WriteRecord(const char* ph, const char* name, double ts_us,
+                   double dur_us, std::uint32_t tid, const Event& event);
+
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+}  // namespace phoenix::obs

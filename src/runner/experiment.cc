@@ -1,5 +1,10 @@
 #include "runner/experiment.h"
 
+#include <memory>
+
+#include "obs/audit.h"
+#include "obs/heartbeat_log.h"
+#include "obs/trace_writer.h"
 #include "runner/parallel.h"
 #include "runner/registry.h"
 #include "sim/engine.h"
@@ -7,16 +12,70 @@
 
 namespace phoenix::runner {
 
+std::string SeedSuffixedPath(const std::string& path, std::uint64_t seed) {
+  const std::string suffix = ".seed" + std::to_string(seed);
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 metrics::SimReport RunSimulation(const trace::Trace& trace,
                                  const cluster::Cluster& cluster,
                                  const RunOptions& options) {
   sim::Engine engine;
   auto scheduler =
       MakeScheduler(options.scheduler, engine, cluster, options.config);
+
+  // Per-run sinks: each simulation owns its writers (and files), so the
+  // multi-seed fan-out needs no cross-thread coordination beyond the
+  // writers' own locks.
+  std::unique_ptr<obs::JsonlWriter> jsonl;
+  std::unique_ptr<obs::ChromeTraceWriter> chrome;
+  std::unique_ptr<obs::HeartbeatLog> heartbeat_log;
+  std::unique_ptr<obs::InvariantAuditor> auditor;
+  const ObsOptions& obs_opts = options.obs;
+  if (!obs_opts.trace_jsonl.empty()) {
+    jsonl = std::make_unique<obs::JsonlWriter>(obs_opts.trace_jsonl);
+    PHOENIX_CHECK_MSG(jsonl->ok(), "cannot open --trace-jsonl output");
+    scheduler->AttachSink(jsonl.get());
+  }
+  if (!obs_opts.trace_chrome.empty()) {
+    chrome = std::make_unique<obs::ChromeTraceWriter>(obs_opts.trace_chrome);
+    PHOENIX_CHECK_MSG(chrome->ok(), "cannot open --trace-out output");
+    scheduler->AttachSink(chrome.get());
+  }
+  if (!obs_opts.timeseries_tsv.empty()) {
+    heartbeat_log = std::make_unique<obs::HeartbeatLog>();
+    scheduler->AttachSink(heartbeat_log.get());
+  }
+  if (obs_opts.audit) {
+    auditor = std::make_unique<obs::InvariantAuditor>();
+    scheduler->AttachAuditor(auditor.get());
+  }
+
   scheduler->SubmitTrace(trace);
   engine.Run();
   PHOENIX_CHECK_MSG(engine.Empty(), "event queue failed to drain");
-  return scheduler->BuildReport();
+  scheduler->FinalAudit();
+  auto report = scheduler->BuildReport();
+
+  if (jsonl) jsonl->Flush();
+  if (chrome) chrome->Flush();
+  if (heartbeat_log) {
+    PHOENIX_CHECK_MSG(heartbeat_log->WriteTsv(obs_opts.timeseries_tsv),
+                      "cannot write --timeseries output");
+    if (heartbeat_log->has_crv_history()) {
+      heartbeat_log->WriteCrvTsv(obs_opts.timeseries_tsv + ".crv");
+    }
+  }
+  if (auditor) {
+    PHOENIX_CHECK_MSG(auditor->ok(), auditor->Summary().c_str());
+  }
+  return report;
 }
 
 RepeatedRuns::RepeatedRuns(const trace::Trace& trace,
@@ -35,6 +94,21 @@ RepeatedRuns::RepeatedRuns(const trace::Trace& trace,
   ParallelExperimentLoop(runs, [&](std::size_t i) {
     RunOptions run_options = options;
     run_options.config.seed = base_seed + i;
+    if (runs > 1 && run_options.obs.enabled()) {
+      // One observability file set per seed: concurrent runs must not
+      // interleave into a shared stream.
+      ObsOptions& o = run_options.obs;
+      const std::uint64_t seed = run_options.config.seed;
+      if (!o.trace_chrome.empty()) {
+        o.trace_chrome = SeedSuffixedPath(o.trace_chrome, seed);
+      }
+      if (!o.trace_jsonl.empty()) {
+        o.trace_jsonl = SeedSuffixedPath(o.trace_jsonl, seed);
+      }
+      if (!o.timeseries_tsv.empty()) {
+        o.timeseries_tsv = SeedSuffixedPath(o.timeseries_tsv, seed);
+      }
+    }
     reports_[i] = RunSimulation(trace, cluster, run_options);
   });
 }

@@ -14,10 +14,34 @@
 
 namespace phoenix::runner {
 
+/// Observability outputs for one simulation. All fields are off by
+/// default, which keeps the scheduler's emit path a single branch.
+struct ObsOptions {
+  /// Chrome trace_event JSON (open in chrome://tracing or Perfetto).
+  std::string trace_chrome;
+  /// Newline-delimited JSON event stream.
+  std::string trace_jsonl;
+  /// Per-heartbeat worker timeseries TSV; Phoenix runs additionally write
+  /// the CRV snapshot history next to it as `<path>.crv`.
+  std::string timeseries_tsv;
+  /// Run the invariant auditor online; the run aborts on any violation.
+  bool audit = false;
+
+  bool enabled() const {
+    return audit || !trace_chrome.empty() || !trace_jsonl.empty() ||
+           !timeseries_tsv.empty();
+  }
+};
+
 struct RunOptions {
   std::string scheduler = "phoenix";
   sched::SchedulerConfig config;
+  ObsOptions obs;
 };
+
+/// "out.json" + seed 43 -> "out.seed43.json" (multi-seed runs write one
+/// observability file per seed so concurrent runs never share a stream).
+std::string SeedSuffixedPath(const std::string& path, std::uint64_t seed);
 
 /// One full simulation. The trace's short cutoff overrides
 /// options.config.short_cutoff. Aborts if any job fails to complete.

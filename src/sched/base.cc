@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/audit.h"
 #include "queueing/distributions.h"
 
 #include "util/check.h"
@@ -9,6 +10,7 @@
 namespace phoenix::sched {
 
 using cluster::MachineId;
+using obs::EventType;
 using trace::JobId;
 
 SchedulerBase::SchedulerBase(sim::Engine& engine,
@@ -22,6 +24,62 @@ SchedulerBase::SchedulerBase(sim::Engine& engine,
     w->id = static_cast<MachineId>(i);
     workers_.push_back(std::move(w));
   }
+}
+
+void SchedulerBase::AttachSink(obs::EventSink* sink) {
+  PHOENIX_CHECK_MSG(jobs_.empty(), "attach sinks before SubmitTrace");
+  PHOENIX_CHECK(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+void SchedulerBase::AttachAuditor(obs::InvariantAuditor* auditor) {
+  AttachSink(auditor);
+  auditor_ = auditor;
+}
+
+void SchedulerBase::EmitToSinks(EventType type, std::uint32_t job,
+                                std::uint32_t machine, std::uint32_t task,
+                                double value) {
+  obs::Event event;
+  event.time = engine_.Now();
+  event.type = type;
+  event.job = job;
+  event.machine = machine;
+  event.task = task;
+  event.value = value;
+  for (obs::EventSink* sink : sinks_) sink->OnEvent(event);
+}
+
+void SchedulerBase::AuditWorkers(bool final_state) {
+  if (auditor_ == nullptr) return;
+  // One engine snapshot amortizes the per-worker "busy slot has a live
+  // event" check across the fleet.
+  const auto pending = engine_.PendingIds();
+  const double now = engine_.Now();
+  for (const auto& wp : workers_) {
+    const WorkerState& w = *wp;
+    const bool live_slot_event =
+        std::binary_search(pending.begin(), pending.end(), w.pending_event);
+    auditor_->CheckWorker(now, w.id, w.busy, w.failed, live_slot_event,
+                          w.queue.size(), w.est_queued_work, final_state);
+  }
+}
+
+void SchedulerBase::FinalAudit() {
+  if (auditor_ == nullptr) return;
+  AuditWorkers(/*final_state=*/true);
+  auditor_->Finish();
+}
+
+void SchedulerBase::InjectFailure(MachineId id) {
+  PHOENIX_CHECK(id < workers_.size());
+  FailMachine(*workers_[id], /*auto_repair=*/false);
+}
+
+void SchedulerBase::InjectRepair(MachineId id) {
+  PHOENIX_CHECK(id < workers_.size());
+  if (!workers_[id]->failed) return;
+  RepairMachine(*workers_[id]);
 }
 
 void SchedulerBase::SubmitTrace(const trace::Trace& trace) {
@@ -56,7 +114,7 @@ void SchedulerBase::ScheduleNextFailure(MachineId id) {
       queueing::SampleExponential(rng_, 1.0 / config_.machine_mtbf);
   engine_.ScheduleAfter(delay, [this, id] {
     if (AllJobsDone()) return;  // let the run drain
-    FailMachine(*workers_[id]);
+    FailMachine(*workers_[id], /*auto_repair=*/true);
   });
 }
 
@@ -70,6 +128,33 @@ std::uint32_t SchedulerBase::TakeNextTaskIndex(JobRuntime& job) {
   return job.next_unplaced++;
 }
 
+MachineId SchedulerBase::PickLeastLoadedLive(
+    const std::vector<MachineId>& candidates, JobRuntime& job) {
+  PHOENIX_CHECK(!candidates.empty());
+  const sim::SimTime now = engine_.Now();
+  MachineId best = cluster::kInvalidMachine;
+  double best_load = sim::kTimeInfinity;
+  for (const MachineId c : candidates) {
+    const WorkerState& w = *workers_[c];
+    if (w.failed) continue;  // delivery would only bounce
+    const double running_rem = w.busy ? std::max(0.0, w.busy_until - now) : 0.0;
+    const double load = w.est_queued_work + running_rem;
+    if (load < best_load) {
+      best_load = load;
+      best = c;
+    }
+  }
+  // Every sampled candidate is down: fall back to a fresh draw from the
+  // satisfying pool (the delivery bounce re-dispatches again if that one is
+  // down too) instead of knowingly binding to a dead worker.
+  if (best == cluster::kInvalidMachine) {
+    best = cluster_.SampleSatisfying(job.effective, rng_);
+    PHOENIX_CHECK(best != cluster::kInvalidMachine);
+    ++counters_.placement_dead_fallbacks;
+  }
+  return best;
+}
+
 void SchedulerBase::RedispatchEntry(QueueEntry entry, double delay) {
   JobRuntime& job = jobs_[entry.job];
   ++counters_.tasks_rescheduled_failure;
@@ -78,38 +163,20 @@ void SchedulerBase::RedispatchEntry(QueueEntry entry, double delay) {
     PHOENIX_CHECK(target != cluster::kInvalidMachine);
     ++job.outstanding_probes;
     ++counters_.probes_sent;
+    Emit(EventType::kProbeSend, job.id, target);
     SendEntry(target, entry, delay);
     return;
   }
   // Bound task: re-bind to the least-loaded live satisfying worker.
-  std::vector<MachineId> candidates = ChooseLongCandidates(job);
-  PHOENIX_CHECK(!candidates.empty());
-  const sim::SimTime now = engine_.Now();
-  MachineId best = cluster::kInvalidMachine;
-  double best_load = sim::kTimeInfinity;
-  for (const MachineId c : candidates) {
-    const WorkerState& w = *workers_[c];
-    if (w.failed) continue;
-    const double running_rem = w.busy ? std::max(0.0, w.busy_until - now) : 0.0;
-    const double load = w.est_queued_work + running_rem;
-    if (load < best_load) {
-      best_load = load;
-      best = c;
-    }
-  }
-  // All sampled candidates down: any satisfying worker (the delivery bounce
-  // re-dispatches again if that one is down too).
-  if (best == cluster::kInvalidMachine) {
-    best = cluster_.SampleSatisfying(job.effective, rng_);
-    PHOENIX_CHECK(best != cluster::kInvalidMachine);
-  }
+  const MachineId best = PickLeastLoadedLive(ChooseLongCandidates(job), job);
   SendEntry(best, entry, std::max(delay, 2 * config_.rtt));
 }
 
-void SchedulerBase::FailMachine(WorkerState& worker) {
+void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
   if (worker.failed) return;
   worker.failed = true;
   ++counters_.machine_failures;
+  Emit(EventType::kMachineFail, obs::kNoId, worker.id);
 
   // Kill the in-flight slot event (probe resolution, sticky fetch, or task
   // completion) and recover its work.
@@ -120,6 +187,7 @@ void SchedulerBase::FailMachine(WorkerState& worker) {
       JobRuntime& job = jobs_[worker.running_job];
       total_busy_time_ -= std::max(0.0, worker.busy_until - engine_.Now());
       job.replay_tasks.push_back(worker.running_index);
+      Emit(EventType::kTaskKill, job.id, worker.id, worker.running_index);
       ++counters_.tasks_rescheduled_failure;
       if (UsesDistributedPlane(job)) {
         QueueEntry probe;
@@ -145,15 +213,36 @@ void SchedulerBase::FailMachine(WorkerState& worker) {
       JobRuntime& job = jobs_[worker.resolving_entry.job];
       PHOENIX_CHECK(job.outstanding_probes > 0);
       --job.outstanding_probes;
-      if (!job.AllPlaced()) RedispatchEntry(worker.resolving_entry, config_.rtt);
-    } else {
-      // A sticky-batch fetch was in flight: no task was taken yet. Cover the
-      // job's remaining unplaced tasks with fresh probes so it cannot
-      // strand (its other probes may all have resolved already).
-      // The fetch's job id is not stored; stranding is prevented because
-      // sticky fetches only run for jobs with unplaced tasks, which are
-      // also covered by the queue drain below and by outstanding probes.
+      if (!job.AllPlaced()) {
+        ++counters_.probes_bounced;
+        Emit(EventType::kProbeBounce, job.id, worker.id);
+        RedispatchEntry(worker.resolving_entry, config_.rtt);
+      } else {
+        ++counters_.probes_cancelled;
+        Emit(EventType::kProbeCancel, job.id, worker.id);
+      }
+    } else if (worker.fetching_job != trace::kInvalidJob) {
+      // A sticky-batch fetch was in flight: the slot held no task yet.
+      // Re-cover the fetched job directly — its sibling probes may all
+      // have resolved, dissolved, or died with other machines by now, so
+      // leftover coverage cannot be assumed.
+      JobRuntime& job = jobs_[worker.fetching_job];
+      if (!job.AllPlaced()) {
+        ++counters_.sticky_fetch_redispatches;
+        QueueEntry entry;
+        entry.job = job.id;
+        entry.est_duration = EstimatedTaskDuration(job);
+        entry.short_class = job.short_class;
+        if (UsesDistributedPlane(job)) {
+          entry.kind = QueueEntry::Kind::kProbe;
+        } else {
+          entry.kind = QueueEntry::Kind::kBoundTask;
+          entry.task_index = TakeNextTaskIndex(job);
+        }
+        RedispatchEntry(entry, config_.rtt);
+      }
     }
+    worker.fetching_job = trace::kInvalidJob;
     worker.resolving = false;
     worker.busy = false;
   }
@@ -165,17 +254,27 @@ void SchedulerBase::FailMachine(WorkerState& worker) {
       JobRuntime& job = jobs_[entry.job];
       PHOENIX_CHECK(job.outstanding_probes > 0);
       --job.outstanding_probes;
-      if (job.AllPlaced()) continue;  // stale probe: drop silently
+      if (job.AllPlaced()) {
+        // Stale probe: the job needs no more slots.
+        ++counters_.probes_cancelled;
+        Emit(EventType::kProbeCancel, entry.job, worker.id);
+        continue;
+      }
+      ++counters_.probes_bounced;
+      Emit(EventType::kProbeBounce, entry.job, worker.id);
     }
     RedispatchEntry(entry, config_.rtt);
   }
 
-  // Repair and the next failure cycle.
-  const double repair =
-      queueing::SampleExponential(rng_, 1.0 / config_.machine_mttr);
-  engine_.ScheduleAfter(repair, [this, wid = worker.id] {
-    RepairMachine(*workers_[wid]);
-  });
+  // Repair and the next failure cycle (stochastic injection only; manual
+  // InjectFailure leaves repair timing to the caller).
+  if (auto_repair) {
+    const double repair =
+        queueing::SampleExponential(rng_, 1.0 / config_.machine_mttr);
+    engine_.ScheduleAfter(repair, [this, wid = worker.id] {
+      RepairMachine(*workers_[wid]);
+    });
+  }
 }
 
 void SchedulerBase::RepairMachine(WorkerState& worker) {
@@ -183,13 +282,43 @@ void SchedulerBase::RepairMachine(WorkerState& worker) {
   worker.failed = false;
   worker.steal_inflight = false;
   worker.estimator.Clear();
+  // The congestion marking predates the failure; everything it summarized
+  // was killed or re-dispatched, so carrying it over would skew wait-aware
+  // probe ranking and CRV reordering until the next heartbeat.
+  worker.last_wait_estimate = 0;
+  worker.crv_marked = false;
+  Emit(EventType::kMachineRepair, obs::kNoId, worker.id);
   TryStartNext(worker);
-  if (!AllJobsDone()) ScheduleNextFailure(worker.id);
+  if (config_.machine_mtbf > 0 && !AllJobsDone()) {
+    ScheduleNextFailure(worker.id);
+  }
 }
 
 void SchedulerBase::HeartbeatTick() {
   ++counters_.heartbeats;
   OnHeartbeat();
+  if (tracing()) {
+    // Publish the per-worker timeseries after OnHeartbeat so Phoenix's
+    // freshly refreshed E[W] / CRV marks are what lands in the export.
+    std::size_t queued = 0;
+    for (const auto& wp : workers_) {
+      const WorkerState& w = *wp;
+      queued += w.queue.size();
+      obs::WorkerSample sample;
+      sample.time = engine_.Now();
+      sample.machine = w.id;
+      sample.queue_len = static_cast<std::uint32_t>(w.queue.size());
+      sample.est_queued_work = w.est_queued_work;
+      sample.wait_estimate = w.estimator.EstimateWait();
+      sample.crv_marked = w.crv_marked;
+      sample.busy = w.busy;
+      sample.failed = w.failed;
+      for (obs::EventSink* sink : sinks_) sink->OnWorkerSample(sample);
+    }
+    Emit(EventType::kHeartbeat, obs::kNoId, obs::kNoId, obs::kNoId,
+         static_cast<double>(queued));
+  }
+  AuditWorkers(/*final_state=*/false);
   if (AllJobsDone()) {
     heartbeat_running_ = false;
     return;  // let the event queue drain so Run() terminates
@@ -201,6 +330,8 @@ void SchedulerBase::HandleJobArrival(JobId id) {
   JobRuntime& job = jobs_[id];
   job.short_class =
       EstimatedTaskDuration(job) <= config_.short_cutoff;
+  Emit(EventType::kJobArrival, id, obs::kNoId, obs::kNoId,
+       static_cast<double>(job.num_tasks()));
   AdmitJob(job);
   if (UsesDistributedPlane(job)) {
     PlaceDistributed(job);
@@ -233,6 +364,8 @@ void SchedulerBase::AdmitJob(JobRuntime& job) {
       // stranding the tasks.
       if (!job.effective.empty()) {
         counters_.tasks_admission_rejected += job.num_tasks();
+        Emit(EventType::kAdmissionRelax, job.id, obs::kNoId, obs::kNoId,
+             static_cast<double>(job.effective.size()));
         job.effective = cluster::ConstraintSet();
         job.duration_multiplier *= config_.soft_relax_penalty;
       }
@@ -242,6 +375,7 @@ void SchedulerBase::AdmitJob(JobRuntime& job) {
     job.duration_multiplier *= config_.soft_relax_penalty;
     ++job.relaxed_constraints;
     ++counters_.soft_constraints_relaxed;
+    Emit(EventType::kAdmissionRelax, job.id, obs::kNoId, obs::kNoId, 1);
   }
 }
 
@@ -367,31 +501,21 @@ void SchedulerBase::PlaceDistributed(JobRuntime& job) {
   entry.est_duration = EstimatedTaskDuration(job);
   entry.short_class = job.short_class;
   for (const MachineId target : targets) {
+    Emit(EventType::kProbeSend, job.id, target);
     SendEntry(target, entry, config_.rtt);
   }
 }
 
 void SchedulerBase::PlaceCentralized(JobRuntime& job) {
-  const sim::SimTime now = engine_.Now();
   while (!job.AllPlaced()) {
     const std::uint32_t index = TakeNextTaskIndex(job);
     std::vector<MachineId> candidates = ChooseLongCandidates(job);
     PHOENIX_CHECK_MSG(!candidates.empty(),
                       "admission control must leave a satisfiable pool");
     FilterByPlacement(job, candidates);
-    MachineId best = candidates[0];
-    double best_load = sim::kTimeInfinity;
-    for (const MachineId c : candidates) {
-      const WorkerState& w = *workers_[c];
-      if (w.failed) continue;  // delivery would only bounce
-      const double running_rem =
-          w.busy ? std::max(0.0, w.busy_until - now) : 0.0;
-      const double load = w.est_queued_work + running_rem;
-      if (load < best_load) {
-        best_load = load;
-        best = c;
-      }
-    }
+    // Shared with RedispatchEntry: least-loaded live candidate, or a fresh
+    // pool draw when every candidate is down (never a known-dead bind).
+    const MachineId best = PickLeastLoadedLive(candidates, job);
     NoteRackCommitment(job, cluster_.rack_of(best));
     QueueEntry entry;
     entry.kind = QueueEntry::Kind::kBoundTask;
@@ -416,8 +540,11 @@ void SchedulerBase::SendEntry(MachineId target, QueueEntry entry,
         --job.outstanding_probes;
         if (job.AllPlaced()) {
           ++counters_.probes_cancelled;
+          Emit(EventType::kProbeCancel, entry.job, target);
           return;
         }
+        ++counters_.probes_bounced;
+        Emit(EventType::kProbeBounce, entry.job, target);
       }
       RedispatchEntry(entry, 1.0 * sim::kSecond);
       return;
@@ -502,11 +629,13 @@ void SchedulerBase::ResolveProbe(WorkerState& worker, QueueEntry entry) {
     if (job.placement() == trace::PlacementPref::kSpread &&
         job.used_racks.Test(rack) && job.outstanding_probes >= remaining) {
       ++counters_.probes_declined_placement;
+      Emit(EventType::kProbeDecline, job.id, worker.id);
       worker.busy = false;
       TryStartNext(worker);
       return;
     }
     const std::uint32_t index = TakeNextTaskIndex(job);
+    Emit(EventType::kProbeResolve, job.id, worker.id, index);
     NoteRackCommitment(job, rack);
     worker.busy = false;  // StartService re-claims the slot
     StartService(worker, job, index);
@@ -514,6 +643,7 @@ void SchedulerBase::ResolveProbe(WorkerState& worker, QueueEntry entry) {
   }
   // All tasks already placed elsewhere: the proxy probe dissolves.
   ++counters_.probes_cancelled;
+  Emit(EventType::kProbeCancel, job.id, worker.id);
   worker.busy = false;
   TryStartNext(worker);
 }
@@ -537,10 +667,13 @@ void SchedulerBase::StartService(WorkerState& worker, JobRuntime& job,
   worker.running_index = task_index;
   worker.busy_until = now + duration;
   total_busy_time_ += duration;
+  Emit(EventType::kTaskStart, job.id, worker.id, task_index, duration);
   worker.pending_event =
       engine_.ScheduleAt(worker.busy_until, [this, wid = worker.id, duration] {
         WorkerState& w = *workers_[wid];
         w.estimator.OnServiceComplete(duration);
+        Emit(EventType::kTaskComplete, w.running_job, wid, w.running_index,
+             duration);
         FinishService(w);
       });
 }
@@ -554,15 +687,22 @@ void SchedulerBase::FinishService(WorkerState& worker) {
   if (job.Done()) {
     job.completion = now;
     ++jobs_done_;
+    Emit(EventType::kJobComplete, job.id, worker.id, obs::kNoId,
+         now - job.spec->submit_time);
   }
   if (!job.AllPlaced() && job.placement() != trace::PlacementPref::kSpread &&
       UseStickyBatchProbing(job)) {
     // Sticky batch probing: keep the slot and fetch the job's next task
     // directly, skipping the probe queue (Eagle §"divide and stick").
+    // fetching_job marks the in-flight fetch so a machine failure can
+    // re-cover the job (see FailMachine).
+    worker.fetching_job = job.id;
+    Emit(EventType::kStickyFetch, job.id, worker.id);
     worker.pending_event = engine_.ScheduleAfter(
         config_.rtt, [this, wid = worker.id, jid = job.id] {
           WorkerState& w = *workers_[wid];
           JobRuntime& j = jobs_[jid];
+          w.fetching_job = trace::kInvalidJob;
           w.busy = false;
           if (!j.AllPlaced()) {
             NoteRackCommitment(j, cluster_.rack_of(w.id));
@@ -596,6 +736,7 @@ bool SchedulerBase::TryStealFor(WorkerState& worker) {
       QueueEntry stolen = RemoveQueueAt(victim, i);
       ++counters_.tasks_stolen;
       worker.steal_inflight = true;
+      Emit(EventType::kSteal, stolen.job, worker.id, obs::kNoId, victim_id);
       SendEntry(worker.id, stolen, 2 * config_.rtt);
       return true;
     }

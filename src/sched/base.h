@@ -21,10 +21,15 @@
 
 #include "cluster/cluster.h"
 #include "metrics/report.h"
+#include "obs/event.h"
 #include "sched/types.h"
 #include "sim/engine.h"
 #include "trace/trace.h"
 #include "util/rng.h"
+
+namespace phoenix::obs {
+class InvariantAuditor;
+}  // namespace phoenix::obs
 
 namespace phoenix::sched {
 
@@ -50,6 +55,32 @@ class SchedulerBase {
 
   const SchedulerConfig& config() const { return config_; }
   const cluster::Cluster& cluster() const { return cluster_; }
+
+  // ---- Observability -----------------------------------------------------
+
+  /// Attaches an event sink. Call before SubmitTrace. The scheduler does
+  /// not own the sink; it must outlive the run. With no sinks attached the
+  /// emit path is a single empty() branch.
+  void AttachSink(obs::EventSink* sink);
+
+  /// Attaches the auditor both as an event sink and for the structural
+  /// worker checks run at every heartbeat and by FinalAudit().
+  void AttachAuditor(obs::InvariantAuditor* auditor);
+
+  /// End-of-run structural audit + the auditor's conservation checks.
+  /// Call after engine.Run() drains (no-op without an attached auditor).
+  void FinalAudit();
+
+  // ---- Deterministic fault injection -------------------------------------
+
+  /// Fails machine `id` immediately (same path as stochastic injection:
+  /// kills the running task or in-flight slot event, drains the queue).
+  /// Unlike stochastic failures no automatic repair is scheduled — pair
+  /// with InjectRepair. No-op if the machine is already down.
+  void InjectFailure(cluster::MachineId id);
+
+  /// Repairs machine `id` immediately. No-op if the machine is up.
+  void InjectRepair(cluster::MachineId id);
 
  protected:
   // ---- Hooks -------------------------------------------------------------
@@ -161,11 +192,30 @@ class SchedulerBase {
   /// True when every submitted job has completed.
   bool AllJobsDone() const { return jobs_done_ == jobs_.size(); }
 
+  /// True when at least one event sink is attached (tracing enabled).
+  bool tracing() const { return !sinks_.empty(); }
+
+  /// Emits an event to the attached sinks. The no-sink case is a single
+  /// branch, so instrumented code paths cost nothing in normal runs.
+  void Emit(obs::EventType type, std::uint32_t job = obs::kNoId,
+            std::uint32_t machine = obs::kNoId,
+            std::uint32_t task = obs::kNoId, double value = 0) {
+    if (sinks_.empty()) return;
+    EmitToSinks(type, job, machine, task, value);
+  }
+
  private:
+  void EmitToSinks(obs::EventType type, std::uint32_t job,
+                   std::uint32_t machine, std::uint32_t task, double value);
+  /// Structural worker invariants -> auditor (heartbeat / end of run).
+  void AuditWorkers(bool final_state);
+
   void HandleJobArrival(trace::JobId id);
   // Failure injection.
   void ScheduleNextFailure(cluster::MachineId id);
-  void FailMachine(WorkerState& worker);
+  /// `auto_repair` schedules the stochastic mttr repair (off for
+  /// InjectFailure, whose caller controls repair timing).
+  void FailMachine(WorkerState& worker, bool auto_repair);
   void RepairMachine(WorkerState& worker);
   /// Re-dispatches an entry that lost its worker: probes are re-sent to a
   /// fresh satisfying target, bound tasks are re-bound least-loaded.
@@ -175,6 +225,12 @@ class SchedulerBase {
 
   void PlaceDistributed(JobRuntime& job);
   void PlaceCentralized(JobRuntime& job);
+  /// Least-loaded live machine among `candidates`, falling back to a fresh
+  /// draw from the job's satisfying pool when every candidate is down (the
+  /// delivery bounce re-dispatches if that draw is down too). Shared by
+  /// the centralized placement and failure re-binding paths.
+  cluster::MachineId PickLeastLoadedLive(
+      const std::vector<cluster::MachineId>& candidates, JobRuntime& job);
   void ResolveProbe(WorkerState& worker, QueueEntry entry);
   void StartService(WorkerState& worker, JobRuntime& job,
                     std::uint32_t task_index);
@@ -192,6 +248,8 @@ class SchedulerBase {
   std::size_t jobs_done_ = 0;
 
   std::string trace_name_;
+  std::vector<obs::EventSink*> sinks_;
+  obs::InvariantAuditor* auditor_ = nullptr;
   metrics::SchedulerCounters counters_;
   double total_busy_time_ = 0;
   sim::SimTime makespan_ = 0;

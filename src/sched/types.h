@@ -191,6 +191,9 @@ struct WorkerState {
   /// re-dispatch the probe).
   bool resolving = false;
   QueueEntry resolving_entry;
+  /// Valid while the slot is held for a sticky-batch fetch (so a failure
+  /// can re-cover the fetched job instead of relying on leftover probes).
+  trace::JobId fetching_job = trace::kInvalidJob;
 
   explicit WorkerState(std::size_t estimator_window)
       : estimator(estimator_window) {}

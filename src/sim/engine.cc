@@ -60,6 +60,29 @@ void Engine::SkipCancelled() {
   }
 }
 
+bool Engine::IsPending(EventId id) const {
+  if (id >= next_seq_) return false;
+  if (std::binary_search(cancelled_.begin(), cancelled_.end(), id)) {
+    return false;
+  }
+  for (const Entry& e : heap_) {
+    if (e.seq == id) return true;
+  }
+  return false;
+}
+
+std::vector<Engine::EventId> Engine::PendingIds() const {
+  std::vector<EventId> ids;
+  ids.reserve(live_events_);
+  for (const Entry& e : heap_) {
+    if (!std::binary_search(cancelled_.begin(), cancelled_.end(), e.seq)) {
+      ids.push_back(e.seq);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 std::uint64_t Engine::Run(SimTime until) {
   std::uint64_t fired = 0;
   while (Step(until)) ++fired;

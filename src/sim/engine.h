@@ -52,6 +52,16 @@ class Engine {
   /// Returns true if an event fired.
   bool Step(SimTime until = kTimeInfinity);
 
+  /// True if `id` was scheduled, has not fired, and is not cancelled.
+  /// O(pending) heap scan — meant for audits and tests, not hot paths;
+  /// batch callers should use PendingIds() once instead.
+  bool IsPending(EventId id) const;
+
+  /// Ids of all live (scheduled, unfired, uncancelled) events, sorted.
+  /// Snapshot for structural audits: one O(n log n) pass amortizes the
+  /// per-worker pending checks at a heartbeat.
+  std::vector<EventId> PendingIds() const;
+
   bool Empty() const { return live_events_ == 0; }
   std::uint64_t events_fired() const { return events_fired_; }
   std::uint64_t events_scheduled() const { return next_seq_; }

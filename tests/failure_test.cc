@@ -4,7 +4,11 @@
 #include <gtest/gtest.h>
 
 #include "cluster/builder.h"
+#include "core/phoenix.h"
 #include "runner/experiment.h"
+#include "sched/central.h"
+#include "sched/eagle.h"
+#include "sim/engine.h"
 #include "trace/generators.h"
 
 namespace phoenix {
@@ -133,6 +137,154 @@ TEST(Failures, SpreadJobsSurviveRackFailure) {
   }
   ASSERT_GT(spread_multi, 0u);
   EXPECT_GT(static_cast<double>(spread_ok) / spread_multi, 0.75);
+}
+
+// ---------------------------------------------------------------- white-box
+// Deterministic failure-path regressions, driven through a subclass that
+// exposes the protected framework internals.
+
+template <typename Scheduler>
+class WhiteBox : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  using Scheduler::AllJobsDone;
+  using Scheduler::RemoveQueueAt;
+  using Scheduler::counters_view;
+  using Scheduler::runtime;
+  using Scheduler::worker;
+};
+
+trace::Trace TwoTaskShortJob(const char* name) {
+  trace::Job job;
+  job.id = 0;
+  job.submit_time = 0;
+  job.task_durations = {5.0, 5.0};
+  trace::Trace t(name, {job});
+  t.set_short_cutoff(100.0);
+  return t;
+}
+
+// Steps the single-worker scenario until worker 0 holds its slot for a
+// sticky-batch fetch (busy, no running task, no probe resolving).
+template <typename Scheduler>
+bool StepUntilStickyFetch(sim::Engine& engine, WhiteBox<Scheduler>& sched) {
+  for (int i = 0; i < 10000; ++i) {
+    if (sched.worker(0).fetching_job != trace::kInvalidJob) return true;
+    if (!engine.Step()) return false;  // drained before any sticky fetch
+  }
+  return false;
+}
+
+TEST(Failures, MachineFailingMidStickyFetchRedispatchesTheJob) {
+  // Eagle finishes a task of a partially-placed job and holds the slot one
+  // RTT to fetch the next task directly (sticky batch probing). A failure
+  // inside that window cancels the fetch; the fix re-covers the fetched job
+  // directly instead of relying on whatever sibling probes happen to
+  // survive. The dedicated counter proves the direct path fired.
+  const auto cl = cluster::BuildCluster({.num_machines = 1, .seed = 41});
+  sim::Engine engine;
+  sched::SchedulerConfig cfg;
+  cfg.probe_ratio = 1;
+  WhiteBox<sched::EagleScheduler> sched(engine, cl, cfg);
+  const auto t = TwoTaskShortJob("sticky-failover");
+  sched.SubmitTrace(t);
+
+  ASSERT_TRUE(StepUntilStickyFetch(engine, sched));
+  sched.InjectFailure(0);
+  EXPECT_EQ(sched.counters_view().sticky_fetch_redispatches, 1u);
+  sched.InjectRepair(0);
+  engine.Run();
+  EXPECT_TRUE(sched.AllJobsDone());
+  sched.BuildReport().CheckInvariants();
+}
+
+TEST(Failures, StickyFetchSurvivesFailureWithoutLeftoverProbes) {
+  // Adversarial variant: strip the leftover probe from the queue before the
+  // failure, so nothing but the fetch itself covers the job's last task.
+  // With the fetching_job redispatch reverted, the fetch event dies with
+  // the machine, no probe remains, and the job strands forever (AllJobsDone
+  // stays false when the bounded run below times out).
+  const auto cl = cluster::BuildCluster({.num_machines = 1, .seed = 41});
+  sim::Engine engine;
+  sched::SchedulerConfig cfg;
+  cfg.probe_ratio = 1;
+  WhiteBox<sched::EagleScheduler> sched(engine, cl, cfg);
+  const auto t = TwoTaskShortJob("sticky-strand");
+  sched.SubmitTrace(t);
+
+  ASSERT_TRUE(StepUntilStickyFetch(engine, sched));
+  auto& w = sched.worker(0);
+  while (!w.queue.empty()) {
+    const sched::QueueEntry e = sched.RemoveQueueAt(w, w.queue.size() - 1);
+    ASSERT_EQ(e.kind, sched::QueueEntry::Kind::kProbe);
+    ASSERT_GT(sched.runtime(e.job).outstanding_probes, 0u);
+    --sched.runtime(e.job).outstanding_probes;
+  }
+  sched.InjectFailure(0);
+  sched.InjectRepair(0);
+  engine.Run(/*until=*/20000.0);
+  EXPECT_TRUE(sched.AllJobsDone());
+}
+
+TEST(Failures, CentralizedPlacementFallsBackOffDeadCandidates) {
+  // Every power-of-d candidate is down when the job arrives: the placement
+  // must fall back to a fresh satisfying draw (counted) rather than binding
+  // the first dead candidate unconditionally.
+  const auto cl = cluster::BuildCluster({.num_machines = 8, .seed = 43});
+  sim::Engine engine;
+  WhiteBox<sched::CentralScheduler> sched(engine, cl,
+                                          sched::SchedulerConfig{});
+  trace::Job job;
+  job.id = 0;
+  job.submit_time = 1.0;
+  job.task_durations = {50.0, 50.0, 50.0, 50.0};
+  trace::Trace t("dead-pool", {job});
+  t.set_short_cutoff(10.0);
+  sched.SubmitTrace(t);
+
+  for (cluster::MachineId m = 0; m < 8; ++m) sched.InjectFailure(m);
+  engine.Run(/*until=*/3.0);  // the arrival fires with the whole fleet down
+  EXPECT_GE(sched.counters_view().placement_dead_fallbacks, 4u);
+
+  for (cluster::MachineId m = 0; m < 8; ++m) sched.InjectRepair(m);
+  engine.Run();
+  EXPECT_TRUE(sched.AllJobsDone());
+  sched.BuildReport().CheckInvariants();
+}
+
+TEST(Failures, RepairResetsStaleCrvState) {
+  // A repaired machine must not come back with the wait estimate / CRV mark
+  // it had when it died: Phoenix would keep steering probes by a snapshot of
+  // a queue that no longer exists (the queue is drained on failure).
+  const auto cl = cluster::BuildCluster({.num_machines = 2, .seed = 47});
+  sim::Engine engine;
+  WhiteBox<core::PhoenixScheduler> sched(engine, cl,
+                                         sched::SchedulerConfig{});
+  auto& w = sched.worker(0);
+  w.last_wait_estimate = 42.0;
+  w.crv_marked = true;
+  sched.InjectFailure(0);
+  EXPECT_TRUE(w.failed);
+  sched.InjectRepair(0);
+  EXPECT_FALSE(w.failed);
+  EXPECT_EQ(w.last_wait_estimate, 0.0);
+  EXPECT_FALSE(w.crv_marked);
+}
+
+TEST(Failures, InjectionIsIdempotent) {
+  // Double-failure and double-repair are no-ops, and repairing an up
+  // machine never schedules stochastic churn (mtbf is 0 here).
+  const auto cl = cluster::BuildCluster({.num_machines = 2, .seed = 53});
+  sim::Engine engine;
+  WhiteBox<sched::EagleScheduler> sched(engine, cl, sched::SchedulerConfig{});
+  sched.InjectRepair(0);  // up: no-op
+  EXPECT_FALSE(sched.worker(0).failed);
+  sched.InjectFailure(0);
+  sched.InjectFailure(0);
+  EXPECT_EQ(sched.counters_view().machine_failures, 1u);
+  sched.InjectRepair(0);
+  EXPECT_FALSE(sched.worker(0).failed);
+  EXPECT_TRUE(engine.Empty());  // no auto-repair / refail events linger
 }
 
 }  // namespace
