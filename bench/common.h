@@ -17,6 +17,21 @@
 //   --audit          run the invariant auditor; abort on any violation
 // Multi-seed runs suffix each output file with ".seed<N>".
 //
+// Control-plane fabric (see EXPERIMENTS.md "The network fabric"):
+//   --net-model=M    constant | uniform | lognormal | empirical
+//   --net-latency=S  one-way scheduler<->worker delay in seconds
+//   --net-jitter=F   uniform model: +/- fraction of the nominal delay
+//   --net-sigma=F    lognormal model: sigma of the delay multiplier
+//   --net-drop=F     P(message silently dropped), per copy
+//   --net-dup=F      P(message duplicated in flight)
+//   --net-reorder=F  P(message held back past later traffic)
+//   --net-seed=N     fabric chaos stream seed (mixed with --seed)
+//   --rpc-timeout=S  base RPC attempt deadline
+//   --rpc-retries=N  max retries before a call fails over
+//   --rpc-backoff=F  deadline multiplier per retry
+// Defaults are the ideal fabric (constant latency, no loss): bit-identical
+// to the pre-fabric simulator.
+//
 // Scaled defaults preserve the queueing behaviour (the sweeps vary the same
 // utilization axis) while finishing in seconds on one core.
 #pragma once
@@ -25,6 +40,8 @@
 #include <string>
 
 #include "cluster/builder.h"
+#include "net/fabric.h"
+#include "net/rpc.h"
 #include "runner/experiment.h"
 #include "runner/parallel.h"
 #include "trace/generators.h"
@@ -47,6 +64,9 @@ struct BenchOptions {
   std::string tsv;
   /// Observability outputs applied to every simulation the bench runs.
   runner::ObsOptions obs;
+  /// Control-plane fabric and RPC policy applied to every simulation.
+  net::FabricConfig net;
+  net::RpcConfig rpc;
 };
 
 /// Parses the common flags; exits(1) on bad input. `extra` names additional
@@ -71,6 +91,40 @@ inline BenchOptions ParseBenchOptions(util::Flags& flags,
   o.obs.trace_jsonl = flags.GetString("trace-jsonl", "");
   o.obs.timeseries_tsv = flags.GetString("timeseries", "");
   o.obs.audit = flags.GetBool("audit", false);
+  const std::string model = flags.GetString("net-model", "constant");
+  if (model == "constant") {
+    o.net.model = net::LatencyModel::kConstant;
+  } else if (model == "uniform") {
+    o.net.model = net::LatencyModel::kUniform;
+  } else if (model == "lognormal") {
+    o.net.model = net::LatencyModel::kLognormal;
+  } else if (model == "empirical") {
+    o.net.model = net::LatencyModel::kEmpirical;
+  } else {
+    std::fprintf(stderr,
+                 "--net-model must be constant|uniform|lognormal|empirical "
+                 "(got \"%s\")\n",
+                 model.c_str());
+    std::exit(1);
+  }
+  o.net.one_way = flags.GetDouble("net-latency", o.net.one_way);
+  o.net.jitter = flags.GetDouble("net-jitter", o.net.jitter);
+  o.net.sigma = flags.GetDouble("net-sigma", o.net.sigma);
+  o.net.drop_rate = flags.GetDouble("net-drop", 0.0);
+  o.net.duplicate_rate = flags.GetDouble("net-dup", 0.0);
+  o.net.reorder_rate = flags.GetDouble("net-reorder", 0.0);
+  o.net.seed = static_cast<std::uint64_t>(flags.GetInt(
+      "net-seed", static_cast<std::int64_t>(o.net.seed)));
+  o.rpc.timeout = flags.GetDouble("rpc-timeout", o.rpc.timeout);
+  o.rpc.max_retries = static_cast<std::size_t>(flags.GetInt(
+      "rpc-retries", static_cast<std::int64_t>(o.rpc.max_retries)));
+  o.rpc.backoff = flags.GetDouble("rpc-backoff", o.rpc.backoff);
+  if (o.net.one_way <= 0 || o.rpc.timeout <= 0 || o.rpc.backoff < 1.0) {
+    std::fprintf(stderr,
+                 "--net-latency and --rpc-timeout must be positive; "
+                 "--rpc-backoff must be >= 1\n");
+    std::exit(1);
+  }
   if (!flags.Validate()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     std::exit(1);
@@ -102,6 +156,8 @@ inline runner::RepeatedRuns Run(const std::string& scheduler,
   runner::RunOptions ro;
   ro.scheduler = scheduler;
   ro.config.seed = o.seed;
+  ro.config.net = o.net;
+  ro.config.rpc = o.rpc;
   ro.obs = o.obs;
   return runner::RepeatedRuns(t, cl, ro, o.runs);
 }

@@ -38,4 +38,13 @@ else
   echo "python3 not found; skipped chrome trace JSON validation"
 fi
 
+echo "== audited chaos smoke =="
+# Lossy control plane with retries on: the auditor enforces message
+# conservation (every send is delivered, dropped, or expired) and the run
+# must still complete every job.
+"$BUILD_DIR/bench/bench_fig7_phoenix_vs_eagle_short" \
+  --nodes=60 --jobs=1200 --runs=1 --audit \
+  --net-model=lognormal --net-drop=0.05 --rpc-retries=4 >/dev/null
+echo "chaos smoke ok: 5% drop, retries on, auditor clean"
+
 echo "== all checks passed =="

@@ -31,15 +31,34 @@ void PhoenixScheduler::AdmitJob(JobRuntime& job) {
   }
 }
 
+void PhoenixScheduler::ApplyWaitReport(WorkerState& w, double estimate) {
+  w.last_wait_estimate = estimate;
+  w.crv_marked = congested_ && estimate > config().qwait_threshold;
+}
+
 void PhoenixScheduler::OnHeartbeat() {
   EagleScheduler::OnHeartbeat();  // idle-worker steal retry
   snapshot_ = monitor_.TakeSnapshot();
   congested_ = snapshot_.CongestedAbove(config().crv_threshold);
+  const bool ideal_net = fabric().FastPath();
   bool any_marked = false;
   for (std::size_t i = 0; i < num_workers(); ++i) {
     WorkerState& w = worker(static_cast<MachineId>(i));
-    w.last_wait_estimate = w.estimator.EstimateWait();
-    w.crv_marked = congested_ && w.last_wait_estimate > config().qwait_threshold;
+    const double estimate = w.estimator.EstimateWait();
+    if (ideal_net) {
+      ApplyWaitReport(w, estimate);
+    } else {
+      // Worker-side E[W] reports transit the fabric to the CRV monitor as
+      // unreliable datagrams (the next tick supersedes them, so no retry):
+      // a dropped or delayed report leaves the previous, stale estimate
+      // steering probe placement until the next heartbeat lands.
+      fabric().Send(w.id, net::kControllerNode,
+                    net::MessageKind::kHeartbeatReport, one_way(),
+                    [this, wid = w.id, estimate] {
+                      ApplyWaitReport(worker(wid), estimate);
+                      return true;
+                    });
+    }
     any_marked = any_marked || w.crv_marked;
   }
   if (congested_ && any_marked) ++counters().crv_reorder_rounds;

@@ -68,6 +68,13 @@ class PhoenixScheduler : public sched::EagleScheduler {
   /// dimension.
   bool TouchesHotDim(const sched::JobRuntime& job) const;
 
+  /// Lands one worker's heartbeat E[W] report at the CRV monitor: refreshes
+  /// the published wait estimate and the CRV reorder mark. Under the ideal
+  /// fabric this is applied synchronously at the tick; otherwise each
+  /// report transits the fabric, so drops/delays leave stale estimates —
+  /// the eventual-consistency failure mode the netplane bench studies.
+  void ApplyWaitReport(sched::WorkerState& w, double estimate);
+
   static constexpr std::size_t kMaxHistory = 4096;
 
   CrvMonitor monitor_;

@@ -67,6 +67,14 @@ struct SchedulerCounters {
   /// Centralized placements where every sampled candidate was down and the
   /// binding fell back to a fresh draw from the satisfying pool.
   std::uint64_t placement_dead_fallbacks = 0;
+  /// Control-plane fabric accounting (src/net). All zero under the default
+  /// zero-chaos fabric, whose fast path does no per-message bookkeeping.
+  std::uint64_t net_messages_sent = 0;
+  std::uint64_t net_messages_dropped = 0;
+  std::uint64_t net_messages_duplicated = 0;
+  std::uint64_t net_messages_expired = 0;
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t rpc_failures = 0;
 };
 
 class SimReport {

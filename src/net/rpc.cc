@@ -1,0 +1,169 @@
+#include "net/rpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace phoenix::net {
+
+namespace {
+
+MessageKind ReplyKind(MessageKind request) {
+  return request == MessageKind::kFetchRequest ? MessageKind::kFetchReply
+                                               : request;
+}
+
+}  // namespace
+
+Rpc::Rpc(sim::Engine& engine, NetworkFabric& fabric, const RpcConfig& config)
+    : engine_(engine), fabric_(fabric), config_(config) {
+  PHOENIX_CHECK_MSG(config_.timeout > 0, "rpc timeout must be positive");
+  PHOENIX_CHECK_MSG(config_.backoff >= 1.0, "rpc backoff must be >= 1");
+}
+
+double Rpc::AttemptDeadline(const Call& call) const {
+  const double base = std::max(config_.timeout, 3.0 * call.nominal);
+  return base * std::pow(config_.backoff, static_cast<double>(call.attempt));
+}
+
+Rpc::Call Rpc::TakeResolved(CallMap::iterator it) {
+  Call call = std::move(it->second);
+  if (!call.fast) engine_.Cancel(call.timer);
+  calls_.erase(it);
+  return call;
+}
+
+void Rpc::Cancel(CallId id) {
+  auto it = calls_.find(id);
+  if (it == calls_.end()) return;
+  engine_.Cancel(it->second.timer);
+  calls_.erase(it);
+  ++stats_.cancelled;
+}
+
+Rpc::CallId Rpc::Send(cluster::MachineId src, cluster::MachineId dst,
+                      MessageKind kind, double nominal,
+                      std::function<void()> on_deliver,
+                      std::function<void()> on_fail) {
+  if (fabric_.FastPath()) {
+    fabric_.Send(src, dst, kind, nominal,
+                 [fn = std::move(on_deliver)] {
+                   fn();
+                   return true;
+                 });
+    return 0;
+  }
+  const CallId id = ++last_call_;
+  Call call;
+  call.src = src;
+  call.dst = dst;
+  call.kind = kind;
+  call.nominal = nominal;
+  call.round_trip = false;
+  call.on_ok = std::move(on_deliver);
+  call.on_fail = std::move(on_fail);
+  calls_.emplace(id, std::move(call));
+  ++stats_.calls;
+  Attempt(id);
+  return id;
+}
+
+Rpc::CallId Rpc::RoundTrip(cluster::MachineId src, cluster::MachineId dst,
+                           MessageKind kind, double nominal_rtt,
+                           std::function<void()> on_success,
+                           std::function<void()> on_fail) {
+  const CallId id = ++last_call_;
+  Call call;
+  call.src = src;
+  call.dst = dst;
+  call.kind = kind;
+  call.nominal = nominal_rtt;
+  call.round_trip = true;
+  call.on_ok = std::move(on_success);
+  call.on_fail = std::move(on_fail);
+  if (fabric_.FastPath()) {
+    // Delivery is certain: collapse both legs into the single engine event
+    // the pre-fabric scheduler used, registered so Cancel/Alive still work
+    // (a machine failure cancels the fetch through the call id).
+    call.fast = true;
+    calls_.emplace(id, std::move(call));
+    Call& live = calls_.find(id)->second;
+    live.timer = engine_.ScheduleAfter(nominal_rtt, [this, id] {
+      auto it = calls_.find(id);
+      if (it == calls_.end()) return;  // cancelled after the event fired
+      Call resolved = std::move(it->second);
+      calls_.erase(it);
+      resolved.on_ok();
+    });
+    return id;
+  }
+  calls_.emplace(id, std::move(call));
+  ++stats_.calls;
+  Attempt(id);
+  return id;
+}
+
+void Rpc::Attempt(CallId id) {
+  Call& call = calls_.find(id)->second;
+  if (!call.round_trip) {
+    fabric_.Send(call.src, call.dst, call.kind, call.nominal,
+                 [this, id]() -> bool {
+                   auto it = calls_.find(id);
+                   if (it == calls_.end()) return false;  // stale arrival
+                   Call resolved = TakeResolved(it);
+                   resolved.on_ok();
+                   return true;
+                 });
+  } else {
+    fabric_.Send(
+        call.src, call.dst, call.kind, call.nominal / 2,
+        [this, id]() -> bool {
+          auto it = calls_.find(id);
+          if (it == calls_.end()) return false;  // request for a dead call
+          // The request landed: send the reply leg. The call stays live
+          // until the reply arrives (so a second request copy also
+          // triggers a reply — dedup happens at reply arrival).
+          const Call& live = it->second;
+          fabric_.Send(live.dst, live.src, ReplyKind(live.kind),
+                       live.nominal / 2, [this, id]() -> bool {
+                         auto reply_it = calls_.find(id);
+                         if (reply_it == calls_.end()) return false;
+                         Call resolved = TakeResolved(reply_it);
+                         resolved.on_ok();
+                         return true;
+                       });
+          return true;
+        });
+  }
+  // Re-find: fabric_.Send only schedules, but keep the access pattern safe
+  // against future reentrancy in the delivery path.
+  Call& armed = calls_.find(id)->second;
+  armed.timer = engine_.ScheduleAfter(AttemptDeadline(armed),
+                                      [this, id] { OnTimeout(id); });
+}
+
+void Rpc::OnTimeout(CallId id) {
+  auto it = calls_.find(id);
+  if (it == calls_.end()) return;
+  Call& call = it->second;
+  if (call.attempt >= config_.max_retries) {
+    Call failed = std::move(call);
+    calls_.erase(it);
+    ++stats_.failures;
+    fabric_.EmitEvent(obs::EventType::kRpcFail, failed.dst,
+                      static_cast<std::uint32_t>(failed.kind),
+                      static_cast<double>(id));
+    if (failed.on_fail) failed.on_fail();
+    return;
+  }
+  ++call.attempt;
+  ++stats_.retries;
+  fabric_.EmitEvent(obs::EventType::kRpcRetry, call.dst,
+                    static_cast<std::uint32_t>(call.kind),
+                    static_cast<double>(id));
+  Attempt(id);
+}
+
+}  // namespace phoenix::net

@@ -1,0 +1,127 @@
+// Reliable delivery on top of the NetworkFabric.
+//
+// The fabric is a lossy datagram layer; Rpc adds the sender-side reliability
+// the scheduler needs so chaos injection degrades latency instead of
+// stranding work:
+//
+//   * Send — at-least-once one-way delivery with a per-attempt timeout,
+//     bounded retries, and exponential backoff. The receiver callback runs
+//     exactly once (first arrival wins; duplicate and post-resolution
+//     arrivals are expired). When every attempt times out, on_fail runs and
+//     the caller re-covers the work (the scheduler re-dispatches the entry,
+//     which is what makes "zero lost jobs under drop" structural).
+//   * RoundTrip — a collapsed request/reply exchange (src -> dst -> src),
+//     two fabric messages per attempt under one deadline. Used for the
+//     late-binding fetch that holds a worker slot; the call id is the
+//     slot's cancellable handle (machine failure cancels the call the same
+//     way it used to cancel the bare engine event).
+//
+// Fast path: while the fabric guarantees delivery (FastPath()), Send posts
+// the message with no call bookkeeping and RoundTrip schedules a single
+// engine event — preserving byte-identical behavior with chaos disabled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/fabric.h"
+#include "sim/engine.h"
+
+namespace phoenix::net {
+
+struct RpcConfig {
+  /// Base per-attempt deadline, seconds. The effective deadline is
+  /// max(timeout, 3 x nominal transit) so a latency sweep cannot push every
+  /// attempt into spurious timeout.
+  double timeout = 0.01;
+  /// Retries after the first attempt (total attempts = max_retries + 1).
+  std::size_t max_retries = 3;
+  /// Deadline multiplier per retry (exponential backoff).
+  double backoff = 2.0;
+};
+
+struct RpcStats {
+  std::uint64_t calls = 0;     // reliable calls issued (fast path excluded)
+  std::uint64_t retries = 0;   // attempts beyond the first
+  std::uint64_t failures = 0;  // calls that exhausted every attempt
+  std::uint64_t cancelled = 0;
+};
+
+class Rpc {
+ public:
+  /// Live-call handle; 0 means "no call" (fast-path sends return it).
+  using CallId = std::uint64_t;
+
+  Rpc(sim::Engine& engine, NetworkFabric& fabric, const RpcConfig& config);
+
+  Rpc(const Rpc&) = delete;
+  Rpc& operator=(const Rpc&) = delete;
+
+  /// At-least-once one-way delivery of a `kind` message to `dst`.
+  /// `on_deliver` runs at the first arrival; `on_fail` runs if max_retries
+  /// attempts all time out. Returns 0 on the fast path (delivery certain,
+  /// nothing to cancel).
+  CallId Send(cluster::MachineId src, cluster::MachineId dst,
+              MessageKind kind, double nominal,
+              std::function<void()> on_deliver,
+              std::function<void()> on_fail);
+
+  /// Request/reply round trip (src -> dst -> src) with total nominal
+  /// transit `nominal_rtt` (each leg pays half). `on_success` runs at reply
+  /// arrival, `on_fail` after exhausted retries. Always returns a live call
+  /// id — callers park a worker slot on it and must Cancel on failure of
+  /// the slot's machine.
+  CallId RoundTrip(cluster::MachineId src, cluster::MachineId dst,
+                   MessageKind kind, double nominal_rtt,
+                   std::function<void()> on_success,
+                   std::function<void()> on_fail);
+
+  /// True while the call is unresolved (its deadline or delivery event is
+  /// live in the engine) — the audit's "busy slot has a live event" proof.
+  bool Alive(CallId id) const { return calls_.find(id) != calls_.end(); }
+
+  /// Cancels a live call: the timer dies now, in-flight messages expire on
+  /// arrival, and no callback ever runs. No-op for resolved calls.
+  void Cancel(CallId id);
+
+  const RpcStats& stats() const { return stats_; }
+  const RpcConfig& config() const { return config_; }
+
+ private:
+  struct Call {
+    cluster::MachineId src = kControllerNode;
+    cluster::MachineId dst = kControllerNode;
+    MessageKind kind = MessageKind::kProbe;
+    double nominal = 0;
+    bool round_trip = false;
+    /// Fast-path round trip: `timer` is the delivery event itself, not a
+    /// deadline (and must not be cancelled when it resolves the call).
+    bool fast = false;
+    std::size_t attempt = 0;
+    sim::Engine::EventId timer = 0;
+    std::function<void()> on_ok;
+    std::function<void()> on_fail;
+  };
+
+  using CallMap = std::unordered_map<CallId, Call>;
+
+  /// Sends the call's message(s) for the current attempt and arms the
+  /// attempt deadline.
+  void Attempt(CallId id);
+  void OnTimeout(CallId id);
+  double AttemptDeadline(const Call& call) const;
+  /// Detaches a resolving call: cancels its timer (reliable calls only) and
+  /// removes it from the table, returning it so callbacks can run after the
+  /// map mutation is complete.
+  Call TakeResolved(CallMap::iterator it);
+
+  sim::Engine& engine_;
+  NetworkFabric& fabric_;
+  RpcConfig config_;
+  CallId last_call_ = 0;
+  CallMap calls_;
+  RpcStats stats_;
+};
+
+}  // namespace phoenix::net

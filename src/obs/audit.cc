@@ -111,6 +111,29 @@ void InvariantAuditor::OnEvent(const Event& event) {
           event.type == EventType::kMachineFail;
       return;
     }
+    case EventType::kMsgSend: {
+      ++messages_sent_;
+      const auto id = static_cast<std::uint64_t>(event.value);
+      if (!inflight_messages_.insert(id).second) {
+        Violate(util::StrFormat("message %llu sent twice at t=%.6f",
+                                static_cast<unsigned long long>(id),
+                                event.time));
+      }
+      return;
+    }
+    case EventType::kMsgDeliver:
+    case EventType::kMsgDrop:
+    case EventType::kMsgExpire: {
+      ++messages_terminated_;
+      const auto id = static_cast<std::uint64_t>(event.value);
+      if (inflight_messages_.erase(id) == 0) {
+        Violate(util::StrFormat(
+            "message %llu terminated (%s) at t=%.6f without a matching send",
+            static_cast<unsigned long long>(id), EventTypeName(event.type),
+            event.time));
+      }
+      return;
+    }
     default:
       return;  // informational events carry no audited state
   }
@@ -153,6 +176,14 @@ void InvariantAuditor::CheckWorker(double now, std::uint32_t machine,
 }
 
 void InvariantAuditor::Finish() {
+  if (!inflight_messages_.empty()) {
+    // Sample one leaked id for the diagnosis; the count carries the scale.
+    Violate(util::StrFormat(
+        "%zu control-plane message(s) still in flight after the run drained "
+        "(e.g. id %llu): every send must end in deliver, drop, or expire",
+        inflight_messages_.size(),
+        static_cast<unsigned long long>(*inflight_messages_.begin())));
+  }
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     const JobStats& job = jobs_[i];
     if (!job.arrived) continue;

@@ -9,6 +9,9 @@
 //   * task conservation — executions started equal completions plus
 //     failure kills, and every job finishes exactly its task count;
 //   * machine lifecycle — fail/repair events alternate per machine;
+//   * message conservation — every control-plane message the fabric sends
+//     is eventually delivered, dropped, or expired, exactly once, and none
+//     is still in flight when the run drains;
 //   * worker structure (fed by the scheduler at each heartbeat and at the
 //     end of the run) — a busy worker always has a live slot event, a
 //     failed worker is never busy, and queues drain by the end of the run.
@@ -19,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/event.h"
@@ -47,6 +51,10 @@ class InvariantAuditor final : public EventSink {
   std::string Summary() const;
 
   std::uint64_t events_seen() const { return events_seen_; }
+  /// Fabric message accounting (for tests asserting the conservation rule
+  /// actually observed traffic).
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_terminated() const { return messages_terminated_; }
 
  private:
   struct JobStats {
@@ -74,6 +82,10 @@ class InvariantAuditor final : public EventSink {
 
   std::vector<JobStats> jobs_;
   std::vector<bool> machine_failed_;
+  /// Fabric messages sent but not yet delivered/dropped/expired, by id.
+  std::unordered_set<std::uint64_t> inflight_messages_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_terminated_ = 0;
   std::vector<std::string> violations_;
   std::uint64_t events_seen_ = 0;
 };

@@ -26,6 +26,14 @@ const char* EventTypeName(EventType type) {
     case EventType::kMachineFail: return "machine_fail";
     case EventType::kMachineRepair: return "machine_repair";
     case EventType::kHeartbeat: return "heartbeat";
+    case EventType::kMsgSend: return "msg_send";
+    case EventType::kMsgDeliver: return "msg_deliver";
+    case EventType::kMsgDrop: return "msg_drop";
+    case EventType::kMsgExpire: return "msg_expire";
+    case EventType::kRpcRetry: return "rpc_retry";
+    case EventType::kRpcFail: return "rpc_fail";
+    case EventType::kPartitionStart: return "partition_start";
+    case EventType::kPartitionEnd: return "partition_end";
   }
   return "?";
 }

@@ -33,10 +33,23 @@ enum class EventType : std::uint8_t {
   kMachineFail,     // machine went down
   kMachineRepair,   // machine came back
   kHeartbeat,       // heartbeat tick; value = total queued entries
+  // Control-plane fabric lifecycle (src/net). `machine` is the destination,
+  // `task` the net::MessageKind, `value` the message id — every kMsgSend id
+  // must be matched by exactly one kMsgDeliver, kMsgDrop, or kMsgExpire
+  // (the auditor's message-conservation rule). The zero-chaos fast path
+  // emits none of these.
+  kMsgSend,         // fabric accepted a message
+  kMsgDeliver,      // message arrived and was consumed
+  kMsgDrop,         // message lost (drop chaos or partition)
+  kMsgExpire,       // message arrived stale (its call already resolved)
+  kRpcRetry,        // an rpc attempt timed out and was re-sent; value = call
+  kRpcFail,         // an rpc exhausted its retries; value = call id
+  kPartitionStart,  // machine set cut off; value = set size
+  kPartitionEnd,    // partition healed
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kHeartbeat) + 1;
+    static_cast<std::size_t>(EventType::kPartitionEnd) + 1;
 
 /// Stable lowercase name for serialization ("probe_send", ...).
 const char* EventTypeName(EventType type);

@@ -17,7 +17,14 @@ SchedulerBase::SchedulerBase(sim::Engine& engine,
                              const cluster::Cluster& cluster,
                              const SchedulerConfig& config)
     : engine_(engine), cluster_(cluster), config_(config),
-      rng_(config.seed ^ 0x5851f42d4c957f2dULL) {
+      rng_(config.seed ^ 0x5851f42d4c957f2dULL),
+      fabric_(engine, config.net, config.seed),
+      rpc_(engine, fabric_, config.rpc) {
+  // Message-lifecycle events flow through the same sinks as scheduler
+  // events (the fabric never emits on its zero-chaos fast path).
+  fabric_.set_emitter([this](const obs::Event& event) {
+    for (obs::EventSink* sink : sinks_) sink->OnEvent(event);
+  });
   workers_.reserve(cluster.size());
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     auto w = std::make_unique<WorkerState>(config_.estimator_window);
@@ -58,8 +65,14 @@ void SchedulerBase::AuditWorkers(bool final_state) {
   const double now = engine_.Now();
   for (const auto& wp : workers_) {
     const WorkerState& w = *wp;
+    // A slot held for a fetch is backed by a live RPC call (whose deadline
+    // or delivery event keeps the engine moving); an executing slot by the
+    // completion event.
     const bool live_slot_event =
-        std::binary_search(pending.begin(), pending.end(), w.pending_event);
+        w.pending_call != 0
+            ? rpc_.Alive(w.pending_call)
+            : std::binary_search(pending.begin(), pending.end(),
+                                 w.pending_event);
     auditor_->CheckWorker(now, w.id, w.busy, w.failed, live_slot_event,
                           w.queue.size(), w.est_queued_work, final_state);
   }
@@ -169,7 +182,7 @@ void SchedulerBase::RedispatchEntry(QueueEntry entry, double delay) {
   }
   // Bound task: re-bind to the least-loaded live satisfying worker.
   const MachineId best = PickLeastLoadedLive(ChooseLongCandidates(job), job);
-  SendEntry(best, entry, std::max(delay, 2 * config_.rtt));
+  SendEntry(best, entry, std::max(delay, 2 * one_way()));
 }
 
 void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
@@ -181,7 +194,7 @@ void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
   // Kill the in-flight slot event (probe resolution, sticky fetch, or task
   // completion) and recover its work.
   if (worker.busy) {
-    engine_.Cancel(worker.pending_event);
+    CancelSlotEvent(worker);
     if (worker.running_job != trace::kInvalidJob) {
       // Running task is lost: un-count its unfinished service and replay it.
       JobRuntime& job = jobs_[worker.running_job];
@@ -195,7 +208,7 @@ void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
         probe.job = job.id;
         probe.est_duration = EstimatedTaskDuration(job);
         probe.short_class = job.short_class;
-        RedispatchEntry(probe, config_.rtt);
+        RedispatchEntry(probe, one_way());
         --counters_.tasks_rescheduled_failure;  // RedispatchEntry counted too
       } else {
         QueueEntry bound;
@@ -204,23 +217,13 @@ void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
         bound.task_index = TakeNextTaskIndex(job);
         bound.est_duration = EstimatedTaskDuration(job);
         bound.short_class = job.short_class;
-        RedispatchEntry(bound, config_.rtt);
+        RedispatchEntry(bound, one_way());
         --counters_.tasks_rescheduled_failure;
       }
       worker.running_job = trace::kInvalidJob;
     } else if (worker.resolving) {
       // The probe being resolved never took a task; send it elsewhere.
-      JobRuntime& job = jobs_[worker.resolving_entry.job];
-      PHOENIX_CHECK(job.outstanding_probes > 0);
-      --job.outstanding_probes;
-      if (!job.AllPlaced()) {
-        ++counters_.probes_bounced;
-        Emit(EventType::kProbeBounce, job.id, worker.id);
-        RedispatchEntry(worker.resolving_entry, config_.rtt);
-      } else {
-        ++counters_.probes_cancelled;
-        Emit(EventType::kProbeCancel, job.id, worker.id);
-      }
+      BounceUndelivered(worker.resolving_entry, worker.id, one_way());
     } else if (worker.fetching_job != trace::kInvalidJob) {
       // A sticky-batch fetch was in flight: the slot held no task yet.
       // Re-cover the fetched job directly — its sibling probes may all
@@ -239,7 +242,7 @@ void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
           entry.kind = QueueEntry::Kind::kBoundTask;
           entry.task_index = TakeNextTaskIndex(job);
         }
-        RedispatchEntry(entry, config_.rtt);
+        RedispatchEntry(entry, one_way());
       }
     }
     worker.fetching_job = trace::kInvalidJob;
@@ -247,23 +250,11 @@ void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
     worker.busy = false;
   }
 
-  // Drain the queue, re-dispatching every entry to live workers.
+  // Drain the queue, re-dispatching every entry to live workers (stale
+  // probes dissolve inside BounceUndelivered).
   while (!worker.queue.empty()) {
-    QueueEntry entry = RemoveQueueAt(worker, worker.queue.size() - 1);
-    if (entry.kind == QueueEntry::Kind::kProbe) {
-      JobRuntime& job = jobs_[entry.job];
-      PHOENIX_CHECK(job.outstanding_probes > 0);
-      --job.outstanding_probes;
-      if (job.AllPlaced()) {
-        // Stale probe: the job needs no more slots.
-        ++counters_.probes_cancelled;
-        Emit(EventType::kProbeCancel, entry.job, worker.id);
-        continue;
-      }
-      ++counters_.probes_bounced;
-      Emit(EventType::kProbeBounce, entry.job, worker.id);
-    }
-    RedispatchEntry(entry, config_.rtt);
+    BounceUndelivered(RemoveQueueAt(worker, worker.queue.size() - 1),
+                      worker.id, one_way());
   }
 
   // Repair and the next failure cycle (stochastic injection only; manual
@@ -502,7 +493,7 @@ void SchedulerBase::PlaceDistributed(JobRuntime& job) {
   entry.short_class = job.short_class;
   for (const MachineId target : targets) {
     Emit(EventType::kProbeSend, job.id, target);
-    SendEntry(target, entry, config_.rtt);
+    SendEntry(target, entry, one_way());
   }
 }
 
@@ -523,44 +514,74 @@ void SchedulerBase::PlaceCentralized(JobRuntime& job) {
     entry.task_index = index;
     entry.est_duration = EstimatedTaskDuration(job);
     entry.short_class = job.short_class;
-    SendEntry(best, entry, config_.rtt);
+    SendEntry(best, entry, one_way());
   }
 }
 
-void SchedulerBase::SendEntry(MachineId target, QueueEntry entry,
-                              double delay) {
-  engine_.ScheduleAfter(delay, [this, target, entry]() mutable {
-    WorkerState& w = *workers_[target];
-    if (w.failed) {
-      // The destination died in transit: bounce to a live worker. Stale
-      // probes (job fully placed) just dissolve.
-      if (entry.kind == QueueEntry::Kind::kProbe) {
-        JobRuntime& job = jobs_[entry.job];
-        PHOENIX_CHECK(job.outstanding_probes > 0);
-        --job.outstanding_probes;
-        if (job.AllPlaced()) {
-          ++counters_.probes_cancelled;
-          Emit(EventType::kProbeCancel, entry.job, target);
-          return;
-        }
-        ++counters_.probes_bounced;
-        Emit(EventType::kProbeBounce, entry.job, target);
-      }
-      RedispatchEntry(entry, 1.0 * sim::kSecond);
+void SchedulerBase::SendEntry(MachineId target, QueueEntry entry, double delay,
+                              MachineId from) {
+  rpc_.Send(from, target,
+            entry.kind == QueueEntry::Kind::kProbe
+                ? net::MessageKind::kProbe
+                : net::MessageKind::kTaskBind,
+            delay, [this, target, entry] { DeliverEntry(target, entry); },
+            [this, target, entry] { GiveUpEntry(target, entry); });
+}
+
+void SchedulerBase::DeliverEntry(MachineId target, QueueEntry entry) {
+  WorkerState& w = *workers_[target];
+  if (w.failed) {
+    // The destination died in transit: bounce to a live worker after the
+    // fabric's pacing backoff. Stale probes (job fully placed) dissolve.
+    BounceUndelivered(std::move(entry), target, fabric_.bounce_backoff());
+    return;
+  }
+  entry.enqueue_time = engine_.Now();
+  entry.bypass_count = 0;
+  w.queue.push_back(entry);
+  w.est_queued_work += entry.est_duration;
+  if (entry.kind == QueueEntry::Kind::kBoundTask && !entry.short_class) {
+    ++w.long_entries;
+  }
+  w.estimator.OnArrival(engine_.Now());
+  w.steal_inflight = false;  // incoming work satisfies any pending steal
+  OnEntryEnqueued(w, entry);
+  TryStartNext(w);
+}
+
+void SchedulerBase::GiveUpEntry(MachineId target, QueueEntry entry) {
+  // Every delivery attempt toward `target` timed out. The entry never
+  // arrived, so re-cover it exactly like a transit bounce; also clear the
+  // target's steal marker, else a lost steal transfer would block that
+  // worker from ever stealing again.
+  workers_[target]->steal_inflight = false;
+  BounceUndelivered(std::move(entry), target, one_way());
+}
+
+void SchedulerBase::BounceUndelivered(QueueEntry entry, MachineId target,
+                                      double delay) {
+  if (entry.kind == QueueEntry::Kind::kProbe) {
+    JobRuntime& job = jobs_[entry.job];
+    PHOENIX_CHECK(job.outstanding_probes > 0);
+    --job.outstanding_probes;
+    if (job.AllPlaced()) {
+      ++counters_.probes_cancelled;
+      Emit(EventType::kProbeCancel, entry.job, target);
       return;
     }
-    entry.enqueue_time = engine_.Now();
-    entry.bypass_count = 0;
-    w.queue.push_back(entry);
-    w.est_queued_work += entry.est_duration;
-    if (entry.kind == QueueEntry::Kind::kBoundTask && !entry.short_class) {
-      ++w.long_entries;
-    }
-    w.estimator.OnArrival(engine_.Now());
-    w.steal_inflight = false;  // incoming work satisfies any pending steal
-    OnEntryEnqueued(w, entry);
-    TryStartNext(w);
-  });
+    ++counters_.probes_bounced;
+    Emit(EventType::kProbeBounce, entry.job, target);
+  }
+  RedispatchEntry(std::move(entry), delay);
+}
+
+void SchedulerBase::CancelSlotEvent(WorkerState& worker) {
+  if (worker.pending_call != 0) {
+    rpc_.Cancel(worker.pending_call);
+    worker.pending_call = 0;
+  } else {
+    engine_.Cancel(worker.pending_event);
+  }
 }
 
 QueueEntry SchedulerBase::PopQueueAt(WorkerState& worker, std::size_t index) {
@@ -601,16 +622,59 @@ void SchedulerBase::TryStartNext(WorkerState& worker) {
     StartService(worker, jobs_[entry.job], entry.task_index);
     return;
   }
-  // Probe: hold the slot while fetching the task over one RTT (late binding).
+  // Probe: hold the slot while fetching the task over one RTT (late
+  // binding). The fetch is a fabric round trip; a lost request or reply
+  // times out and re-covers the probe instead of stranding the slot.
   worker.busy = true;
   worker.resolving = true;
   worker.resolving_entry = entry;
-  worker.pending_event =
-      engine_.ScheduleAfter(config_.rtt, [this, wid = worker.id, entry] {
+  worker.pending_call = rpc_.RoundTrip(
+      worker.id, net::kControllerNode, net::MessageKind::kFetchRequest,
+      one_way(),
+      [this, wid = worker.id, entry] {
         WorkerState& w = *workers_[wid];
+        w.pending_call = 0;
         w.resolving = false;
         ResolveProbe(w, entry);
-      });
+      },
+      [this, wid = worker.id, entry] { AbortProbeResolution(wid, entry); });
+}
+
+void SchedulerBase::AbortProbeResolution(MachineId wid, QueueEntry entry) {
+  // Every fetch attempt for the held probe timed out: release the slot and
+  // treat the probe like one bounced off a dead destination (re-dispatched
+  // while the job still has unplaced tasks, dissolved otherwise).
+  WorkerState& w = *workers_[wid];
+  w.pending_call = 0;
+  w.resolving = false;
+  w.busy = false;
+  BounceUndelivered(std::move(entry), wid, one_way());
+  TryStartNext(w);
+}
+
+void SchedulerBase::AbortStickyFetch(MachineId wid, trace::JobId jid) {
+  // Mirrors FailMachine's in-flight-fetch recovery: the fetched job's
+  // sibling probes may be gone, so re-cover it with a fresh dispatch.
+  WorkerState& w = *workers_[wid];
+  w.pending_call = 0;
+  w.fetching_job = trace::kInvalidJob;
+  w.busy = false;
+  JobRuntime& job = jobs_[jid];
+  if (!job.AllPlaced()) {
+    ++counters_.sticky_fetch_redispatches;
+    QueueEntry entry;
+    entry.job = job.id;
+    entry.est_duration = EstimatedTaskDuration(job);
+    entry.short_class = job.short_class;
+    if (UsesDistributedPlane(job)) {
+      entry.kind = QueueEntry::Kind::kProbe;
+    } else {
+      entry.kind = QueueEntry::Kind::kBoundTask;
+      entry.task_index = TakeNextTaskIndex(job);
+    }
+    RedispatchEntry(std::move(entry), one_way());
+  }
+  TryStartNext(w);
 }
 
 void SchedulerBase::ResolveProbe(WorkerState& worker, QueueEntry entry) {
@@ -698,10 +762,13 @@ void SchedulerBase::FinishService(WorkerState& worker) {
     // re-cover the job (see FailMachine).
     worker.fetching_job = job.id;
     Emit(EventType::kStickyFetch, job.id, worker.id);
-    worker.pending_event = engine_.ScheduleAfter(
-        config_.rtt, [this, wid = worker.id, jid = job.id] {
+    worker.pending_call = rpc_.RoundTrip(
+        worker.id, net::kControllerNode, net::MessageKind::kFetchRequest,
+        one_way(),
+        [this, wid = worker.id, jid = job.id] {
           WorkerState& w = *workers_[wid];
           JobRuntime& j = jobs_[jid];
+          w.pending_call = 0;
           w.fetching_job = trace::kInvalidJob;
           w.busy = false;
           if (!j.AllPlaced()) {
@@ -710,7 +777,8 @@ void SchedulerBase::FinishService(WorkerState& worker) {
           } else {
             TryStartNext(w);
           }
-        });
+        },
+        [this, wid = worker.id, jid = job.id] { AbortStickyFetch(wid, jid); });
     return;
   }
   worker.busy = false;
@@ -737,7 +805,7 @@ bool SchedulerBase::TryStealFor(WorkerState& worker) {
       ++counters_.tasks_stolen;
       worker.steal_inflight = true;
       Emit(EventType::kSteal, stolen.job, worker.id, obs::kNoId, victim_id);
-      SendEntry(worker.id, stolen, 2 * config_.rtt);
+      SendEntry(worker.id, stolen, 2 * one_way(), victim_id);
       return true;
     }
   }
@@ -752,6 +820,13 @@ metrics::SimReport SchedulerBase::BuildReport() const {
   report.trace_name = trace_name_;
   report.num_workers = workers_.size();
   report.counters = counters_;
+  report.counters.net_messages_sent = fabric_.stats().sent;
+  report.counters.net_messages_dropped =
+      fabric_.stats().dropped + fabric_.stats().partition_drops;
+  report.counters.net_messages_duplicated = fabric_.stats().duplicated;
+  report.counters.net_messages_expired = fabric_.stats().expired;
+  report.counters.rpc_retries = rpc_.stats().retries;
+  report.counters.rpc_failures = rpc_.stats().failures;
   report.total_busy_time = total_busy_time_;
   report.makespan = makespan_;
   report.jobs.reserve(jobs_.size());

@@ -9,6 +9,9 @@
 //   * the centralized plane: power-of-d least-loaded early binding,
 //   * the single-slot worker loop with pluggable queue discipline,
 //   * per-worker P-K wait estimators and the heartbeat tick,
+//   * control-plane message delivery through a net::NetworkFabric + Rpc
+//     pair (latency models, chaos injection, timeout/retry), owned here so
+//     every scheduler shares one transit-time model,
 //   * outcome accounting into a metrics::SimReport.
 //
 // Subclasses (Sparrow, Hawk, Eagle, Yacc-D, Phoenix) override the protected
@@ -21,6 +24,8 @@
 
 #include "cluster/cluster.h"
 #include "metrics/report.h"
+#include "net/fabric.h"
+#include "net/rpc.h"
 #include "obs/event.h"
 #include "sched/types.h"
 #include "sim/engine.h"
@@ -140,8 +145,13 @@ class SchedulerBase {
   std::size_t IndexRespectingSlack(const WorkerState& worker,
                                    std::size_t preferred) const;
 
-  /// Sends `entry` toward worker `target`; it lands after `delay` seconds.
-  void SendEntry(cluster::MachineId target, QueueEntry entry, double delay);
+  /// Sends `entry` toward worker `target` over the fabric with nominal
+  /// transit `delay` seconds (`from` is the sending endpoint — the
+  /// controller for placements, a worker for steals/migrations). Delivery
+  /// is reliable: timeouts retry, and exhausted retries re-dispatch the
+  /// entry elsewhere, so chaos injection cannot strand work.
+  void SendEntry(cluster::MachineId target, QueueEntry entry, double delay,
+                 cluster::MachineId from = net::kControllerNode);
 
   /// Removes queue[index] from `worker`, charging bypasses to entries in
   /// front of it (use for execution pops). Returns the entry.
@@ -180,6 +190,12 @@ class SchedulerBase {
   std::size_t num_jobs() const { return jobs_.size(); }
 
   sim::Engine& engine() { return engine_; }
+  /// The control-plane message fabric (chaos injection, partition control).
+  net::NetworkFabric& fabric() { return fabric_; }
+  net::Rpc& rpc() { return rpc_; }
+  /// Nominal one-way control-plane transit time — the fabric-owned
+  /// parameter every scheduler shares (no per-scheduler delay constants).
+  double one_way() const { return config_.net.one_way; }
   util::Rng& rng() { return rng_; }
   metrics::SchedulerCounters& counters() { return counters_; }
   const metrics::SchedulerCounters& counters_view() const { return counters_; }
@@ -222,6 +238,25 @@ class SchedulerBase {
   /// `delay` is the transit time (bounces off still-failed destinations use
   /// a backoff so a fully-failed pool cannot spin the event loop).
   void RedispatchEntry(QueueEntry entry, double delay);
+  /// An entry that will never reach its target (destination failed in
+  /// transit, or every delivery attempt timed out): balances the probe
+  /// accounting (stale probes dissolve) and re-dispatches live work after
+  /// `delay`. Shared by the transit-bounce, rpc-give-up, and machine-failure
+  /// drain paths.
+  void BounceUndelivered(QueueEntry entry, cluster::MachineId target,
+                         double delay);
+  /// Fabric delivery of an entry at `target` (the receiving half of
+  /// SendEntry, also reached by duplicated copies exactly once).
+  void DeliverEntry(cluster::MachineId target, QueueEntry entry);
+  /// SendEntry exhausted its delivery attempts toward `target`.
+  void GiveUpEntry(cluster::MachineId target, QueueEntry entry);
+  /// A slot-holding fetch RPC exhausted its retries: release the slot and
+  /// re-cover the held probe / fetched job.
+  void AbortProbeResolution(cluster::MachineId wid, QueueEntry entry);
+  void AbortStickyFetch(cluster::MachineId wid, trace::JobId jid);
+  /// Cancels whatever holds the worker's slot: the fetch call if one is
+  /// live, else the pending engine event (task completion).
+  void CancelSlotEvent(WorkerState& worker);
 
   void PlaceDistributed(JobRuntime& job);
   void PlaceCentralized(JobRuntime& job);
@@ -242,6 +277,8 @@ class SchedulerBase {
   const cluster::Cluster& cluster_;
   SchedulerConfig config_;
   util::Rng rng_;
+  net::NetworkFabric fabric_;
+  net::Rpc rpc_;
 
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::vector<JobRuntime> jobs_;

@@ -19,7 +19,10 @@ std::vector<cluster::MachineId> EagleScheduler::ChooseProbeTargets(
   targets.reserve(wanted);
   // Rejection-sample against the SSS bit vector: skip long-occupied workers
   // while the budget lasts, then accept anything satisfying so constrained
-  // jobs still get their probes out.
+  // jobs still get their probes out. The SSS bits are read synchronously
+  // (an oracle): only the probes *built from* them pay fabric transit, so
+  // under a lossy fabric placement acts on slightly stale occupancy — the
+  // same staleness real gossip-propagated SSS exhibits.
   const std::size_t budget = 4 * wanted;
   std::size_t draws = 0;
   while (targets.size() < wanted && draws < budget) {

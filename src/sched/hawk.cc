@@ -34,6 +34,9 @@ std::vector<cluster::MachineId> HawkScheduler::ChooseLongCandidates(
 }
 
 void HawkScheduler::OnWorkerIdle(WorkerState& worker) {
+  // The stolen entry transits the fabric victim→thief (see TryStealFor), so
+  // under chaos a steal can be delayed, duplicated, or lost; a lost
+  // transfer times out at the Rpc layer and bounces back to redispatch.
   TryStealFor(worker);
 }
 

@@ -7,6 +7,8 @@
 
 #include "cluster/constraint.h"
 #include "cluster/machine.h"
+#include "net/fabric.h"
+#include "net/rpc.h"
 #include "util/bitset.h"
 #include "queueing/mg1.h"
 #include "sim/simtime.h"
@@ -15,12 +17,16 @@
 namespace phoenix::sched {
 
 /// Tunables shared by every scheduler. Defaults follow the paper's stated
-/// choices (§V-A, §VI-C): probe ratio 2, 0.5 ms RTT, 9 s heartbeat,
-/// starvation/slack threshold 5.
+/// choices (§V-A, §VI-C): probe ratio 2, 0.5 ms one-way transit, 9 s
+/// heartbeat, starvation/slack threshold 5.
 struct SchedulerConfig {
-  /// One-way control-plane latency model: every probe delivery, late-binding
-  /// task fetch, steal, and migration pays this constant (paper: 0.5 ms).
-  double rtt = 0.5 * sim::kMillisecond;
+  /// Control-plane delivery model. Every probe delivery, late-binding task
+  /// fetch, steal, migration, and heartbeat report transits the
+  /// NetworkFabric; `net.one_way` (paper: 0.5 ms) is the single transit-time
+  /// parameter — no scheduler carries its own delay constant.
+  net::FabricConfig net;
+  /// Timeout/retry/backoff policy for messages that must not strand work.
+  net::RpcConfig rpc;
 
   /// Probes sent per short task (paper finds 2 optimal).
   std::size_t probe_ratio = 2;
@@ -184,9 +190,13 @@ struct WorkerState {
 
   /// Failure injection: machine is currently down.
   bool failed = false;
-  /// The cancellable in-flight event while the slot is held: a probe
-  /// resolution, a sticky-batch fetch, or the running task's completion.
+  /// The cancellable in-flight event while the slot is held for a running
+  /// task's completion. Slot-holding fetches use pending_call instead.
   std::uint64_t pending_event = 0;
+  /// The live fetch RPC holding the slot (probe resolution or sticky-batch
+  /// fetch); 0 when the slot is idle or executing. A machine failure
+  /// cancels this call the way it cancels pending_event.
+  std::uint64_t pending_call = 0;
   /// Valid while the slot is held for a probe resolution (so a failure can
   /// re-dispatch the probe).
   bool resolving = false;

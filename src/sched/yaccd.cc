@@ -53,7 +53,8 @@ void YaccDScheduler::OnHeartbeat() {
       }
       QueueEntry moved = RemoveQueueAt(w, tail);
       ++counters().tasks_stolen;  // migrations share the rebalance counter
-      SendEntry(best, moved, 2 * config().rtt);
+      // Migration pays a negotiate + transfer round trip over the fabric.
+      SendEntry(best, moved, 2 * one_way(), w.id);
     }
   }
 }

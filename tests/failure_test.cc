@@ -226,6 +226,36 @@ TEST(Failures, StickyFetchSurvivesFailureWithoutLeftoverProbes) {
   EXPECT_TRUE(sched.AllJobsDone());
 }
 
+TEST(Failures, ProbeBouncesRepeatedlyWhileDestinationStaysDown) {
+  // The only satisfying machine fails before the probe lands and stays down
+  // across several bounce cycles: each delivery finds the machine dead,
+  // bounces the probe back, and redispatch re-sends it after the fabric's
+  // bounce backoff (1 s). The probe must keep cycling — not strand after
+  // the first bounce — and the job completes once the machine repairs.
+  const auto cl = cluster::BuildCluster({.num_machines = 1, .seed = 59});
+  sim::Engine engine;
+  sched::SchedulerConfig cfg;
+  cfg.probe_ratio = 1;
+  WhiteBox<sched::EagleScheduler> sched(engine, cl, cfg);
+  trace::Job job;
+  job.id = 0;
+  job.submit_time = 0;
+  job.task_durations = {5.0};
+  trace::Trace t("multi-bounce", {job});
+  t.set_short_cutoff(100.0);
+  sched.SubmitTrace(t);
+
+  sched.InjectFailure(0);  // down before the first probe delivery
+  engine.Run(/*until=*/3.9);  // ~3 bounce-backoff cycles
+  EXPECT_GE(sched.counters_view().probes_bounced, 3u);
+  EXPECT_FALSE(sched.AllJobsDone());
+
+  sched.InjectRepair(0);
+  engine.Run();
+  EXPECT_TRUE(sched.AllJobsDone());
+  sched.BuildReport().CheckInvariants();
+}
+
 TEST(Failures, CentralizedPlacementFallsBackOffDeadCandidates) {
   // Every power-of-d candidate is down when the job arrives: the placement
   // must fall back to a fresh satisfying draw (counted) rather than binding

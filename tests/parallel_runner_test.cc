@@ -109,6 +109,46 @@ TEST(RepeatedRuns, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+// A lossy fabric draws every chaos decision from per-message RNG streams
+// hashed off the experiment seed, so thread scheduling cannot perturb
+// drop/delay outcomes: summaries stay bit-identical at any --threads.
+TEST(RepeatedRuns, LossyFabricStaysBitIdenticalAcrossThreadCounts) {
+  const cluster::Cluster cl =
+      cluster::BuildCluster({.num_machines = 40, .seed = 23});
+  const auto t = trace::GenerateGoogleTrace(400, 40, 0.8, 23);
+  RunOptions o;
+  o.scheduler = "phoenix";
+  o.config.net.model = net::LatencyModel::kLognormal;
+  o.config.net.drop_rate = 0.05;
+  o.config.net.duplicate_rate = 0.02;
+  o.config.rpc.max_retries = 6;
+
+  auto summarize = [&](std::size_t threads) {
+    ScopedThreads guard(threads);
+    const RepeatedRuns runs(t, cl, o, 4);
+    std::vector<double> values;
+    for (const auto& r : runs.reports()) {
+      values.push_back(r.makespan);
+      values.push_back(static_cast<double>(r.counters.net_messages_sent));
+      values.push_back(static_cast<double>(r.counters.net_messages_dropped));
+      values.push_back(static_cast<double>(r.counters.rpc_retries));
+      values.push_back(r.ResponseSummary(metrics::ClassFilter::kShort,
+                                         metrics::ConstraintFilter::kAll)
+                           .p99);
+    }
+    return values;
+  };
+
+  const auto serial = summarize(1);
+  const auto parallel = summarize(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "summary value " << i;
+  }
+  // The chaos actually engaged (otherwise this test proves nothing).
+  EXPECT_GT(serial[2], 0.0);  // dropped messages in the first report
+}
+
 TEST(RepeatedRuns, ReportsStayOrderedBySeedUnderParallelism) {
   ScopedThreads guard(4);
   const cluster::Cluster cl =

@@ -64,7 +64,7 @@ TEST(Framework, SingleShortTaskTimingIsExact) {
   const auto report = RunSched("sparrow-c", t, 1);
   ASSERT_EQ(report.jobs.size(), 1u);
   const auto& j = report.jobs[0];
-  const double rtt = TestConfig().rtt;
+  const double rtt = TestConfig().net.one_way;
   EXPECT_NEAR(j.completion, 5.0 + 2 * rtt + 10.0, 1e-9);
   EXPECT_NEAR(j.queuing_delay, 2 * rtt, 1e-9);
   EXPECT_TRUE(j.short_class);
@@ -77,13 +77,13 @@ TEST(Framework, SingleLongTaskTimingIsExact) {
   ASSERT_EQ(report.jobs.size(), 1u);
   const auto& j = report.jobs[0];
   EXPECT_FALSE(j.short_class);
-  EXPECT_NEAR(j.completion, 2.0 + TestConfig().rtt + 500.0, 1e-9);
+  EXPECT_NEAR(j.completion, 2.0 + TestConfig().net.one_way + 500.0, 1e-9);
 }
 
 TEST(Framework, TwoTasksOnOneMachineSerialize) {
   const trace::Trace t = MakeTrace({OneJob(0.0, {10.0, 10.0})}, 100.0);
   const auto report = RunSched("sparrow-c", t, 1);
-  const double rtt = TestConfig().rtt;
+  const double rtt = TestConfig().net.one_way;
   // Slot serializes. The second probe was already queued while task one ran,
   // so only its late-binding fetch (one RTT) separates the two services.
   EXPECT_GE(report.jobs[0].completion, 2 * 10.0);
