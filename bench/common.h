@@ -125,6 +125,13 @@ inline BenchOptions ParseBenchOptions(util::Flags& flags,
                  "--rpc-backoff must be >= 1\n");
     std::exit(1);
   }
+  // After every flag above is declared, `--help` can print the complete
+  // auto-generated listing. Callers declaring extra flags before calling
+  // ParseBenchOptions get them included for free (declaration order).
+  if (flags.HelpRequested()) {
+    std::fputs(flags.Usage().c_str(), stdout);
+    std::exit(0);
+  }
   if (!flags.Validate()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     std::exit(1);

@@ -38,6 +38,31 @@ else
   echo "python3 not found; skipped chrome trace JSON validation"
 fi
 
+echo "== elastic suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L elastic -j "$JOBS"
+
+echo "== audited churn smoke =="
+# Elastic lifecycle under load: reactive scale-up/down plus heavy transient
+# reclamation (5-minute mean lease lifetime) with the invariant auditor on.
+# The auditor aborts the run on any lost job, any binding to a non-active
+# machine, or any capacity leak — so exiting 0 is the assertion.
+"$BUILD_DIR/bench/bench_ext_elasticity" \
+  --nodes=48 --jobs=1200 --runs=1 --audit \
+  --json="$SMOKE_DIR/elasticity.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR/elasticity.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cells = doc["cells"]
+assert cells, "no bench cells"
+assert any(c["reclamations"] > 0 for c in cells), "reclamation never engaged"
+print(f"churn smoke ok: {len(cells)} audited cells, reclamation engaged")
+EOF
+else
+  echo "churn smoke ok (python3 not found; skipped JSON validation)"
+fi
+
 echo "== audited chaos smoke =="
 # Lossy control plane with retries on: the auditor enforces message
 # conservation (every send is delivered, dropped, or expired) and the run

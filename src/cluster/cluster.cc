@@ -8,11 +8,6 @@
 
 namespace phoenix::cluster {
 
-namespace {
-
-// Encodes (attr, op, value) into a single ordered key. Attribute values in
-// this codebase are small non-negative integers (see AttrCatalog), so 16
-// bits are plenty.
 std::uint32_t EncodePredicate(const Constraint& c) {
   PHOENIX_CHECK_MSG(c.value >= 0 && c.value < (1 << 16),
                     "constraint value out of encodable range");
@@ -20,8 +15,6 @@ std::uint32_t EncodePredicate(const Constraint& c) {
          (static_cast<std::uint32_t>(c.op) << 16) |
          static_cast<std::uint32_t>(c.value);
 }
-
-}  // namespace
 
 Cluster::Cluster(std::vector<Machine> machines)
     : machines_(std::move(machines)), all_(machines_.size()),

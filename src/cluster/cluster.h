@@ -28,6 +28,12 @@
 
 namespace phoenix::cluster {
 
+/// Encodes (attr, op, value) into a single ordered key. Attribute values in
+/// this codebase are small non-negative integers (see AttrCatalog), so 16
+/// bits are plenty. Shared by the cluster's predicate cache and the
+/// membership view's eligible-pool cache so both key the same way.
+std::uint32_t EncodePredicate(const Constraint& c);
+
 class Cluster {
  public:
   explicit Cluster(std::vector<Machine> machines);
@@ -72,12 +78,13 @@ class Cluster {
                                                   std::size_t k,
                                                   util::Rng& rng) const;
 
- private:
   // Canonical key for memoizing constraint-set pools. hard/soft does not
-  // affect matching, so it is excluded.
+  // affect matching, so it is excluded. Public so the membership view's
+  // per-epoch pool cache can key identically.
   using SetKey = std::vector<std::uint32_t>;
   static SetKey KeyFor(const ConstraintSet& cs);
 
+ private:
   // Lazily built eligibility indices, shared by all runs over this cluster:
   // per-predicate bitsets keyed by the encoded (attr, op, value) triple
   // (the distinct-predicate count is bounded by the small value domains, so

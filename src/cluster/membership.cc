@@ -1,0 +1,172 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace phoenix::cluster {
+
+std::string_view LifecycleName(MachineLifecycle state) {
+  switch (state) {
+    case MachineLifecycle::kParked: return "parked";
+    case MachineLifecycle::kProvisioning: return "provisioning";
+    case MachineLifecycle::kActive: return "active";
+    case MachineLifecycle::kDraining: return "draining";
+    case MachineLifecycle::kRetired: return "retired";
+  }
+  return "?";
+}
+
+MembershipView::MembershipView(const Cluster& cluster,
+                               std::size_t guaranteed_active)
+    : cluster_(cluster), guaranteed_(guaranteed_active),
+      states_(cluster.size(), MachineLifecycle::kParked),
+      bindable_(cluster.size()), cache_(std::make_unique<PoolCache>()) {
+  PHOENIX_CHECK_MSG(guaranteed_active > 0,
+                    "the guaranteed base fleet cannot be empty");
+  PHOENIX_CHECK_MSG(guaranteed_active <= cluster.size(),
+                    "guaranteed base fleet exceeds the machine universe");
+  for (std::size_t i = 0; i < guaranteed_; ++i) {
+    states_[i] = MachineLifecycle::kActive;
+    bindable_.Set(i);
+  }
+  bindable_count_ = guaranteed_;
+  in_service_count_ = guaranteed_;
+}
+
+void MembershipView::SetState(MachineId id, MachineLifecycle next) {
+  PHOENIX_CHECK(id < states_.size());
+  const MachineLifecycle cur = states_[id];
+  switch (next) {
+    case MachineLifecycle::kProvisioning:
+      PHOENIX_CHECK_MSG(cur == MachineLifecycle::kParked ||
+                            cur == MachineLifecycle::kRetired,
+                        "provision requires a parked or retired machine");
+      break;
+    case MachineLifecycle::kActive:
+      PHOENIX_CHECK_MSG(cur == MachineLifecycle::kProvisioning,
+                        "commission requires a provisioning machine");
+      break;
+    case MachineLifecycle::kDraining:
+      PHOENIX_CHECK_MSG(cur == MachineLifecycle::kActive,
+                        "drain requires an active machine");
+      PHOENIX_CHECK_MSG(id >= guaranteed_,
+                        "the guaranteed base fleet is never drained");
+      break;
+    case MachineLifecycle::kRetired:
+      PHOENIX_CHECK_MSG(cur == MachineLifecycle::kDraining,
+                        "retire requires a draining machine");
+      break;
+    case MachineLifecycle::kParked:
+      PHOENIX_CHECK_MSG(false, "machines never return to parked");
+      break;
+  }
+  states_[id] = next;
+  const bool bindable = next == MachineLifecycle::kActive;
+  if (bindable != bindable_.Test(id)) {
+    if (bindable) {
+      bindable_.Set(id);
+      ++bindable_count_;
+    } else {
+      bindable_.Reset(id);
+      --bindable_count_;
+    }
+  }
+  if (next == MachineLifecycle::kActive) ++in_service_count_;
+  if (next == MachineLifecycle::kRetired) --in_service_count_;
+  ++epoch_;
+  // Membership changed: every memoized eligible pool is stale.
+  std::unique_lock lock(cache_->mu);
+  cache_->pools.clear();
+  cache_->predicate_counts.clear();
+}
+
+const util::Bitset& MembershipView::EligiblePool(
+    const ConstraintSet& cs) const {
+  const Cluster::SetKey key = Cluster::KeyFor(cs);
+  {
+    std::shared_lock lock(cache_->mu);
+    const auto it = cache_->pools.find(key);
+    if (it != cache_->pools.end()) return it->second;
+  }
+  util::Bitset pool = cluster_.Satisfying(cs);  // copy; all-ones when empty
+  pool.AndWith(bindable_);
+  std::unique_lock lock(cache_->mu);
+  return cache_->pools.emplace(key, std::move(pool)).first->second;
+}
+
+std::size_t MembershipView::CountEligible(const Constraint& c) const {
+  const std::uint32_t key = EncodePredicate(c);
+  {
+    std::shared_lock lock(cache_->mu);
+    const auto it = cache_->predicate_counts.find(key);
+    if (it != cache_->predicate_counts.end()) return it->second;
+  }
+  util::Bitset pool = cluster_.Satisfying(c);
+  pool.AndWith(bindable_);
+  const std::size_t count = pool.Count();
+  std::unique_lock lock(cache_->mu);
+  cache_->predicate_counts.emplace(key, count);
+  return count;
+}
+
+std::size_t MembershipView::CountAdmissible(const ConstraintSet& cs) const {
+  const util::Bitset& pool = cluster_.Satisfying(cs);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < guaranteed_; ++i) {
+    if (pool.Test(i)) ++count;
+  }
+  return count;
+}
+
+std::size_t MembershipView::CountAdmissible(const Constraint& c) const {
+  const util::Bitset& pool = cluster_.Satisfying(c);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < guaranteed_; ++i) {
+    if (pool.Test(i)) ++count;
+  }
+  return count;
+}
+
+MachineId MembershipView::SampleEligible(const ConstraintSet& cs,
+                                         util::Rng& rng) const {
+  const std::size_t bit = EligiblePool(cs).SampleSetBit(rng);
+  return bit == SIZE_MAX ? kInvalidMachine : static_cast<MachineId>(bit);
+}
+
+std::vector<MachineId> MembershipView::SampleEligible(const ConstraintSet& cs,
+                                                      std::size_t k,
+                                                      util::Rng& rng) const {
+  std::vector<MachineId> out;
+  const util::Bitset& pool = EligiblePool(cs);
+  if (!pool.Any()) return out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(static_cast<MachineId>(pool.SampleSetBit(rng)));
+  }
+  return out;
+}
+
+std::vector<MachineId> MembershipView::SampleDistinctEligible(
+    const ConstraintSet& cs, std::size_t k, util::Rng& rng) const {
+  const util::Bitset& pool = EligiblePool(cs);
+  std::vector<std::uint32_t> candidates;
+  pool.CollectSetBits(candidates);
+  if (candidates.size() <= k) {
+    return {candidates.begin(), candidates.end()};
+  }
+  // Partial Fisher–Yates over the candidate list (same draw pattern as
+  // Cluster::SampleDistinctSatisfying).
+  std::vector<MachineId> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.NextBounded(candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+    out.push_back(candidates[i]);
+  }
+  return out;
+}
+
+}  // namespace phoenix::cluster

@@ -17,6 +17,15 @@ AdmissionController::AdmissionController(const cluster::Cluster& cluster,
   PHOENIX_CHECK(soft_relax_penalty >= 1.0);
 }
 
+std::size_t AdmissionController::Pool(const cluster::ConstraintSet& cs) const {
+  return view_ != nullptr ? view_->CountEligible(cs)
+                          : cluster_.CountSatisfying(cs);
+}
+
+std::size_t AdmissionController::FleetSize() const {
+  return view_ != nullptr ? view_->bindable_count() : cluster_.size();
+}
+
 std::size_t AdmissionController::Negotiate(sched::JobRuntime& job,
                                            const CrvSnapshot& snapshot) {
   // Only short (latency-critical) jobs benefit: long jobs amortize queueing
@@ -27,11 +36,11 @@ std::size_t AdmissionController::Negotiate(sched::JobRuntime& job,
   bool changed = true;
   while (changed && relaxed < max_relaxations_) {
     changed = false;
-    const std::size_t pool = cluster_.CountSatisfying(job.effective);
+    const std::size_t pool = Pool(job.effective);
     // Negotiation only pays when the job is actually cornered: a roomy pool
     // queues briefly even at peak, and the relaxation penalty would be pure
     // loss.
-    if (pool >= cluster_.size() / 10) break;
+    if (pool >= FleetSize() / 10) break;
     for (std::size_t i = 0; i < job.effective.size(); ++i) {
       const cluster::Constraint& c = job.effective[i];
       if (c.hard) continue;
@@ -39,7 +48,7 @@ std::size_t AdmissionController::Negotiate(sched::JobRuntime& job,
       if (ratio <= crv_threshold_) continue;
       // Require the trade to buy real placement freedom (>= 2x the pool).
       const cluster::ConstraintSet without = job.effective.WithoutConstraint(i);
-      if (cluster_.CountSatisfying(without) < 2 * std::max<std::size_t>(pool, 1)) {
+      if (Pool(without) < 2 * std::max<std::size_t>(pool, 1)) {
         continue;
       }
       job.effective = without;

@@ -19,13 +19,23 @@ class AdmissionController {
   AdmissionController(const cluster::Cluster& cluster, double crv_threshold,
                       double soft_relax_penalty, std::size_t max_relaxations);
 
+  /// Negotiates against the eligible (active) pools of `view` instead of the
+  /// full universe. Relaxation only ever widens a pool, so this is safe
+  /// under churn; it makes the pool-scarcity gate see the fleet the job
+  /// will actually be placed on.
+  void AttachMembership(const cluster::MembershipView* view) { view_ = view; }
+
   /// Negotiates `job`'s soft constraints against the current CRV snapshot.
   /// Returns the number of constraints relaxed; updates job.effective and
   /// job.duration_multiplier.
   std::size_t Negotiate(sched::JobRuntime& job, const CrvSnapshot& snapshot);
 
  private:
+  std::size_t Pool(const cluster::ConstraintSet& cs) const;
+  std::size_t FleetSize() const;
+
   const cluster::Cluster& cluster_;
+  const cluster::MembershipView* view_ = nullptr;
   double crv_threshold_;
   double soft_relax_penalty_;
   std::size_t max_relaxations_;

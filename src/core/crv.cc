@@ -20,11 +20,25 @@ std::string CrvSnapshot::ToString() const {
 
 CrvMonitor::CrvMonitor(const cluster::Cluster& cluster) : cluster_(cluster) {}
 
+void CrvMonitor::AttachMembership(const cluster::MembershipView* view) {
+  PHOENIX_CHECK_MSG(pred_demand_.empty() && load_ == decltype(load_){},
+                    "attach membership before any enqueue");
+  view_ = view;
+}
+
 void CrvMonitor::OnEnqueue(const cluster::ConstraintSet& cs) {
   for (const auto& c : cs) {
     const auto dim = static_cast<std::size_t>(cluster::AttrToCrvDim(c.attr));
-    const std::size_t pool = cluster_.Satisfying(c).Count();
     ++demand_[dim];
+    if (view_ != nullptr) {
+      // Supply is recomputed at snapshot time (pools move with membership);
+      // only the per-predicate demand is maintained incrementally.
+      PredEntry& entry = pred_demand_[cluster::EncodePredicate(c)];
+      entry.constraint = c;
+      ++entry.count;
+      continue;
+    }
+    const std::size_t pool = cluster_.Satisfying(c).Count();
     if (pool > 0) load_[dim] += 1.0 / static_cast<double>(pool);
   }
 }
@@ -32,9 +46,16 @@ void CrvMonitor::OnEnqueue(const cluster::ConstraintSet& cs) {
 void CrvMonitor::OnDequeue(const cluster::ConstraintSet& cs) {
   for (const auto& c : cs) {
     const auto dim = static_cast<std::size_t>(cluster::AttrToCrvDim(c.attr));
-    const std::size_t pool = cluster_.Satisfying(c).Count();
     PHOENIX_CHECK_MSG(demand_[dim] > 0, "CRV demand underflow");
     --demand_[dim];
+    if (view_ != nullptr) {
+      auto it = pred_demand_.find(cluster::EncodePredicate(c));
+      PHOENIX_CHECK_MSG(it != pred_demand_.end() && it->second.count > 0,
+                        "CRV predicate demand underflow");
+      if (--it->second.count == 0) pred_demand_.erase(it);
+      continue;
+    }
+    const std::size_t pool = cluster_.Satisfying(c).Count();
     if (pool > 0) {
       load_[dim] =
           std::max(0.0, load_[dim] - 1.0 / static_cast<double>(pool));
@@ -44,6 +65,31 @@ void CrvMonitor::OnDequeue(const cluster::ConstraintSet& cs) {
 
 CrvSnapshot CrvMonitor::TakeSnapshot() const {
   CrvSnapshot snap;
+  if (view_ != nullptr) {
+    // Recompute every ratio against the *current* eligible pools — churn
+    // since the last heartbeat moves supply under unchanged demand. A
+    // predicate whose eligible pool emptied counts double per queued entry
+    // (it is maximally congested until supply returns).
+    std::array<double, cluster::kNumCrvDims> ratio{};
+    for (const auto& [key, entry] : pred_demand_) {
+      (void)key;
+      const auto dim = static_cast<std::size_t>(
+          cluster::AttrToCrvDim(entry.constraint.attr));
+      const std::size_t pool = view_->CountEligible(entry.constraint);
+      ratio[dim] += pool > 0 ? static_cast<double>(entry.count) /
+                                   static_cast<double>(pool)
+                             : 2.0 * static_cast<double>(entry.count);
+    }
+    for (std::size_t d = 0; d < cluster::kNumCrvDims; ++d) {
+      snap.demand[d] = static_cast<std::uint64_t>(demand_[d]);
+      snap.ratio[d] = ratio[d];
+      if (snap.ratio[d] > snap.max_ratio) {
+        snap.max_ratio = snap.ratio[d];
+        snap.max_dim = static_cast<cluster::CrvDim>(d);
+      }
+    }
+    return snap;
+  }
   for (std::size_t d = 0; d < cluster::kNumCrvDims; ++d) {
     snap.demand[d] = static_cast<std::uint64_t>(demand_[d]);
     snap.ratio[d] = load_[d];
@@ -53,6 +99,28 @@ CrvSnapshot CrvMonitor::TakeSnapshot() const {
     }
   }
   return snap;
+}
+
+std::vector<CrvMonitor::PredicateDemand> CrvMonitor::HotPredicates(
+    cluster::CrvDim dim) const {
+  std::vector<PredicateDemand> out;
+  if (view_ == nullptr) return out;
+  for (const auto& [key, entry] : pred_demand_) {
+    (void)key;
+    if (cluster::AttrToCrvDim(entry.constraint.attr) != dim) continue;
+    PredicateDemand pd;
+    pd.constraint = entry.constraint;
+    pd.count = entry.count;
+    pd.supply = view_->CountEligible(entry.constraint);
+    out.push_back(pd);
+  }
+  // Hottest first; map iteration already yields key-ascending order, and
+  // stable_sort preserves it among equal counts.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PredicateDemand& a, const PredicateDemand& b) {
+                     return a.count > b.count;
+                   });
+  return out;
 }
 
 }  // namespace phoenix::core

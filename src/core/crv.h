@@ -9,13 +9,21 @@
 // dimensions and thresholds (ratio 1.0 = one queued task per capable
 // machine). Counters update incrementally on enqueue/dequeue; Phoenix
 // snapshots them into the CRV_Lookup_Table every heartbeat.
+// With an elastic membership view attached, supply is the *eligible*
+// (active-machine) pool instead of the full universe, and demand is kept per
+// distinct queued predicate so ratios can be recomputed after membership
+// churn and the elasticity controller can ask which predicates are hottest
+// (HotPredicates — the input to CRV-aware supply shaping).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/membership.h"
 
 namespace phoenix::core {
 
@@ -38,6 +46,13 @@ class CrvMonitor {
  public:
   explicit CrvMonitor(const cluster::Cluster& cluster);
 
+  /// Switches supply accounting to the eligible (active) pools of `view`.
+  /// Call before any enqueue; with a view the monitor keeps per-predicate
+  /// demand counts and recomputes ratios at every snapshot, so membership
+  /// churn between heartbeats is reflected in the next CRV table. Without a
+  /// view the original incremental static-pool path runs, byte-identical.
+  void AttachMembership(const cluster::MembershipView* view);
+
   /// A constrained entry entered / left a worker queue.
   void OnEnqueue(const cluster::ConstraintSet& cs);
   void OnDequeue(const cluster::ConstraintSet& cs);
@@ -52,10 +67,31 @@ class CrvMonitor {
         demand_[static_cast<std::size_t>(dim)]);
   }
 
+  /// One distinct queued predicate with its queued-entry count and current
+  /// eligible supply — the demand/supply detail behind a dimension's ratio.
+  struct PredicateDemand {
+    cluster::Constraint constraint;
+    std::uint64_t count = 0;   // queued entries demanding this predicate
+    std::uint64_t supply = 0;  // active machines satisfying it
+  };
+
+  /// Distinct queued predicates on `dim`, hottest (highest count) first,
+  /// encoded-key ascending among ties. Empty without an attached view —
+  /// per-predicate tracking only runs under elasticity.
+  std::vector<PredicateDemand> HotPredicates(cluster::CrvDim dim) const;
+
  private:
+  struct PredEntry {
+    cluster::Constraint constraint;
+    std::uint64_t count = 0;
+  };
+
   const cluster::Cluster& cluster_;
+  const cluster::MembershipView* view_ = nullptr;
   std::array<std::int64_t, cluster::kNumCrvDims> demand_{};
   std::array<double, cluster::kNumCrvDims> load_{};  // sum of 1/pool
+  /// Per-predicate demand, keyed by cluster::EncodePredicate (view mode).
+  std::map<std::uint32_t, PredEntry> pred_demand_;
 };
 
 }  // namespace phoenix::core

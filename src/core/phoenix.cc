@@ -17,6 +17,12 @@ PhoenixScheduler::PhoenixScheduler(sim::Engine& engine,
       admission_(cluster, config.crv_threshold, config.soft_relax_penalty,
                  config.phoenix_max_relaxations) {}
 
+void PhoenixScheduler::SetMembership(cluster::MembershipView* membership) {
+  EagleScheduler::SetMembership(membership);
+  monitor_.AttachMembership(membership);
+  admission_.AttachMembership(membership);
+}
+
 void PhoenixScheduler::AdmitJob(JobRuntime& job) {
   // Forced relaxation first (unsatisfiable sets must still run somewhere)…
   EagleScheduler::AdmitJob(job);

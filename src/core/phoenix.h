@@ -35,6 +35,18 @@ class PhoenixScheduler : public sched::EagleScheduler {
 
   std::string name() const override { return "phoenix"; }
 
+  /// Forwards the view to the base placement paths, the CRV monitor
+  /// (eligible-pool supply + per-predicate demand) and the admission
+  /// controller (eligible-pool scarcity gates).
+  void SetMembership(cluster::MembershipView* membership) override;
+
+  /// Demand/supply per distinct queued predicate on the currently hottest
+  /// CRV dimension — the elasticity controller's input for CRV-aware supply
+  /// shaping. Empty without a membership view.
+  std::vector<CrvMonitor::PredicateDemand> HotSupplyDemand() const {
+    return monitor_.HotPredicates(snapshot_.max_dim);
+  }
+
   /// Current CRV table contents (for tests and the examples).
   const CrvSnapshot& snapshot() const { return snapshot_; }
   bool congested() const { return congested_; }

@@ -1,0 +1,268 @@
+#include "elastic/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/phoenix.h"
+#include "util/check.h"
+
+namespace phoenix::elastic {
+
+using cluster::MachineId;
+using cluster::MachineLifecycle;
+
+namespace {
+
+/// Mixes the run seed with the controller's sub-stream seed (splitmix-style
+/// constants) so every (run seed, elastic seed) pair gets an independent
+/// reclamation stream.
+std::uint64_t MixSeed(std::uint64_t run_seed, std::uint64_t elastic_seed) {
+  std::uint64_t state = run_seed * 0x9e3779b97f4a7c15ULL + elastic_seed;
+  return util::SplitMix64(state) ^ 0xc2b2ae3d27d4eb4fULL;
+}
+
+}  // namespace
+
+ElasticityController::ElasticityController(sim::Engine& engine,
+                                           sched::SchedulerBase& scheduler,
+                                           cluster::MembershipView& view,
+                                           const ElasticConfig& config)
+    : engine_(engine), scheduler_(scheduler), view_(view), config_(config),
+      phoenix_(dynamic_cast<const core::PhoenixScheduler*>(&scheduler)),
+      rng_(MixSeed(scheduler.config().seed, config.seed)) {
+  PHOENIX_CHECK_MSG(config_.enabled, "controller built with elasticity off");
+  PHOENIX_CHECK_MSG(config_.universe_size() == scheduler_.num_machines(),
+                    "base+reserve+transient must equal the cluster size");
+  PHOENIX_CHECK_MSG(view_.guaranteed_active() == config_.base_machines,
+                    "view's guaranteed prefix must be the base fleet");
+  PHOENIX_CHECK_MSG(scheduler_.membership() == &view_,
+                    "attach the view to the scheduler first (SetMembership)");
+  PHOENIX_CHECK(config_.transient_target <= config_.transient_machines);
+  PHOENIX_CHECK(config_.base_machines > 0);
+}
+
+double ElasticityController::tick_interval() const {
+  return config_.tick_interval > 0 ? config_.tick_interval
+                                   : scheduler_.config().heartbeat_interval;
+}
+
+void ElasticityController::Start() {
+  last_tick_ = engine_.Now();
+  LeaseTransients();
+  engine_.ScheduleAfter(tick_interval(), [this] { Tick(); });
+}
+
+void ElasticityController::Tick() {
+  // Once every job is done the run is draining: stop the recurring tick and
+  // let the outstanding warm-up / grace timers close the open leases (the
+  // auditor checks no machine ends the run provisioning or draining).
+  if (scheduler_.AllJobsDone()) return;
+  const double now = engine_.Now();
+  const double dt = now - last_tick_;
+  last_tick_ = now;
+  LeaseTransients();
+  if (config_.reclaim_rate > 0 && dt > 0) CheckReclamation(dt);
+  PollDrains();
+  if (config_.reactive) ReactiveDecision();
+  engine_.ScheduleAfter(tick_interval(), [this] { Tick(); });
+}
+
+void ElasticityController::LeaseTransients() {
+  const std::size_t lo = config_.base_machines + config_.reserve_machines;
+  const std::size_t hi = config_.universe_size();
+  std::size_t open = 0;
+  for (std::size_t id = lo; id < hi; ++id) {
+    const MachineLifecycle s = view_.state(static_cast<MachineId>(id));
+    if (s == MachineLifecycle::kProvisioning || s == MachineLifecycle::kActive) {
+      ++open;
+    }
+  }
+  for (std::size_t id = lo; id < hi && open < config_.transient_target; ++id) {
+    const auto mid = static_cast<MachineId>(id);
+    const MachineLifecycle s = view_.state(mid);
+    if (s != MachineLifecycle::kParked && s != MachineLifecycle::kRetired) {
+      continue;
+    }
+    if (scheduler_.worker_state(mid).failed) continue;
+    BeginLease(mid);
+    ++open;
+  }
+}
+
+void ElasticityController::CheckReclamation(double dt) {
+  // One Bernoulli draw per active transient lease, ascending id — the draw
+  // count depends only on membership state, so the stream is reproducible
+  // for a given seed and tick history.
+  const double p = 1.0 - std::exp(-config_.reclaim_rate * dt);
+  const std::size_t lo = config_.base_machines + config_.reserve_machines;
+  const std::size_t hi = config_.universe_size();
+  for (std::size_t id = lo; id < hi; ++id) {
+    const auto mid = static_cast<MachineId>(id);
+    if (view_.state(mid) != MachineLifecycle::kActive) continue;
+    if (!rng_.Bernoulli(p)) continue;
+    BeginDrain(mid, sched::SchedulerBase::DrainReason::kReclamation,
+               config_.reclaim_grace);
+  }
+}
+
+void ElasticityController::PollDrains() {
+  for (auto it = drain_deadline_.begin(); it != drain_deadline_.end();) {
+    if (TryRetire(it->first, /*force=*/false)) {
+      it = drain_deadline_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ElasticityController::ReactiveDecision() {
+  const double now = engine_.Now();
+  if (now - last_decision_ < config_.decision_cooldown) return;
+  if (view_.bindable_count() == 0) return;
+  // Cluster-wide mean of the per-worker M/G/1 E[W] estimates. A saturated
+  // estimator reports +infinity; clamp so one hot worker reads as "very
+  // congested" rather than poisoning the mean outright.
+  double sum = 0;
+  for (std::size_t id = 0; id < scheduler_.num_machines(); ++id) {
+    const auto mid = static_cast<MachineId>(id);
+    if (!view_.Bindable(mid)) continue;
+    sum += std::min(scheduler_.worker_state(mid).estimator.EstimateWait(),
+                    1e6);
+  }
+  const double mean = sum / static_cast<double>(view_.bindable_count());
+  if (mean > config_.scale_up_factor * config_.target_wait) {
+    ScaleUp(config_.scale_step);
+  } else if (mean < config_.scale_down_factor * config_.target_wait) {
+    ScaleDown(config_.scale_step);
+  }
+}
+
+void ElasticityController::ScaleUp(std::size_t step) {
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < step; ++i) {
+    const MachineId id = PickProvisionCandidate();
+    if (id == cluster::kInvalidMachine) break;
+    BeginLease(id);
+    ++moved;
+  }
+  if (moved > 0) {
+    ++stats_.scale_up_decisions;
+    last_decision_ = engine_.Now();
+  }
+}
+
+void ElasticityController::ScaleDown(std::size_t step) {
+  // Drain the least-loaded active reserve machines (highest id among ties,
+  // so repeated scale-downs peel the reserve from the top). The base fleet
+  // and the transient pool are out of scope: the base never drains, and
+  // transients leave only through reclamation or their own lease policy.
+  std::vector<MachineId> candidates;
+  const std::size_t lo = config_.base_machines;
+  const std::size_t hi = lo + config_.reserve_machines;
+  for (std::size_t id = lo; id < hi; ++id) {
+    const auto mid = static_cast<MachineId>(id);
+    if (view_.Bindable(mid)) candidates.push_back(mid);
+  }
+  if (candidates.empty()) return;
+  std::sort(candidates.begin(), candidates.end(),
+            [this](MachineId a, MachineId b) {
+              const double la = scheduler_.worker_state(a).est_queued_work;
+              const double lb = scheduler_.worker_state(b).est_queued_work;
+              if (la != lb) return la < lb;
+              return a > b;
+            });
+  const std::size_t moved = std::min(step, candidates.size());
+  for (std::size_t i = 0; i < moved; ++i) {
+    BeginDrain(candidates[i], sched::SchedulerBase::DrainReason::kScaleDown,
+               config_.drain_grace);
+  }
+  if (moved > 0) {
+    ++stats_.scale_down_decisions;
+    last_decision_ = engine_.Now();
+  }
+}
+
+MachineId ElasticityController::PickProvisionCandidate() {
+  std::vector<MachineId> candidates;
+  const std::size_t lo = config_.base_machines;
+  const std::size_t hi = lo + config_.reserve_machines;
+  for (std::size_t id = lo; id < hi; ++id) {
+    const auto mid = static_cast<MachineId>(id);
+    const MachineLifecycle s = view_.state(mid);
+    if (s != MachineLifecycle::kParked && s != MachineLifecycle::kRetired) {
+      continue;
+    }
+    if (scheduler_.worker_state(mid).failed) continue;
+    candidates.push_back(mid);
+  }
+  if (candidates.empty()) return cluster::kInvalidMachine;
+  if (config_.crv_shaping && phoenix_ != nullptr) {
+    // CRV-aware supply shaping: bring up the candidate that relieves the
+    // most queued demand on the hottest dimension. HotPredicates orders
+    // hottest-first; scoring by total satisfied demand lets one machine
+    // serve several starved predicates at once.
+    const auto hot = phoenix_->HotSupplyDemand();
+    MachineId best = cluster::kInvalidMachine;
+    std::uint64_t best_score = 0;
+    for (const MachineId id : candidates) {
+      const cluster::Machine& m = view_.cluster().machine(id);
+      std::uint64_t score = 0;
+      for (const auto& pd : hot) {
+        if (m.Satisfies(pd.constraint)) score += pd.count;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = id;
+      }
+    }
+    if (best != cluster::kInvalidMachine) {
+      ++stats_.crv_shaped_picks;
+      return best;
+    }
+  }
+  return candidates.front();  // lowest id
+}
+
+void ElasticityController::BeginLease(MachineId id) {
+  scheduler_.ProvisionMachine(id, config_.warmup_delay);
+  engine_.ScheduleAfter(config_.warmup_delay, [this, id] {
+    if (view_.state(id) != MachineLifecycle::kProvisioning) return;
+    scheduler_.CommissionMachine(id);
+    tasks_at_commission_[id] = scheduler_.worker_state(id).tasks_started;
+  });
+}
+
+void ElasticityController::BeginDrain(MachineId id,
+                                      sched::SchedulerBase::DrainReason reason,
+                                      double grace) {
+  scheduler_.DrainMachine(id, reason);
+  const double deadline = engine_.Now() + grace;
+  drain_deadline_[id] = deadline;
+  engine_.ScheduleAfter(grace, [this, id] {
+    auto it = drain_deadline_.find(id);
+    // Gone: a tick-poll graceful retire beat the timer. Later deadline: the
+    // machine was retired, re-leased and re-drained; that drain's own timer
+    // will handle it.
+    if (it == drain_deadline_.end()) return;
+    if (it->second > engine_.Now() + 1e-9) return;
+    drain_deadline_.erase(it);
+    if (!TryRetire(id, /*force=*/false)) {
+      TryRetire(id, /*force=*/true);
+    }
+  });
+}
+
+bool ElasticityController::TryRetire(MachineId id, bool force) {
+  if (!scheduler_.RetireMachine(id, force)) return false;
+  auto it = tasks_at_commission_.find(id);
+  if (it != tasks_at_commission_.end()) {
+    if (scheduler_.worker_state(id).tasks_started == it->second) {
+      stats_.wasted_warmup_seconds += config_.warmup_delay;
+    }
+    tasks_at_commission_.erase(it);
+  }
+  return true;
+}
+
+}  // namespace phoenix::elastic

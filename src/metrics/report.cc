@@ -31,6 +31,9 @@ bool Matches(const JobOutcome& job, ClassFilter cf, ConstraintFilter kf) {
 }  // namespace
 
 double SimReport::Utilization() const {
+  if (active_machine_seconds > 0) {
+    return total_busy_time / active_machine_seconds;
+  }
   if (num_workers == 0 || makespan <= 0) return 0;
   return total_busy_time / (static_cast<double>(num_workers) * makespan);
 }

@@ -75,6 +75,25 @@ struct SchedulerCounters {
   std::uint64_t net_messages_expired = 0;
   std::uint64_t rpc_retries = 0;
   std::uint64_t rpc_failures = 0;
+  /// Elastic cluster lifecycle (src/elastic). All zero on a static fleet.
+  std::uint64_t elastic_provisions = 0;
+  std::uint64_t elastic_commissions = 0;
+  std::uint64_t elastic_drains = 0;
+  std::uint64_t elastic_retires_graceful = 0;
+  std::uint64_t elastic_retires_forced = 0;
+  /// Transient leases reclaimed by the stochastic reclamation stream.
+  std::uint64_t elastic_reclamations = 0;
+  /// Queued/running work evicted by forced retires and redispatched.
+  std::uint64_t elastic_tasks_redispatched = 0;
+  /// Controller policy decisions (a decision may move several machines).
+  std::uint64_t elastic_scale_up_decisions = 0;
+  std::uint64_t elastic_scale_down_decisions = 0;
+  /// Scale-ups whose machine choice was steered by the CRV supply shaper.
+  std::uint64_t elastic_crv_shaped_picks = 0;
+  /// Seconds spent warming machines up, and the subset wasted on leases
+  /// that retired without ever starting a task.
+  double elastic_warmup_seconds = 0;
+  double elastic_wasted_warmup_seconds = 0;
 };
 
 class SimReport {
@@ -88,8 +107,14 @@ class SimReport {
   double total_busy_time = 0;
   /// Simulated time at which the last task finished.
   sim::SimTime makespan = 0;
+  /// Integral of in-service (active + draining) machine count over the run,
+  /// machine-seconds. Zero on a static fleet, where every worker is in
+  /// service for the whole makespan.
+  double active_machine_seconds = 0;
 
-  /// Measured average utilization: busy time / (workers * makespan).
+  /// Measured average utilization: busy time over delivered capacity —
+  /// workers * makespan for a static fleet, the in-service integral when
+  /// the fleet was elastic.
   double Utilization() const;
 
   /// Response times of jobs matching the filters.

@@ -10,11 +10,83 @@ namespace {
 // Keep the violation list bounded: one broken invariant typically fires on
 // every subsequent event, and the first few messages carry the diagnosis.
 constexpr std::size_t kMaxViolations = 64;
+
+// Mirror of cluster::MachineLifecycle, kept local so the auditor depends
+// only on the event stream (obs must not link against cluster).
+enum : std::uint8_t {
+  kLifeActive = 0,  // default: a machine never mentioned is in service
+  kLifeParked,
+  kLifeProvisioning,
+  kLifeDraining,
+  kLifeRetired,
+};
+
+const char* LifeName(std::uint8_t state) {
+  switch (state) {
+    case kLifeActive: return "active";
+    case kLifeParked: return "parked";
+    case kLifeProvisioning: return "provisioning";
+    case kLifeDraining: return "draining";
+    case kLifeRetired: return "retired";
+  }
+  return "?";
+}
 }  // namespace
 
 InvariantAuditor::JobStats& InvariantAuditor::JobFor(std::uint32_t id) {
   if (id >= jobs_.size()) jobs_.resize(id + 1);
   return jobs_[id];
+}
+
+std::uint8_t& InvariantAuditor::LifecycleFor(std::uint32_t machine) {
+  if (machine >= machine_lifecycle_.size()) {
+    machine_lifecycle_.resize(machine + 1, kLifeActive);
+  }
+  return machine_lifecycle_[machine];
+}
+
+void InvariantAuditor::OnLifecycleEvent(const Event& event) {
+  if (event.machine == kNoId) {
+    Violate("elastic lifecycle event without a machine id");
+    return;
+  }
+  std::uint8_t& state = LifecycleFor(event.machine);
+  const auto illegal = [&] {
+    Violate(util::StrFormat("machine %u: illegal %s while %s at t=%.6f",
+                            event.machine, EventTypeName(event.type),
+                            LifeName(state), event.time));
+  };
+  switch (event.type) {
+    case EventType::kMachinePark:
+      // Only valid as the run-start declaration of a not-yet-leased
+      // machine (before any lifecycle transition touched it).
+      if (state != kLifeActive || event.time > 0) illegal();
+      state = kLifeParked;
+      return;
+    case EventType::kMachineProvision:
+      if (state != kLifeParked && state != kLifeRetired) illegal();
+      state = kLifeProvisioning;
+      return;
+    case EventType::kMachineCommission:
+      if (state != kLifeProvisioning) illegal();
+      state = kLifeActive;
+      return;
+    case EventType::kMachineDrain:
+      if (state != kLifeActive) illegal();
+      state = kLifeDraining;
+      return;
+    case EventType::kMachineRetire:
+      if (state != kLifeDraining) illegal();
+      state = kLifeRetired;
+      return;
+    case EventType::kMachineReclaim:
+      // Informational: fires against the still-active lease, just before
+      // its drain.
+      if (state != kLifeActive) illegal();
+      return;
+    default:
+      return;
+  }
 }
 
 void InvariantAuditor::Violate(std::string message) {
@@ -57,6 +129,14 @@ void InvariantAuditor::OnEvent(const Event& event) {
     case EventType::kProbeDecline:
     case EventType::kProbeBounce: {
       JobStats& job = JobFor(event.job);
+      if (event.type == EventType::kProbeResolve &&
+          event.machine != kNoId &&
+          LifecycleFor(event.machine) != kLifeActive) {
+        // Resolving a probe starts fresh work: only active machines may.
+        Violate(util::StrFormat(
+            "machine %u resolved a probe while %s at t=%.6f", event.machine,
+            LifeName(LifecycleFor(event.machine)), event.time));
+      }
       if (event.type == EventType::kProbeResolve) ++job.probes_resolved;
       if (event.type == EventType::kProbeCancel) ++job.probes_cancelled;
       if (event.type == EventType::kProbeDecline) ++job.probes_declined;
@@ -68,9 +148,21 @@ void InvariantAuditor::OnEvent(const Event& event) {
       }
       return;
     }
-    case EventType::kTaskStart:
+    case EventType::kTaskStart: {
+      // Draining is allowed: work bound before the drain may still start
+      // once the slot frees. Outside the fleet entirely is a violation.
+      const std::uint8_t life = event.machine == kNoId
+                                    ? static_cast<std::uint8_t>(kLifeActive)
+                                    : LifecycleFor(event.machine);
+      if (life == kLifeParked || life == kLifeProvisioning ||
+          life == kLifeRetired) {
+        Violate(util::StrFormat(
+            "job %u task bound to non-active machine %u (%s) at t=%.6f",
+            event.job, event.machine, LifeName(life), event.time));
+      }
       ++JobFor(event.job).starts;
       return;
+    }
     case EventType::kTaskComplete: {
       JobStats& job = JobFor(event.job);
       ++job.completes;
@@ -121,6 +213,23 @@ void InvariantAuditor::OnEvent(const Event& event) {
       }
       return;
     }
+    case EventType::kSteal:
+      if (event.machine != kNoId &&
+          LifecycleFor(event.machine) != kLifeActive) {
+        Violate(util::StrFormat("machine %u stole work while %s at t=%.6f",
+                                event.machine,
+                                LifeName(LifecycleFor(event.machine)),
+                                event.time));
+      }
+      return;
+    case EventType::kMachinePark:
+    case EventType::kMachineProvision:
+    case EventType::kMachineCommission:
+    case EventType::kMachineDrain:
+    case EventType::kMachineRetire:
+    case EventType::kMachineReclaim:
+      OnLifecycleEvent(event);
+      return;
     case EventType::kMsgDeliver:
     case EventType::kMsgDrop:
     case EventType::kMsgExpire: {
@@ -143,7 +252,14 @@ void InvariantAuditor::CheckWorker(double now, std::uint32_t machine,
                                    bool busy, bool failed,
                                    bool has_live_slot_event,
                                    std::size_t queue_len,
-                                   double est_queued_work, bool final_state) {
+                                   double est_queued_work, bool final_state,
+                                   bool out_of_service) {
+  if (out_of_service && (busy || queue_len != 0)) {
+    Violate(util::StrFormat(
+        "machine %u holds work while out of service at t=%.6f "
+        "(busy=%d, queue=%zu)",
+        machine, now, busy ? 1 : 0, queue_len));
+  }
   if (busy && failed) {
     Violate(util::StrFormat("machine %u busy while failed at t=%.6f", machine,
                          now));
@@ -176,6 +292,16 @@ void InvariantAuditor::CheckWorker(double now, std::uint32_t machine,
 }
 
 void InvariantAuditor::Finish() {
+  for (std::size_t m = 0; m < machine_lifecycle_.size(); ++m) {
+    // Capacity conservation: a lease must close. Ending provisioning means
+    // a commission timer was lost; ending draining means the drain never
+    // resolved (the grace-deadline force-retire did not fire).
+    const std::uint8_t life = machine_lifecycle_[m];
+    if (life == kLifeProvisioning || life == kLifeDraining) {
+      Violate(util::StrFormat("machine %zu ended the run %s (capacity leak)",
+                              m, LifeName(life)));
+    }
+  }
   if (!inflight_messages_.empty()) {
     // Sample one leaked id for the diagnosis; the count carries the scale.
     Violate(util::StrFormat(

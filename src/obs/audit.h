@@ -9,6 +9,11 @@
 //   * task conservation — executions started equal completions plus
 //     failure kills, and every job finishes exactly its task count;
 //   * machine lifecycle — fail/repair events alternate per machine;
+//   * elastic lifecycle — park/provision/commission/drain/retire events
+//     follow the legal state machine, no task ever starts on a machine
+//     outside the fleet (parked/provisioning/retired), no probe resolves
+//     and no steal lands on a non-active machine, and no machine is left
+//     provisioning or draining when the run ends (capacity conservation);
 //   * message conservation — every control-plane message the fabric sends
 //     is eventually delivered, dropped, or expired, exactly once, and none
 //     is still in flight when the run drains;
@@ -38,9 +43,12 @@ class InvariantAuditor final : public EventSink {
   /// Structural worker check, called by the scheduler that owns the worker
   /// state (the event stream alone cannot see slot/queue internals).
   /// `final_state` additionally requires the worker to be drained.
+  /// `out_of_service` marks a machine outside the fleet (parked,
+  /// provisioning, or retired) — such a machine must hold no work at all.
   void CheckWorker(double now, std::uint32_t machine, bool busy, bool failed,
                    bool has_live_slot_event, std::size_t queue_len,
-                   double est_queued_work, bool final_state);
+                   double est_queued_work, bool final_state,
+                   bool out_of_service = false);
 
   /// End-of-run conservation checks. Call after the event queue drains.
   void Finish();
@@ -79,9 +87,15 @@ class InvariantAuditor final : public EventSink {
 
   JobStats& JobFor(std::uint32_t id);
   void Violate(std::string message);
+  /// Elastic lifecycle table entry for `machine` (lazily sized; machines
+  /// never mentioned by a lifecycle event default to active, matching the
+  /// static-fleet world where every machine is always in service).
+  std::uint8_t& LifecycleFor(std::uint32_t machine);
+  void OnLifecycleEvent(const Event& event);
 
   std::vector<JobStats> jobs_;
   std::vector<bool> machine_failed_;
+  std::vector<std::uint8_t> machine_lifecycle_;
   /// Fabric messages sent but not yet delivered/dropped/expired, by id.
   std::unordered_set<std::uint64_t> inflight_messages_;
   std::uint64_t messages_sent_ = 0;

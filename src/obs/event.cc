@@ -34,6 +34,12 @@ const char* EventTypeName(EventType type) {
     case EventType::kRpcFail: return "rpc_fail";
     case EventType::kPartitionStart: return "partition_start";
     case EventType::kPartitionEnd: return "partition_end";
+    case EventType::kMachinePark: return "machine_park";
+    case EventType::kMachineProvision: return "machine_provision";
+    case EventType::kMachineCommission: return "machine_commission";
+    case EventType::kMachineDrain: return "machine_drain";
+    case EventType::kMachineRetire: return "machine_retire";
+    case EventType::kMachineReclaim: return "machine_reclaim";
   }
   return "?";
 }

@@ -46,10 +46,20 @@ enum class EventType : std::uint8_t {
   kRpcFail,         // an rpc exhausted its retries; value = call id
   kPartitionStart,  // machine set cut off; value = set size
   kPartitionEnd,    // partition healed
+  // Elastic cluster lifecycle (src/elastic). `machine` is the subject; the
+  // auditor replays these into a per-machine lifecycle table and rejects
+  // illegal transitions, task starts on non-active machines, and capacity
+  // leaks (machines left provisioning/draining at the end of the run).
+  kMachinePark,       // machine starts the run outside the fleet
+  kMachineProvision,  // lease started; value = warm-up delay
+  kMachineCommission, // warm-up done, machine is active
+  kMachineDrain,      // no new bindings; held bound work may finish
+  kMachineRetire,     // drain complete (value = 1 if forced, 0 graceful)
+  kMachineReclaim,    // transient lease reclaimed (precedes its drain)
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kPartitionEnd) + 1;
+    static_cast<std::size_t>(EventType::kMachineReclaim) + 1;
 
 /// Stable lowercase name for serialization ("probe_send", ...).
 const char* EventTypeName(EventType type);

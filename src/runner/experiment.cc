@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "cluster/membership.h"
+#include "elastic/controller.h"
 #include "obs/audit.h"
 #include "obs/heartbeat_log.h"
 #include "obs/trace_writer.h"
@@ -57,11 +59,35 @@ metrics::SimReport RunSimulation(const trace::Trace& trace,
     scheduler->AttachAuditor(auditor.get());
   }
 
+  // Elastic runs own a per-run membership view + controller over the shared
+  // immutable cluster universe (Cluster's caches stay read-shared; the
+  // mutable state lives in the view).
+  std::unique_ptr<cluster::MembershipView> membership;
+  std::unique_ptr<elastic::ElasticityController> controller;
+  if (options.elastic.enabled) {
+    PHOENIX_CHECK_MSG(options.elastic.universe_size() == cluster.size(),
+                      "elastic base+reserve+transient != cluster size");
+    membership = std::make_unique<cluster::MembershipView>(
+        cluster, options.elastic.base_machines);
+    scheduler->SetMembership(membership.get());
+    controller = std::make_unique<elastic::ElasticityController>(
+        engine, *scheduler, *membership, options.elastic);
+  }
+
   scheduler->SubmitTrace(trace);
+  if (controller) controller->Start();
   engine.Run();
   PHOENIX_CHECK_MSG(engine.Empty(), "event queue failed to drain");
   scheduler->FinalAudit();
   auto report = scheduler->BuildReport();
+  if (controller) {
+    const auto& stats = controller->stats();
+    report.counters.elastic_scale_up_decisions = stats.scale_up_decisions;
+    report.counters.elastic_scale_down_decisions = stats.scale_down_decisions;
+    report.counters.elastic_crv_shaped_picks = stats.crv_shaped_picks;
+    report.counters.elastic_wasted_warmup_seconds =
+        stats.wasted_warmup_seconds;
+  }
 
   if (jsonl) jsonl->Flush();
   if (chrome) chrome->Flush();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "elastic/config.h"
 #include "metrics/report.h"
 #include "sched/types.h"
 #include "trace/trace.h"
@@ -37,6 +38,11 @@ struct RunOptions {
   std::string scheduler = "phoenix";
   sched::SchedulerConfig config;
   ObsOptions obs;
+  /// Elastic cluster lifecycle (src/elastic). When enabled, the cluster is
+  /// the full machine universe (base + reserve + transient must equal its
+  /// size); the run attaches a MembershipView and an ElasticityController.
+  /// Disabled (the default) runs are byte-identical to the static fleet.
+  elastic::ElasticConfig elastic;
 };
 
 /// "out.json" + seed 43 -> "out.seed43.json" (multi-seed runs write one

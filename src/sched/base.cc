@@ -33,6 +33,110 @@ SchedulerBase::SchedulerBase(sim::Engine& engine,
   }
 }
 
+void SchedulerBase::SetMembership(cluster::MembershipView* membership) {
+  PHOENIX_CHECK_MSG(jobs_.empty(), "attach membership before SubmitTrace");
+  PHOENIX_CHECK(membership != nullptr);
+  PHOENIX_CHECK_MSG(&membership->cluster() == &cluster_,
+                    "membership view must be over this scheduler's cluster");
+  membership_ = membership;
+  in_service_count_ = membership->in_service_count();
+  last_membership_change_ = engine_.Now();
+}
+
+void SchedulerBase::AccrueInService() {
+  in_service_seconds_ += static_cast<double>(in_service_count_) *
+                         (engine_.Now() - last_membership_change_);
+  last_membership_change_ = engine_.Now();
+}
+
+void SchedulerBase::ProvisionMachine(MachineId id, double warmup_delay) {
+  PHOENIX_CHECK_MSG(membership_ != nullptr,
+                    "lifecycle actuators need a membership view");
+  PHOENIX_CHECK(id < workers_.size());
+  membership_->SetState(id, cluster::MachineLifecycle::kProvisioning);
+  ++counters_.elastic_provisions;
+  counters_.elastic_warmup_seconds += warmup_delay;
+  Emit(EventType::kMachineProvision, obs::kNoId, id, obs::kNoId, warmup_delay);
+}
+
+void SchedulerBase::CommissionMachine(MachineId id) {
+  PHOENIX_CHECK_MSG(membership_ != nullptr,
+                    "lifecycle actuators need a membership view");
+  PHOENIX_CHECK(id < workers_.size());
+  WorkerState& w = *workers_[id];
+  AccrueInService();
+  ++in_service_count_;
+  membership_->SetState(id, cluster::MachineLifecycle::kActive);
+  ++counters_.elastic_commissions;
+  Emit(EventType::kMachineCommission, obs::kNoId, id);
+  // A fresh lease starts with clean load signals: whatever a previous lease
+  // taught the estimator (or a stale congestion mark) no longer describes
+  // this machine.
+  w.estimator.Clear();
+  w.last_wait_estimate = 0;
+  w.crv_marked = false;
+  TryStartNext(w);
+}
+
+void SchedulerBase::DrainMachine(MachineId id, DrainReason reason) {
+  PHOENIX_CHECK_MSG(membership_ != nullptr,
+                    "lifecycle actuators need a membership view");
+  PHOENIX_CHECK(id < workers_.size());
+  WorkerState& w = *workers_[id];
+  membership_->SetState(id, cluster::MachineLifecycle::kDraining);
+  if (reason == DrainReason::kReclamation) {
+    ++counters_.elastic_reclamations;
+    Emit(EventType::kMachineReclaim, obs::kNoId, id);
+  }
+  ++counters_.elastic_drains;
+  Emit(EventType::kMachineDrain, obs::kNoId, id);
+  // Free a fetch-held slot — its round trip would bind a new task here. A
+  // running task keeps the slot and finishes within the grace period.
+  EvictSlotWork(w, /*kill_running=*/false);
+  // Bounce queued probes elsewhere (resolving one would also bind new
+  // work); already-bound tasks stay and may still run before the retire.
+  for (std::size_t i = w.queue.size(); i-- > 0;) {
+    if (w.queue[i].kind == QueueEntry::Kind::kProbe) {
+      BounceUndelivered(RemoveQueueAt(w, i), id, one_way());
+    }
+  }
+  TryStartNext(w);
+}
+
+bool SchedulerBase::RetireMachine(MachineId id, bool force) {
+  PHOENIX_CHECK_MSG(membership_ != nullptr,
+                    "lifecycle actuators need a membership view");
+  PHOENIX_CHECK(id < workers_.size());
+  WorkerState& w = *workers_[id];
+  PHOENIX_CHECK_MSG(
+      membership_->state(id) == cluster::MachineLifecycle::kDraining,
+      "retire requires a draining machine");
+  if (!force && (w.busy || !w.queue.empty())) return false;
+  if (force) {
+    counters_.elastic_tasks_redispatched +=
+        w.queue.size() + (w.running_job != trace::kInvalidJob ? 1 : 0);
+    EvictSlotWork(w, /*kill_running=*/true);
+    while (!w.queue.empty()) {
+      BounceUndelivered(RemoveQueueAt(w, w.queue.size() - 1), id, one_way());
+    }
+  }
+  AccrueInService();
+  PHOENIX_CHECK(in_service_count_ > 0);
+  --in_service_count_;
+  membership_->SetState(id, cluster::MachineLifecycle::kRetired);
+  if (force) {
+    ++counters_.elastic_retires_forced;
+  } else {
+    ++counters_.elastic_retires_graceful;
+  }
+  Emit(EventType::kMachineRetire, obs::kNoId, id, obs::kNoId, force ? 1 : 0);
+  w.estimator.Clear();
+  w.last_wait_estimate = 0;
+  w.crv_marked = false;
+  w.steal_inflight = false;
+  return true;
+}
+
 void SchedulerBase::AttachSink(obs::EventSink* sink) {
   PHOENIX_CHECK_MSG(jobs_.empty(), "attach sinks before SubmitTrace");
   PHOENIX_CHECK(sink != nullptr);
@@ -73,8 +177,11 @@ void SchedulerBase::AuditWorkers(bool final_state) {
             ? rpc_.Alive(w.pending_call)
             : std::binary_search(pending.begin(), pending.end(),
                                  w.pending_event);
+    const bool out_of_service =
+        membership_ != nullptr && !membership_->InService(w.id);
     auditor_->CheckWorker(now, w.id, w.busy, w.failed, live_slot_event,
-                          w.queue.size(), w.est_queued_work, final_state);
+                          w.queue.size(), w.est_queued_work, final_state,
+                          out_of_service);
   }
 }
 
@@ -115,6 +222,17 @@ void SchedulerBase::SubmitTrace(const trace::Trace& trace) {
   }
   heartbeat_running_ = true;
   engine_.ScheduleAfter(config_.heartbeat_interval, [this] { HeartbeatTick(); });
+  if (membership_ != nullptr) {
+    // Declare the initially-parked universe to the sinks so the auditor can
+    // validate every lifecycle transition from its first event.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (membership_->state(static_cast<MachineId>(i)) ==
+          cluster::MachineLifecycle::kParked) {
+        Emit(EventType::kMachinePark, obs::kNoId,
+             static_cast<std::uint32_t>(i));
+      }
+    }
+  }
   if (config_.machine_mtbf > 0) {
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       ScheduleNextFailure(static_cast<MachineId>(i));
@@ -149,7 +267,7 @@ MachineId SchedulerBase::PickLeastLoadedLive(
   double best_load = sim::kTimeInfinity;
   for (const MachineId c : candidates) {
     const WorkerState& w = *workers_[c];
-    if (w.failed) continue;  // delivery would only bounce
+    if (w.failed || !Bindable(c)) continue;  // delivery would only bounce
     const double running_rem = w.busy ? std::max(0.0, w.busy_until - now) : 0.0;
     const double load = w.est_queued_work + running_rem;
     if (load < best_load) {
@@ -158,10 +276,10 @@ MachineId SchedulerBase::PickLeastLoadedLive(
     }
   }
   // Every sampled candidate is down: fall back to a fresh draw from the
-  // satisfying pool (the delivery bounce re-dispatches again if that one is
+  // eligible pool (the delivery bounce re-dispatches again if that one is
   // down too) instead of knowingly binding to a dead worker.
   if (best == cluster::kInvalidMachine) {
-    best = cluster_.SampleSatisfying(job.effective, rng_);
+    best = SampleEligible(job.effective);
     PHOENIX_CHECK(best != cluster::kInvalidMachine);
     ++counters_.placement_dead_fallbacks;
   }
@@ -172,7 +290,7 @@ void SchedulerBase::RedispatchEntry(QueueEntry entry, double delay) {
   JobRuntime& job = jobs_[entry.job];
   ++counters_.tasks_rescheduled_failure;
   if (entry.kind == QueueEntry::Kind::kProbe) {
-    const MachineId target = cluster_.SampleSatisfying(job.effective, rng_);
+    const MachineId target = SampleEligible(job.effective);
     PHOENIX_CHECK(target != cluster::kInvalidMachine);
     ++job.outstanding_probes;
     ++counters_.probes_sent;
@@ -185,15 +303,12 @@ void SchedulerBase::RedispatchEntry(QueueEntry entry, double delay) {
   SendEntry(best, entry, std::max(delay, 2 * one_way()));
 }
 
-void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
-  if (worker.failed) return;
-  worker.failed = true;
-  ++counters_.machine_failures;
-  Emit(EventType::kMachineFail, obs::kNoId, worker.id);
-
+void SchedulerBase::EvictSlotWork(WorkerState& worker, bool kill_running) {
+  if (!worker.busy) return;
+  if (worker.running_job != trace::kInvalidJob && !kill_running) return;
   // Kill the in-flight slot event (probe resolution, sticky fetch, or task
   // completion) and recover its work.
-  if (worker.busy) {
+  {
     CancelSlotEvent(worker);
     if (worker.running_job != trace::kInvalidJob) {
       // Running task is lost: un-count its unfinished service and replay it.
@@ -249,6 +364,15 @@ void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
     worker.resolving = false;
     worker.busy = false;
   }
+}
+
+void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
+  if (worker.failed) return;
+  worker.failed = true;
+  ++counters_.machine_failures;
+  Emit(EventType::kMachineFail, obs::kNoId, worker.id);
+
+  EvictSlotWork(worker, /*kill_running=*/true);
 
   // Drain the queue, re-dispatching every entry to live workers (stale
   // probes dissolve inside BounceUndelivered).
@@ -337,13 +461,15 @@ void SchedulerBase::HandleJobArrival(JobId id) {
 // can run (counted in tasks_admission_rejected). Phoenix layers proactive
 // negotiation on top of this (core/phoenix.cc).
 void SchedulerBase::AdmitJob(JobRuntime& job) {
-  while (cluster_.CountSatisfying(job.effective) == 0) {
+  // Admission validates against the guaranteed pool (the base fleet under
+  // elasticity), so an admitted job can never be stranded by later churn.
+  while (CountAdmissible(job.effective) == 0) {
     // Find the soft constraint with the smallest individual pool.
     std::size_t victim = job.effective.size();
     std::size_t victim_pool = SIZE_MAX;
     for (std::size_t i = 0; i < job.effective.size(); ++i) {
       if (job.effective[i].hard) continue;
-      const std::size_t pool = cluster_.Satisfying(job.effective[i]).Count();
+      const std::size_t pool = CountAdmissible(job.effective[i]);
       if (pool < victim_pool) {
         victim_pool = pool;
         victim = i;
@@ -376,14 +502,12 @@ bool SchedulerBase::UsesDistributedPlane(const JobRuntime& job) const {
 
 std::vector<MachineId> SchedulerBase::ChooseProbeTargets(
     const JobRuntime& job) {
-  return cluster_.SampleSatisfying(
-      job.effective, config_.probe_ratio * job.num_tasks(), rng_);
+  return SampleEligible(job.effective, config_.probe_ratio * job.num_tasks());
 }
 
 std::vector<MachineId> SchedulerBase::ChooseLongCandidates(
     const JobRuntime& job) {
-  return cluster_.SampleDistinctSatisfying(job.effective, config_.power_of_d,
-                                           rng_);
+  return SampleDistinctEligible(job.effective, config_.power_of_d);
 }
 
 std::size_t SchedulerBase::SelectNextIndex(const WorkerState& worker) {
@@ -456,7 +580,7 @@ void SchedulerBase::PlaceDistributed(JobRuntime& job) {
   // steered there.
   if (job.placement() == trace::PlacementPref::kColocate &&
       job.anchor_rack == cluster::kInvalidRack) {
-    const MachineId anchor = cluster_.SampleSatisfying(job.effective, rng_);
+    const MachineId anchor = SampleEligible(job.effective);
     if (anchor != cluster::kInvalidMachine) {
       job.anchor_rack = cluster_.rack_of(anchor);
     }
@@ -472,7 +596,7 @@ void SchedulerBase::PlaceDistributed(JobRuntime& job) {
   std::size_t attempts = 0;
   while (targets.size() < wanted && attempts < 6 * wanted) {
     ++attempts;
-    const MachineId extra = cluster_.SampleSatisfying(job.effective, rng_);
+    const MachineId extra = SampleEligible(job.effective);
     if (extra == cluster::kInvalidMachine) break;
     if (job.placement() == trace::PlacementPref::kColocate &&
         job.anchor_rack != cluster::kInvalidRack &&
@@ -530,9 +654,10 @@ void SchedulerBase::SendEntry(MachineId target, QueueEntry entry, double delay,
 
 void SchedulerBase::DeliverEntry(MachineId target, QueueEntry entry) {
   WorkerState& w = *workers_[target];
-  if (w.failed) {
-    // The destination died in transit: bounce to a live worker after the
-    // fabric's pacing backoff. Stale probes (job fully placed) dissolve.
+  if (w.failed || !Bindable(target)) {
+    // The destination died (or left the bindable fleet) in transit: bounce
+    // to a live worker after the fabric's pacing backoff. Stale probes (job
+    // fully placed) dissolve.
     BounceUndelivered(std::move(entry), target, fabric_.bounce_backoff());
     return;
   }
@@ -726,6 +851,7 @@ void SchedulerBase::StartService(WorkerState& worker, JobRuntime& job,
   const sim::SimTime now = engine_.Now();
   const double duration = job.ActualDuration(task_index);
   RecordTaskStart(job, now);
+  ++worker.tasks_started;
   worker.busy = true;
   worker.running_job = job.id;
   worker.running_index = task_index;
@@ -755,7 +881,7 @@ void SchedulerBase::FinishService(WorkerState& worker) {
          now - job.spec->submit_time);
   }
   if (!job.AllPlaced() && job.placement() != trace::PlacementPref::kSpread &&
-      UseStickyBatchProbing(job)) {
+      Bindable(worker.id) && UseStickyBatchProbing(job)) {
     // Sticky batch probing: keep the slot and fetch the job's next task
     // directly, skipping the probe queue (Eagle §"divide and stick").
     // fetching_job marks the in-flight fetch so a machine failure can
@@ -787,6 +913,8 @@ void SchedulerBase::FinishService(WorkerState& worker) {
 
 bool SchedulerBase::TryStealFor(WorkerState& worker) {
   if (worker.steal_inflight) return false;
+  // A draining (or not-yet-commissioned) thief must not pull new work in.
+  if (!Bindable(worker.id)) return false;
   const cluster::Machine& self = cluster_.machine(worker.id);
   for (std::size_t attempt = 0; attempt < config_.steal_candidates; ++attempt) {
     const auto victim_id =
@@ -829,6 +957,14 @@ metrics::SimReport SchedulerBase::BuildReport() const {
   report.counters.rpc_failures = rpc_.stats().failures;
   report.total_busy_time = total_busy_time_;
   report.makespan = makespan_;
+  if (membership_ != nullptr) {
+    // Close the in-service integral at the horizon without mutating state
+    // (BuildReport is const and may be called more than once).
+    const double horizon = std::max<double>(makespan_, last_membership_change_);
+    report.active_machine_seconds =
+        in_service_seconds_ + static_cast<double>(in_service_count_) *
+                                  (horizon - last_membership_change_);
+  }
   report.jobs.reserve(jobs_.size());
   for (const JobRuntime& job : jobs_) {
     metrics::JobOutcome out;

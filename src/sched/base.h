@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/membership.h"
 #include "metrics/report.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
@@ -60,6 +61,52 @@ class SchedulerBase {
 
   const SchedulerConfig& config() const { return config_; }
   const cluster::Cluster& cluster() const { return cluster_; }
+
+  /// True when every submitted job has completed.
+  bool AllJobsDone() const { return jobs_done_ == jobs_.size(); }
+
+  // ---- Elastic membership ------------------------------------------------
+
+  /// Attaches a membership view over this scheduler's cluster. Call before
+  /// SubmitTrace (and keep the view alive for the run). With a view
+  /// attached, every sampling/eligibility path restricts itself to active
+  /// machines; without one, behaviour is byte-identical to the static
+  /// fleet. Phoenix overrides to forward the view to its CRV monitor and
+  /// admission controller.
+  virtual void SetMembership(cluster::MembershipView* membership);
+  const cluster::MembershipView* membership() const { return membership_; }
+
+  /// Read access for the elasticity controller's policies (load signals,
+  /// wasted-warm-up detection). The full fleet is the machine universe.
+  const WorkerState& worker_state(cluster::MachineId id) const {
+    return *workers_[id];
+  }
+  std::size_t num_machines() const { return workers_.size(); }
+
+  // Lifecycle actuators, driven by the elasticity controller. All require
+  // an attached membership view and emit the corresponding obs events.
+
+  /// parked/retired -> provisioning. The caller owns the warm-up timer that
+  /// later calls CommissionMachine; `warmup_delay` is recorded for the
+  /// warm-up accounting and the event payload.
+  void ProvisionMachine(cluster::MachineId id, double warmup_delay);
+
+  /// provisioning -> active: the machine joins the bindable fleet with
+  /// fresh load signals and immediately looks for work.
+  void CommissionMachine(cluster::MachineId id);
+
+  enum class DrainReason : std::uint8_t { kScaleDown, kReclamation };
+
+  /// active -> draining: cancels any slot-holding fetch (it would bind new
+  /// work here), bounces queued probes elsewhere, and keeps queued bound
+  /// tasks, which may still start and finish during the grace period.
+  void DrainMachine(cluster::MachineId id,
+                    DrainReason reason = DrainReason::kScaleDown);
+
+  /// draining -> retired. Graceful (`force` false) succeeds only on an idle
+  /// machine with an empty queue (returns false otherwise); forced evicts
+  /// the running task and queue, redispatching everything elsewhere.
+  bool RetireMachine(cluster::MachineId id, bool force);
 
   // ---- Observability -----------------------------------------------------
 
@@ -183,6 +230,52 @@ class SchedulerBase {
   /// Next task index to hand out: failure replays first, then fresh tasks.
   std::uint32_t TakeNextTaskIndex(JobRuntime& job);
 
+  // ---- Membership-aware eligibility --------------------------------------
+  //
+  // Every sampling/counting path the schedulers use goes through these.
+  // Without a membership view they delegate straight to the cluster —
+  // the exact pre-elastic code path, so static-fleet runs stay
+  // byte-identical. With a view they operate on the eligible (active)
+  // sub-pool, which is how "no new bindings to draining machines" and
+  // "probe/steal target sets track membership" are enforced in one place.
+
+  /// New work may be bound to `id` (active, or no view attached).
+  bool Bindable(cluster::MachineId id) const {
+    return membership_ == nullptr || membership_->Bindable(id);
+  }
+  /// Machines currently eligible for new bindings under `cs`.
+  const util::Bitset& EligiblePool(const cluster::ConstraintSet& cs) const {
+    return membership_ == nullptr ? cluster_.Satisfying(cs)
+                                  : membership_->EligiblePool(cs);
+  }
+  /// Pool size admission control must validate against. Under elasticity
+  /// this is the guaranteed base fleet (which never drains), so an admitted
+  /// job can never be stranded by later membership churn.
+  std::size_t CountAdmissible(const cluster::ConstraintSet& cs) const {
+    return membership_ == nullptr ? cluster_.CountSatisfying(cs)
+                                  : membership_->CountAdmissible(cs);
+  }
+  std::size_t CountAdmissible(const cluster::Constraint& c) const {
+    return membership_ == nullptr ? cluster_.Satisfying(c).Count()
+                                  : membership_->CountAdmissible(c);
+  }
+  cluster::MachineId SampleEligible(const cluster::ConstraintSet& cs) {
+    return membership_ == nullptr ? cluster_.SampleSatisfying(cs, rng_)
+                                  : membership_->SampleEligible(cs, rng_);
+  }
+  std::vector<cluster::MachineId> SampleEligible(
+      const cluster::ConstraintSet& cs, std::size_t k) {
+    return membership_ == nullptr
+               ? cluster_.SampleSatisfying(cs, k, rng_)
+               : membership_->SampleEligible(cs, k, rng_);
+  }
+  std::vector<cluster::MachineId> SampleDistinctEligible(
+      const cluster::ConstraintSet& cs, std::size_t k) {
+    return membership_ == nullptr
+               ? cluster_.SampleDistinctSatisfying(cs, k, rng_)
+               : membership_->SampleDistinctEligible(cs, k, rng_);
+  }
+
   JobRuntime& runtime(trace::JobId id) { return jobs_[id]; }
   const JobRuntime& runtime(trace::JobId id) const { return jobs_[id]; }
   WorkerState& worker(cluster::MachineId id) { return *workers_[id]; }
@@ -204,9 +297,6 @@ class SchedulerBase {
   double EstimatedTaskDuration(const JobRuntime& job) const {
     return job.spec->mean_task_duration();
   }
-
-  /// True when every submitted job has completed.
-  bool AllJobsDone() const { return jobs_done_ == jobs_.size(); }
 
   /// True when at least one event sink is attached (tracing enabled).
   bool tracing() const { return !sinks_.empty(); }
@@ -233,6 +323,16 @@ class SchedulerBase {
   /// InjectFailure, whose caller controls repair timing).
   void FailMachine(WorkerState& worker, bool auto_repair);
   void RepairMachine(WorkerState& worker);
+  /// Evicts whatever holds the worker's slot and re-covers its work: a
+  /// running task is killed and replayed (only when `kill_running`,
+  /// otherwise left to finish), a resolving probe is bounced, a sticky
+  /// fetch's job is re-covered. Shared by the failure and forced-retire
+  /// paths; a drain uses it with kill_running=false to free a fetch-held
+  /// slot without interrupting execution.
+  void EvictSlotWork(WorkerState& worker, bool kill_running);
+  /// Closes the in-service machine-seconds integral at the current time
+  /// (call before in_service_count_ changes).
+  void AccrueInService();
   /// Re-dispatches an entry that lost its worker: probes are re-sent to a
   /// fresh satisfying target, bound tasks are re-bound least-loaded.
   /// `delay` is the transit time (bounces off still-failed destinations use
@@ -291,6 +391,13 @@ class SchedulerBase {
   double total_busy_time_ = 0;
   sim::SimTime makespan_ = 0;
   bool heartbeat_running_ = false;
+
+  /// Elastic membership (null on a static fleet) and the in-service
+  /// machine-seconds integral behind SimReport::active_machine_seconds.
+  cluster::MembershipView* membership_ = nullptr;
+  double in_service_seconds_ = 0;
+  double last_membership_change_ = 0;
+  std::size_t in_service_count_ = 0;
 };
 
 }  // namespace phoenix::sched

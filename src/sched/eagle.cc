@@ -14,7 +14,7 @@ bool EagleScheduler::LongBusy(const WorkerState& worker) const {
 std::vector<cluster::MachineId> EagleScheduler::ChooseProbeTargets(
     const JobRuntime& job) {
   const std::size_t wanted = config().probe_ratio * job.num_tasks();
-  const util::Bitset& pool = cluster().Satisfying(job.effective);
+  const util::Bitset& pool = EligiblePool(job.effective);
   std::vector<cluster::MachineId> targets;
   targets.reserve(wanted);
   // Rejection-sample against the SSS bit vector: skip long-occupied workers

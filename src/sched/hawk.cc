@@ -19,8 +19,8 @@ std::vector<cluster::MachineId> HawkScheduler::ChooseLongCandidates(
   // fall back to the unfiltered pool if the whole sample was reserved (a
   // heavily constrained job whose pool lies inside the partition must still
   // run somewhere).
-  std::vector<cluster::MachineId> sample = cluster().SampleDistinctSatisfying(
-      job.effective, 2 * config().power_of_d, rng());
+  std::vector<cluster::MachineId> sample =
+      SampleDistinctEligible(job.effective, 2 * config().power_of_d);
   std::vector<cluster::MachineId> filtered;
   filtered.reserve(sample.size());
   for (const auto id : sample) {

@@ -188,6 +188,11 @@ struct WorkerState {
   /// A steal request is in flight (prevents steal storms).
   bool steal_inflight = false;
 
+  /// Lifetime count of task executions started on this machine. The
+  /// elasticity controller diffs it across a lease to detect warm-ups that
+  /// never served anything (wasted-warm-up accounting).
+  std::uint64_t tasks_started = 0;
+
   /// Failure injection: machine is currently down.
   bool failed = false;
   /// The cancellable in-flight event while the slot is held for a running

@@ -35,8 +35,8 @@ void YaccDScheduler::OnHeartbeat() {
       const JobRuntime& job = runtime(w.queue[tail].job);
       // Find a less-loaded satisfying worker; skip the move if none is
       // meaningfully better.
-      const auto candidates = cluster().SampleDistinctSatisfying(
-          job.effective, config().power_of_d, rng());
+      const auto candidates =
+          SampleDistinctEligible(job.effective, config().power_of_d);
       cluster::MachineId best = cluster::kInvalidMachine;
       double best_load = w.est_queued_work;
       for (const auto c : candidates) {

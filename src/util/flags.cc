@@ -1,5 +1,7 @@
 #include "util/flags.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 namespace phoenix::util {
@@ -13,6 +15,13 @@ bool LooksLikeFlag(const std::string& arg) {
 }  // namespace
 
 bool Flags::Parse(int argc, const char* const* argv) {
+  if (argc > 0 && argv[0] != nullptr && argv[0][0] != '\0') {
+    program_ = argv[0];
+    const auto slash = program_.find_last_of('/');
+    if (slash != std::string::npos) program_ = program_.substr(slash + 1);
+  }
+  // `--help` is accepted by every binary without being declared by a getter.
+  declared_["help"] = true;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (!LooksLikeFlag(arg)) {
@@ -40,14 +49,21 @@ bool Flags::Parse(int argc, const char* const* argv) {
   return true;
 }
 
-std::string Flags::GetString(const std::string& name, const std::string& def) {
+void Flags::Declare(const std::string& name, const char* type,
+                    std::string default_value) {
+  if (declared_.count(name)) return;  // first declaration wins
   declared_[name] = true;
+  declaration_order_.push_back({name, type, std::move(default_value)});
+}
+
+std::string Flags::GetString(const std::string& name, const std::string& def) {
+  Declare(name, "string", def.empty() ? "\"\"" : def);
   const auto it = values_.find(name);
   return it == values_.end() ? def : it->second;
 }
 
 std::int64_t Flags::GetInt(const std::string& name, std::int64_t def) {
-  declared_[name] = true;
+  Declare(name, "int", std::to_string(def));
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   char* end = nullptr;
@@ -60,7 +76,11 @@ std::int64_t Flags::GetInt(const std::string& name, std::int64_t def) {
 }
 
 double Flags::GetDouble(const std::string& name, double def) {
-  declared_[name] = true;
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", def);
+    Declare(name, "double", buf);
+  }
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   char* end = nullptr;
@@ -73,7 +93,7 @@ double Flags::GetDouble(const std::string& name, double def) {
 }
 
 bool Flags::GetBool(const std::string& name, bool def) {
-  declared_[name] = true;
+  Declare(name, "bool", def ? "true" : "false");
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   const std::string& v = it->second;
@@ -85,6 +105,31 @@ bool Flags::GetBool(const std::string& name, bool def) {
 
 bool Flags::Provided(const std::string& name) const {
   return values_.count(name) > 0;
+}
+
+bool Flags::HelpRequested() const {
+  const auto it = values_.find("help");
+  if (it == values_.end()) return false;
+  return it->second != "false" && it->second != "0" && it->second != "no" &&
+         it->second != "off";
+}
+
+std::string Flags::Usage() const {
+  std::string out = "usage: " + program_ + " [--flag=value ...]\n\nflags:\n";
+  std::size_t width = 0;
+  for (const auto& d : declaration_order_) {
+    width = std::max(width, d.name.size());
+  }
+  for (const auto& d : declaration_order_) {
+    out += "  --" + d.name;
+    out.append(width - d.name.size() + 2, ' ');
+    out += d.type;
+    out += "  (default: " + d.default_value + ")\n";
+  }
+  out += "  --help";
+  if (width >= 4) out.append(width - 4 + 2, ' ');
+  out += "bool  (default: false)\n";
+  return out;
 }
 
 bool Flags::Validate() {

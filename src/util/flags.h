@@ -4,6 +4,10 @@
 // Supports `--name=value`, `--name value`, and boolean `--name` /
 // `--no-name` forms. Unknown flags are an error (so typos in experiment
 // sweeps fail loudly instead of silently running defaults).
+//
+// Every Get* call doubles as the flag's declaration: the name, type and
+// default are recorded in call order, so Usage() can print a complete
+// auto-generated `--help` listing without a separate registration step.
 #pragma once
 
 #include <cstdint>
@@ -33,12 +37,33 @@ class Flags {
   /// Returns false if any parsed flag was never declared via a getter.
   bool Validate();
 
+  /// True if the user passed `--help` (always accepted, never a Validate
+  /// error). Check after every Get* declaration, before Validate(), and
+  /// print Usage() if set.
+  bool HelpRequested() const;
+
+  /// Auto-generated usage text: every flag declared so far, in declaration
+  /// order, with its type and default value.
+  std::string Usage() const;
+
   const std::string& error() const { return error_; }
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:
+  /// One declared flag, recorded by the first Get* call for its name.
+  struct Declared {
+    std::string name;
+    const char* type;  // "string" | "int" | "double" | "bool"
+    std::string default_value;
+  };
+
+  void Declare(const std::string& name, const char* type,
+               std::string default_value);
+
+  std::string program_ = "program";
   std::map<std::string, std::string> values_;
   std::map<std::string, bool> declared_;
+  std::vector<Declared> declaration_order_;
   std::vector<std::string> positional_;
   std::string error_;
 };

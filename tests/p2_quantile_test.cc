@@ -61,6 +61,61 @@ TEST(P2Quantile, MonotoneStreamEstimatesRank) {
   EXPECT_NEAR(p.Value(), 5001, 250);
 }
 
+// ---- Small-sample (n < 5) exactness: before the five P² markers exist,
+// Value() must be the exact interpolated quantile of the sorted prefix.
+
+TEST(P2Quantile, ExactMedianOfFourUnsortedSamples) {
+  metrics::P2Quantile p(0.5);
+  for (const double x : {7.0, 1.0, 5.0, 3.0}) p.Add(x);
+  // sorted {1,3,5,7}, rank 0.5*3 = 1.5 -> (3+5)/2
+  EXPECT_DOUBLE_EQ(p.Value(), 4.0);
+  EXPECT_EQ(p.count(), 4u);
+}
+
+TEST(P2Quantile, ExactTailQuantileOfFourSamples) {
+  metrics::P2Quantile p(0.99);
+  for (const double x : {7.0, 1.0, 5.0, 3.0}) p.Add(x);
+  // rank 0.99*3 = 2.97 -> 0.03*5 + 0.97*7
+  EXPECT_NEAR(p.Value(), 6.94, 1e-12);
+}
+
+TEST(P2Quantile, ExactLowQuantileOfTwoSamples) {
+  metrics::P2Quantile p(0.1);
+  p.Add(10.0);
+  p.Add(20.0);
+  // rank 0.1*1 = 0.1 -> 0.9*10 + 0.1*20
+  EXPECT_NEAR(p.Value(), 11.0, 1e-12);
+}
+
+TEST(P2Quantile, SingleSampleIsEveryQuantile) {
+  for (const double q : {0.01, 0.5, 0.99}) {
+    metrics::P2Quantile p(q);
+    p.Add(42.0);
+    EXPECT_DOUBLE_EQ(p.Value(), 42.0) << "q=" << q;
+  }
+}
+
+TEST(P2Quantile, DuplicateSmallSamplesCollapse) {
+  metrics::P2Quantile p(0.9);
+  for (int i = 0; i < 4; ++i) p.Add(2.5);
+  EXPECT_DOUBLE_EQ(p.Value(), 2.5);
+}
+
+TEST(P2Quantile, FifthSampleSwitchesToMarkersExactly) {
+  // At exactly n=5 the markers initialize from the sorted sample, so the
+  // median marker is the exact sample median even for unsorted input.
+  metrics::P2Quantile p(0.5);
+  for (const double x : {9.0, 1.0, 7.0, 3.0, 5.0}) p.Add(x);
+  EXPECT_DOUBLE_EQ(p.Value(), 5.0);
+  EXPECT_EQ(p.count(), 5u);
+}
+
+TEST(P2Quantile, NegativeValuesSmallSample) {
+  metrics::P2Quantile p(0.5);
+  for (const double x : {-3.0, -1.0, -2.0}) p.Add(x);
+  EXPECT_DOUBLE_EQ(p.Value(), -2.0);
+}
+
 TEST(P2QuantileDeathTest, RejectsDegenerateQuantiles) {
   EXPECT_DEATH(metrics::P2Quantile(0.0), "quantile");
   EXPECT_DEATH(metrics::P2Quantile(1.0), "quantile");

@@ -431,5 +431,55 @@ TEST(Characterize, SupplyCurveDecreases) {
   EXPECT_GT(supply[0], supply[5]);
 }
 
+// The supply curve is a pure function of (trace, cluster): alternating
+// calls against clusters of different composition must not leak cached
+// state from one cluster into the other's answer (the eligibility caches
+// involved are per-cluster).
+TEST(Characterize, SupplyCurveTracksClusterComposition) {
+  const Trace t = SmallGoogle();
+  const cluster::Cluster small =
+      cluster::BuildCluster({.num_machines = 120, .seed = 5});
+  const cluster::Cluster large =
+      cluster::BuildCluster({.num_machines = 2400, .seed = 91});
+  const auto supply_small_1 = SupplyCurve(t, small);
+  const auto supply_large_1 = SupplyCurve(t, large);
+  const auto supply_small_2 = SupplyCurve(t, small);
+  const auto supply_large_2 = SupplyCurve(t, large);
+  EXPECT_EQ(supply_small_1, supply_small_2);
+  EXPECT_EQ(supply_large_1, supply_large_2);
+  // The two compositions genuinely differ somewhere on the curve —
+  // otherwise equality above proves nothing about cross-talk.
+  EXPECT_NE(supply_small_1, supply_large_1);
+}
+
+// CharacterizeConstraints is cluster-independent; interleaving it with
+// supply computations over changing clusters must not perturb it.
+TEST(Characterize, UsageStableAcrossClusterChanges) {
+  const Trace t = SmallGoogle();
+  const ConstraintUsage before = CharacterizeConstraints(t);
+  for (const std::uint64_t seed : {7u, 8u, 9u}) {
+    const cluster::Cluster cl =
+        cluster::BuildCluster({.num_machines = 300 * seed, .seed = seed});
+    (void)SupplyCurve(t, cl);
+    const ConstraintUsage after = CharacterizeConstraints(t);
+    EXPECT_EQ(after.total_occurrences, before.total_occurrences);
+    EXPECT_EQ(after.constrained_jobs, before.constrained_jobs);
+    EXPECT_EQ(after.occurrences, before.occurrences);
+  }
+}
+
+// A one-machine cluster degenerates the supply curve to {0, 100}% steps;
+// exercised because the elastic base fleet can be arbitrarily small.
+TEST(Characterize, SupplyCurveOnTinyCluster) {
+  const Trace t = SmallGoogle();
+  const cluster::Cluster one =
+      cluster::BuildCluster({.num_machines = 1, .seed = 3});
+  const auto supply = SupplyCurve(t, one);
+  for (const double s : supply) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 100.0);
+  }
+}
+
 }  // namespace
 }  // namespace phoenix::trace

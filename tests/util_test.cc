@@ -227,6 +227,88 @@ TEST(Flags, BoolAcceptsManySpellings) {
   }
 }
 
+// ---------------------------------------------------------------- Flags --help
+
+TEST(Flags, HelpRequestedDetectsBareAndValuedForms) {
+  {
+    const char* argv[] = {"prog"};
+    Flags f;
+    f.Parse(1, argv);
+    EXPECT_FALSE(f.HelpRequested());
+  }
+  {
+    const char* argv[] = {"prog", "--help"};
+    Flags f;
+    f.Parse(2, argv);
+    EXPECT_TRUE(f.HelpRequested());
+  }
+  {
+    const char* argv[] = {"prog", "--no-help"};
+    Flags f;
+    f.Parse(2, argv);
+    EXPECT_FALSE(f.HelpRequested());
+  }
+}
+
+TEST(Flags, HelpIsNeverAnUnknownFlag) {
+  const char* argv[] = {"prog", "--help"};
+  Flags f;
+  f.Parse(2, argv);
+  // No getter ever declares "help"; Validate must still accept it.
+  f.GetInt("nodes", 1);
+  EXPECT_TRUE(f.Validate()) << f.error();
+}
+
+TEST(Flags, UsageListsEveryDeclaredFlagWithDefault) {
+  const char* argv[] = {"prog"};
+  Flags f;
+  f.Parse(1, argv);
+  f.GetInt("nodes", 300);
+  f.GetDouble("load", 0.85);
+  f.GetString("profile", "google");
+  f.GetBool("paper", false);
+  const std::string usage = f.Usage();
+  EXPECT_NE(usage.find("--nodes"), std::string::npos);
+  EXPECT_NE(usage.find("(default: 300)"), std::string::npos);
+  EXPECT_NE(usage.find("--load"), std::string::npos);
+  EXPECT_NE(usage.find("(default: 0.85)"), std::string::npos);
+  EXPECT_NE(usage.find("--profile"), std::string::npos);
+  EXPECT_NE(usage.find("(default: google)"), std::string::npos);
+  EXPECT_NE(usage.find("--paper"), std::string::npos);
+  EXPECT_NE(usage.find("(default: false)"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+  // Declaration order is preserved in the listing.
+  EXPECT_LT(usage.find("--nodes"), usage.find("--load"));
+  EXPECT_LT(usage.find("--load"), usage.find("--profile"));
+}
+
+TEST(Flags, UsageNamesTheProgram) {
+  const char* argv[] = {"/long/path/to/bench_thing"};
+  Flags f;
+  f.Parse(1, argv);
+  EXPECT_NE(f.Usage().find("usage: bench_thing"), std::string::npos);
+}
+
+TEST(Flags, UsageShowsEmptyStringDefault) {
+  const char* argv[] = {"prog"};
+  Flags f;
+  f.Parse(1, argv);
+  f.GetString("tsv", "");
+  EXPECT_NE(f.Usage().find("(default: \"\")"), std::string::npos);
+}
+
+TEST(Flags, FirstDeclarationWins) {
+  const char* argv[] = {"prog"};
+  Flags f;
+  f.Parse(1, argv);
+  f.GetInt("nodes", 300);
+  f.GetInt("nodes", 7);  // second declaration must not duplicate the row
+  const std::string usage = f.Usage();
+  EXPECT_EQ(usage.find("--nodes"), usage.rfind("--nodes"));
+  EXPECT_NE(usage.find("(default: 300)"), std::string::npos);
+  EXPECT_EQ(usage.find("(default: 7)"), std::string::npos);
+}
+
 // ---------------------------------------------------------------- Format
 
 TEST(Format, StrFormatBasics) {
