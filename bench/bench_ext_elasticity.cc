@@ -50,42 +50,38 @@ struct Cell {
   double wasted_warmup = 0;
 };
 
-std::string JsonBody(const bench::BenchOptions& o, std::size_t reserve,
-                     std::size_t transient, double warmup, double grace,
-                     double reclaim_grace,
-                     const std::vector<Cell>& cells) {
-  std::string out = "{\n";
-  out += "  \"benchmark\": \"elastic cluster lifecycle "
-         "(reactive + CRV-shaped scaling, transient reclamation)\",\n";
-  out += util::StrFormat(
-      "  \"config\": {\"base_nodes\": %zu, \"reserve\": %zu, "
-      "\"transient\": %zu, \"jobs\": %zu, \"load\": %.2f, \"seed\": %llu, "
-      "\"runs\": %zu, \"warmup_delay_s\": %g, \"drain_grace_s\": %g, "
-      "\"reclaim_grace_s\": %g},\n",
-      o.nodes, reserve, transient, o.jobs, o.load,
-      static_cast<unsigned long long>(o.seed), o.runs, warmup, grace,
-      reclaim_grace);
-  out += "  \"cells\": [\n";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    out += util::StrFormat(
-        "    {\"scheduler\": \"%s\", \"shape\": \"%s\", "
-        "\"reclaim_rate_per_s\": %.6f, \"short_p90_queuing_s\": %.6f, "
-        "\"utilization\": %.4f, \"commissions\": %llu, \"drains\": %llu, "
-        "\"reclamations\": %llu, \"forced_retires\": %llu, "
-        "\"tasks_redispatched\": %llu, \"crv_shaped_picks\": %llu, "
-        "\"wasted_warmup_s\": %.1f}%s\n",
-        c.scheduler.c_str(), c.shape.c_str(), c.reclaim_rate, c.short_p90,
-        c.utilization, static_cast<unsigned long long>(c.commissions),
-        static_cast<unsigned long long>(c.drains),
-        static_cast<unsigned long long>(c.reclamations),
-        static_cast<unsigned long long>(c.forced_retires),
-        static_cast<unsigned long long>(c.redispatched),
-        static_cast<unsigned long long>(c.crv_shaped), c.wasted_warmup,
-        i + 1 < cells.size() ? "," : "");
+bench::JsonEmitter MakeEmitter(const bench::BenchOptions& o,
+                               std::size_t reserve, std::size_t transient,
+                               double warmup, double grace,
+                               double reclaim_grace,
+                               const std::vector<Cell>& cells) {
+  bench::JsonEmitter emitter(
+      "ext_elasticity",
+      "elastic cluster lifecycle (reactive + CRV-shaped scaling, transient "
+      "reclamation)");
+  emitter.AddCommonConfig(o);
+  emitter.config()
+      .AddInt("reserve", reserve)
+      .AddInt("transient", transient)
+      .Add("warmup_delay_s", warmup)
+      .Add("drain_grace_s", grace)
+      .Add("reclaim_grace_s", reclaim_grace);
+  for (const Cell& c : cells) {
+    emitter.NewCell()
+        .Add("scheduler", c.scheduler)
+        .Add("shape", c.shape)
+        .Add("reclaim_rate_per_s", c.reclaim_rate)
+        .Add("short_p90_queuing_s", c.short_p90)
+        .Add("utilization", c.utilization)
+        .AddInt("commissions", c.commissions)
+        .AddInt("drains", c.drains)
+        .AddInt("reclamations", c.reclamations)
+        .AddInt("forced_retires", c.forced_retires)
+        .AddInt("tasks_redispatched", c.redispatched)
+        .AddInt("crv_shaped_picks", c.crv_shaped)
+        .Add("wasted_warmup_s", c.wasted_warmup);
   }
-  out += "  ]\n}\n";
-  return out;
+  return emitter;
 }
 
 }  // namespace
@@ -217,18 +213,10 @@ int main(int argc, char** argv) {
     std::printf("%s\n", t.ToString().c_str());
   }
   if (tsv != nullptr) std::fclose(tsv);
-  if (!json_path.empty()) {
-    std::FILE* jf = std::fopen(json_path.c_str(), "w");
-    if (jf != nullptr) {
-      const std::string body = JsonBody(o, reserve, transient, warmup, grace,
-                                        reclaim_grace, cells);
-      std::fwrite(body.data(), 1, body.size(), jf);
-      std::fclose(jf);
-      std::printf("wrote %s\n", json_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot open --json path %s\n", json_path.c_str());
-      return 1;
-    }
+  if (!json_path.empty() &&
+      !MakeEmitter(o, reserve, transient, warmup, grace, reclaim_grace, cells)
+           .WriteTo(json_path)) {
+    return 1;
   }
   std::printf(
       "expected shape: reclamation pressure costs tail latency (forced "

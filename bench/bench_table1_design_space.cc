@@ -49,10 +49,7 @@ constexpr Row kRows[] = {
 int main(int argc, char** argv) {
   phoenix::util::Flags flags;
   flags.Parse(argc, argv);
-  if (!flags.Validate()) {
-    std::fprintf(stderr, "%s\n", flags.error().c_str());
-    return 1;
-  }
+  flags.ValidateOrExit();
 
   std::printf("== Table I: design space of datacenter schedulers ==\n\n");
   phoenix::util::TextTable table({"Scheduler", "Control Plane", "Binding",

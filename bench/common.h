@@ -36,8 +36,10 @@
 // utilization axis) while finishing in seconds on one core.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "cluster/builder.h"
 #include "net/fabric.h"
@@ -126,16 +128,10 @@ inline BenchOptions ParseBenchOptions(util::Flags& flags,
     std::exit(1);
   }
   // After every flag above is declared, `--help` can print the complete
-  // auto-generated listing. Callers declaring extra flags before calling
-  // ParseBenchOptions get them included for free (declaration order).
-  if (flags.HelpRequested()) {
-    std::fputs(flags.Usage().c_str(), stdout);
-    std::exit(0);
-  }
-  if (!flags.Validate()) {
-    std::fprintf(stderr, "%s\n", flags.error().c_str());
-    std::exit(1);
-  }
+  // auto-generated listing and an unknown flag dies with that same usage.
+  // Callers declaring extra flags before calling ParseBenchOptions get them
+  // included for free (declaration order).
+  flags.ValidateOrExit();
   runner::SetExperimentThreads(o.threads);
   return o;
 }
@@ -187,5 +183,110 @@ inline void PrintHeader(const char* title, const BenchOptions& o,
               static_cast<unsigned long long>(o.seed), o.runs,
               o.paper ? " (paper scale)" : "");
 }
+
+// ---- Machine-readable output ----------------------------------------------
+
+/// Key-value JSON object builder for the bench emitters (flat objects only;
+/// keys are bench-controlled literals, values get minimal escaping).
+class JsonObject {
+ public:
+  JsonObject& Add(const char* key, const std::string& value) {
+    return Raw(key, "\"" + Escaped(value) + "\"");
+  }
+  JsonObject& Add(const char* key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonObject& Add(const char* key, double value) {
+    return Raw(key, util::StrFormat("%g", value));
+  }
+  JsonObject& Add(const char* key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+  JsonObject& AddInt(const char* key, std::uint64_t value) {
+    return Raw(key, util::StrFormat("%llu",
+                                    static_cast<unsigned long long>(value)));
+  }
+
+  std::string Render() const { return "{" + body_ + "}"; }
+  bool empty() const { return body_.empty(); }
+
+ private:
+  JsonObject& Raw(const char* key, std::string value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + std::string(key) + "\": " + std::move(value);
+    return *this;
+  }
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  std::string body_;
+};
+
+/// Unified `--json` emitter: every BENCH_*.json artifact is stamped with the
+/// bench name, a one-line description, and a config echo (the common bench
+/// options plus bench-specific keys), followed by a flat list of cells — so
+/// a committed artifact is self-describing about what produced it.
+class JsonEmitter {
+ public:
+  JsonEmitter(std::string name, std::string description)
+      : name_(std::move(name)), description_(std::move(description)) {}
+
+  /// Config echo. Call AddCommonConfig once, then Add bench-specific keys.
+  JsonObject& config() { return config_; }
+  void AddCommonConfig(const BenchOptions& o) {
+    config_.AddInt("nodes", o.nodes)
+        .AddInt("jobs", o.jobs)
+        .Add("load", o.load)
+        .AddInt("seed", o.seed)
+        .AddInt("runs", o.runs);
+  }
+
+  /// Appends a cell and returns it for field population.
+  JsonObject& NewCell() {
+    cells_.emplace_back();
+    return cells_.back();
+  }
+
+  std::string Render() const {
+    std::string out = "{\n";
+    out += "  \"benchmark\": \"" + name_ + "\",\n";
+    out += "  \"description\": \"" + description_ + "\",\n";
+    out += "  \"config\": " + config_.Render() + ",\n";
+    out += "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      out += "    " + cells_[i].Render();
+      out += i + 1 < cells_.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Writes the artifact; prints the path on success. Returns false (with a
+  /// message on stderr) if the file cannot be opened.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --json path %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = Render();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  JsonObject config_;
+  std::vector<JsonObject> cells_;
+};
 
 }  // namespace phoenix::bench

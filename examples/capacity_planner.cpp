@@ -66,10 +66,7 @@ int main(int argc, char** argv) {
   const auto step = static_cast<std::size_t>(flags.GetInt("step", 20));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const auto runs = static_cast<std::size_t>(flags.GetInt("runs", 1));
-  if (!flags.Validate()) {
-    std::fprintf(stderr, "%s\n", flags.error().c_str());
-    return 1;
-  }
+  flags.ValidateOrExit();
 
   // The workload is fixed (calibrated to the base fleet at 85 % load); the
   // planner asks how much hardware each scheduler needs to serve it.

@@ -18,10 +18,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("nodes", 600));
   const std::size_t jobs = static_cast<std::size_t>(flags.GetInt("jobs", 6000));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
-  if (!flags.Validate()) {
-    std::fprintf(stderr, "%s\n", flags.error().c_str());
-    return 1;
-  }
+  flags.ValidateOrExit();
 
   // 1. A heterogeneous fleet: machine attributes (ISA, cores, NIC speed,
   //    disks, kernel, platform, clock, memory) drawn from a skewed catalog.

@@ -42,10 +42,7 @@ int main(int argc, char** argv) {
   const std::string trace_jsonl = flags.GetString("trace-jsonl", "");
   const std::string timeseries = flags.GetString("timeseries", "");
   const bool audit = flags.GetBool("audit", false);
-  if (!flags.Validate()) {
-    std::fprintf(stderr, "%s\n", flags.error().c_str());
-    return 1;
-  }
+  flags.ValidateOrExit();
   if (flags.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: replay_trace <trace-file> [--scheduler=phoenix] "

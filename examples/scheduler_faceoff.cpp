@@ -27,10 +27,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const auto runs = static_cast<std::size_t>(flags.GetInt("runs", 1));
   const std::string scheduler_list = flags.GetString("schedulers", "");
-  if (!flags.Validate()) {
-    std::fprintf(stderr, "%s\n", flags.error().c_str());
-    return 1;
-  }
+  flags.ValidateOrExit();
 
   std::vector<std::string> schedulers;
   if (scheduler_list.empty()) {

@@ -29,10 +29,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
   const std::string in_path = flags.GetString("in", "");
   const std::string out_path = flags.GetString("out", "");
-  if (!flags.Validate()) {
-    std::fprintf(stderr, "%s\n", flags.error().c_str());
-    return 1;
-  }
+  flags.ValidateOrExit();
 
   trace::Trace trace;
   if (!in_path.empty()) {

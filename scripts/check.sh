@@ -63,6 +63,34 @@ else
   echo "churn smoke ok (python3 not found; skipped JSON validation)"
 fi
 
+echo "== tenancy suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L tenancy -j "$JOBS"
+
+echo "== audited preemption smoke =="
+# Multi-tenant sweep with the invariant auditor on: every preemption issue
+# must pair with its requeue (none may outlive the run), quota-charge
+# fractions must stay in [0, 1], and every job — preempted, downgraded, or
+# rejected to scavenger class — must still complete.
+"$BUILD_DIR/bench/bench_ext_tenancy" \
+  --nodes=48 --jobs=1000 --runs=1 --audit \
+  --json="$SMOKE_DIR/tenancy.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR/tenancy.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cells = doc["cells"]
+assert cells, "no bench cells"
+assert all(c["preemptions_issued"] == c["preemption_requeues"]
+           for c in cells), "preemption conservation broken"
+assert any(c["preemption"] and c["preemptions_issued"] > 0
+           for c in cells), "preemption never engaged"
+print(f"preemption smoke ok: {len(cells)} audited cells, issue==requeue")
+EOF
+else
+  echo "preemption smoke ok (python3 not found; skipped JSON validation)"
+fi
+
 echo "== audited chaos smoke =="
 # Lossy control plane with retries on: the auditor enforces message
 # conservation (every send is delivered, dropped, or expired) and the run

@@ -71,4 +71,15 @@ FairnessSummary ComputeFairness(const SimReport& report,
   return s;
 }
 
+double TenantUsageJain(const SimReport& report) {
+  if (report.tenants.size() < 2) return 1.0;
+  std::vector<double> normalized;
+  normalized.reserve(report.tenants.size());
+  for (const TenantOutcome& t : report.tenants) {
+    normalized.push_back(t.quota_share > 0 ? t.usage_seconds / t.quota_share
+                                           : t.usage_seconds);
+  }
+  return JainIndex(normalized);
+}
+
 }  // namespace phoenix::metrics

@@ -37,4 +37,10 @@ struct FairnessSummary {
 FairnessSummary ComputeFairness(const SimReport& report,
                                 const trace::Trace& trace);
 
+/// Jain index over per-tenant executed machine-seconds, each normalized by
+/// the tenant's quota share when one is configured (a tenant with twice the
+/// share is entitled to twice the usage; tenants without a quota enter
+/// unnormalized). 1.0 when the run had fewer than two tenants.
+double TenantUsageJain(const SimReport& report);
+
 }  // namespace phoenix::metrics

@@ -28,6 +28,11 @@ struct JobOutcome {
   std::size_t num_tasks = 0;
   bool short_class = true;   // the scheduler's classification
   bool constrained = false;
+  /// Tenant tag (0xffff = untenanted) and effective priority class rank
+  /// after admission (0 prod, 1 batch, 2 best-effort); raw integers so
+  /// metrics does not depend on src/tenancy.
+  std::uint16_t tenant = 0xffff;
+  std::uint8_t priority = 1;
   /// Distinct racks that executed this job's tasks.
   std::size_t racks_used = 0;
   trace::PlacementPref placement = trace::PlacementPref::kNone;
@@ -94,6 +99,57 @@ struct SchedulerCounters {
   /// that retired without ever starting a task.
   double elastic_warmup_seconds = 0;
   double elastic_wasted_warmup_seconds = 0;
+  /// Multi-tenant scheduling (src/tenancy). All zero when no tenants are
+  /// configured.
+  std::uint64_t tenant_admits = 0;
+  std::uint64_t tenant_downgrades = 0;
+  std::uint64_t tenant_rejects = 0;
+  std::uint64_t tenant_slo_jobs = 0;
+  std::uint64_t tenant_slo_attained = 0;
+  std::uint64_t tenant_slo_at_risk = 0;
+  /// Queue picks where a higher class overrode the discipline's choice.
+  std::uint64_t tenant_priority_promotions = 0;
+  std::uint64_t preemptions_issued = 0;
+  std::uint64_t preemption_requeues = 0;
+  /// Preemptions refused because the victim was bypass-exhausted (the
+  /// Slack_threshold starvation guard) or already at the preemption cap.
+  std::uint64_t preemptions_blocked_guard = 0;
+  std::uint64_t preemptions_blocked_cap = 0;
+  /// Modeled restart cost paid by preempted tasks, and service seconds
+  /// thrown away at their kills.
+  double preemption_restart_seconds = 0;
+  double preemption_lost_seconds = 0;
+};
+
+/// Per-tenant outcome slice (empty unless the run configured tenants).
+/// Priority is the spec's class rank (0 prod / 1 batch / 2 best-effort).
+struct TenantOutcome {
+  std::uint16_t id = 0;
+  std::string name;
+  std::uint8_t priority = 1;
+  double quota_share = 0;
+  double slo_target = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t admits = 0;
+  std::uint64_t downgrades = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t slo_jobs = 0;
+  std::uint64_t slo_attained = 0;
+  std::uint64_t slo_at_risk = 0;
+  std::uint64_t preemptions_issued = 0;
+  std::uint64_t preemptions_suffered = 0;
+  /// Executed machine-seconds and the peak committed/budget fraction.
+  double usage_seconds = 0;
+  double peak_quota_fraction = 0;
+  /// Mean / p90 queuing delay over this tenant's jobs.
+  double mean_queuing = 0;
+  double p90_queuing = 0;
+
+  double SloAttainment() const {
+    return slo_jobs == 0 ? 1.0
+                         : static_cast<double>(slo_attained) /
+                               static_cast<double>(slo_jobs);
+  }
 };
 
 class SimReport {
@@ -111,6 +167,10 @@ class SimReport {
   /// machine-seconds. Zero on a static fleet, where every worker is in
   /// service for the whole makespan.
   double active_machine_seconds = 0;
+  /// Per-tenant slices and the Jain index over quota-normalized tenant
+  /// usage (see TenantUsageJain). Empty / 1.0 without configured tenants.
+  std::vector<TenantOutcome> tenants;
+  double tenant_fairness_jain = 1.0;
 
   /// Measured average utilization: busy time over delivered capacity —
   /// workers * makespan for a static fleet, the in-service integral when

@@ -230,6 +230,43 @@ void InvariantAuditor::OnEvent(const Event& event) {
     case EventType::kMachineReclaim:
       OnLifecycleEvent(event);
       return;
+    case EventType::kPreemptIssue: {
+      // A preemption kills the running task; the start/completion balance
+      // treats it like a failure kill, and conservation demands a matching
+      // requeue for the same (job, task) before the run ends.
+      ++preemptions_issued_;
+      ++JobFor(event.job).kills;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(event.job) << 32) | event.task;
+      if (!outstanding_preemptions_.insert(key).second) {
+        Violate(util::StrFormat(
+            "job %u task %u preempted again before its requeue at t=%.6f",
+            event.job, event.task, event.time));
+      }
+      return;
+    }
+    case EventType::kPreemptRequeue: {
+      ++preemptions_requeued_;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(event.job) << 32) | event.task;
+      if (outstanding_preemptions_.erase(key) == 0) {
+        Violate(util::StrFormat(
+            "job %u task %u requeued at t=%.6f without a matching preempt",
+            event.job, event.task, event.time));
+      }
+      return;
+    }
+    case EventType::kTenantAdmit:
+    case EventType::kTenantDowngrade:
+      // Quota non-violation: the payload is the tenant's post-charge
+      // committed/budget fraction (0 when the tenant has no quota).
+      if (event.value < -1e-9 || event.value > 1.0 + 1e-9) {
+        Violate(util::StrFormat(
+            "tenant %u admitted past its quota at t=%.6f "
+            "(committed fraction %.6f)",
+            event.machine, event.time, event.value));
+      }
+      return;
     case EventType::kMsgDeliver:
     case EventType::kMsgDrop:
     case EventType::kMsgExpire: {
@@ -301,6 +338,15 @@ void InvariantAuditor::Finish() {
       Violate(util::StrFormat("machine %zu ended the run %s (capacity leak)",
                               m, LifeName(life)));
     }
+  }
+  if (!outstanding_preemptions_.empty()) {
+    const std::uint64_t key = *outstanding_preemptions_.begin();
+    Violate(util::StrFormat(
+        "%zu preempted task(s) never requeued (e.g. job %llu task %llu): "
+        "every preemption must requeue its victim exactly once",
+        outstanding_preemptions_.size(),
+        static_cast<unsigned long long>(key >> 32),
+        static_cast<unsigned long long>(key & 0xffffffffULL)));
   }
   if (!inflight_messages_.empty()) {
     // Sample one leaked id for the diagnosis; the count carries the scale.

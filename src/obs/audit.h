@@ -17,6 +17,14 @@
 //   * message conservation — every control-plane message the fabric sends
 //     is eventually delivered, dropped, or expired, exactly once, and none
 //     is still in flight when the run drains;
+//   * preemption conservation — every kPreemptIssue is matched by exactly
+//     one kPreemptRequeue for the same (job, task), none is outstanding at
+//     the end of the run, and a preempted task counts as killed in the
+//     start/completion balance (so "requeued or completed exactly once"
+//     follows from task conservation);
+//   * quota non-violation — the post-charge quota fraction carried by
+//     kTenantAdmit / kTenantDowngrade stays within [0, 1]: admission never
+//     commits a tenant past its machine-second budget;
 //   * worker structure (fed by the scheduler at each heartbeat and at the
 //     end of the run) — a busy worker always has a live slot event, a
 //     failed worker is never busy, and queues drain by the end of the run.
@@ -63,6 +71,10 @@ class InvariantAuditor final : public EventSink {
   /// actually observed traffic).
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_terminated() const { return messages_terminated_; }
+  /// Preemption accounting (for tests asserting the conservation rule
+  /// actually observed kill-and-requeue traffic).
+  std::uint64_t preemptions_issued() const { return preemptions_issued_; }
+  std::uint64_t preemptions_requeued() const { return preemptions_requeued_; }
 
  private:
   struct JobStats {
@@ -100,6 +112,10 @@ class InvariantAuditor final : public EventSink {
   std::unordered_set<std::uint64_t> inflight_messages_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_terminated_ = 0;
+  /// Preempted (job, task) pairs awaiting their kPreemptRequeue.
+  std::unordered_set<std::uint64_t> outstanding_preemptions_;
+  std::uint64_t preemptions_issued_ = 0;
+  std::uint64_t preemptions_requeued_ = 0;
   std::vector<std::string> violations_;
   std::uint64_t events_seen_ = 0;
 };

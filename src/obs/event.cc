@@ -40,6 +40,11 @@ const char* EventTypeName(EventType type) {
     case EventType::kMachineDrain: return "machine_drain";
     case EventType::kMachineRetire: return "machine_retire";
     case EventType::kMachineReclaim: return "machine_reclaim";
+    case EventType::kTenantAdmit: return "tenant_admit";
+    case EventType::kTenantReject: return "tenant_reject";
+    case EventType::kTenantDowngrade: return "tenant_downgrade";
+    case EventType::kPreemptIssue: return "preempt_issue";
+    case EventType::kPreemptRequeue: return "preempt_requeue";
   }
   return "?";
 }

@@ -56,10 +56,24 @@ enum class EventType : std::uint8_t {
   kMachineDrain,      // no new bindings; held bound work may finish
   kMachineRetire,     // drain complete (value = 1 if forced, 0 graceful)
   kMachineReclaim,    // transient lease reclaimed (precedes its drain)
+  // Multi-tenant scheduling (src/tenancy). For the tenant admission events
+  // `machine` carries the tenant id and `task` the effective priority
+  // class; kTenantAdmit/kTenantDowngrade carry the post-charge quota
+  // fraction in `value` (0 when unlimited), which the auditor's quota rule
+  // requires to stay within [0, 1]. For the preemption pair `job` is the
+  // victim job, `machine` the worker and `task` the victim's task index;
+  // every kPreemptIssue must be matched by exactly one kPreemptRequeue for
+  // the same (job, task) — the preemption-conservation rule — and counts as
+  // a kill in the start/complete balance.
+  kTenantAdmit,       // tenanted job admitted; value = quota fraction
+  kTenantReject,      // quota exhausted, demoted to uncharged best-effort
+  kTenantDowngrade,   // class lowered / constraint traded; value = fraction
+  kPreemptIssue,      // running task killed for prod work; value = lost s
+  kPreemptRequeue,    // the preempted task re-entered its worker's queue
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kMachineReclaim) + 1;
+    static_cast<std::size_t>(EventType::kPreemptRequeue) + 1;
 
 /// Stable lowercase name for serialization ("probe_send", ...).
 const char* EventTypeName(EventType type);

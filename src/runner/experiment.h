@@ -80,4 +80,10 @@ class RepeatedRuns {
   std::vector<metrics::SimReport> reports_;
 };
 
+/// Field-wise sum of every report's SchedulerCounters — the aggregation the
+/// bench harnesses report per sweep cell (a multi-seed cell sums, never
+/// averages, its event counts).
+metrics::SchedulerCounters AggregateCounters(
+    const std::vector<metrics::SimReport>& reports);
+
 }  // namespace phoenix::runner

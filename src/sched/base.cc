@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "metrics/fairness.h"
 #include "obs/audit.h"
 #include "queueing/distributions.h"
+#include "tenancy/admission.h"
 
 #include "util/check.h"
 
@@ -30,6 +32,12 @@ SchedulerBase::SchedulerBase(sim::Engine& engine,
     auto w = std::make_unique<WorkerState>(config_.estimator_window);
     w->id = static_cast<MachineId>(i);
     workers_.push_back(std::move(w));
+  }
+  if (config_.tenancy.enabled()) {
+    tenancy_on_ = true;
+    tenants_ = tenancy::TenantRegistry(config_.tenancy.tenants);
+    preempt_policy_ = tenancy::PreemptionPolicy(
+        config_.tenancy.preemption, config_.tenancy.max_preemptions_per_task);
   }
 }
 
@@ -411,6 +419,19 @@ void SchedulerBase::RepairMachine(WorkerState& worker) {
 
 void SchedulerBase::HeartbeatTick() {
   ++counters_.heartbeats;
+  if (tenancy_on_) {
+    // Fleet-mean E[W] snapshot for SLO-feasibility tests at admission —
+    // same cadence as every other load signal (heartbeat synchronization).
+    double sum = 0;
+    std::size_t live = 0;
+    for (const auto& wp : workers_) {
+      const WorkerState& w = *wp;
+      if (w.failed || !Bindable(w.id)) continue;
+      sum += w.estimator.EstimateWait();
+      ++live;
+    }
+    fleet_wait_estimate_ = live > 0 ? sum / static_cast<double>(live) : 0;
+  }
   OnHeartbeat();
   if (tracing()) {
     // Publish the per-worker timeseries after OnHeartbeat so Phoenix's
@@ -447,6 +468,9 @@ void SchedulerBase::HandleJobArrival(JobId id) {
       EstimatedTaskDuration(job) <= config_.short_cutoff;
   Emit(EventType::kJobArrival, id, obs::kNoId, obs::kNoId,
        static_cast<double>(job.num_tasks()));
+  // Tenant admission runs first: it may demote the class, strip the SLO, or
+  // trade a soft constraint away before the constraint layers see the job.
+  if (tenancy_on_) ApplyTenantAdmission(job);
   AdmitJob(job);
   if (UsesDistributedPlane(job)) {
     PlaceDistributed(job);
@@ -464,18 +488,7 @@ void SchedulerBase::AdmitJob(JobRuntime& job) {
   // Admission validates against the guaranteed pool (the base fleet under
   // elasticity), so an admitted job can never be stranded by later churn.
   while (CountAdmissible(job.effective) == 0) {
-    // Find the soft constraint with the smallest individual pool.
-    std::size_t victim = job.effective.size();
-    std::size_t victim_pool = SIZE_MAX;
-    for (std::size_t i = 0; i < job.effective.size(); ++i) {
-      if (job.effective[i].hard) continue;
-      const std::size_t pool = CountAdmissible(job.effective[i]);
-      if (pool < victim_pool) {
-        victim_pool = pool;
-        victim = i;
-      }
-    }
-    if (victim == job.effective.size()) {
+    if (!RelaxOneSoftConstraint(job)) {
       // Only hard constraints left and still unsatisfiable: the request
       // cannot be honored anywhere. Run it unconstrained rather than
       // stranding the tasks.
@@ -488,11 +501,203 @@ void SchedulerBase::AdmitJob(JobRuntime& job) {
       }
       return;
     }
-    job.effective = job.effective.WithoutConstraint(victim);
-    job.duration_multiplier *= config_.soft_relax_penalty;
-    ++job.relaxed_constraints;
-    ++counters_.soft_constraints_relaxed;
-    Emit(EventType::kAdmissionRelax, job.id, obs::kNoId, obs::kNoId, 1);
+  }
+}
+
+bool SchedulerBase::RelaxOneSoftConstraint(JobRuntime& job) {
+  // Find the soft constraint with the smallest individual pool.
+  std::size_t victim = job.effective.size();
+  std::size_t victim_pool = SIZE_MAX;
+  for (std::size_t i = 0; i < job.effective.size(); ++i) {
+    if (job.effective[i].hard) continue;
+    const std::size_t pool = CountAdmissible(job.effective[i]);
+    if (pool < victim_pool) {
+      victim_pool = pool;
+      victim = i;
+    }
+  }
+  if (victim == job.effective.size()) return false;
+  job.effective = job.effective.WithoutConstraint(victim);
+  job.duration_multiplier *= config_.soft_relax_penalty;
+  ++job.relaxed_constraints;
+  ++counters_.soft_constraints_relaxed;
+  Emit(EventType::kAdmissionRelax, job.id, obs::kNoId, obs::kNoId, 1);
+  return true;
+}
+
+// ---- Tenancy ---------------------------------------------------------------
+
+void SchedulerBase::ApplyTenantAdmission(JobRuntime& job) {
+  if (!tenants_.Known(job.spec->tenant)) return;  // untenanted: full bypass
+  job.tenant = job.spec->tenant;
+  const tenancy::TenantSpec& spec = tenants_.spec(job.tenant);
+  tenancy::TenantState& state = tenants_.state(job.tenant);
+  ++state.jobs;
+
+  tenancy::AdmissionInput in;
+  in.priority = spec.priority;
+  in.short_class = job.short_class;
+  in.constrained = job.constrained;
+  in.slo_target = job.short_class ? spec.slo_target : 0;
+  in.job_work = job.spec->total_work();
+  in.committed = state.committed;
+  in.budget =
+      tenants_.Budget(job.tenant, workers_.size(), config_.tenancy.quota_window);
+  // The SLO feasibility signal: fleet-mean E[W] from the last heartbeat plus
+  // the unavoidable probe/bind round trip.
+  in.predicted_wait = fleet_wait_estimate_ + 2 * one_way();
+  in.constrained_share = tenants_.ConstrainedShare(job.tenant);
+  in.crv_share_limit = spec.crv_share;
+  const tenancy::AdmissionDecision d = tenancy::DecideAdmission(in);
+
+  job.priority = d.priority;
+  if (in.slo_target > 0 && !d.strip_slo) {
+    job.slo_target = in.slo_target;
+    job.slo_tracked = true;
+    ++state.slo_jobs;
+    ++counters_.tenant_slo_jobs;
+  }
+  if (d.slo_at_risk) {
+    ++state.slo_at_risk;
+    ++counters_.tenant_slo_at_risk;
+  }
+  double quota_fraction = 0;
+  if (d.charge_quota) {
+    job.quota_charge = in.job_work;
+    quota_fraction = tenants_.Charge(job.tenant, in.job_work, in.budget);
+  }
+  if (d.relax_constraint) RelaxOneSoftConstraint(job);
+
+  EventType type = EventType::kTenantAdmit;
+  switch (d.verdict) {
+    case tenancy::Verdict::kAdmit:
+      ++state.admits;
+      ++counters_.tenant_admits;
+      break;
+    case tenancy::Verdict::kDowngrade:
+      ++state.downgrades;
+      ++counters_.tenant_downgrades;
+      type = EventType::kTenantDowngrade;
+      break;
+    case tenancy::Verdict::kReject:
+      ++state.rejects;
+      ++counters_.tenant_rejects;
+      type = EventType::kTenantReject;
+      break;
+  }
+  Emit(type, job.id, job.tenant, tenancy::PriorityRank(job.priority),
+       quota_fraction);
+}
+
+void SchedulerBase::TenantQueuedDelta(const QueueEntry& entry, double sign) {
+  const JobRuntime& job = jobs_[entry.job];
+  if (!job.constrained || !tenants_.Known(job.tenant)) return;
+  tenants_.AdjustConstrainedQueued(job.tenant, sign * entry.est_duration);
+}
+
+void SchedulerBase::MaybePreemptFor(WorkerState& worker,
+                                    const QueueEntry& entry) {
+  if (worker.running_job == trace::kInvalidJob) return;  // no victim
+  const JobRuntime& incoming = jobs_[entry.job];
+  if (incoming.priority != tenancy::PriorityClass::kProd) return;
+  // A probe of a fully placed job would dissolve at resolution — never kill
+  // running work for it.
+  if (entry.kind == QueueEntry::Kind::kProbe && incoming.AllPlaced()) return;
+  const JobRuntime& victim = jobs_[worker.running_job];
+  switch (preempt_policy_.Judge(incoming.priority, victim.priority,
+                                worker.running_bypass_exhausted,
+                                worker.running_preempt_count)) {
+    case tenancy::PreemptVerdict::kPreempt:
+      if (tenants_.Known(incoming.tenant)) {
+        ++tenants_.state(incoming.tenant).preemptions_issued;
+      }
+      PreemptRunning(worker);
+      return;
+    case tenancy::PreemptVerdict::kGuardedBySlack:
+      ++counters_.preemptions_blocked_guard;
+      return;
+    case tenancy::PreemptVerdict::kPreemptCapReached:
+      ++counters_.preemptions_blocked_cap;
+      return;
+    case tenancy::PreemptVerdict::kIneligible:
+      return;
+  }
+}
+
+void SchedulerBase::PreemptRunning(WorkerState& worker) {
+  JobRuntime& victim = jobs_[worker.running_job];
+  const sim::SimTime now = engine_.Now();
+  const double remaining = std::max(0.0, worker.busy_until - now);
+  const double elapsed = std::max(0.0, now - worker.running_start);
+  const std::uint32_t index = worker.running_index;
+  CancelSlotEvent(worker);
+  // The machine was genuinely busy for `elapsed`; only the unserved
+  // remainder leaves the busy-time integral. The served part is wasted work.
+  total_busy_time_ -= remaining;
+  counters_.preemption_lost_seconds += elapsed;
+  ++counters_.preemptions_issued;
+  ++victim.preemptions;
+  if (tenants_.Known(victim.tenant)) {
+    ++tenants_.state(victim.tenant).preemptions_suffered;
+  }
+  // The auditor counts the issue as a kill; the matching requeue below keeps
+  // its preemption-conservation set balanced.
+  Emit(EventType::kPreemptIssue, victim.id, worker.id, index, elapsed);
+  worker.running_job = trace::kInvalidJob;
+  worker.busy = false;
+
+  // Requeue on the same worker. Kill and requeue are one local control
+  // action — no message transits the fabric — so chaos injection cannot
+  // strand a preempted task.
+  QueueEntry entry;
+  entry.kind = QueueEntry::Kind::kBoundTask;
+  entry.job = victim.id;
+  entry.task_index = index;
+  entry.est_duration = EstimatedTaskDuration(victim);
+  entry.enqueue_time = now;
+  entry.short_class = victim.short_class;
+  entry.service_penalty = config_.tenancy.preemption_restart_cost;
+  entry.preempt_count = static_cast<std::uint8_t>(
+      std::min<std::size_t>(worker.running_preempt_count + 1, 255));
+  worker.queue.push_back(entry);
+  worker.est_queued_work += entry.est_duration;
+  if (!entry.short_class) ++worker.long_entries;
+  worker.estimator.OnArrival(now);
+  OnEntryEnqueued(worker, entry);
+  TenantQueuedDelta(entry, +1);
+  ++counters_.preemption_requeues;
+  Emit(EventType::kPreemptRequeue, victim.id, worker.id, index);
+}
+
+std::size_t SchedulerBase::PromoteByPriority(const WorkerState& worker,
+                                             std::size_t chosen) const {
+  const QueueEntry& pick = worker.queue[chosen];
+  // Never override the starvation guard's selection.
+  if (pick.bypass_count >= config_.slack_threshold) return chosen;
+  std::uint8_t best_rank = tenancy::PriorityRank(jobs_[pick.job].priority);
+  std::size_t best = chosen;
+  for (std::size_t i = 0; i < worker.queue.size(); ++i) {
+    if (i == chosen) continue;
+    const std::uint8_t rank =
+        tenancy::PriorityRank(jobs_[worker.queue[i].job].priority);
+    if (rank < best_rank) {  // first entry of a strictly higher class wins
+      best_rank = rank;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void SchedulerBase::OnTenantJobComplete(JobRuntime& job) {
+  if (!tenants_.Known(job.tenant)) return;
+  tenancy::TenantState& state = tenants_.state(job.tenant);
+  if (job.quota_charge > 0) {
+    tenants_.Release(job.tenant, job.quota_charge);
+    job.quota_charge = 0;
+  }
+  if (job.slo_tracked && job.max_task_wait <= job.slo_target) {
+    ++state.slo_attained;
+    ++counters_.tenant_slo_attained;
   }
 }
 
@@ -671,6 +876,10 @@ void SchedulerBase::DeliverEntry(MachineId target, QueueEntry entry) {
   w.estimator.OnArrival(engine_.Now());
   w.steal_inflight = false;  // incoming work satisfies any pending steal
   OnEntryEnqueued(w, entry);
+  if (tenancy_on_) {
+    TenantQueuedDelta(entry, +1);
+    if (w.busy) MaybePreemptFor(w, entry);
+  }
   TryStartNext(w);
 }
 
@@ -730,6 +939,7 @@ QueueEntry SchedulerBase::RemoveQueueAt(WorkerState& worker,
     --worker.long_entries;
   }
   OnEntryDequeued(worker, entry);
+  if (tenancy_on_) TenantQueuedDelta(entry, -1);
   return entry;
 }
 
@@ -739,12 +949,27 @@ void SchedulerBase::TryStartNext(WorkerState& worker) {
     OnWorkerIdle(worker);
     return;
   }
-  const std::size_t index = SelectNextIndex(worker);
+  std::size_t index = SelectNextIndex(worker);
   PHOENIX_CHECK_MSG(index < worker.queue.size(),
                     "queue discipline returned an out-of-range index");
+  if (tenancy_on_) {
+    const std::size_t promoted = PromoteByPriority(worker, index);
+    if (promoted != index) {
+      index = promoted;
+      ++counters_.tenant_priority_promotions;
+    }
+  }
   QueueEntry entry = PopQueueAt(worker, index);
+  if (tenancy_on_) {
+    // Snapshot the entry's starvation/preemption state for the preemption
+    // policy (probes carry it into the resolution-started task).
+    worker.running_bypass_exhausted =
+        entry.bypass_count >= config_.slack_threshold;
+    worker.running_preempt_count = entry.preempt_count;
+  }
   if (entry.kind == QueueEntry::Kind::kBoundTask) {
-    StartService(worker, jobs_[entry.job], entry.task_index);
+    StartService(worker, jobs_[entry.job], entry.task_index,
+                 entry.service_penalty);
     return;
   }
   // Probe: hold the slot while fetching the task over one RTT (late
@@ -846,15 +1071,20 @@ void SchedulerBase::RecordTaskStart(JobRuntime& job, sim::SimTime start) {
 }
 
 void SchedulerBase::StartService(WorkerState& worker, JobRuntime& job,
-                                 std::uint32_t task_index) {
+                                 std::uint32_t task_index,
+                                 double service_penalty) {
   PHOENIX_CHECK_MSG(!worker.busy, "worker slot already held");
   const sim::SimTime now = engine_.Now();
-  const double duration = job.ActualDuration(task_index);
+  const double duration = job.ActualDuration(task_index) + service_penalty;
+  if (service_penalty > 0) {
+    counters_.preemption_restart_seconds += service_penalty;
+  }
   RecordTaskStart(job, now);
   ++worker.tasks_started;
   worker.busy = true;
   worker.running_job = job.id;
   worker.running_index = task_index;
+  worker.running_start = now;
   worker.busy_until = now + duration;
   total_busy_time_ += duration;
   Emit(EventType::kTaskStart, job.id, worker.id, task_index, duration);
@@ -862,6 +1092,12 @@ void SchedulerBase::StartService(WorkerState& worker, JobRuntime& job,
       engine_.ScheduleAt(worker.busy_until, [this, wid = worker.id, duration] {
         WorkerState& w = *workers_[wid];
         w.estimator.OnServiceComplete(duration);
+        if (tenancy_on_) {
+          const JobRuntime& j = jobs_[w.running_job];
+          if (tenants_.Known(j.tenant)) {
+            tenants_.state(j.tenant).usage_seconds += duration;
+          }
+        }
         Emit(EventType::kTaskComplete, w.running_job, wid, w.running_index,
              duration);
         FinishService(w);
@@ -877,6 +1113,7 @@ void SchedulerBase::FinishService(WorkerState& worker) {
   if (job.Done()) {
     job.completion = now;
     ++jobs_done_;
+    if (tenancy_on_) OnTenantJobComplete(job);
     Emit(EventType::kJobComplete, job.id, worker.id, obs::kNoId,
          now - job.spec->submit_time);
   }
@@ -898,6 +1135,11 @@ void SchedulerBase::FinishService(WorkerState& worker) {
           w.fetching_job = trace::kInvalidJob;
           w.busy = false;
           if (!j.AllPlaced()) {
+            if (tenancy_on_) {
+              // A sticky-fetched task never sat in a queue: fresh state.
+              w.running_bypass_exhausted = false;
+              w.running_preempt_count = 0;
+            }
             NoteRackCommitment(j, cluster_.rack_of(w.id));
             StartService(w, j, TakeNextTaskIndex(j));
           } else {
@@ -980,7 +1222,50 @@ metrics::SimReport SchedulerBase::BuildReport() const {
     out.constrained = job.constrained;
     out.placement = job.placement();
     out.racks_used = job.used_racks.Count();
+    out.tenant = job.tenant;
+    out.priority = tenancy::PriorityRank(job.priority);
     report.jobs.push_back(out);
+  }
+  if (tenants_.enabled()) {
+    std::vector<std::vector<double>> waits(tenants_.size());
+    for (const JobRuntime& job : jobs_) {
+      if (!tenants_.Known(job.tenant)) continue;
+      waits[job.tenant].push_back(
+          job.sum_task_wait /
+          static_cast<double>(std::max<std::uint32_t>(job.task_starts, 1)));
+    }
+    report.tenants.reserve(tenants_.size());
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      const auto id = static_cast<tenancy::TenantId>(t);
+      const tenancy::TenantSpec& spec = tenants_.spec(id);
+      const tenancy::TenantState& state = tenants_.state(id);
+      metrics::TenantOutcome out;
+      out.id = id;
+      out.name = spec.name;
+      out.priority = tenancy::PriorityRank(spec.priority);
+      out.quota_share = spec.quota_share;
+      out.slo_target = spec.slo_target;
+      out.jobs = state.jobs;
+      out.admits = state.admits;
+      out.downgrades = state.downgrades;
+      out.rejects = state.rejects;
+      out.slo_jobs = state.slo_jobs;
+      out.slo_attained = state.slo_attained;
+      out.slo_at_risk = state.slo_at_risk;
+      out.preemptions_issued = state.preemptions_issued;
+      out.preemptions_suffered = state.preemptions_suffered;
+      out.usage_seconds = state.usage_seconds;
+      out.peak_quota_fraction = state.peak_quota_fraction;
+      std::vector<double>& w = waits[t];
+      if (!w.empty()) {
+        double sum = 0;
+        for (const double v : w) sum += v;
+        out.mean_queuing = sum / static_cast<double>(w.size());
+        out.p90_queuing = metrics::Percentile(w, 90);
+      }
+      report.tenants.push_back(std::move(out));
+    }
+    report.tenant_fairness_jain = metrics::TenantUsageJain(report);
   }
   report.CheckInvariants();
   return report;

@@ -30,6 +30,8 @@
 #include "obs/event.h"
 #include "sched/types.h"
 #include "sim/engine.h"
+#include "tenancy/preemption.h"
+#include "tenancy/tenant.h"
 #include "trace/trace.h"
 #include "util/rng.h"
 
@@ -64,6 +66,10 @@ class SchedulerBase {
 
   /// True when every submitted job has completed.
   bool AllJobsDone() const { return jobs_done_ == jobs_.size(); }
+
+  /// Per-tenant accounting of the run (empty registry when the config
+  /// declared no tenants).
+  const tenancy::TenantRegistry& tenants() const { return tenants_; }
 
   // ---- Elastic membership ------------------------------------------------
 
@@ -230,6 +236,13 @@ class SchedulerBase {
   /// Next task index to hand out: failure replays first, then fresh tasks.
   std::uint32_t TakeNextTaskIndex(JobRuntime& job);
 
+  /// Drops the job's scarcest-pool soft constraint (the same victim rule as
+  /// the forced-relaxation loop), charging the duration penalty and the
+  /// relaxation counters. Returns false when no soft constraint remains.
+  /// Used by the forced-relaxation loop and by tenant admission decisions
+  /// that trade a constraint for admission.
+  bool RelaxOneSoftConstraint(JobRuntime& job);
+
   // ---- Membership-aware eligibility --------------------------------------
   //
   // Every sampling/counting path the schedulers use goes through these.
@@ -368,10 +381,34 @@ class SchedulerBase {
       const std::vector<cluster::MachineId>& candidates, JobRuntime& job);
   void ResolveProbe(WorkerState& worker, QueueEntry entry);
   void StartService(WorkerState& worker, JobRuntime& job,
-                    std::uint32_t task_index);
+                    std::uint32_t task_index, double service_penalty = 0);
   void FinishService(WorkerState& worker);
   void HeartbeatTick();
   void RecordTaskStart(JobRuntime& job, sim::SimTime start);
+
+  // ---- Tenancy (all no-ops / never called when tenancy_on_ is false) ------
+
+  /// Runs the tenant admission lattice for an arriving job: resolves the
+  /// tenant tag, charges quota, and applies the decision (priority, SLO
+  /// strip, constraint relaxation). Emits TENANT_* events.
+  void ApplyTenantAdmission(JobRuntime& job);
+  /// Per-tenant constrained-queue-pressure accounting (sign = +1 enqueue,
+  /// -1 dequeue), behind TenantRegistry::ConstrainedShare.
+  void TenantQueuedDelta(const QueueEntry& entry, double sign);
+  /// A prod-class entry just enqueued behind a running best-effort task:
+  /// consult the PreemptionPolicy and kill-and-requeue the victim if it
+  /// rules kPreempt.
+  void MaybePreemptFor(WorkerState& worker, const QueueEntry& entry);
+  /// Kill the running task and requeue it on the same worker with the
+  /// modeled restart cost. Emits PREEMPT_ISSUE / PREEMPT_REQUEUE.
+  void PreemptRunning(WorkerState& worker);
+  /// Priority-class promotion over the discipline's choice: the first
+  /// queued entry of a strictly higher class than `chosen`'s runs instead
+  /// (never overrides a slack-guard selection).
+  std::size_t PromoteByPriority(const WorkerState& worker,
+                                std::size_t chosen) const;
+  /// Releases the job's quota charge and scores its SLO at completion.
+  void OnTenantJobComplete(JobRuntime& job);
 
   sim::Engine& engine_;
   const cluster::Cluster& cluster_;
@@ -391,6 +428,15 @@ class SchedulerBase {
   double total_busy_time_ = 0;
   sim::SimTime makespan_ = 0;
   bool heartbeat_running_ = false;
+
+  /// Multi-tenant state. tenancy_on_ gates every tenancy touch point so a
+  /// zero-tenant config never enters a tenancy branch (byte-identity).
+  bool tenancy_on_ = false;
+  tenancy::TenantRegistry tenants_;
+  tenancy::PreemptionPolicy preempt_policy_;
+  /// Fleet-mean E[W] snapshot, refreshed each heartbeat; the wait estimate
+  /// the admission lattice tests short-job SLOs against.
+  double fleet_wait_estimate_ = 0;
 
   /// Elastic membership (null on a static fleet) and the in-service
   /// machine-seconds integral behind SimReport::active_machine_seconds.

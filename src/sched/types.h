@@ -12,6 +12,7 @@
 #include "util/bitset.h"
 #include "queueing/mg1.h"
 #include "sim/simtime.h"
+#include "tenancy/config.h"
 #include "trace/job.h"
 
 namespace phoenix::sched {
@@ -87,6 +88,11 @@ struct SchedulerConfig {
   /// relaxation per job keeps the placement-quality trade bounded.
   std::size_t phoenix_max_relaxations = 1;
 
+  /// Multi-tenant scheduling (src/tenancy): tenant specs, preemption policy
+  /// and quota window. Empty tenant list = disabled, byte-identical to a
+  /// tenancy-free run.
+  tenancy::TenancyConfig tenancy;
+
   // Failure injection (0 disables). Machines fail with exponential
   // inter-failure times of mean machine_mtbf seconds; a failed machine's
   // queue is re-dispatched, its running task is replayed elsewhere, and the
@@ -112,6 +118,12 @@ struct QueueEntry {
   std::uint32_t bypass_count = 0;
   /// The job is classified short by the scheduler.
   bool short_class = true;
+  /// Seconds added to the task's next service (a preempted task pays the
+  /// modeled restart cost on its re-run).
+  double service_penalty = 0;
+  /// Times this bound task has already been preempted (feeds the
+  /// max_preemptions_per_task immunity cap).
+  std::uint8_t preempt_count = 0;
 };
 
 /// Runtime bookkeeping for a job being scheduled.
@@ -140,6 +152,22 @@ struct JobRuntime {
   cluster::RackId anchor_rack = cluster::kInvalidRack;
 
   trace::PlacementPref placement() const { return spec->placement; }
+
+  // ---- Tenancy (defaults describe an untenanted job) ----------------------
+  /// Tenant tag resolved against the run's registry (kNoTenant bypasses
+  /// tenant admission, preemption eligibility, and accounting).
+  tenancy::TenantId tenant = tenancy::kNoTenant;
+  /// Effective priority class after tenant admission. Untenanted jobs run
+  /// as batch: preemption-neutral (neither preempt nor get preempted).
+  tenancy::PriorityClass priority = tenancy::PriorityClass::kBatch;
+  /// Effective short-job SLO after admission (0 = not tracked).
+  double slo_target = 0;
+  bool slo_tracked = false;
+  /// Machine-seconds committed against the tenant quota, released at
+  /// completion.
+  double quota_charge = 0;
+  /// Times any task of this job was preempted.
+  std::uint32_t preemptions = 0;
 
   double sum_task_wait = 0;
   double max_task_wait = 0;
@@ -192,6 +220,14 @@ struct WorkerState {
   /// elasticity controller diffs it across a lease to detect warm-ups that
   /// never served anything (wasted-warm-up accounting).
   std::uint64_t tasks_started = 0;
+
+  /// Tenancy: snapshot of the running entry's starvation/preemption state,
+  /// taken when the entry was popped for execution. Read only while
+  /// running_job is valid; zero-tenant runs never read them.
+  bool running_bypass_exhausted = false;
+  std::uint8_t running_preempt_count = 0;
+  /// When the running task started (elapsed service lost on a preemption).
+  sim::SimTime running_start = 0;
 
   /// Failure injection: machine is currently down.
   bool failed = false;

@@ -1,0 +1,48 @@
+#include "tenancy/admission.h"
+
+namespace phoenix::tenancy {
+
+AdmissionDecision DecideAdmission(const AdmissionInput& in) {
+  AdmissionDecision d;
+  d.priority = in.priority;
+
+  // 1. Hard quota: over budget -> uncharged best-effort scavenger work.
+  if (in.budget > 0 && in.committed + in.job_work > in.budget) {
+    d.verdict = Verdict::kReject;
+    d.priority = PriorityClass::kBestEffort;
+    d.strip_slo = true;
+    d.charge_quota = false;
+    d.reason = "machine-second quota exhausted";
+    return d;
+  }
+
+  // 2. SLO feasibility for latency-tracked short jobs.
+  if (in.slo_target > 0 && in.short_class &&
+      in.predicted_wait > in.slo_target) {
+    if (in.priority == PriorityClass::kProd) {
+      d.slo_at_risk = true;
+      d.reason = "prod SLO at risk";
+    } else {
+      d.verdict = Verdict::kDowngrade;
+      d.priority = Lowered(in.priority);
+      d.strip_slo = true;
+      d.relax_constraint = in.constrained;
+      d.reason = "SLO unattainable at predicted wait";
+      return d;
+    }
+  }
+
+  // 3. CRV share: the tenant is over its constrained-supply cap. Keep the
+  // class, pay in placement quality instead.
+  if (in.crv_share_limit > 0 && in.constrained &&
+      in.constrained_share > in.crv_share_limit) {
+    d.verdict = Verdict::kDowngrade;
+    d.relax_constraint = true;
+    d.reason = "constrained-work share exceeded";
+    return d;
+  }
+
+  return d;
+}
+
+}  // namespace phoenix::tenancy

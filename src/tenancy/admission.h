@@ -1,0 +1,74 @@
+// SLO-aware tenant admission: the decision lattice.
+//
+// Layered in front of the framework's constraint admission (forced
+// relaxation in sched/base, Phoenix's proactive negotiation in
+// core/admission): a tenanted job is first run through DecideAdmission,
+// which may demote its priority class, strip its SLO, or ask for one soft
+// constraint to be traded away, before the constraint layers see it. The
+// function is pure — all scheduler state (fleet E[W], quota balances, CRV
+// shares) arrives in AdmissionInput — so the lattice is unit-testable
+// without a simulation.
+//
+// The lattice, in evaluation order:
+//   1. machine-second quota exhausted      -> kReject: the job still runs
+//      (the simulator completes every job) but as uncharged best-effort
+//      scavenger work with no SLO — modeling a tenant resubmission outside
+//      its guaranteed quota;
+//   2. short-job SLO unattainable (fleet E[W] + placement RTT beyond the
+//      target) -> prod is admitted anyway and counted slo-at-risk (prod
+//      latency is why the quota exists); batch and best-effort are
+//      downgraded one class, their SLO stripped, and — when constrained —
+//      one soft constraint relaxed to widen the eligible pool;
+//   3. CRV share exceeded (tenant's share of queued constrained work over
+//      its cap) -> kDowngrade that keeps the class but trades one soft
+//      constraint: the tenant is hogging constrained supply, so it pays in
+//      placement quality, not in priority;
+//   4. otherwise -> kAdmit.
+#pragma once
+
+#include "tenancy/tenant.h"
+
+namespace phoenix::tenancy {
+
+struct AdmissionInput {
+  PriorityClass priority = PriorityClass::kBatch;
+  bool short_class = true;
+  /// The job requests at least one placement constraint.
+  bool constrained = false;
+  /// Effective SLO target (0 = none tracked for this job).
+  double slo_target = 0;
+  /// Estimated machine-seconds the job will consume.
+  double job_work = 0;
+  /// Tenant's committed, unreleased machine-seconds.
+  double committed = 0;
+  /// Tenant's machine-second budget (0 = unlimited).
+  double budget = 0;
+  /// Predicted short-job wait: fleet-mean M/G/1 E[W] + placement RTT.
+  double predicted_wait = 0;
+  /// Tenant's current share of queued constrained work.
+  double constrained_share = 0;
+  /// Tenant's CRV-share cap (0 = unlimited).
+  double crv_share_limit = 0;
+};
+
+enum class Verdict : std::uint8_t { kAdmit, kDowngrade, kReject };
+
+struct AdmissionDecision {
+  Verdict verdict = Verdict::kAdmit;
+  /// Effective class after the decision.
+  PriorityClass priority = PriorityClass::kBatch;
+  /// Drop the job's SLO tracking (it cannot be met; do not count it missed).
+  bool strip_slo = false;
+  /// Trade one soft constraint for a wider pool (composes with the
+  /// framework's forced relaxation and Phoenix's negotiation).
+  bool relax_constraint = false;
+  /// Admitted although the SLO is predicted missed (prod only).
+  bool slo_at_risk = false;
+  /// Commit the job's work against the tenant quota (false for rejects).
+  bool charge_quota = true;
+  const char* reason = "admit";
+};
+
+AdmissionDecision DecideAdmission(const AdmissionInput& in);
+
+}  // namespace phoenix::tenancy

@@ -1,0 +1,54 @@
+// Preemption policy: may an incoming prod task kill a running task?
+//
+// Pure eligibility rules on plain data (the scheduler supplies the victim's
+// class, starvation-guard status, and preemption count), so every guard is
+// unit-testable. The kill-and-requeue mechanics live in sched/base.
+#pragma once
+
+#include <cstddef>
+
+#include "tenancy/tenant.h"
+
+namespace phoenix::tenancy {
+
+/// Why a preemption did or did not happen (counted by the scheduler).
+enum class PreemptVerdict : std::uint8_t {
+  kPreempt,
+  /// Policy disabled, incoming work is not prod, or victim is not
+  /// best-effort (batch and prod are never preempted).
+  kIneligible,
+  /// Victim exhausted its bypass budget: the Slack_threshold starvation
+  /// guard already forced it to run, so killing it would starve it twice.
+  kGuardedBySlack,
+  /// Victim already paid max_preemptions_per_task restart costs.
+  kPreemptCapReached,
+};
+
+class PreemptionPolicy {
+ public:
+  PreemptionPolicy() = default;
+  PreemptionPolicy(bool enabled, std::size_t max_preemptions_per_task)
+      : enabled_(enabled), max_preemptions_(max_preemptions_per_task) {}
+
+  bool enabled() const { return enabled_; }
+
+  PreemptVerdict Judge(PriorityClass incoming, PriorityClass victim,
+                       bool victim_bypass_exhausted,
+                       std::size_t victim_preempt_count) const {
+    if (!enabled_ || incoming != PriorityClass::kProd ||
+        victim != PriorityClass::kBestEffort) {
+      return PreemptVerdict::kIneligible;
+    }
+    if (victim_bypass_exhausted) return PreemptVerdict::kGuardedBySlack;
+    if (victim_preempt_count >= max_preemptions_) {
+      return PreemptVerdict::kPreemptCapReached;
+    }
+    return PreemptVerdict::kPreempt;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::size_t max_preemptions_ = 0;
+};
+
+}  // namespace phoenix::tenancy

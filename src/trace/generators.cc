@@ -47,6 +47,14 @@ Trace GenerateTrace(const std::string& name, const GeneratorOptions& o) {
   util::Rng arrival_rng = rng.Fork();
   util::Rng shape_rng = rng.Fork();
   ConstraintSynthesizer synth(o.synth, rng.Next());
+  // Forked after every pre-existing stream, and drawn from only when a
+  // tenant mix is configured: untagged traces stay byte-identical.
+  util::Rng tenant_rng = rng.Fork();
+  double tenant_weight_sum = 0;
+  for (const double w : o.tenant_weights) {
+    PHOENIX_CHECK_MSG(w >= 0, "tenant weights must be non-negative");
+    tenant_weight_sum += w;
+  }
 
   // Calibrate the average arrival rate to the target utilization, then
   // split into base/burst rates so the time-average matches.
@@ -104,6 +112,16 @@ Trace GenerateTrace(const std::string& name, const GeneratorOptions& o) {
       job.task_durations.push_back(d);
     }
     job.constraints = synth.Synthesize();
+    if (tenant_weight_sum > 0) {
+      double pick = tenant_rng.NextDouble() * tenant_weight_sum;
+      for (std::size_t t = 0; t < o.tenant_weights.size(); ++t) {
+        pick -= o.tenant_weights[t];
+        if (pick < 0 || t + 1 == o.tenant_weights.size()) {
+          job.tenant = static_cast<std::uint16_t>(t);
+          break;
+        }
+      }
+    }
     if (job.task_durations.size() > 1) {
       if (!job.short_job && shape_rng.Bernoulli(o.spread_fraction)) {
         job.placement = PlacementPref::kSpread;

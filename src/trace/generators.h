@@ -57,6 +57,14 @@ struct GeneratorOptions {
   double spread_fraction = 0.10;
   double colocate_fraction = 0.10;
 
+  /// Tenant mix: job i is tagged tenant t with probability
+  /// tenant_weights[t] / sum(tenant_weights). Empty (the default) leaves
+  /// every job untenanted and draws nothing — traces are byte-identical to
+  /// the pre-tenancy generator. Tags are drawn from a dedicated RNG stream
+  /// forked after every other stream, so tagging a trace never perturbs its
+  /// arrivals, shapes, or constraints.
+  std::vector<double> tenant_weights;
+
   /// Burstiness (two-state modulated Poisson): during a burst the arrival
   /// rate is multiplied by burst_factor; bursts cover burst_fraction of
   /// time in episodes of mean burst_duration_mean seconds.

@@ -33,6 +33,10 @@ struct Job {
   cluster::ConstraintSet constraints;
   /// Rack-level affinity preference for the job's tasks.
   PlacementPref placement = PlacementPref::kNone;
+  /// Tenant tag (index into the run's tenancy::TenancyConfig tenant list;
+  /// 0xffff = untenanted). A raw integer so trace does not depend on
+  /// src/tenancy; the scheduler resolves it against its registry.
+  std::uint16_t tenant = 0xffff;
   /// Ground-truth class assigned by the generator (short = latency-critical).
   /// Schedulers do NOT read this; they classify by estimated runtime against
   /// the trace's short-job cutoff, as Hawk/Eagle do.

@@ -132,6 +132,18 @@ std::string Flags::Usage() const {
   return out;
 }
 
+void Flags::ValidateOrExit() {
+  if (HelpRequested()) {
+    std::fputs(Usage().c_str(), stdout);
+    std::exit(0);
+  }
+  if (!Validate()) {
+    std::fprintf(stderr, "%s: %s\n\n%s", program_.c_str(), error_.c_str(),
+                 Usage().c_str());
+    std::exit(1);
+  }
+}
+
 bool Flags::Validate() {
   if (!error_.empty()) return false;
   for (const auto& [name, value] : values_) {

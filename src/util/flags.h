@@ -37,6 +37,13 @@ class Flags {
   /// Returns false if any parsed flag was never declared via a getter.
   bool Validate();
 
+  /// Terminal-caller epilogue: call after every Get* declaration. On
+  /// `--help`, prints Usage() to stdout and exits 0. On a malformed value
+  /// or an unknown flag, prints the error plus the auto-generated usage to
+  /// stderr and exits 1 — a typo in an experiment sweep must never run the
+  /// defaults silently.
+  void ValidateOrExit();
+
   /// True if the user passed `--help` (always accepted, never a Validate
   /// error). Check after every Get* declaration, before Validate(), and
   /// print Usage() if set.

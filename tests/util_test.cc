@@ -297,6 +297,39 @@ TEST(Flags, UsageShowsEmptyStringDefault) {
   EXPECT_NE(f.Usage().find("(default: \"\")"), std::string::npos);
 }
 
+TEST(Flags, ValidateOrExitRejectsUnknownFlagWithUsage) {
+  const char* argv[] = {"prog", "--typo=3"};
+  EXPECT_EXIT(
+      {
+        Flags f;
+        f.Parse(2, argv);
+        f.GetInt("nodes", 1);
+        f.ValidateOrExit();
+      },
+      ::testing::ExitedWithCode(1), "prog: unknown flag --typo");
+}
+
+TEST(Flags, ValidateOrExitHonoursHelp) {
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_EXIT(
+      {
+        Flags f;
+        f.Parse(2, argv);
+        f.GetInt("nodes", 1);
+        f.ValidateOrExit();
+      },
+      ::testing::ExitedWithCode(0), "");
+}
+
+TEST(Flags, ValidateOrExitPassesCleanCommandLine) {
+  const char* argv[] = {"prog", "--nodes=4"};
+  Flags f;
+  f.Parse(2, argv);
+  f.GetInt("nodes", 1);
+  f.ValidateOrExit();  // must return normally
+  EXPECT_EQ(f.GetInt("nodes", 1), 4);
+}
+
 TEST(Flags, FirstDeclarationWins) {
   const char* argv[] = {"prog"};
   Flags f;
