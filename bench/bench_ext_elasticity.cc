@@ -48,6 +48,8 @@ struct Cell {
   std::uint64_t redispatched = 0;
   std::uint64_t crv_shaped = 0;
   double wasted_warmup = 0;
+  std::uint64_t events = 0;
+  double wall = 0;
 };
 
 bench::JsonEmitter MakeEmitter(const bench::BenchOptions& o,
@@ -67,8 +69,8 @@ bench::JsonEmitter MakeEmitter(const bench::BenchOptions& o,
       .Add("drain_grace_s", grace)
       .Add("reclaim_grace_s", reclaim_grace);
   for (const Cell& c : cells) {
-    emitter.NewCell()
-        .Add("scheduler", c.scheduler)
+    auto& cell = emitter.NewCell();
+    cell.Add("scheduler", c.scheduler)
         .Add("shape", c.shape)
         .Add("reclaim_rate_per_s", c.reclaim_rate)
         .Add("short_p90_queuing_s", c.short_p90)
@@ -80,6 +82,7 @@ bench::JsonEmitter MakeEmitter(const bench::BenchOptions& o,
         .AddInt("tasks_redispatched", c.redispatched)
         .AddInt("crv_shaped_picks", c.crv_shaped)
         .Add("wasted_warmup_s", c.wasted_warmup);
+    bench::AddThroughput(cell, c.events, c.wall);
   }
   return emitter;
 }
@@ -185,6 +188,8 @@ int main(int argc, char** argv) {
           c.redispatched += r.counters.elastic_tasks_redispatched;
           c.crv_shaped += r.counters.elastic_crv_shaped_picks;
           c.wasted_warmup += r.counters.elastic_wasted_warmup_seconds;
+          c.events += r.events_fired;
+          c.wall += r.sim_wall_seconds;
         }
         cells.push_back(c);
         t.AddRow({shape.name,

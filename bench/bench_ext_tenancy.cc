@@ -42,6 +42,8 @@ struct Cell {
   double slo_attainment = 0;
   double jain = 0;
   metrics::SchedulerCounters counters;
+  std::uint64_t events = 0;
+  double wall = 0;
 };
 
 tenancy::TenancyConfig MakeTenants(bool preemption, double slo_target) {
@@ -116,6 +118,8 @@ int main(int argc, char** argv) {
           c.jain += r.tenant_fairness_jain / static_cast<double>(n);
           slo_jobs += r.tenants[0].slo_jobs;
           slo_attained += r.tenants[0].slo_attained;
+          c.events += r.events_fired;
+          c.wall += r.sim_wall_seconds;
         }
         c.slo_attainment = slo_jobs == 0 ? 1.0
                                          : static_cast<double>(slo_attained) /
@@ -152,8 +156,8 @@ int main(int argc, char** argv) {
     emitter.AddCommonConfig(o);
     emitter.config().Add("slo_target_s", slo_target);
     for (const Cell& c : cells) {
-      emitter.NewCell()
-          .Add("scheduler", c.scheduler)
+      auto& cell = emitter.NewCell();
+      cell.Add("scheduler", c.scheduler)
           .Add("mix", c.mix)
           .Add("preemption", c.preemption)
           .Add("prod_p90_queuing_s", c.prod_p90)
@@ -172,6 +176,7 @@ int main(int argc, char** argv) {
           .AddInt("rejects", c.counters.tenant_rejects)
           .Add("restart_cost_s", c.counters.preemption_restart_seconds)
           .Add("lost_service_s", c.counters.preemption_lost_seconds);
+      bench::AddThroughput(cell, c.events, c.wall);
     }
     if (!emitter.WriteTo(json_path)) return 1;
   }

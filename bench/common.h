@@ -228,6 +228,29 @@ class JsonObject {
   std::string body_;
 };
 
+/// Appends the host-side throughput fields, summed over a cell's runs.
+/// `events_fired` is deterministic for the cell's seeds; `sim_wall_seconds`
+/// and `events_per_sec` are measurement artifacts — compare ratios on one
+/// host, never absolute values across committed artifacts.
+inline JsonObject& AddThroughput(JsonObject& cell, std::uint64_t events,
+                                 double wall) {
+  return cell.AddInt("events_fired", events)
+      .Add("sim_wall_seconds", wall)
+      .Add("events_per_sec",
+           wall > 0 ? static_cast<double>(events) / wall : 0.0);
+}
+
+inline JsonObject& AddThroughput(
+    JsonObject& cell, const std::vector<metrics::SimReport>& reports) {
+  std::uint64_t events = 0;
+  double wall = 0;
+  for (const auto& r : reports) {
+    events += r.events_fired;
+    wall += r.sim_wall_seconds;
+  }
+  return AddThroughput(cell, events, wall);
+}
+
 /// Unified `--json` emitter: every BENCH_*.json artifact is stamped with the
 /// bench name, a one-line description, and a config echo (the common bench
 /// options plus bench-specific keys), followed by a flat list of cells — so

@@ -100,4 +100,9 @@ echo "== audited chaos smoke =="
   --net-model=lognormal --net-drop=0.05 --rpc-retries=4 >/dev/null
 echo "chaos smoke ok: 5% drop, retries on, auditor clean"
 
+echo "== perf smoke =="
+# Core-throughput gate: event counts must match the committed baseline
+# exactly (determinism), events/sec within 25% (algorithmic regressions).
+scripts/perf_smoke.sh "$BUILD_DIR"
+
 echo "== all checks passed =="

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Perf-smoke gate: re-run the core-throughput benchmark and compare it
+# against the committed baseline (BENCH_core_throughput.json).
+#
+# Two checks per (scheduler, fleet-scale) cell:
+#   * `events` must match the baseline EXACTLY — the engine is deterministic
+#     for a fixed seed, so any drift means the event stream changed, which
+#     is a correctness bug, never noise. Always a hard failure.
+#   * `events_per_sec` must be within 25% of the baseline. Wall-clock is
+#     machine-dependent, so this is a coarse tripwire for algorithmic
+#     regressions (an accidental O(n) scan in the hot loop loses far more
+#     than 25%). Downgraded to a warning when the build is sanitized —
+#     instrumentation overhead swamps the signal — or when
+#     PHOENIX_PERF_WARN_ONLY=1.
+#
+# Usage: scripts/perf_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BASELINE="BENCH_core_throughput.json"
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+WARN_ONLY="${PHOENIX_PERF_WARN_ONLY:-0}"
+if grep -Eq 'PHOENIX_SANITIZE:[A-Z]+=(address|thread|undefined)' \
+    "$BUILD_DIR/CMakeCache.txt" 2>/dev/null; then
+  echo "sanitized build detected: events/sec check is warn-only"
+  WARN_ONLY=1
+fi
+
+"$BUILD_DIR/bench/bench_core_throughput" --json="$OUT" >/dev/null
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "python3 not found; skipped perf baseline comparison"
+  exit 0
+fi
+
+python3 - "$BASELINE" "$OUT" "$WARN_ONLY" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    baseline = {(c["scheduler"], c["workers"]): c
+                for c in json.load(f)["cells"]}
+with open(sys.argv[2]) as f:
+    current = {(c["scheduler"], c["workers"]): c
+               for c in json.load(f)["cells"]}
+warn_only = sys.argv[3] == "1"
+
+failed = False
+for key, base in sorted(baseline.items()):
+    cur = current.get(key)
+    if cur is None:
+        print(f"FAIL {key}: cell missing from current run")
+        failed = True
+        continue
+    if cur["events"] != base["events"]:
+        print(f"FAIL {key}: event count drifted "
+              f"{base['events']} -> {cur['events']} (determinism broken)")
+        failed = True
+    ratio = cur["events_per_sec"] / base["events_per_sec"]
+    if ratio < 0.75:
+        tag = "WARN" if warn_only else "FAIL"
+        print(f"{tag} {key}: events/sec regressed to {ratio:.2f}x baseline "
+              f"({base['events_per_sec']:.0f} -> {cur['events_per_sec']:.0f})")
+        if not warn_only:
+            failed = True
+    else:
+        print(f"ok   {key}: events={cur['events']} "
+              f"events/sec {ratio:.2f}x baseline")
+
+sys.exit(1 if failed else 0)
+EOF
+
+echo "perf smoke ok"

@@ -28,6 +28,10 @@ Cluster::Cluster(std::vector<Machine> machines)
   }
   num_racks_ = racks.size();
   all_.SetAll();
+  all_ids_.resize(machines_.size());
+  for (std::size_t i = 0; i < all_ids_.size(); ++i) {
+    all_ids_[i] = static_cast<std::uint32_t>(i);
+  }
 }
 
 // Both caches follow the same discipline: shared-lock lookup, then (miss)
@@ -93,24 +97,66 @@ std::vector<MachineId> Cluster::SampleSatisfying(const ConstraintSet& cs,
   return out;
 }
 
-std::vector<MachineId> Cluster::SampleDistinctSatisfying(
-    const ConstraintSet& cs, std::size_t k, util::Rng& rng) const {
-  const util::Bitset& pool = Satisfying(cs);
-  std::vector<std::uint32_t> candidates;
-  pool.CollectSetBits(candidates);
-  if (candidates.size() <= k) {
-    return {candidates.begin(), candidates.end()};
+const std::vector<std::uint32_t>& Cluster::SatisfyingIds(
+    const ConstraintSet& cs) const {
+  if (cs.empty()) return all_ids_;
+  const SetKey key = KeyFor(cs);
+  {
+    std::shared_lock lock(caches_->mu);
+    const auto it = caches_->pool_ids.find(key);
+    if (it != caches_->pool_ids.end()) return it->second;
   }
-  // Partial Fisher–Yates over the candidate list.
+  std::vector<std::uint32_t> ids;
+  Satisfying(cs).CollectSetBits(ids);
+  std::unique_lock lock(caches_->mu);
+  return caches_->pool_ids.emplace(key, std::move(ids)).first->second;
+}
+
+std::vector<MachineId> Cluster::SampleDistinctFromIds(
+    const std::vector<std::uint32_t>& ids, std::size_t k, util::Rng& rng) {
+  if (ids.size() <= k) {
+    return {ids.begin(), ids.end()};
+  }
+  // Partial Fisher–Yates, replayed against the shared (immutable) candidate
+  // list. A real shuffle would swap a[i] <-> a[j] on a scratch copy; here
+  // the O(k) displaced values live in a tiny overlay instead. Slot i is
+  // never read after step i (future draws land in [i+1, n)), so only the
+  // write into slot j needs recording. The draw sequence — one
+  // NextBounded(n - i) per step — is identical to the copying version.
+  std::vector<std::pair<std::size_t, std::uint32_t>> overlay;
+  overlay.reserve(k);
+  const auto read = [&](std::size_t idx) {
+    for (const auto& [at, value] : overlay) {
+      if (at == idx) return value;
+    }
+    return ids[idx];
+  };
   std::vector<MachineId> out;
   out.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t j =
-        i + static_cast<std::size_t>(rng.NextBounded(candidates.size() - i));
-    std::swap(candidates[i], candidates[j]);
-    out.push_back(candidates[i]);
+        i + static_cast<std::size_t>(rng.NextBounded(ids.size() - i));
+    const std::uint32_t taken = read(j);  // a[j] before the swap -> a[i]
+    if (j != i) {
+      const std::uint32_t displaced = read(i);  // a[i] moves into slot j
+      bool updated = false;
+      for (auto& [at, value] : overlay) {
+        if (at == j) {
+          value = displaced;
+          updated = true;
+          break;
+        }
+      }
+      if (!updated) overlay.emplace_back(j, displaced);
+    }
+    out.push_back(static_cast<MachineId>(taken));
   }
   return out;
+}
+
+std::vector<MachineId> Cluster::SampleDistinctSatisfying(
+    const ConstraintSet& cs, std::size_t k, util::Rng& rng) const {
+  return SampleDistinctFromIds(SatisfyingIds(cs), k, rng);
 }
 
 }  // namespace phoenix::cluster

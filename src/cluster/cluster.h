@@ -78,6 +78,20 @@ class Cluster {
                                                   std::size_t k,
                                                   util::Rng& rng) const;
 
+  /// The satisfying pool as a sorted id vector, memoized alongside the
+  /// bitset. Distinct sampling runs millions of times per experiment;
+  /// collecting the set bits on every call made each draw O(fleet), so the
+  /// collected form is cached once per constraint set.
+  const std::vector<std::uint32_t>& SatisfyingIds(const ConstraintSet& cs) const;
+
+  /// Partial Fisher–Yates over a *const* candidate list: replays the exact
+  /// draw pattern of shuffling a scratch copy, but tracks only the O(k)
+  /// displaced values in a small overlay instead of copying the pool.
+  /// Shared by Cluster and MembershipView so both consume identical RNG
+  /// streams for identical pools.
+  static std::vector<MachineId> SampleDistinctFromIds(
+      const std::vector<std::uint32_t>& ids, std::size_t k, util::Rng& rng);
+
   // Canonical key for memoizing constraint-set pools. hard/soft does not
   // affect matching, so it is excluded. Public so the membership view's
   // per-epoch pool cache can key identically.
@@ -95,10 +109,13 @@ class Cluster {
     std::shared_mutex mu;
     std::map<std::uint32_t, util::Bitset> predicates;
     std::map<SetKey, util::Bitset> pools;
+    /// Collected set-bit vectors of `pools` entries (see SatisfyingIds).
+    std::map<SetKey, std::vector<std::uint32_t>> pool_ids;
   };
 
   std::vector<Machine> machines_;
   util::Bitset all_;
+  std::vector<std::uint32_t> all_ids_;  // 0..n-1, the unconstrained pool
   std::size_t num_racks_ = 1;
   std::unique_ptr<EligibilityCaches> caches_;
 };

@@ -79,6 +79,7 @@ void MembershipView::SetState(MachineId id, MachineLifecycle next) {
   // Membership changed: every memoized eligible pool is stale.
   std::unique_lock lock(cache_->mu);
   cache_->pools.clear();
+  cache_->pool_ids.clear();
   cache_->predicate_counts.clear();
 }
 
@@ -148,25 +149,25 @@ std::vector<MachineId> MembershipView::SampleEligible(const ConstraintSet& cs,
   return out;
 }
 
+const std::vector<std::uint32_t>& MembershipView::EligibleIds(
+    const ConstraintSet& cs) const {
+  const Cluster::SetKey key = Cluster::KeyFor(cs);
+  {
+    std::shared_lock lock(cache_->mu);
+    const auto it = cache_->pool_ids.find(key);
+    if (it != cache_->pool_ids.end()) return it->second;
+  }
+  std::vector<std::uint32_t> ids;
+  EligiblePool(cs).CollectSetBits(ids);
+  std::unique_lock lock(cache_->mu);
+  return cache_->pool_ids.emplace(key, std::move(ids)).first->second;
+}
+
 std::vector<MachineId> MembershipView::SampleDistinctEligible(
     const ConstraintSet& cs, std::size_t k, util::Rng& rng) const {
-  const util::Bitset& pool = EligiblePool(cs);
-  std::vector<std::uint32_t> candidates;
-  pool.CollectSetBits(candidates);
-  if (candidates.size() <= k) {
-    return {candidates.begin(), candidates.end()};
-  }
-  // Partial Fisher–Yates over the candidate list (same draw pattern as
-  // Cluster::SampleDistinctSatisfying).
-  std::vector<MachineId> out;
-  out.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t j =
-        i + static_cast<std::size_t>(rng.NextBounded(candidates.size() - i));
-    std::swap(candidates[i], candidates[j]);
-    out.push_back(candidates[i]);
-  }
-  return out;
+  // Same draw pattern as Cluster::SampleDistinctSatisfying — see the
+  // determinism contract above.
+  return Cluster::SampleDistinctFromIds(EligibleIds(cs), k, rng);
 }
 
 }  // namespace phoenix::cluster

@@ -107,6 +107,10 @@ class MembershipView {
                                                 std::size_t k,
                                                 util::Rng& rng) const;
 
+  /// The eligible pool as a sorted id vector, memoized per epoch alongside
+  /// the bitset (same motivation as Cluster::SatisfyingIds).
+  const std::vector<std::uint32_t>& EligibleIds(const ConstraintSet& cs) const;
+
  private:
   const Cluster& cluster_;
   std::size_t guaranteed_ = 0;
@@ -125,6 +129,7 @@ class MembershipView {
   struct PoolCache {
     std::shared_mutex mu;
     std::map<Cluster::SetKey, util::Bitset> pools;
+    std::map<Cluster::SetKey, std::vector<std::uint32_t>> pool_ids;
     std::map<std::uint32_t, std::size_t> predicate_counts;
   };
   std::unique_ptr<PoolCache> cache_;

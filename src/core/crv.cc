@@ -26,20 +26,34 @@ void CrvMonitor::AttachMembership(const cluster::MembershipView* view) {
   view_ = view;
 }
 
+double CrvMonitor::InvPool(const cluster::Constraint& c) {
+  const std::uint32_t key = cluster::EncodePredicate(c);
+  if (const double* cached = inv_pool_.Find(key)) return *cached;
+  const std::size_t pool = cluster_.Satisfying(c).Count();
+  const double inv = pool > 0 ? 1.0 / static_cast<double>(pool) : 0.0;
+  inv_pool_[key] = inv;
+  return inv;
+}
+
 void CrvMonitor::OnEnqueue(const cluster::ConstraintSet& cs) {
   for (const auto& c : cs) {
     const auto dim = static_cast<std::size_t>(cluster::AttrToCrvDim(c.attr));
     ++demand_[dim];
     if (view_ != nullptr) {
-      // Supply is recomputed at snapshot time (pools move with membership);
+      // Supply is refreshed at snapshot time (pools move with membership);
       // only the per-predicate demand is maintained incrementally.
-      PredEntry& entry = pred_demand_[cluster::EncodePredicate(c)];
-      entry.constraint = c;
-      ++entry.count;
+      const std::uint32_t key = cluster::EncodePredicate(c);
+      PredEntry* entry = pred_demand_.Find(key);
+      if (entry == nullptr) {
+        entry = &pred_demand_[key];
+        entry->constraint = c;
+        pred_keys_.insert(
+            std::lower_bound(pred_keys_.begin(), pred_keys_.end(), key), key);
+      }
+      ++entry->count;
       continue;
     }
-    const std::size_t pool = cluster_.Satisfying(c).Count();
-    if (pool > 0) load_[dim] += 1.0 / static_cast<double>(pool);
+    load_[dim] += InvPool(c);
   }
 }
 
@@ -49,18 +63,23 @@ void CrvMonitor::OnDequeue(const cluster::ConstraintSet& cs) {
     PHOENIX_CHECK_MSG(demand_[dim] > 0, "CRV demand underflow");
     --demand_[dim];
     if (view_ != nullptr) {
-      auto it = pred_demand_.find(cluster::EncodePredicate(c));
-      PHOENIX_CHECK_MSG(it != pred_demand_.end() && it->second.count > 0,
+      PredEntry* entry = pred_demand_.Find(cluster::EncodePredicate(c));
+      PHOENIX_CHECK_MSG(entry != nullptr && entry->count > 0,
                         "CRV predicate demand underflow");
-      if (--it->second.count == 0) pred_demand_.erase(it);
+      --entry->count;  // parked at zero; iteration skips it
       continue;
     }
-    const std::size_t pool = cluster_.Satisfying(c).Count();
-    if (pool > 0) {
-      load_[dim] =
-          std::max(0.0, load_[dim] - 1.0 / static_cast<double>(pool));
-    }
+    load_[dim] = std::max(0.0, load_[dim] - InvPool(c));
   }
+}
+
+std::uint64_t CrvMonitor::EligibleSupply(PredEntry& entry) const {
+  const std::uint64_t epoch = view_->epoch();
+  if (entry.supply_epoch != epoch) {
+    entry.supply = view_->CountEligible(entry.constraint);
+    entry.supply_epoch = epoch;
+  }
+  return entry.supply;
 }
 
 CrvSnapshot CrvMonitor::TakeSnapshot() const {
@@ -71,11 +90,12 @@ CrvSnapshot CrvMonitor::TakeSnapshot() const {
     // predicate whose eligible pool emptied counts double per queued entry
     // (it is maximally congested until supply returns).
     std::array<double, cluster::kNumCrvDims> ratio{};
-    for (const auto& [key, entry] : pred_demand_) {
-      (void)key;
+    for (const std::uint32_t key : pred_keys_) {
+      PredEntry& entry = *pred_demand_.Find(key);
+      if (entry.count == 0) continue;
       const auto dim = static_cast<std::size_t>(
           cluster::AttrToCrvDim(entry.constraint.attr));
-      const std::size_t pool = view_->CountEligible(entry.constraint);
+      const std::uint64_t pool = EligibleSupply(entry);
       ratio[dim] += pool > 0 ? static_cast<double>(entry.count) /
                                    static_cast<double>(pool)
                              : 2.0 * static_cast<double>(entry.count);
@@ -105,16 +125,17 @@ std::vector<CrvMonitor::PredicateDemand> CrvMonitor::HotPredicates(
     cluster::CrvDim dim) const {
   std::vector<PredicateDemand> out;
   if (view_ == nullptr) return out;
-  for (const auto& [key, entry] : pred_demand_) {
-    (void)key;
+  for (const std::uint32_t key : pred_keys_) {
+    PredEntry& entry = *pred_demand_.Find(key);
+    if (entry.count == 0) continue;
     if (cluster::AttrToCrvDim(entry.constraint.attr) != dim) continue;
     PredicateDemand pd;
     pd.constraint = entry.constraint;
     pd.count = entry.count;
-    pd.supply = view_->CountEligible(entry.constraint);
+    pd.supply = EligibleSupply(entry);
     out.push_back(pd);
   }
-  // Hottest first; map iteration already yields key-ascending order, and
+  // Hottest first; the key index yields key-ascending order, and
   // stable_sort preserves it among equal counts.
   std::stable_sort(out.begin(), out.end(),
                    [](const PredicateDemand& a, const PredicateDemand& b) {

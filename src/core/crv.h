@@ -18,12 +18,12 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "cluster/membership.h"
+#include "util/flat_hash.h"
 
 namespace phoenix::core {
 
@@ -81,9 +81,24 @@ class CrvMonitor {
   std::vector<PredicateDemand> HotPredicates(cluster::CrvDim dim) const;
 
  private:
+  static constexpr std::uint64_t kNoEpoch = ~std::uint64_t{0};
+
+  struct PredEntry;
+
+  /// Memoized 1/|satisfying pool| for the static-fleet path.
+  double InvPool(const cluster::Constraint& c);
+  /// Epoch-cached eligible supply for a tracked predicate (view mode).
+  std::uint64_t EligibleSupply(PredEntry& entry) const;
+
   struct PredEntry {
     cluster::Constraint constraint;
     std::uint64_t count = 0;
+    /// Eligible supply, valid while supply_epoch matches the view's epoch.
+    /// Snapshots refresh it lazily, so between membership changes a
+    /// predicate's supply costs one table read instead of a locked
+    /// pool-cache lookup.
+    std::uint64_t supply = 0;
+    std::uint64_t supply_epoch = kNoEpoch;
   };
 
   const cluster::Cluster& cluster_;
@@ -91,7 +106,19 @@ class CrvMonitor {
   std::array<std::int64_t, cluster::kNumCrvDims> demand_{};
   std::array<double, cluster::kNumCrvDims> load_{};  // sum of 1/pool
   /// Per-predicate demand, keyed by cluster::EncodePredicate (view mode).
-  std::map<std::uint32_t, PredEntry> pred_demand_;
+  /// Flat open-addressed table plus a sorted key index: the index pins
+  /// iteration — and double accumulation — to key-ascending order, matching
+  /// the std::map this replaced. Entries whose count drops to zero stay
+  /// parked (a trace's predicate vocabulary is small) and are skipped when
+  /// iterating. Mutable so const snapshots can refresh epoch-cached
+  /// supplies.
+  mutable util::FlatHashMap<PredEntry> pred_demand_;
+  std::vector<std::uint32_t> pred_keys_;  // sorted, parked keys included
+  /// Static-fleet fast path: memoized 1/|satisfying pool| per predicate
+  /// (0 for an empty pool). Without a view, pools never move — but
+  /// recomputing them charged a fleet-sized popcount per constraint per
+  /// queue transition.
+  util::FlatHashMap<double> inv_pool_;
 };
 
 }  // namespace phoenix::core

@@ -171,6 +171,20 @@ class SimReport {
   /// usage (see TenantUsageJain). Empty / 1.0 without configured tenants.
   std::vector<TenantOutcome> tenants;
   double tenant_fairness_jain = 1.0;
+  /// Host-side cost of the run, filled by the runner around engine.Run():
+  /// wall-clock seconds spent draining the event queue and the engine's
+  /// fired-event count. events_fired is deterministic for a fixed seed;
+  /// sim_wall_seconds is a measurement artifact and must never leak into
+  /// the byte-stable paper-figure outputs.
+  double sim_wall_seconds = 0;
+  std::uint64_t events_fired = 0;
+
+  /// Simulated events retired per wall second (0 when not measured).
+  double EventsPerSec() const {
+    return sim_wall_seconds > 0
+               ? static_cast<double>(events_fired) / sim_wall_seconds
+               : 0.0;
+  }
 
   /// Measured average utilization: busy time over delivered capacity —
   /// workers * makespan for a static fleet, the in-service integral when

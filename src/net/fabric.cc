@@ -128,6 +128,16 @@ void NetworkFabric::Partition(const std::vector<cluster::MachineId>& machines,
   });
 }
 
+void NetworkFabric::SendCertain(cluster::MachineId /*src*/,
+                                cluster::MachineId /*dst*/,
+                                MessageKind /*kind*/, double nominal,
+                                sim::Engine::Callback on_arrival) {
+  PHOENIX_CHECK_MSG(FastPath(), "SendCertain requires the fast path");
+  ++stats_.sent;
+  ++stats_.delivered;
+  engine_.ScheduleAfter(nominal, std::move(on_arrival));
+}
+
 MessageId NetworkFabric::Send(cluster::MachineId src, cluster::MachineId dst,
                               MessageKind kind, double nominal,
                               DeliveryFn on_arrival) {
@@ -136,7 +146,8 @@ MessageId NetworkFabric::Send(cluster::MachineId src, cluster::MachineId dst,
     // Byte-identity path: one event, no RNG draws, no message events —
     // exactly what the scheduler did before the fabric existed.
     ++stats_.delivered;
-    engine_.ScheduleAfter(nominal, [fn = std::move(on_arrival)] { fn(); });
+    engine_.ScheduleAfter(nominal,
+                          [fn = std::move(on_arrival)]() mutable { fn(); });
     return 0;
   }
   const MessageId id = ++last_id_;

@@ -35,6 +35,7 @@
 #include "obs/event.h"
 #include "sim/engine.h"
 #include "sim/simtime.h"
+#include "util/inline_function.h"
 #include "util/rng.h"
 
 namespace phoenix::net {
@@ -116,7 +117,9 @@ class NetworkFabric {
   /// Receiver callback: returns true if the arrival was consumed, false if
   /// it was stale (duplicate of an already-resolved call, or the call was
   /// cancelled) — the distinction drives kMsgDeliver vs kMsgExpire.
-  using DeliveryFn = std::function<bool()>;
+  /// Small-buffer type: typical captures ([this, id] and friends) ride the
+  /// fabric with zero heap traffic.
+  using DeliveryFn = util::InlineFunction<bool()>;
 
   NetworkFabric(sim::Engine& engine, const FabricConfig& config,
                 std::uint64_t run_seed);
@@ -130,6 +133,14 @@ class NetworkFabric {
   /// message id (0 when the fast path skipped per-message bookkeeping).
   MessageId Send(cluster::MachineId src, cluster::MachineId dst,
                  MessageKind kind, double nominal, DeliveryFn on_arrival);
+
+  /// Fast-path-only send: the caller has already checked FastPath(), so
+  /// delivery is certain and the arrival callback needs no consumed/stale
+  /// result — the message is exactly one engine event, with the callback
+  /// moved straight into it (no bool-returning wrapper, no allocation).
+  void SendCertain(cluster::MachineId src, cluster::MachineId dst,
+                   MessageKind kind, double nominal,
+                   sim::Engine::Callback on_arrival);
 
   /// True while Send() degenerates to a plain ScheduleAfter: the config is
   /// ideal and no partition is active. Callers (the Rpc layer) use this to

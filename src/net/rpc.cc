@@ -28,43 +28,82 @@ double Rpc::AttemptDeadline(const Call& call) const {
   return base * std::pow(config_.backoff, static_cast<double>(call.attempt));
 }
 
-Rpc::Call Rpc::TakeResolved(CallMap::iterator it) {
-  Call call = std::move(it->second);
-  if (!call.fast) engine_.Cancel(call.timer);
-  calls_.erase(it);
-  return call;
+Rpc::Call* Rpc::FindLive(CallId id) {
+  if (id == 0) return nullptr;
+  const std::uint32_t slot = SlotOf(id);
+  if (slot >= slots_.size()) return nullptr;
+  Call& call = slots_[slot];
+  if (!call.live || call.generation != static_cast<std::uint32_t>(id >> 32)) {
+    return nullptr;
+  }
+  return &call;
+}
+
+const Rpc::Call* Rpc::FindLive(CallId id) const {
+  return const_cast<Rpc*>(this)->FindLive(id);
+}
+
+Rpc::CallId Rpc::Issue() {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Call& call = slots_[slot];
+  // Reset everything except the generation, which outlives tenants so a
+  // stale id held by a caller can never alias the slot's next occupant.
+  call.round_trip = false;
+  call.fast = false;
+  call.attempt = 0;
+  call.timer = 0;
+  call.live = true;
+  ++call.generation;
+  return (static_cast<CallId>(call.generation) << 32) |
+         static_cast<CallId>(slot + 1);
+}
+
+void Rpc::Release(std::uint32_t slot) {
+  Call& call = slots_[slot];
+  call.live = false;
+  call.on_ok = nullptr;
+  call.on_fail = nullptr;
+  free_.push_back(slot);
+}
+
+Rpc::Call Rpc::TakeResolved(CallId id) {
+  const std::uint32_t slot = SlotOf(id);
+  Call taken = std::move(slots_[slot]);
+  if (!taken.fast) engine_.Cancel(taken.timer);
+  Release(slot);
+  return taken;
 }
 
 void Rpc::Cancel(CallId id) {
-  auto it = calls_.find(id);
-  if (it == calls_.end()) return;
-  engine_.Cancel(it->second.timer);
-  calls_.erase(it);
+  Call* call = FindLive(id);
+  if (call == nullptr) return;
+  engine_.Cancel(call->timer);
+  Release(SlotOf(id));
   ++stats_.cancelled;
 }
 
 Rpc::CallId Rpc::Send(cluster::MachineId src, cluster::MachineId dst,
-                      MessageKind kind, double nominal,
-                      std::function<void()> on_deliver,
-                      std::function<void()> on_fail) {
+                      MessageKind kind, double nominal, Callback on_deliver,
+                      Callback on_fail) {
   if (fabric_.FastPath()) {
-    fabric_.Send(src, dst, kind, nominal,
-                 [fn = std::move(on_deliver)] {
-                   fn();
-                   return true;
-                 });
+    fabric_.SendCertain(src, dst, kind, nominal, std::move(on_deliver));
     return 0;
   }
-  const CallId id = ++last_call_;
-  Call call;
+  const CallId id = Issue();
+  Call& call = slots_[SlotOf(id)];
   call.src = src;
   call.dst = dst;
   call.kind = kind;
   call.nominal = nominal;
-  call.round_trip = false;
   call.on_ok = std::move(on_deliver);
   call.on_fail = std::move(on_fail);
-  calls_.emplace(id, std::move(call));
   ++stats_.calls;
   Attempt(id);
   return id;
@@ -72,10 +111,9 @@ Rpc::CallId Rpc::Send(cluster::MachineId src, cluster::MachineId dst,
 
 Rpc::CallId Rpc::RoundTrip(cluster::MachineId src, cluster::MachineId dst,
                            MessageKind kind, double nominal_rtt,
-                           std::function<void()> on_success,
-                           std::function<void()> on_fail) {
-  const CallId id = ++last_call_;
-  Call call;
+                           Callback on_success, Callback on_fail) {
+  const CallId id = Issue();
+  Call& call = slots_[SlotOf(id)];
   call.src = src;
   call.dst = dst;
   call.kind = kind;
@@ -88,69 +126,62 @@ Rpc::CallId Rpc::RoundTrip(cluster::MachineId src, cluster::MachineId dst,
     // the pre-fabric scheduler used, registered so Cancel/Alive still work
     // (a machine failure cancels the fetch through the call id).
     call.fast = true;
-    calls_.emplace(id, std::move(call));
-    Call& live = calls_.find(id)->second;
-    live.timer = engine_.ScheduleAfter(nominal_rtt, [this, id] {
-      auto it = calls_.find(id);
-      if (it == calls_.end()) return;  // cancelled after the event fired
-      Call resolved = std::move(it->second);
-      calls_.erase(it);
+    call.timer = engine_.ScheduleAfter(nominal_rtt, [this, id] {
+      if (FindLive(id) == nullptr) return;  // cancelled after the event fired
+      Call resolved = TakeResolved(id);
       resolved.on_ok();
     });
     return id;
   }
-  calls_.emplace(id, std::move(call));
   ++stats_.calls;
   Attempt(id);
   return id;
 }
 
 void Rpc::Attempt(CallId id) {
-  Call& call = calls_.find(id)->second;
-  if (!call.round_trip) {
-    fabric_.Send(call.src, call.dst, call.kind, call.nominal,
-                 [this, id]() -> bool {
-                   auto it = calls_.find(id);
-                   if (it == calls_.end()) return false;  // stale arrival
-                   Call resolved = TakeResolved(it);
-                   resolved.on_ok();
-                   return true;
-                 });
-  } else {
-    fabric_.Send(
-        call.src, call.dst, call.kind, call.nominal / 2,
-        [this, id]() -> bool {
-          auto it = calls_.find(id);
-          if (it == calls_.end()) return false;  // request for a dead call
-          // The request landed: send the reply leg. The call stays live
-          // until the reply arrives (so a second request copy also
-          // triggers a reply — dedup happens at reply arrival).
-          const Call& live = it->second;
-          fabric_.Send(live.dst, live.src, ReplyKind(live.kind),
-                       live.nominal / 2, [this, id]() -> bool {
-                         auto reply_it = calls_.find(id);
-                         if (reply_it == calls_.end()) return false;
-                         Call resolved = TakeResolved(reply_it);
-                         resolved.on_ok();
-                         return true;
-                       });
-          return true;
-        });
+  {
+    const Call& call = slots_[SlotOf(id)];
+    if (!call.round_trip) {
+      fabric_.Send(call.src, call.dst, call.kind, call.nominal,
+                   [this, id]() -> bool {
+                     if (FindLive(id) == nullptr) return false;  // stale
+                     Call resolved = TakeResolved(id);
+                     resolved.on_ok();
+                     return true;
+                   });
+    } else {
+      fabric_.Send(
+          call.src, call.dst, call.kind, call.nominal / 2,
+          [this, id]() -> bool {
+            const Call* live = FindLive(id);
+            if (live == nullptr) return false;  // request for a dead call
+            // The request landed: send the reply leg. The call stays live
+            // until the reply arrives (so a second request copy also
+            // triggers a reply — dedup happens at reply arrival).
+            fabric_.Send(live->dst, live->src, ReplyKind(live->kind),
+                         live->nominal / 2, [this, id]() -> bool {
+                           if (FindLive(id) == nullptr) return false;
+                           Call resolved = TakeResolved(id);
+                           resolved.on_ok();
+                           return true;
+                         });
+            return true;
+          });
+    }
   }
-  // Re-find: fabric_.Send only schedules, but keep the access pattern safe
-  // against future reentrancy in the delivery path.
-  Call& armed = calls_.find(id)->second;
+  // Re-borrow: fabric_.Send only schedules, but keep the access pattern
+  // safe against future reentrancy in the delivery path.
+  Call& armed = slots_[SlotOf(id)];
   armed.timer = engine_.ScheduleAfter(AttemptDeadline(armed),
                                       [this, id] { OnTimeout(id); });
 }
 
 void Rpc::OnTimeout(CallId id) {
-  auto it = calls_.find(id);
-  if (it == calls_.end()) return;
-  Call& call = it->second;
-  if (call.attempt >= config_.max_retries) {
-    Call failed = std::move(call);
-    calls_.erase(it);
+  Call* call = FindLive(id);
+  if (call == nullptr) return;
+  if (call->attempt >= config_.max_retries) {
+    Call failed = std::move(*call);
+    Release(SlotOf(id));
     ++stats_.failures;
     fabric_.EmitEvent(obs::EventType::kRpcFail, failed.dst,
                       static_cast<std::uint32_t>(failed.kind),
@@ -158,10 +189,10 @@ void Rpc::OnTimeout(CallId id) {
     if (failed.on_fail) failed.on_fail();
     return;
   }
-  ++call.attempt;
+  ++call->attempt;
   ++stats_.retries;
-  fabric_.EmitEvent(obs::EventType::kRpcRetry, call.dst,
-                    static_cast<std::uint32_t>(call.kind),
+  fabric_.EmitEvent(obs::EventType::kRpcRetry, call->dst,
+                    static_cast<std::uint32_t>(call->kind),
                     static_cast<double>(id));
   Attempt(id);
 }

@@ -19,11 +19,16 @@
 // Fast path: while the fabric guarantees delivery (FastPath()), Send posts
 // the message with no call bookkeeping and RoundTrip schedules a single
 // engine event — preserving byte-identical behavior with chaos disabled.
+//
+// Call records live in a slot pool (vector + free list) rather than a node
+// map: a call id packs (generation << 32 | slot + 1), so Alive/Cancel are
+// two array reads and issuing a call on the hot fetch path reuses a slot
+// with no allocation. Generations make stale ids (kept by a worker whose
+// call resolved long ago) miss instead of aliasing the slot's new tenant.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "net/fabric.h"
 #include "sim/engine.h"
@@ -51,7 +56,10 @@ struct RpcStats {
 class Rpc {
  public:
   /// Live-call handle; 0 means "no call" (fast-path sends return it).
+  /// Packs (generation << 32) | (slot index + 1).
   using CallId = std::uint64_t;
+  /// Caller continuations ride the engine's allocation-free callback type.
+  using Callback = sim::Engine::Callback;
 
   Rpc(sim::Engine& engine, NetworkFabric& fabric, const RpcConfig& config);
 
@@ -63,9 +71,8 @@ class Rpc {
   /// attempts all time out. Returns 0 on the fast path (delivery certain,
   /// nothing to cancel).
   CallId Send(cluster::MachineId src, cluster::MachineId dst,
-              MessageKind kind, double nominal,
-              std::function<void()> on_deliver,
-              std::function<void()> on_fail);
+              MessageKind kind, double nominal, Callback on_deliver,
+              Callback on_fail);
 
   /// Request/reply round trip (src -> dst -> src) with total nominal
   /// transit `nominal_rtt` (each leg pays half). `on_success` runs at reply
@@ -73,13 +80,12 @@ class Rpc {
   /// id — callers park a worker slot on it and must Cancel on failure of
   /// the slot's machine.
   CallId RoundTrip(cluster::MachineId src, cluster::MachineId dst,
-                   MessageKind kind, double nominal_rtt,
-                   std::function<void()> on_success,
-                   std::function<void()> on_fail);
+                   MessageKind kind, double nominal_rtt, Callback on_success,
+                   Callback on_fail);
 
   /// True while the call is unresolved (its deadline or delivery event is
   /// live in the engine) — the audit's "busy slot has a live event" proof.
-  bool Alive(CallId id) const { return calls_.find(id) != calls_.end(); }
+  bool Alive(CallId id) const { return FindLive(id) != nullptr; }
 
   /// Cancels a live call: the timer dies now, in-flight messages expire on
   /// arrival, and no callback ever runs. No-op for resolved calls.
@@ -98,29 +104,46 @@ class Rpc {
     /// Fast-path round trip: `timer` is the delivery event itself, not a
     /// deadline (and must not be cancelled when it resolves the call).
     bool fast = false;
+    /// Slot is occupied by an unresolved call.
+    bool live = false;
     std::size_t attempt = 0;
+    /// Bumped each time the slot is (re)issued; part of the call id.
+    std::uint32_t generation = 0;
     sim::Engine::EventId timer = 0;
-    std::function<void()> on_ok;
-    std::function<void()> on_fail;
+    Callback on_ok;
+    Callback on_fail;
   };
 
-  using CallMap = std::unordered_map<CallId, Call>;
+  static std::uint32_t SlotOf(CallId id) {
+    return static_cast<std::uint32_t>(id) - 1;
+  }
+
+  /// Slot lookup with generation check; nullptr for resolved/stale ids.
+  Call* FindLive(CallId id);
+  const Call* FindLive(CallId id) const;
+
+  /// Takes a slot from the free list (or grows the pool), bumps its
+  /// generation, and returns the new id. The slot's callbacks are empty.
+  CallId Issue();
+
+  /// Detaches a resolving call: cancels its timer (reliable calls only),
+  /// releases the slot to the free list, and returns the record by move so
+  /// callbacks can run after the pool mutation is complete.
+  Call TakeResolved(CallId id);
+
+  void Release(std::uint32_t slot);
 
   /// Sends the call's message(s) for the current attempt and arms the
   /// attempt deadline.
   void Attempt(CallId id);
   void OnTimeout(CallId id);
   double AttemptDeadline(const Call& call) const;
-  /// Detaches a resolving call: cancels its timer (reliable calls only) and
-  /// removes it from the table, returning it so callbacks can run after the
-  /// map mutation is complete.
-  Call TakeResolved(CallMap::iterator it);
 
   sim::Engine& engine_;
   NetworkFabric& fabric_;
   RpcConfig config_;
-  CallId last_call_ = 0;
-  CallMap calls_;
+  std::vector<Call> slots_;
+  std::vector<std::uint32_t> free_;
   RpcStats stats_;
 };
 

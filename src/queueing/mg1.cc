@@ -51,6 +51,7 @@ WorkerWaitEstimator::WorkerWaitEstimator(std::size_t window)
 void WorkerWaitEstimator::OnArrival(sim::SimTime now) {
   if (last_arrival_ >= 0.0) {
     interarrival_.Add(now - last_arrival_);
+    wait_dirty_ = true;
   }
   last_arrival_ = now;
 }
@@ -58,6 +59,7 @@ void WorkerWaitEstimator::OnArrival(sim::SimTime now) {
 void WorkerWaitEstimator::OnServiceComplete(double service_time) {
   PHOENIX_DCHECK(service_time >= 0);
   service_.Add(service_time);
+  wait_dirty_ = true;
 }
 
 double WorkerWaitEstimator::lambda() const {
@@ -70,14 +72,23 @@ double WorkerWaitEstimator::EstimateRho() const {
 }
 
 double WorkerWaitEstimator::EstimateWait() const {
-  if (interarrival_.empty() || service_.empty()) return 0.0;
-  return PkWait(EstimateRho(), service_.mean(), service_.second_moment());
+  if (!wait_dirty_) return cached_wait_;
+  if (interarrival_.empty() || service_.empty()) {
+    cached_wait_ = 0.0;
+  } else {
+    cached_wait_ =
+        PkWait(EstimateRho(), service_.mean(), service_.second_moment());
+  }
+  wait_dirty_ = false;
+  return cached_wait_;
 }
 
 void WorkerWaitEstimator::Clear() {
   interarrival_.Clear();
   service_.Clear();
   last_arrival_ = -1.0;
+  cached_wait_ = 0.0;
+  wait_dirty_ = true;
 }
 
 }  // namespace phoenix::queueing

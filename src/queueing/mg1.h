@@ -50,7 +50,10 @@ class WorkerWaitEstimator {
   void OnServiceComplete(double service_time);
 
   /// Current estimate of E[W]; +infinity when the observed load is >= 1,
-  /// 0 when there is not yet enough data to estimate.
+  /// 0 when there is not yet enough data to estimate. Memoized: the
+  /// schedulers poll every worker's estimate once per heartbeat, but the
+  /// inputs only move on arrival/completion, so repeated polls between
+  /// samples are one flag test.
   double EstimateWait() const;
 
   /// Observed utilization rho = lambda * E[S] (0 when unseeded).
@@ -65,6 +68,8 @@ class WorkerWaitEstimator {
   WindowedStats interarrival_;
   WindowedStats service_;
   sim::SimTime last_arrival_ = -1.0;
+  mutable double cached_wait_ = 0.0;
+  mutable bool wait_dirty_ = true;
 };
 
 }  // namespace phoenix::queueing

@@ -1,5 +1,6 @@
 #include "runner/experiment.h"
 
+#include <chrono>
 #include <memory>
 
 #include "cluster/membership.h"
@@ -76,10 +77,17 @@ metrics::SimReport RunSimulation(const trace::Trace& trace,
 
   scheduler->SubmitTrace(trace);
   if (controller) controller->Start();
+  const auto wall_start = std::chrono::steady_clock::now();
   engine.Run();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   PHOENIX_CHECK_MSG(engine.Empty(), "event queue failed to drain");
   scheduler->FinalAudit();
   auto report = scheduler->BuildReport();
+  report.sim_wall_seconds = wall_seconds;
+  report.events_fired = engine.events_fired();
   if (controller) {
     const auto& stats = controller->stats();
     report.counters.elastic_scale_up_decisions = stats.scale_up_decisions;

@@ -29,10 +29,11 @@ SchedulerBase::SchedulerBase(sim::Engine& engine,
   });
   workers_.reserve(cluster.size());
   for (std::size_t i = 0; i < cluster.size(); ++i) {
-    auto w = std::make_unique<WorkerState>(config_.estimator_window);
-    w->id = static_cast<MachineId>(i);
-    workers_.push_back(std::move(w));
+    workers_.emplace_back(config_.estimator_window);
+    workers_.back().id = static_cast<MachineId>(i);
   }
+  short_probe_counts_.assign(cluster.size(), 0);
+  long_busy_.assign(cluster.size(), 0);
   if (config_.tenancy.enabled()) {
     tenancy_on_ = true;
     tenants_ = tenancy::TenantRegistry(config_.tenancy.tenants);
@@ -71,7 +72,7 @@ void SchedulerBase::CommissionMachine(MachineId id) {
   PHOENIX_CHECK_MSG(membership_ != nullptr,
                     "lifecycle actuators need a membership view");
   PHOENIX_CHECK(id < workers_.size());
-  WorkerState& w = *workers_[id];
+  WorkerState& w = workers_[id];
   AccrueInService();
   ++in_service_count_;
   membership_->SetState(id, cluster::MachineLifecycle::kActive);
@@ -90,7 +91,7 @@ void SchedulerBase::DrainMachine(MachineId id, DrainReason reason) {
   PHOENIX_CHECK_MSG(membership_ != nullptr,
                     "lifecycle actuators need a membership view");
   PHOENIX_CHECK(id < workers_.size());
-  WorkerState& w = *workers_[id];
+  WorkerState& w = workers_[id];
   membership_->SetState(id, cluster::MachineLifecycle::kDraining);
   if (reason == DrainReason::kReclamation) {
     ++counters_.elastic_reclamations;
@@ -115,7 +116,7 @@ bool SchedulerBase::RetireMachine(MachineId id, bool force) {
   PHOENIX_CHECK_MSG(membership_ != nullptr,
                     "lifecycle actuators need a membership view");
   PHOENIX_CHECK(id < workers_.size());
-  WorkerState& w = *workers_[id];
+  WorkerState& w = workers_[id];
   PHOENIX_CHECK_MSG(
       membership_->state(id) == cluster::MachineLifecycle::kDraining,
       "retire requires a draining machine");
@@ -175,8 +176,7 @@ void SchedulerBase::AuditWorkers(bool final_state) {
   // event" check across the fleet.
   const auto pending = engine_.PendingIds();
   const double now = engine_.Now();
-  for (const auto& wp : workers_) {
-    const WorkerState& w = *wp;
+  for (const WorkerState& w : workers_) {
     // A slot held for a fetch is backed by a live RPC call (whose deadline
     // or delivery event keeps the engine moving); an executing slot by the
     // completion event.
@@ -201,13 +201,13 @@ void SchedulerBase::FinalAudit() {
 
 void SchedulerBase::InjectFailure(MachineId id) {
   PHOENIX_CHECK(id < workers_.size());
-  FailMachine(*workers_[id], /*auto_repair=*/false);
+  FailMachine(workers_[id], /*auto_repair=*/false);
 }
 
 void SchedulerBase::InjectRepair(MachineId id) {
   PHOENIX_CHECK(id < workers_.size());
-  if (!workers_[id]->failed) return;
-  RepairMachine(*workers_[id]);
+  if (!workers_[id].failed) return;
+  RepairMachine(workers_[id]);
 }
 
 void SchedulerBase::SubmitTrace(const trace::Trace& trace) {
@@ -253,7 +253,7 @@ void SchedulerBase::ScheduleNextFailure(MachineId id) {
       queueing::SampleExponential(rng_, 1.0 / config_.machine_mtbf);
   engine_.ScheduleAfter(delay, [this, id] {
     if (AllJobsDone()) return;  // let the run drain
-    FailMachine(*workers_[id], /*auto_repair=*/true);
+    FailMachine(workers_[id], /*auto_repair=*/true);
   });
 }
 
@@ -274,7 +274,7 @@ MachineId SchedulerBase::PickLeastLoadedLive(
   MachineId best = cluster::kInvalidMachine;
   double best_load = sim::kTimeInfinity;
   for (const MachineId c : candidates) {
-    const WorkerState& w = *workers_[c];
+    const WorkerState& w = workers_[c];
     if (w.failed || !Bindable(c)) continue;  // delivery would only bounce
     const double running_rem = w.busy ? std::max(0.0, w.busy_until - now) : 0.0;
     const double load = w.est_queued_work + running_rem;
@@ -372,6 +372,14 @@ void SchedulerBase::EvictSlotWork(WorkerState& worker, bool kill_running) {
     worker.resolving = false;
     worker.busy = false;
   }
+  RefreshLongBusy(worker);
+}
+
+void SchedulerBase::RefreshLongBusy(const WorkerState& worker) {
+  const bool running_long =
+      worker.busy && worker.running_job != trace::kInvalidJob &&
+      !jobs_[worker.running_job].short_class;
+  long_busy_[worker.id] = (worker.long_entries > 0 || running_long) ? 1 : 0;
 }
 
 void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
@@ -395,7 +403,7 @@ void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
     const double repair =
         queueing::SampleExponential(rng_, 1.0 / config_.machine_mttr);
     engine_.ScheduleAfter(repair, [this, wid = worker.id] {
-      RepairMachine(*workers_[wid]);
+      RepairMachine(workers_[wid]);
     });
   }
 }
@@ -424,8 +432,7 @@ void SchedulerBase::HeartbeatTick() {
     // same cadence as every other load signal (heartbeat synchronization).
     double sum = 0;
     std::size_t live = 0;
-    for (const auto& wp : workers_) {
-      const WorkerState& w = *wp;
+    for (const WorkerState& w : workers_) {
       if (w.failed || !Bindable(w.id)) continue;
       sum += w.estimator.EstimateWait();
       ++live;
@@ -437,8 +444,7 @@ void SchedulerBase::HeartbeatTick() {
     // Publish the per-worker timeseries after OnHeartbeat so Phoenix's
     // freshly refreshed E[W] / CRV marks are what lands in the export.
     std::size_t queued = 0;
-    for (const auto& wp : workers_) {
-      const WorkerState& w = *wp;
+    for (const WorkerState& w : workers_) {
       queued += w.queue.size();
       obs::WorkerSample sample;
       sample.time = engine_.Now();
@@ -662,11 +668,13 @@ void SchedulerBase::PreemptRunning(WorkerState& worker) {
   worker.queue.push_back(entry);
   worker.est_queued_work += entry.est_duration;
   if (!entry.short_class) ++worker.long_entries;
+  RefreshLongBusy(worker);
   worker.estimator.OnArrival(now);
   OnEntryEnqueued(worker, entry);
   TenantQueuedDelta(entry, +1);
   ++counters_.preemption_requeues;
   Emit(EventType::kPreemptRequeue, victim.id, worker.id, index);
+  RefreshLongBusy(worker);
 }
 
 std::size_t SchedulerBase::PromoteByPriority(const WorkerState& worker,
@@ -858,7 +866,7 @@ void SchedulerBase::SendEntry(MachineId target, QueueEntry entry, double delay,
 }
 
 void SchedulerBase::DeliverEntry(MachineId target, QueueEntry entry) {
-  WorkerState& w = *workers_[target];
+  WorkerState& w = workers_[target];
   if (w.failed || !Bindable(target)) {
     // The destination died (or left the bindable fleet) in transit: bounce
     // to a live worker after the fabric's pacing backoff. Stale probes (job
@@ -872,6 +880,9 @@ void SchedulerBase::DeliverEntry(MachineId target, QueueEntry entry) {
   w.est_queued_work += entry.est_duration;
   if (entry.kind == QueueEntry::Kind::kBoundTask && !entry.short_class) {
     ++w.long_entries;
+    RefreshLongBusy(w);
+  } else if (entry.kind == QueueEntry::Kind::kProbe && entry.short_class) {
+    ++short_probe_counts_[target];
   }
   w.estimator.OnArrival(engine_.Now());
   w.steal_inflight = false;  // incoming work satisfies any pending steal
@@ -888,7 +899,7 @@ void SchedulerBase::GiveUpEntry(MachineId target, QueueEntry entry) {
   // arrived, so re-cover it exactly like a transit bounce; also clear the
   // target's steal marker, else a lost steal transfer would block that
   // worker from ever stealing again.
-  workers_[target]->steal_inflight = false;
+  workers_[target].steal_inflight = false;
   BounceUndelivered(std::move(entry), target, one_way());
 }
 
@@ -937,6 +948,12 @@ QueueEntry SchedulerBase::RemoveQueueAt(WorkerState& worker,
   if (entry.kind == QueueEntry::Kind::kBoundTask && !entry.short_class) {
     PHOENIX_CHECK(worker.long_entries > 0);
     --worker.long_entries;
+    RefreshLongBusy(worker);
+  } else if (entry.kind == QueueEntry::Kind::kProbe && entry.short_class &&
+             short_probe_counts_[worker.id] > 0) {
+    // Saturating, like est_queued_work above: white-box tests stuff queues
+    // directly without going through DeliverEntry's accounting.
+    --short_probe_counts_[worker.id];
   }
   OnEntryDequeued(worker, entry);
   if (tenancy_on_) TenantQueuedDelta(entry, -1);
@@ -982,7 +999,7 @@ void SchedulerBase::TryStartNext(WorkerState& worker) {
       worker.id, net::kControllerNode, net::MessageKind::kFetchRequest,
       one_way(),
       [this, wid = worker.id, entry] {
-        WorkerState& w = *workers_[wid];
+        WorkerState& w = workers_[wid];
         w.pending_call = 0;
         w.resolving = false;
         ResolveProbe(w, entry);
@@ -994,7 +1011,7 @@ void SchedulerBase::AbortProbeResolution(MachineId wid, QueueEntry entry) {
   // Every fetch attempt for the held probe timed out: release the slot and
   // treat the probe like one bounced off a dead destination (re-dispatched
   // while the job still has unplaced tasks, dissolved otherwise).
-  WorkerState& w = *workers_[wid];
+  WorkerState& w = workers_[wid];
   w.pending_call = 0;
   w.resolving = false;
   w.busy = false;
@@ -1005,7 +1022,7 @@ void SchedulerBase::AbortProbeResolution(MachineId wid, QueueEntry entry) {
 void SchedulerBase::AbortStickyFetch(MachineId wid, trace::JobId jid) {
   // Mirrors FailMachine's in-flight-fetch recovery: the fetched job's
   // sibling probes may be gone, so re-cover it with a fresh dispatch.
-  WorkerState& w = *workers_[wid];
+  WorkerState& w = workers_[wid];
   w.pending_call = 0;
   w.fetching_job = trace::kInvalidJob;
   w.busy = false;
@@ -1086,11 +1103,12 @@ void SchedulerBase::StartService(WorkerState& worker, JobRuntime& job,
   worker.running_index = task_index;
   worker.running_start = now;
   worker.busy_until = now + duration;
+  RefreshLongBusy(worker);
   total_busy_time_ += duration;
   Emit(EventType::kTaskStart, job.id, worker.id, task_index, duration);
   worker.pending_event =
       engine_.ScheduleAt(worker.busy_until, [this, wid = worker.id, duration] {
-        WorkerState& w = *workers_[wid];
+        WorkerState& w = workers_[wid];
         w.estimator.OnServiceComplete(duration);
         if (tenancy_on_) {
           const JobRuntime& j = jobs_[w.running_job];
@@ -1110,6 +1128,7 @@ void SchedulerBase::FinishService(WorkerState& worker) {
   ++job.completed;
   makespan_ = std::max(makespan_, now);
   worker.running_job = trace::kInvalidJob;
+  RefreshLongBusy(worker);
   if (job.Done()) {
     job.completion = now;
     ++jobs_done_;
@@ -1129,7 +1148,7 @@ void SchedulerBase::FinishService(WorkerState& worker) {
         worker.id, net::kControllerNode, net::MessageKind::kFetchRequest,
         one_way(),
         [this, wid = worker.id, jid = job.id] {
-          WorkerState& w = *workers_[wid];
+          WorkerState& w = workers_[wid];
           JobRuntime& j = jobs_[jid];
           w.pending_call = 0;
           w.fetching_job = trace::kInvalidJob;
@@ -1162,7 +1181,12 @@ bool SchedulerBase::TryStealFor(WorkerState& worker) {
     const auto victim_id =
         static_cast<MachineId>(rng_.NextBounded(workers_.size()));
     if (victim_id == worker.id) continue;
-    WorkerState& victim = *workers_[victim_id];
+    // Dense-hint fast path: with no short probes queued, the scan below
+    // would find nothing (failed machines drain their queues, so they read
+    // zero too). The RNG draw above already happened, so skipping the scan
+    // leaves the draw sequence — and every downstream decision — intact.
+    if (short_probe_counts_[victim_id] == 0) continue;
+    WorkerState& victim = workers_[victim_id];
     if (victim.failed) continue;
     for (std::size_t i = 0; i < victim.queue.size(); ++i) {
       const QueueEntry& candidate = victim.queue[i];

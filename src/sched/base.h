@@ -85,7 +85,7 @@ class SchedulerBase {
   /// Read access for the elasticity controller's policies (load signals,
   /// wasted-warm-up detection). The full fleet is the machine universe.
   const WorkerState& worker_state(cluster::MachineId id) const {
-    return *workers_[id];
+    return workers_[id];
   }
   std::size_t num_machines() const { return workers_.size(); }
 
@@ -291,9 +291,14 @@ class SchedulerBase {
 
   JobRuntime& runtime(trace::JobId id) { return jobs_[id]; }
   const JobRuntime& runtime(trace::JobId id) const { return jobs_[id]; }
-  WorkerState& worker(cluster::MachineId id) { return *workers_[id]; }
+  WorkerState& worker(cluster::MachineId id) { return workers_[id]; }
   std::size_t num_workers() const { return workers_.size(); }
   std::size_t num_jobs() const { return jobs_.size(); }
+
+  /// Worker holds long work, queued or executing — Eagle's SSS bit. Served
+  /// from a dense byte array so rejection-sampling probe loops touch one
+  /// byte per candidate instead of the worker record plus the job table.
+  bool LongBusy(cluster::MachineId id) const { return long_busy_[id] != 0; }
 
   sim::Engine& engine() { return engine_; }
   /// The control-plane message fabric (chaos injection, partition control).
@@ -370,6 +375,11 @@ class SchedulerBase {
   /// Cancels whatever holds the worker's slot: the fetch call if one is
   /// live, else the pending engine event (task completion).
   void CancelSlotEvent(WorkerState& worker);
+  /// Recomputes the worker's dense LongBusy flag. Called at every site
+  /// mutating long_entries or the running-task identity; the recompute
+  /// keeps one definition of "holds long work" instead of incremental
+  /// updates that could drift from it.
+  void RefreshLongBusy(const WorkerState& worker);
 
   void PlaceDistributed(JobRuntime& job);
   void PlaceCentralized(JobRuntime& job);
@@ -417,7 +427,22 @@ class SchedulerBase {
   net::NetworkFabric fabric_;
   net::Rpc rpc_;
 
-  std::vector<std::unique_ptr<WorkerState>> workers_;
+  /// Contiguous per-worker state. Sized once at construction (the machine
+  /// universe is fixed; elasticity only flips lifecycle states), so
+  /// references handed out by worker()/worker_state() stay stable.
+  std::vector<WorkerState> workers_;
+  /// Dense parallel array: queued short-probe count per worker, maintained
+  /// at the three queue-mutation sites. TryStealFor's random victim probes
+  /// read this 4-byte hint instead of pulling the victim's whole
+  /// WorkerState through the cache; zero means the queue scan would find
+  /// nothing stealable (a failed machine's drained queue included), so the
+  /// scan — not the RNG draw — is skipped, keeping the draw sequence and
+  /// thus every outcome bit-identical.
+  std::vector<std::uint32_t> short_probe_counts_;
+  /// Dense parallel array: 1 while the worker holds long work (queued bound
+  /// long task, or a running long task) — the SSS bit Eagle's probe
+  /// rejection loop tests per candidate. See RefreshLongBusy.
+  std::vector<std::uint8_t> long_busy_;
   std::vector<JobRuntime> jobs_;
   std::size_t jobs_done_ = 0;
 

@@ -2,15 +2,6 @@
 
 namespace phoenix::sched {
 
-bool EagleScheduler::LongBusy(const WorkerState& worker) const {
-  if (worker.long_entries > 0) return true;
-  if (worker.busy && worker.running_job != trace::kInvalidJob &&
-      !runtime(worker.running_job).short_class) {
-    return true;
-  }
-  return false;
-}
-
 std::vector<cluster::MachineId> EagleScheduler::ChooseProbeTargets(
     const JobRuntime& job) {
   const std::size_t wanted = config().probe_ratio * job.num_tasks();
@@ -30,7 +21,7 @@ std::vector<cluster::MachineId> EagleScheduler::ChooseProbeTargets(
     const std::size_t bit = pool.SampleSetBit(rng());
     if (bit == SIZE_MAX) break;
     const auto id = static_cast<cluster::MachineId>(bit);
-    if (!LongBusy(worker(id))) targets.push_back(id);
+    if (!LongBusy(id)) targets.push_back(id);
   }
   while (targets.size() < wanted) {
     const std::size_t bit = pool.SampleSetBit(rng());

@@ -31,9 +31,8 @@ class EagleScheduler : public HawkScheduler {
 
   bool UseStickyBatchProbing(const JobRuntime& job) const override;
 
-  /// True if the worker currently holds long work (queued or executing) —
-  /// the bit the SSS vector exposes.
-  bool LongBusy(const WorkerState& worker) const;
+  // The SSS bit itself is SchedulerBase::LongBusy(id) — a dense flag the
+  // base maintains so the rejection loop below stays cache-resident.
 
   /// Shortest-remaining-estimate index ignoring slack (helper for Phoenix).
   std::size_t SrptIndex(const WorkerState& worker) const;

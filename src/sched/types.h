@@ -106,21 +106,26 @@ struct SchedulerConfig {
 struct QueueEntry {
   enum class Kind : std::uint8_t { kProbe, kBoundTask };
 
-  Kind kind = Kind::kProbe;
-  trace::JobId job = trace::kInvalidJob;
-  /// Valid for bound tasks only; probes late-bind to the job's next task.
-  std::uint32_t task_index = 0;
+  // Field order packs the struct to 40 bytes (doubles first, then 32-bit
+  // ids, then the byte-wide tail) so lambdas capturing an entry by value
+  // stay within the engine callback's inline buffer — queue hand-offs
+  // (deliver, steal, re-dispatch) allocate nothing.
+
   /// Estimated task duration used by SRPT / load accounting (the job's mean
   /// task estimate, as production schedulers have from history).
   double est_duration = 0;
   sim::SimTime enqueue_time = 0;
-  /// Times this entry has been bypassed by queue reordering.
-  std::uint32_t bypass_count = 0;
-  /// The job is classified short by the scheduler.
-  bool short_class = true;
   /// Seconds added to the task's next service (a preempted task pays the
   /// modeled restart cost on its re-run).
   double service_penalty = 0;
+  trace::JobId job = trace::kInvalidJob;
+  /// Valid for bound tasks only; probes late-bind to the job's next task.
+  std::uint32_t task_index = 0;
+  /// Times this entry has been bypassed by queue reordering.
+  std::uint32_t bypass_count = 0;
+  Kind kind = Kind::kProbe;
+  /// The job is classified short by the scheduler.
+  bool short_class = true;
   /// Times this bound task has already been preempted (feeds the
   /// max_preemptions_per_task immunity cap).
   std::uint8_t preempt_count = 0;

@@ -1,84 +1,186 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace phoenix::sim {
 
 namespace {
-// Compaction pays one O(n) rebuild to drop ~n/3 of the heap; below this
-// size the win is noise and the rebuild would run on every few cancels.
-constexpr std::size_t kMinTombstonesForCompaction = 64;
+// Purging pays one O(n) calendar sweep to drop ~n/3 of the entries; below
+// this size the win is noise and the sweep would run on every few cancels.
+constexpr std::size_t kMinTombstonesForPurge = 64;
+// Initial calendar size; doubles whenever live events outgrow it.
+constexpr std::size_t kInitialBuckets = 16;
+// Growth stops here: beyond a few million buckets the day scan is already
+// O(1) per event and the array itself becomes the cache problem.
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
 }  // namespace
+
+Engine::Engine() : buckets_(kInitialBuckets) {}
 
 Engine::EventId Engine::ScheduleAt(SimTime at, Callback cb) {
   PHOENIX_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
   PHOENIX_CHECK_MSG(cb != nullptr, "null event callback");
   const EventId id = next_seq_++;
-  heap_.push_back(Entry{at, id, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  ++live_events_;
+  pending_.Insert(id);
+  const std::uint64_t day = DayOf(at);
+  if (harvested_ && day <= current_day_) {
+    // The event lands in the day being served (ScheduleAt(Now()) from
+    // inside a callback, or a day the scan already passed): insertion-sort
+    // it into the unserved tail. Its seq is larger than every entry already
+    // there, so placing it after all entries with time <= at preserves the
+    // global (time, seq) order.
+    const auto it = std::upper_bound(
+        ready_.begin() + static_cast<std::ptrdiff_t>(ready_head_),
+        ready_.end(), at,
+        [](SimTime t, const Entry& e) { return t < e.time; });
+    ready_.insert(it, Entry{at, id, std::move(cb)});
+  } else {
+    buckets_[day & (buckets_.size() - 1)].push_back(
+        Entry{at, id, std::move(cb)});
+    ++bucket_entries_;
+    MaybeGrow();
+  }
   return id;
 }
 
 bool Engine::Cancel(EventId id) {
-  if (id >= next_seq_) return false;
-  // The cancelled list stays small (probes cancel their siblings promptly),
-  // so a sorted vector + binary search beats a hash set here.
-  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
-  if (it != cancelled_.end() && *it == id) return false;  // already cancelled
-  cancelled_.insert(it, id);
-  PHOENIX_CHECK(live_events_ > 0);
-  --live_events_;
-  MaybeCompact();
+  if (!pending_.Erase(id)) return false;  // unknown, fired, or cancelled
+  cancelled_.Insert(id);
+  MaybePurge();
   return true;
 }
 
-void Engine::MaybeCompact() {
-  if (cancelled_.size() < kMinTombstonesForCompaction ||
-      cancelled_.size() <= live_events_ / 2) {
+void Engine::MaybeGrow() {
+  if (buckets_.size() >= kMaxBuckets ||
+      pending_.size() <= buckets_.size() * 2) {
     return;
   }
-  // Tombstones dominate: filter them out in one pass and re-heapify, so
-  // cancel-heavy workloads keep the heap at O(live) instead of O(scheduled).
-  std::erase_if(heap_, [this](const Entry& e) {
-    return std::binary_search(cancelled_.begin(), cancelled_.end(), e.seq);
-  });
+  // Collect every physical entry (bucket shares plus the unserved ready_
+  // tail), retune the day width to the observed span, and redistribute.
+  // The next Step re-harvests from day(now_), so serving order is intact.
+  std::vector<Entry> all;
+  all.reserve(pending_entries());
+  for (auto& bucket : buckets_) {
+    for (auto& e : bucket) all.push_back(std::move(e));
+    bucket.clear();
+  }
+  for (std::size_t i = ready_head_; i < ready_.size(); ++i) {
+    all.push_back(std::move(ready_[i]));
+  }
+  ready_.clear();
+  ready_head_ = 0;
+  harvested_ = false;
+
+  std::size_t nbuckets = buckets_.size();
+  while (nbuckets < kMaxBuckets && pending_.size() > nbuckets * 2) {
+    nbuckets *= 2;
+  }
+  if (!all.empty()) {
+    SimTime lo = all.front().time;
+    SimTime hi = lo;
+    for (const Entry& e : all) {
+      lo = std::min(lo, e.time);
+      hi = std::max(hi, e.time);
+    }
+    // Aim for ~2 events per day over the observed span, so a day's sort
+    // stays tiny and a lap of the calendar covers a useful time range.
+    const double span = hi - lo;
+    if (span > 0) {
+      width_ = std::max(span * 2.0 / static_cast<double>(all.size()), 1e-9);
+    }
+  }
+  buckets_.clear();
+  buckets_.resize(nbuckets);
+  bucket_entries_ = all.size();
+  for (auto& e : all) {
+    buckets_[DayOf(e.time) & (nbuckets - 1)].push_back(std::move(e));
+  }
+  current_day_ = DayOf(now_);
+}
+
+void Engine::MaybePurge() {
+  if (cancelled_.size() < kMinTombstonesForPurge ||
+      cancelled_.size() <= pending_.size() / 2) {
+    return;
+  }
+  // Tombstones dominate: sweep them out in one pass, so cancel-heavy
+  // workloads keep the calendar at O(live) instead of O(scheduled).
+  for (auto& bucket : buckets_) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < bucket.size(); ++r) {
+      if (cancelled_.Contains(bucket[r].seq)) continue;
+      if (w != r) bucket[w] = std::move(bucket[r]);
+      ++w;
+    }
+    bucket_entries_ -= bucket.size() - w;
+    bucket.resize(w);
+  }
+  // Compact the unserved ready_ tail in place (dropping served husks too).
+  std::size_t w = 0;
+  for (std::size_t r = ready_head_; r < ready_.size(); ++r) {
+    if (cancelled_.Contains(ready_[r].seq)) continue;
+    if (w != r) ready_[w] = std::move(ready_[r]);
+    ++w;
+  }
+  ready_.resize(w);
+  ready_head_ = 0;
   cancelled_.clear();
-  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
   ++compactions_;
-  PHOENIX_CHECK(heap_.size() == live_events_);
+  PHOENIX_CHECK(pending_entries() == pending_.size());
 }
 
-void Engine::SkipCancelled() {
-  while (!heap_.empty()) {
-    const EventId id = heap_.front().seq;
-    const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
-    if (it == cancelled_.end() || *it != id) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    heap_.pop_back();
+void Engine::Harvest() {
+  auto& bucket = buckets_[current_day_ & (buckets_.size() - 1)];
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < bucket.size(); ++r) {
+    if (DayOf(bucket[r].time) <= current_day_) {
+      ready_.push_back(std::move(bucket[r]));
+    } else {
+      if (w != r) bucket[w] = std::move(bucket[r]);
+      ++w;
+    }
   }
+  bucket_entries_ -= bucket.size() - w;
+  bucket.resize(w);
+  std::sort(ready_.begin(), ready_.end(), [](const Entry& a, const Entry& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  });
+  harvested_ = true;
 }
 
-bool Engine::IsPending(EventId id) const {
-  if (id >= next_seq_) return false;
-  if (std::binary_search(cancelled_.begin(), cancelled_.end(), id)) {
-    return false;
+void Engine::AdvanceToNextDay() {
+  const std::size_t nbuckets = buckets_.size();
+  std::size_t scanned = 0;
+  for (;;) {
+    const auto& bucket = buckets_[current_day_ & (nbuckets - 1)];
+    bool has_current = false;
+    for (const Entry& e : bucket) {
+      if (DayOf(e.time) <= current_day_) {
+        has_current = true;
+        break;
+      }
+    }
+    if (has_current) break;
+    ++current_day_;
+    if (++scanned >= nbuckets) {
+      // A full lap of empty days: the calendar is sparse here, so jump
+      // straight to the earliest remaining day instead of walking to it.
+      std::uint64_t min_day = ~std::uint64_t{0};
+      for (const auto& b : buckets_) {
+        for (const Entry& e : b) min_day = std::min(min_day, DayOf(e.time));
+      }
+      current_day_ = min_day;
+      break;
+    }
   }
-  for (const Entry& e : heap_) {
-    if (e.seq == id) return true;
-  }
-  return false;
+  Harvest();
 }
 
 std::vector<Engine::EventId> Engine::PendingIds() const {
   std::vector<EventId> ids;
-  ids.reserve(live_events_);
-  for (const Entry& e : heap_) {
-    if (!std::binary_search(cancelled_.begin(), cancelled_.end(), e.seq)) {
-      ids.push_back(e.seq);
-    }
-  }
+  ids.reserve(pending_.size());
+  pending_.ForEach([&ids](std::uint64_t id) { ids.push_back(id); });
   std::sort(ids.begin(), ids.end());
   return ids;
 }
@@ -90,20 +192,40 @@ std::uint64_t Engine::Run(SimTime until) {
 }
 
 bool Engine::Step(SimTime until) {
-  SkipCancelled();
-  if (heap_.empty() || heap_.front().time > until) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  // Move the callback out before running it: the callback may schedule
-  // events, which mutates the heap.
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  PHOENIX_CHECK(live_events_ > 0);
-  --live_events_;
-  PHOENIX_CHECK_MSG(entry.time >= now_, "event time went backwards");
-  now_ = entry.time;
-  ++events_fired_;
-  entry.cb();
-  return true;
+  for (;;) {
+    while (ready_head_ < ready_.size()) {
+      if (cancelled_.Erase(ready_[ready_head_].seq)) {
+        ++ready_head_;  // tombstone: reclaim and skip
+        continue;
+      }
+      if (ready_[ready_head_].time > until) return false;
+      // Move the entry out before running it: the callback may schedule
+      // same-day events, which mutates ready_.
+      Entry entry = std::move(ready_[ready_head_]);
+      ++ready_head_;
+      pending_.Erase(entry.seq);
+      PHOENIX_CHECK_MSG(entry.time >= now_, "event time went backwards");
+      now_ = entry.time;
+      ++events_fired_;
+      entry.cb();
+      return true;
+    }
+    ready_.clear();
+    ready_head_ = 0;
+    harvested_ = false;
+    if (pending_.empty()) {
+      // Nothing live: drop any straggler tombstones so the calendar is
+      // physically empty too.
+      if (bucket_entries_ > 0) {
+        for (auto& bucket : buckets_) bucket.clear();
+        bucket_entries_ = 0;
+        cancelled_.clear();
+      }
+      current_day_ = DayOf(now_);
+      return false;
+    }
+    AdvanceToNextDay();
+  }
 }
 
 }  // namespace phoenix::sim

@@ -1,28 +1,49 @@
 // Discrete-event simulation engine.
 //
-// A single-threaded event loop over a min-heap of (time, sequence) keyed
-// events. Sequence numbers make execution order deterministic for events
-// scheduled at the same instant (FIFO in scheduling order), which in turn
-// makes every experiment reproducible from its seed.
+// A single-threaded event loop over a calendar queue keyed by
+// (time, sequence). Sequence numbers make execution order deterministic for
+// events scheduled at the same instant (FIFO in scheduling order), which in
+// turn makes every experiment reproducible from its seed.
+//
+// Layout: events live in power-of-two `buckets_` indexed by
+// day & (buckets - 1), where a "day" is floor(time / width_). The loop
+// drains one day at a time: the current day's events are harvested out of
+// their bucket into `ready_`, sorted once by (time, seq), and served in
+// order. Events scheduled *into* the already-harvested day (the
+// ScheduleAt(Now()) reentrancy case) are insertion-sorted into the unserved
+// ready_ tail, so same-instant FIFO holds across bucket boundaries.
+// Bucket count and day width adapt to the live population (doubling
+// rebuilds), which changes only where events physically sit — the served
+// order is always the global (time, seq) order, bit-identical to a binary
+// heap with the same tie-break.
+//
+// Cancellation is O(1): the id is dropped from the `pending_` set and
+// parked in the `cancelled_` tombstone set; the stale calendar entry is
+// skipped when its day is served, and tombstones are purged wholesale once
+// they outnumber half of the live events.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/simtime.h"
 #include "util/check.h"
+#include "util/flat_hash.h"
+#include "util/inline_function.h"
 
 namespace phoenix::sim {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  /// Small-buffer callable: the hot callbacks (task completions, probe
+  /// resolutions, RPC deliveries) fit the inline capacity, so scheduling
+  /// them never touches the allocator.
+  using Callback = util::InlineFunction<void()>;
 
   /// Opaque handle for cancellation.
   using EventId = std::uint64_t;
 
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -38,10 +59,10 @@ class Engine {
   }
 
   /// Cancels a pending event. Returns true if the event had not yet fired.
-  /// Cancellation tombstones the heap entry in O(1) amortized; tombstones
-  /// are skipped when popped, and the heap is compacted wholesale once
-  /// cancelled entries outnumber half of the live ones, so workloads that
-  /// cancel heavily (probe siblings) cannot grow the heap unboundedly.
+  /// O(1): the live set drops the id and the calendar entry becomes a
+  /// tombstone, purged wholesale once tombstones outnumber half the live
+  /// events — so workloads that cancel heavily (probe siblings) cannot grow
+  /// the calendar unboundedly.
   bool Cancel(EventId id);
 
   /// Runs until the event queue drains or `until` is reached, whichever is
@@ -53,22 +74,23 @@ class Engine {
   bool Step(SimTime until = kTimeInfinity);
 
   /// True if `id` was scheduled, has not fired, and is not cancelled.
-  /// O(pending) heap scan — meant for audits and tests, not hot paths;
-  /// batch callers should use PendingIds() once instead.
-  bool IsPending(EventId id) const;
+  /// O(1) hash probe — safe on hot paths as well as audits.
+  bool IsPending(EventId id) const { return pending_.Contains(id); }
 
   /// Ids of all live (scheduled, unfired, uncancelled) events, sorted.
   /// Snapshot for structural audits: one O(n log n) pass amortizes the
   /// per-worker pending checks at a heartbeat.
   std::vector<EventId> PendingIds() const;
 
-  bool Empty() const { return live_events_ == 0; }
+  bool Empty() const { return pending_.empty(); }
   std::uint64_t events_fired() const { return events_fired_; }
   std::uint64_t events_scheduled() const { return next_seq_; }
-  /// Heap entries currently held, including not-yet-reclaimed tombstones
-  /// (bounded by 1.5x the live count once compaction kicks in).
-  std::size_t pending_entries() const { return heap_.size(); }
-  /// Times the heap was rebuilt to shed tombstones.
+  /// Calendar entries currently held, including not-yet-reclaimed
+  /// tombstones (bounded by 1.5x the live count once purging kicks in).
+  std::size_t pending_entries() const {
+    return bucket_entries_ + (ready_.size() - ready_head_);
+  }
+  /// Times the calendar was swept to shed tombstones.
   std::uint64_t compactions() const { return compactions_; }
 
  private:
@@ -76,24 +98,44 @@ class Engine {
     SimTime time;
     std::uint64_t seq;  // doubles as EventId
     Callback cb;
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
   };
 
-  // Pops tombstoned (cancelled) entries off the heap top.
-  void SkipCancelled();
-  // Rebuilds the heap without the tombstoned entries when they dominate.
-  void MaybeCompact();
+  // floor(at / width_), clamped so far-future sentinels cannot overflow the
+  // day counter. Correctness only needs monotonicity in `at`: a clamped
+  // day collapses the far future into one bucket that still sorts fully.
+  std::uint64_t DayOf(SimTime at) const {
+    const double day = at / width_;
+    return day >= 9.0e18 ? static_cast<std::uint64_t>(9.0e18)
+                         : static_cast<std::uint64_t>(day);
+  }
 
-  // Min-heap over Entry (std::greater on operator>), kept as a plain vector
-  // so compaction can filter it in place.
-  std::vector<Entry> heap_;
-  std::vector<EventId> cancelled_;  // sorted lazily; see engine.cc
+  // Advances current_day_ to the next day holding any entry (one-lap scan,
+  // then a direct min-day jump for sparse calendars) and harvests it.
+  void AdvanceToNextDay();
+  // Moves current_day_'s entries from their bucket into ready_, sorted.
+  void Harvest();
+  // Doubles the bucket array and retunes the day width once the live
+  // population outgrows the calendar. Placement-only: serving order is
+  // unaffected.
+  void MaybeGrow();
+  // Sweeps tombstoned entries out of the calendar when they dominate.
+  void MaybePurge();
+
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t bucket_entries_ = 0;  // physical entries across buckets_
+  double width_ = 1.0;              // day width, seconds
+  std::uint64_t current_day_ = 0;
+  // True once current_day_'s bucket share has been moved into ready_;
+  // from then on, same-day arrivals insertion-sort into the ready_ tail.
+  bool harvested_ = false;
+  std::vector<Entry> ready_;  // current day, (time, seq)-sorted
+  std::size_t ready_head_ = 0;
+
+  util::FlatHashSet pending_;    // scheduled, unfired, uncancelled
+  util::FlatHashSet cancelled_;  // cancelled ids still in the calendar
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t live_events_ = 0;
   std::uint64_t events_fired_ = 0;
   std::uint64_t compactions_ = 0;
 };

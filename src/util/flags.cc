@@ -14,6 +14,29 @@ bool LooksLikeFlag(const std::string& arg) {
 
 }  // namespace
 
+void Flags::SetValue(const std::string& name, std::string value) {
+  const auto it = std::lower_bound(
+      values_.begin(), values_.end(), name,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (it != values_.end() && it->first == name) {
+    it->second = std::move(value);  // later occurrence wins, like map[]=
+  } else {
+    values_.insert(it, {name, std::move(value)});
+  }
+}
+
+const std::string* Flags::FindValue(const std::string& name) const {
+  const auto it = std::lower_bound(
+      values_.begin(), values_.end(), name,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (it == values_.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+bool Flags::IsDeclared(const std::string& name) const {
+  return std::binary_search(declared_.begin(), declared_.end(), name);
+}
+
 bool Flags::Parse(int argc, const char* const* argv) {
   if (argc > 0 && argv[0] != nullptr && argv[0][0] != '\0') {
     program_ = argv[0];
@@ -21,7 +44,8 @@ bool Flags::Parse(int argc, const char* const* argv) {
     if (slash != std::string::npos) program_ = program_.substr(slash + 1);
   }
   // `--help` is accepted by every binary without being declared by a getter.
-  declared_["help"] = true;
+  declared_.insert(
+      std::lower_bound(declared_.begin(), declared_.end(), "help"), "help");
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (!LooksLikeFlag(arg)) {
@@ -31,19 +55,19 @@ bool Flags::Parse(int argc, const char* const* argv) {
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      SetValue(arg.substr(0, eq), arg.substr(eq + 1));
       continue;
     }
     // `--no-name` boolean negation.
     if (arg.rfind("no-", 0) == 0) {
-      values_[arg.substr(3)] = "false";
+      SetValue(arg.substr(3), "false");
       continue;
     }
     // `--name value` if the next token is not itself a flag, else bare bool.
     if (i + 1 < argc && !LooksLikeFlag(argv[i + 1])) {
-      values_[arg] = argv[++i];
+      SetValue(arg, argv[++i]);
     } else {
-      values_[arg] = "true";
+      SetValue(arg, "true");
     }
   }
   return true;
@@ -51,25 +75,26 @@ bool Flags::Parse(int argc, const char* const* argv) {
 
 void Flags::Declare(const std::string& name, const char* type,
                     std::string default_value) {
-  if (declared_.count(name)) return;  // first declaration wins
-  declared_[name] = true;
+  const auto it = std::lower_bound(declared_.begin(), declared_.end(), name);
+  if (it != declared_.end() && *it == name) return;  // first declaration wins
+  declared_.insert(it, name);
   declaration_order_.push_back({name, type, std::move(default_value)});
 }
 
 std::string Flags::GetString(const std::string& name, const std::string& def) {
   Declare(name, "string", def.empty() ? "\"\"" : def);
-  const auto it = values_.find(name);
-  return it == values_.end() ? def : it->second;
+  const std::string* v = FindValue(name);
+  return v == nullptr ? def : *v;
 }
 
 std::int64_t Flags::GetInt(const std::string& name, std::int64_t def) {
   Declare(name, "int", std::to_string(def));
-  const auto it = values_.find(name);
-  if (it == values_.end()) return def;
+  const std::string* value = FindValue(name);
+  if (value == nullptr) return def;
   char* end = nullptr;
-  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  const std::int64_t v = std::strtoll(value->c_str(), &end, 10);
   if (end == nullptr || *end != '\0') {
-    error_ = "flag --" + name + " expects an integer, got '" + it->second + "'";
+    error_ = "flag --" + name + " expects an integer, got '" + *value + "'";
     return def;
   }
   return v;
@@ -81,12 +106,12 @@ double Flags::GetDouble(const std::string& name, double def) {
     std::snprintf(buf, sizeof(buf), "%g", def);
     Declare(name, "double", buf);
   }
-  const auto it = values_.find(name);
-  if (it == values_.end()) return def;
+  const std::string* value = FindValue(name);
+  if (value == nullptr) return def;
   char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
+  const double v = std::strtod(value->c_str(), &end);
   if (end == nullptr || *end != '\0') {
-    error_ = "flag --" + name + " expects a number, got '" + it->second + "'";
+    error_ = "flag --" + name + " expects a number, got '" + *value + "'";
     return def;
   }
   return v;
@@ -94,9 +119,9 @@ double Flags::GetDouble(const std::string& name, double def) {
 
 bool Flags::GetBool(const std::string& name, bool def) {
   Declare(name, "bool", def ? "true" : "false");
-  const auto it = values_.find(name);
-  if (it == values_.end()) return def;
-  const std::string& v = it->second;
+  const std::string* value = FindValue(name);
+  if (value == nullptr) return def;
+  const std::string& v = *value;
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   error_ = "flag --" + name + " expects a boolean, got '" + v + "'";
@@ -104,14 +129,13 @@ bool Flags::GetBool(const std::string& name, bool def) {
 }
 
 bool Flags::Provided(const std::string& name) const {
-  return values_.count(name) > 0;
+  return FindValue(name) != nullptr;
 }
 
 bool Flags::HelpRequested() const {
-  const auto it = values_.find("help");
-  if (it == values_.end()) return false;
-  return it->second != "false" && it->second != "0" && it->second != "no" &&
-         it->second != "off";
+  const std::string* v = FindValue("help");
+  if (v == nullptr) return false;
+  return *v != "false" && *v != "0" && *v != "no" && *v != "off";
 }
 
 std::string Flags::Usage() const {
@@ -148,7 +172,7 @@ bool Flags::Validate() {
   if (!error_.empty()) return false;
   for (const auto& [name, value] : values_) {
     (void)value;
-    if (!declared_.count(name)) {
+    if (!IsDeclared(name)) {
       error_ = "unknown flag --" + name;
       return false;
     }

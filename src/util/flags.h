@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace phoenix::util {
@@ -67,9 +67,19 @@ class Flags {
   void Declare(const std::string& name, const char* type,
                std::string default_value);
 
+  /// Inserts or overwrites a parsed value, keeping values_ key-sorted.
+  void SetValue(const std::string& name, std::string value);
+  /// Binary-search lookup; nullptr when the flag was not supplied.
+  const std::string* FindValue(const std::string& name) const;
+  bool IsDeclared(const std::string& name) const;
+
   std::string program_ = "program";
-  std::map<std::string, std::string> values_;
-  std::map<std::string, bool> declared_;
+  // Key-sorted flat vectors instead of node-based maps: a flag set is a
+  // handful of short strings, so binary search over contiguous pairs beats
+  // pointer-chasing, and Validate() still walks keys in the ascending order
+  // std::map used to give (identical first-unknown error message).
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::string> declared_;
   std::vector<Declared> declaration_order_;
   std::vector<std::string> positional_;
   std::string error_;

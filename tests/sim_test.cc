@@ -1,4 +1,5 @@
 // Unit tests for the discrete-event engine.
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -213,6 +214,129 @@ TEST(Engine, CompactionPreservesOrderAndPendingEvents) {
   e.Run();
   EXPECT_EQ(fired.size(), 150u);
   EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+// Same-instant arrivals from inside a callback land in the tail of the
+// already-harvested ready run: the eight pre-scheduled events fire first in
+// schedule order, then their reentrant same-time children, also in order.
+TEST(Engine, SameInstantFifoWithReentrantArrivals) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    e.ScheduleAt(2.0, [&order, &e, i] {
+      order.push_back(i);
+      e.ScheduleAt(2.0, [&order, i] { order.push_back(100 + i); });
+    });
+  }
+  e.Run();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[8 + i], 100 + i);
+}
+
+// A same-instant cohort interleaved with enough spread-out events to force
+// several bucket doublings (growth triggers past 2x the bucket count, which
+// starts at 16) must still fire in schedule order: rebuilds move entries
+// between buckets but never perturb the (time, seq) serving order.
+TEST(Engine, SameInstantFifoSurvivesCalendarGrowth) {
+  Engine e;
+  std::vector<int> cohort;
+  std::uint64_t spread_fired = 0;
+  for (int i = 0; i < 512; ++i) {
+    e.ScheduleAt(static_cast<double>((i * 13) % 4096) + 0.5,
+                 [&spread_fired] { ++spread_fired; });
+    e.ScheduleAt(1000.25, [&cohort, i] { cohort.push_back(i); });
+  }
+  e.Run();
+  EXPECT_EQ(spread_fired, 512u);
+  ASSERT_EQ(cohort.size(), 512u);
+  for (int i = 0; i < 512; ++i) EXPECT_EQ(cohort[i], i);
+  EXPECT_EQ(e.events_fired(), 1024u);
+}
+
+// Reentrant scheduling into a day the scan has already served: an event at
+// day 7 schedules a same-day follower later than Now() plus a next-day
+// event; both must fire, in time order, and Now() must track them.
+TEST(Engine, ReentrantScheduleIntoServedDayFires) {
+  Engine e;
+  std::vector<double> fired;
+  e.ScheduleAt(7.25, [&] {
+    e.ScheduleAt(7.75, [&] { fired.push_back(e.Now()); });
+    e.ScheduleAt(8.5, [&] { fired.push_back(e.Now()); });
+    fired.push_back(e.Now());
+  });
+  e.Run();
+  EXPECT_EQ(fired, (std::vector<double>{7.25, 7.75, 8.5}));
+}
+
+// Chained ScheduleAt(Now()) reentrancy: each event schedules its successor
+// at the identical instant. The chain must fully drain at one simulated
+// time, in creation order, without starving the later event at t = 9.
+TEST(Engine, ChainedSameInstantReentrancyDrainsBeforeAdvancing) {
+  Engine e;
+  std::vector<int> order;
+  int depth = 0;
+  e.ScheduleAt(3.0, [&] {
+    struct Recur {
+      Engine& e;
+      std::vector<int>& order;
+      int& depth;
+      void operator()() {
+        order.push_back(depth);
+        if (++depth < 50) {
+          e.ScheduleAt(e.Now(), Recur{e, order, depth});
+        }
+      }
+    };
+    Recur{e, order, depth}();
+  });
+  bool later_saw_chain_done = false;
+  e.ScheduleAt(9.0, [&] { later_saw_chain_done = depth == 50; });
+  e.Run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_TRUE(later_saw_chain_done);
+}
+
+// Cancelling a not-yet-served same-instant sibling from inside a callback
+// must suppress it even though it already sits in the harvested ready run.
+TEST(Engine, CancelSameInstantSiblingFromCallback) {
+  Engine e;
+  std::vector<int> order;
+  Engine::EventId victim = 0;
+  e.ScheduleAt(4.0, [&] {
+    order.push_back(0);
+    EXPECT_TRUE(e.Cancel(victim));
+    EXPECT_FALSE(e.IsPending(victim));
+  });
+  victim = e.ScheduleAt(4.0, [&] { order.push_back(1); });
+  e.ScheduleAt(4.0, [&] { order.push_back(2); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_EQ(e.events_fired(), 2u);
+}
+
+// PendingIds() is a sorted exact snapshot of the live set, immune to
+// tombstones still parked in the calendar.
+TEST(Engine, PendingIdsIsSortedLiveSnapshot) {
+  Engine e;
+  std::vector<Engine::EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(e.ScheduleAt(static_cast<double>(i % 17), [] {}));
+  }
+  std::vector<Engine::EventId> expect;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 3 == 0) {
+      e.Cancel(ids[i]);
+    } else {
+      expect.push_back(ids[i]);
+    }
+  }
+  std::sort(expect.begin(), expect.end());
+  const auto live = e.PendingIds();
+  EXPECT_TRUE(std::is_sorted(live.begin(), live.end()));
+  EXPECT_EQ(live, expect);
+  for (const auto id : live) EXPECT_TRUE(e.IsPending(id));
 }
 
 // Property sweep: random schedule/cancel workloads preserve global time
