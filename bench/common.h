@@ -29,6 +29,12 @@
 //   --rpc-timeout=S  base RPC attempt deadline
 //   --rpc-retries=N  max retries before a call fails over
 //   --rpc-backoff=F  deadline multiplier per retry
+//
+// Sharded control plane (see EXPERIMENTS.md "Federation"):
+//   --shards=N        scheduler shards; 1 (default) never constructs the
+//                     plane and is byte-identical to the unsharded run
+//   --gossip-period=S digest exchange period per shard
+//   --stale-bound=S   peer digests older than this drop out of global views
 // Defaults are the ideal fabric (constant latency, no loss): bit-identical
 // to the pre-fabric simulator.
 //
@@ -42,6 +48,7 @@
 #include <vector>
 
 #include "cluster/builder.h"
+#include "federation/config.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
 #include "runner/experiment.h"
@@ -69,6 +76,8 @@ struct BenchOptions {
   /// Control-plane fabric and RPC policy applied to every simulation.
   net::FabricConfig net;
   net::RpcConfig rpc;
+  /// Sharded control plane; shards == 1 keeps the plane off.
+  federation::FederationConfig federation;
 };
 
 /// Parses the common flags; exits(1) on bad input. `extra` names additional
@@ -121,10 +130,23 @@ inline BenchOptions ParseBenchOptions(util::Flags& flags,
   o.rpc.max_retries = static_cast<std::size_t>(flags.GetInt(
       "rpc-retries", static_cast<std::int64_t>(o.rpc.max_retries)));
   o.rpc.backoff = flags.GetDouble("rpc-backoff", o.rpc.backoff);
+  o.federation.shards = static_cast<std::uint32_t>(flags.GetInt(
+      "shards", static_cast<std::int64_t>(o.federation.shards)));
+  o.federation.gossip_period =
+      flags.GetDouble("gossip-period", o.federation.gossip_period);
+  o.federation.staleness_bound =
+      flags.GetDouble("stale-bound", o.federation.staleness_bound);
   if (o.net.one_way <= 0 || o.rpc.timeout <= 0 || o.rpc.backoff < 1.0) {
     std::fprintf(stderr,
                  "--net-latency and --rpc-timeout must be positive; "
                  "--rpc-backoff must be >= 1\n");
+    std::exit(1);
+  }
+  if (o.federation.shards == 0 || o.federation.gossip_period <= 0 ||
+      o.federation.staleness_bound <= 0) {
+    std::fprintf(stderr,
+                 "--shards must be >= 1; --gossip-period and --stale-bound "
+                 "must be positive\n");
     std::exit(1);
   }
   // After every flag above is declared, `--help` can print the complete
@@ -162,6 +184,7 @@ inline runner::RepeatedRuns Run(const std::string& scheduler,
   ro.config.net = o.net;
   ro.config.rpc = o.rpc;
   ro.obs = o.obs;
+  ro.federation = o.federation;
   return runner::RepeatedRuns(t, cl, ro, o.runs);
 }
 

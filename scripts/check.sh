@@ -100,6 +100,41 @@ echo "== audited chaos smoke =="
   --net-model=lognormal --net-drop=0.05 --rpc-retries=4 >/dev/null
 echo "chaos smoke ok: 5% drop, retries on, auditor clean"
 
+echo "== federation suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L federation -j "$JOBS"
+
+echo "== audited multi-shard chaos smoke =="
+# Sharded control plane under a lossy, duplicating, reordering fabric: the
+# auditor enforces fed-bind conservation (every optimistic cross-shard bind
+# closes in exactly one accept or reject), accepts only on active machines,
+# and gossip version monotonicity — exiting 0 with gossip traffic present
+# is the assertion that stale views degraded placement, never correctness.
+"$BUILD_DIR/bench/bench_ext_federation" \
+  --nodes=48 --jobs=1000 --runs=1 \
+  --json="$SMOKE_DIR/federation.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR/federation.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cells = doc["cells"]
+assert cells, "no bench cells"
+assert doc["config"]["audit"] is True, "federation smoke must run audited"
+sharded = [c for c in cells if c["shards"] > 1]
+assert sharded, "no multi-shard cells"
+assert any(c["fed_gossip_applied"] > 0 for c in sharded), "gossip never landed"
+assert any(c["chaos"] and c["fed_gossip_stale_dropped"] > 0
+           for c in sharded), "version ordering never engaged under chaos"
+spans = {c["shards"]: c["heartbeat_span"] for c in cells}
+assert all(spans[s] < spans[1] for s in spans if s > 1), \
+    "sharding did not shrink the heartbeat scan bound"
+print(f"federation smoke ok: {len(sharded)} audited multi-shard cells, "
+      "gossip + version ordering engaged, scan bound shrinks")
+EOF
+else
+  echo "federation smoke ok (python3 not found; skipped JSON validation)"
+fi
+
 echo "== perf smoke =="
 # Core-throughput gate: event counts must match the committed baseline
 # exactly (determinism), events/sec within 25% (algorithmic regressions).

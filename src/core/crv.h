@@ -61,6 +61,14 @@ class CrvMonitor {
   /// CRV_Lookup_Table refresh).
   CrvSnapshot TakeSnapshot() const;
 
+  /// One constraint's ratio contribution, 1/|satisfying pool| over the
+  /// machine universe (0 for an empty pool). This is the per-entry load
+  /// quantum the federated control plane gossips in its shard digests:
+  /// summing it across shards reconstructs the global static-pool ratio.
+  /// Universe pools by design — gossip digests carry no membership epoch,
+  /// so the federated CRV view prices supply against the full fleet.
+  double RatioContribution(const cluster::Constraint& c) { return InvPool(c); }
+
   /// Queued entries currently demanding `dim`.
   std::uint64_t DemandFor(cluster::CrvDim dim) const {
     return static_cast<std::uint64_t>(

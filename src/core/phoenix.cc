@@ -26,9 +26,10 @@ void PhoenixScheduler::SetMembership(cluster::MembershipView* membership) {
 void PhoenixScheduler::AdmitJob(JobRuntime& job) {
   // Forced relaxation first (unsatisfiable sets must still run somewhere)…
   EagleScheduler::AdmitJob(job);
-  // …then proactive negotiation against the congested dimensions.
+  // …then proactive negotiation against the congested dimensions, as the
+  // job's home shard believes them under federation.
   if (config().phoenix_admission) {
-    const std::size_t relaxed = admission_.Negotiate(job, snapshot_);
+    const std::size_t relaxed = admission_.Negotiate(job, JobSnapshot(job));
     counters().soft_constraints_relaxed += relaxed;
     if (relaxed > 0) {
       Emit(obs::EventType::kAdmissionRelax, job.id, obs::kNoId, obs::kNoId,
@@ -39,17 +40,75 @@ void PhoenixScheduler::AdmitJob(JobRuntime& job) {
 
 void PhoenixScheduler::ApplyWaitReport(WorkerState& w, double estimate) {
   w.last_wait_estimate = estimate;
-  w.crv_marked = congested_ && estimate > config().qwait_threshold;
+  w.crv_marked = CongestedFor(w.id) && estimate > config().qwait_threshold;
 }
 
-void PhoenixScheduler::OnHeartbeat() {
-  EagleScheduler::OnHeartbeat();  // idle-worker steal retry
-  snapshot_ = monitor_.TakeSnapshot();
-  congested_ = snapshot_.CongestedAbove(config().crv_threshold);
+void PhoenixScheduler::RefreshShardCrv(std::uint32_t shard) {
+  if (shard_snapshots_.empty()) {
+    shard_snapshots_.resize(federation()->num_shards());
+    shard_congested_.assign(federation()->num_shards(), 0);
+  }
+  std::array<std::uint64_t, cluster::kNumCrvDims> demand{};
+  const auto load = federation()->GlobalCrvLoad(shard, &demand);
+  CrvSnapshot snap;
+  for (std::size_t d = 0; d < cluster::kNumCrvDims; ++d) {
+    snap.ratio[d] = load[d];
+    snap.demand[d] = demand[d];
+    if (snap.ratio[d] > snap.max_ratio) {
+      snap.max_ratio = snap.ratio[d];
+      snap.max_dim = static_cast<cluster::CrvDim>(d);
+    }
+  }
+  shard_snapshots_[shard] = snap;
+  shard_congested_[shard] =
+      snap.CongestedAbove(config().crv_threshold) ? 1 : 0;
+}
+
+const CrvSnapshot& PhoenixScheduler::SnapshotFor(MachineId wid) const {
+  if (federation() == nullptr || shard_snapshots_.empty()) return snapshot_;
+  return shard_snapshots_[federation()->shard_of(wid)];
+}
+
+bool PhoenixScheduler::CongestedFor(MachineId wid) const {
+  if (federation() == nullptr || shard_congested_.empty()) return congested_;
+  return shard_congested_[federation()->shard_of(wid)] != 0;
+}
+
+const CrvSnapshot& PhoenixScheduler::JobSnapshot(const JobRuntime& job) const {
+  if (federation() == nullptr || shard_snapshots_.empty()) return snapshot_;
+  return shard_snapshots_[federation()->HomeShard(job.id)];
+}
+
+bool PhoenixScheduler::JobCongested(const JobRuntime& job) const {
+  if (federation() == nullptr || shard_congested_.empty()) return congested_;
+  return shard_congested_[federation()->HomeShard(job.id)] != 0;
+}
+
+void PhoenixScheduler::FederatedQueuedDelta(MachineId wid,
+                                            const cluster::ConstraintSet& cs,
+                                            double sign) {
+  const std::uint32_t shard = federation()->shard_of(wid);
+  for (const auto& c : cs) {
+    federation()->OnQueuedDelta(
+        shard, static_cast<std::size_t>(cluster::AttrToCrvDim(c.attr)),
+        monitor_.RatioContribution(c), sign);
+  }
+}
+
+void PhoenixScheduler::OnHeartbeat(MachineId lo, MachineId hi) {
+  EagleScheduler::OnHeartbeat(lo, hi);  // idle-worker steal retry
+  if (federation() == nullptr) {
+    snapshot_ = monitor_.TakeSnapshot();
+    congested_ = snapshot_.CongestedAbove(config().crv_threshold);
+  } else {
+    // The tick's shard reconstructs its belief of the global CRV table
+    // from its live territory counters plus fresh gossiped peer digests.
+    RefreshShardCrv(federation()->shard_of(lo));
+  }
   const bool ideal_net = fabric().FastPath();
   bool any_marked = false;
-  for (std::size_t i = 0; i < num_workers(); ++i) {
-    WorkerState& w = worker(static_cast<MachineId>(i));
+  for (MachineId i = lo; i < hi; ++i) {
+    WorkerState& w = worker(i);
     const double estimate = w.estimator.EstimateWait();
     if (ideal_net) {
       ApplyWaitReport(w, estimate);
@@ -67,20 +126,24 @@ void PhoenixScheduler::OnHeartbeat() {
     }
     any_marked = any_marked || w.crv_marked;
   }
-  if (congested_ && any_marked) ++counters().crv_reorder_rounds;
+  // The tick's own table: the global snapshot unsharded, the refreshed
+  // shard belief under federation.
+  const CrvSnapshot& snap = SnapshotFor(lo);
+  const bool cong = CongestedFor(lo);
+  if (cong && any_marked) ++counters().crv_reorder_rounds;
   if (tracing()) {
     // Export the refreshed CRV_Lookup_Table row by row (dimension in the
     // task field, ratio in the value) — the timeseries sink reassembles
     // these into the per-heartbeat CRV history table.
     for (std::size_t d = 0; d < cluster::kNumCrvDims; ++d) {
       Emit(obs::EventType::kCrvSnapshot, obs::kNoId, obs::kNoId,
-           static_cast<std::uint32_t>(d), snapshot_.ratio[d]);
+           static_cast<std::uint32_t>(d), snap.ratio[d]);
     }
   }
 
   // Record the refresh; decimate by dropping every other sample once the
   // cap is hit, so arbitrarily long runs keep a bounded, uniform history.
-  history_.push_back({engine().Now(), snapshot_, congested_});
+  history_.push_back({engine().Now(), snap, cong});
   if (history_.size() >= kMaxHistory) {
     std::vector<CrvSample> halved;
     halved.reserve(history_.size() / 2 + 1);
@@ -91,25 +154,28 @@ void PhoenixScheduler::OnHeartbeat() {
   }
 }
 
-bool PhoenixScheduler::TouchesHotDim(const JobRuntime& job) const {
+bool PhoenixScheduler::TouchesHotDim(const JobRuntime& job,
+                                     const CrvSnapshot& snap) const {
   for (const auto& c : job.effective) {
-    if (cluster::AttrToCrvDim(c.attr) == snapshot_.max_dim) return true;
+    if (cluster::AttrToCrvDim(c.attr) == snap.max_dim) return true;
   }
   return false;
 }
 
 std::size_t PhoenixScheduler::SelectNextIndex(const WorkerState& worker) {
-  if (!config().phoenix_crv_reorder || !(congested_ && worker.crv_marked)) {
+  if (!config().phoenix_crv_reorder ||
+      !(CongestedFor(worker.id) && worker.crv_marked)) {
     return EagleScheduler::SelectNextIndex(worker);  // SRPT + slack
   }
   // CRV-based reordering: among *short* entries demanding the hottest
   // dimension, run the shortest first; entries on cooler dimensions (or
   // none) wait. Long bound tasks are never promoted — the reordering
   // exists to pull latency-critical constrained work forward.
+  const CrvSnapshot& snap = SnapshotFor(worker.id);
   std::size_t best = SIZE_MAX;
   for (std::size_t i = 0; i < worker.queue.size(); ++i) {
     if (!worker.queue[i].short_class) continue;
-    if (!TouchesHotDim(runtime(worker.queue[i].job))) continue;
+    if (!TouchesHotDim(runtime(worker.queue[i].job), snap)) continue;
     if (best == SIZE_MAX ||
         worker.queue[i].est_duration < worker.queue[best].est_duration) {
       best = i;
@@ -165,20 +231,24 @@ std::vector<MachineId> PhoenixScheduler::ChooseProbeTargets(
 bool PhoenixScheduler::UseStickyBatchProbing(const JobRuntime& job) const {
   // Stickiness is suspended during congested periods: it commits work to a
   // queue whose wait the CRV table says is mispriced (§VI-A).
-  if (config().phoenix_suspend_sbp && congested_) return false;
+  if (config().phoenix_suspend_sbp && JobCongested(job)) return false;
   return EagleScheduler::UseStickyBatchProbing(job);
 }
 
 void PhoenixScheduler::OnEntryEnqueued(const WorkerState& worker,
                                        const QueueEntry& entry) {
   EagleScheduler::OnEntryEnqueued(worker, entry);
-  monitor_.OnEnqueue(runtime(entry.job).effective);
+  const cluster::ConstraintSet& cs = runtime(entry.job).effective;
+  monitor_.OnEnqueue(cs);
+  if (federation() != nullptr) FederatedQueuedDelta(worker.id, cs, +1);
 }
 
 void PhoenixScheduler::OnEntryDequeued(const WorkerState& worker,
                                        const QueueEntry& entry) {
   EagleScheduler::OnEntryDequeued(worker, entry);
-  monitor_.OnDequeue(runtime(entry.job).effective);
+  const cluster::ConstraintSet& cs = runtime(entry.job).effective;
+  monitor_.OnDequeue(cs);
+  if (federation() != nullptr) FederatedQueuedDelta(worker.id, cs, -1);
 }
 
 }  // namespace phoenix::core

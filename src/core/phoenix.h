@@ -68,7 +68,7 @@ class PhoenixScheduler : public sched::EagleScheduler {
   std::vector<cluster::MachineId> ChooseProbeTargets(
       const sched::JobRuntime& job) override;
   std::size_t SelectNextIndex(const sched::WorkerState& worker) override;
-  void OnHeartbeat() override;
+  void OnHeartbeat(cluster::MachineId lo, cluster::MachineId hi) override;
   bool UseStickyBatchProbing(const sched::JobRuntime& job) const override;
   void OnEntryEnqueued(const sched::WorkerState& worker,
                        const sched::QueueEntry& entry) override;
@@ -76,9 +76,30 @@ class PhoenixScheduler : public sched::EagleScheduler {
                        const sched::QueueEntry& entry) override;
 
  private:
-  /// True if the job's effective constraints touch the snapshot's hottest
-  /// dimension.
-  bool TouchesHotDim(const sched::JobRuntime& job) const;
+  /// True if the job's effective constraints touch the hottest dimension of
+  /// `snap`.
+  bool TouchesHotDim(const sched::JobRuntime& job,
+                     const CrvSnapshot& snap) const;
+
+  // ---- Federated CRV views ------------------------------------------------
+  //
+  // Under federation each shard keeps its own belief of the *global* CRV
+  // table: its live territory counters plus fresh gossiped peer digests
+  // (federation/plane.h). These accessors pick the right table — the
+  // worker's owning shard for queue decisions, the job's home shard for
+  // admission — and collapse to the single global snapshot_ when unsharded
+  // (or before the first federated heartbeat).
+
+  /// Refreshes shard's reconstructed global CRV table from the plane.
+  void RefreshShardCrv(std::uint32_t shard);
+  const CrvSnapshot& SnapshotFor(cluster::MachineId wid) const;
+  bool CongestedFor(cluster::MachineId wid) const;
+  const CrvSnapshot& JobSnapshot(const sched::JobRuntime& job) const;
+  bool JobCongested(const sched::JobRuntime& job) const;
+  /// Per-constraint CRV delta of a queue transition in `wid`'s territory,
+  /// pushed into the shard's gossiped digest.
+  void FederatedQueuedDelta(cluster::MachineId wid,
+                            const cluster::ConstraintSet& cs, double sign);
 
   /// Lands one worker's heartbeat E[W] report at the CRV monitor: refreshes
   /// the published wait estimate and the CRV reorder mark. Under the ideal
@@ -94,6 +115,10 @@ class PhoenixScheduler : public sched::EagleScheduler {
   CrvSnapshot snapshot_;
   bool congested_ = false;
   std::vector<CrvSample> history_;
+  /// Federated per-shard beliefs (empty unsharded and until the first
+  /// federated heartbeat sizes them).
+  std::vector<CrvSnapshot> shard_snapshots_;
+  std::vector<std::uint8_t> shard_congested_;
 };
 
 }  // namespace phoenix::core

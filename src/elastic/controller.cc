@@ -120,17 +120,27 @@ void ElasticityController::ReactiveDecision() {
   const double now = engine_.Now();
   if (now - last_decision_ < config_.decision_cooldown) return;
   if (view_.bindable_count() == 0) return;
-  // Cluster-wide mean of the per-worker M/G/1 E[W] estimates. A saturated
-  // estimator reports +infinity; clamp so one hot worker reads as "very
-  // congested" rather than poisoning the mean outright.
-  double sum = 0;
-  for (std::size_t id = 0; id < scheduler_.num_machines(); ++id) {
-    const auto mid = static_cast<MachineId>(id);
-    if (!view_.Bindable(mid)) continue;
-    sum += std::min(scheduler_.worker_state(mid).estimator.EstimateWait(),
-                    1e6);
+  double mean = 0;
+  if (const auto* plane = scheduler_.federation()) {
+    // Sharded control plane: the controller sits with shard 0 and scales on
+    // its gossiped global view (own territory + fresh peer digests) instead
+    // of scanning the fleet — stale peers drop out of the average, so a
+    // partition degrades the signal toward shard 0's own load, never to
+    // garbage.
+    mean = plane->GlobalMeanWait(0);
+  } else {
+    // Cluster-wide mean of the per-worker M/G/1 E[W] estimates. A saturated
+    // estimator reports +infinity; clamp so one hot worker reads as "very
+    // congested" rather than poisoning the mean outright.
+    double sum = 0;
+    for (std::size_t id = 0; id < scheduler_.num_machines(); ++id) {
+      const auto mid = static_cast<MachineId>(id);
+      if (!view_.Bindable(mid)) continue;
+      sum += std::min(scheduler_.worker_state(mid).estimator.EstimateWait(),
+                      1e6);
+    }
+    mean = sum / static_cast<double>(view_.bindable_count());
   }
-  const double mean = sum / static_cast<double>(view_.bindable_count());
   if (mean > config_.scale_up_factor * config_.target_wait) {
     ScaleUp(config_.scale_step);
   } else if (mean < config_.scale_down_factor * config_.target_wait) {

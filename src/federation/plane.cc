@@ -1,0 +1,188 @@
+#include "federation/plane.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/check.h"
+
+namespace phoenix::federation {
+
+FederationPlane::FederationPlane(sim::Engine& engine,
+                                 net::NetworkFabric& fabric,
+                                 const FederationConfig& config,
+                                 std::size_t num_machines)
+    : engine_(engine),
+      fabric_(fabric),
+      config_(config),
+      map_(num_machines, config.shards),
+      local_(config.shards),
+      views_(config.shards * config.shards) {
+  PHOENIX_CHECK_MSG(config.enabled(), "plane built with federation off");
+  PHOENIX_CHECK(config.gossip_period > 0);
+  PHOENIX_CHECK(config.staleness_bound > 0);
+}
+
+void FederationPlane::Start(std::function<bool()> keep_running) {
+  keep_running_ = std::move(keep_running);
+  const auto shards = static_cast<std::uint32_t>(map_.num_shards());
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    // Stagger first publications across the period so the full mesh does
+    // not synchronize into one burst per period.
+    const double offset =
+        config_.gossip_period * (1.0 + static_cast<double>(s) /
+                                           static_cast<double>(shards));
+    engine_.ScheduleAfter(offset, [this, s] { GossipTick(s); });
+  }
+}
+
+void FederationPlane::GossipTick(std::uint32_t shard) {
+  if (keep_running_ && !keep_running_()) return;  // let the run drain
+  Publish(shard);
+  engine_.ScheduleAfter(config_.gossip_period,
+                        [this, shard] { GossipTick(shard); });
+}
+
+void FederationPlane::Publish(std::uint32_t shard) {
+  ShardDigest& local = local_[shard];
+  ++local.version;
+  // One immutable snapshot shared by every peer copy: the digest outgrows
+  // the fabric callback's inline buffer, and peers must see the state at
+  // publication time, not whatever the counters say at arrival.
+  auto snapshot = std::make_shared<const ShardDigest>(local);
+  EmitGossip(obs::EventType::kGossipPublish, shard, obs::kNoId,
+             static_cast<double>(local.version));
+  const auto shards = static_cast<std::uint32_t>(map_.num_shards());
+  for (std::uint32_t p = 0; p < shards; ++p) {
+    if (p == shard) continue;
+    ++stats_.digests_published;
+    fabric_.Send(map_.endpoint(shard), map_.endpoint(p),
+                 net::MessageKind::kGossipDigest, fabric_.one_way(),
+                 [this, shard, p, snapshot] {
+                   Apply(p, shard, *snapshot);
+                   return true;
+                 });
+  }
+}
+
+void FederationPlane::Apply(std::uint32_t receiver, std::uint32_t origin,
+                            const ShardDigest& digest) {
+  ShardDigest& view = views_[receiver * map_.num_shards() + origin];
+  // Reordered or duplicated gossip must not roll a view backwards; only a
+  // strictly newer version lands.
+  if (digest.version <= view.version) {
+    ++stats_.digests_stale_dropped;
+    return;
+  }
+  view = digest;
+  ++stats_.digests_applied;
+  EmitGossip(obs::EventType::kGossipApply, receiver, origin,
+             static_cast<double>(digest.version));
+}
+
+void FederationPlane::EmitGossip(obs::EventType type, std::uint32_t shard,
+                                 std::uint32_t peer, double version) {
+  if (!emitter_) return;
+  obs::Event event;
+  event.time = engine_.Now();
+  event.type = type;
+  event.machine = shard;
+  event.task = peer;
+  event.value = version;
+  emitter_(event);
+}
+
+void FederationPlane::RefreshLocal(std::uint32_t shard, double mean_wait,
+                                   std::uint32_t live_workers,
+                                   std::uint32_t free_slots) {
+  ShardDigest& local = local_[shard];
+  local.stamp = engine_.Now();
+  local.mean_wait = mean_wait;
+  local.live_workers = live_workers;
+  local.free_slots = free_slots;
+}
+
+void FederationPlane::OnQueuedDelta(std::uint32_t shard, std::size_t dim,
+                                    double inv_pool, double sign) {
+  ShardDigest& local = local_[shard];
+  local.crv_load[dim] =
+      std::max(0.0, local.crv_load[dim] + sign * inv_pool);
+  if (sign > 0) {
+    ++local.crv_demand[dim];
+  } else if (local.crv_demand[dim] > 0) {
+    --local.crv_demand[dim];
+  }
+}
+
+const ShardDigest& FederationPlane::View(std::uint32_t shard,
+                                         std::uint32_t peer) const {
+  if (peer == shard) return local_[shard];
+  return views_[shard * map_.num_shards() + peer];
+}
+
+bool FederationPlane::Fresh(std::uint32_t shard, std::uint32_t peer) const {
+  const ShardDigest& view = View(shard, peer);
+  return view.stamp >= 0 &&
+         engine_.Now() - view.stamp <= config_.staleness_bound;
+}
+
+double FederationPlane::GlobalMeanWait(std::uint32_t shard) const {
+  double sum = 0;
+  std::uint64_t live = 0;
+  const auto shards = static_cast<std::uint32_t>(map_.num_shards());
+  for (std::uint32_t p = 0; p < shards; ++p) {
+    // Own territory always contributes (the shard reads its own ground
+    // truth); peers only while fresh.
+    if (p != shard && !Fresh(shard, p)) continue;
+    const ShardDigest& view = View(shard, p);
+    sum += view.mean_wait * view.live_workers;
+    live += view.live_workers;
+  }
+  return live > 0 ? sum / static_cast<double>(live) : 0.0;
+}
+
+std::array<double, cluster::kNumCrvDims> FederationPlane::GlobalCrvLoad(
+    std::uint32_t shard,
+    std::array<std::uint64_t, cluster::kNumCrvDims>* demand_out) const {
+  std::array<double, cluster::kNumCrvDims> load{};
+  if (demand_out != nullptr) demand_out->fill(0);
+  const auto shards = static_cast<std::uint32_t>(map_.num_shards());
+  for (std::uint32_t p = 0; p < shards; ++p) {
+    if (p != shard && !Fresh(shard, p)) continue;
+    const ShardDigest& view = View(shard, p);
+    for (std::size_t d = 0; d < cluster::kNumCrvDims; ++d) {
+      load[d] += view.crv_load[d];
+      if (demand_out != nullptr) (*demand_out)[d] += view.crv_demand[d];
+    }
+  }
+  return load;
+}
+
+std::uint32_t FederationPlane::PickOffloadPeer(std::uint32_t shard) {
+  const ShardDigest& own = local_[shard];
+  if (own.free_slots > 0) return kNoShard;  // home capacity first
+  std::uint32_t best = kNoShard;
+  double best_wait = 0;
+  bool any_stale_candidate = false;
+  const auto shards = static_cast<std::uint32_t>(map_.num_shards());
+  for (std::uint32_t p = 0; p < shards; ++p) {
+    if (p == shard) continue;
+    const ShardDigest& view = View(shard, p);
+    if (view.stamp < 0) continue;  // never heard from this peer
+    if (!Fresh(shard, p)) {
+      any_stale_candidate = true;
+      continue;
+    }
+    if (view.free_slots == 0) continue;
+    if (view.mean_wait >= config_.offload_factor * own.mean_wait) continue;
+    if (best == kNoShard || view.mean_wait < best_wait) {
+      best = p;
+      best_wait = view.mean_wait;
+    }
+  }
+  if (best == kNoShard && any_stale_candidate) {
+    ++stats_.offloads_blocked_stale;
+  }
+  return best;
+}
+
+}  // namespace phoenix::federation

@@ -1,0 +1,174 @@
+// Federated control plane: per-shard digests + eventually-consistent gossip.
+//
+// Each scheduler shard owns the heartbeats, CRV demand accounting, and
+// mean-E[W] signal of its machine territory (see ShardMap). The plane holds,
+// per shard:
+//
+//   * the shard's *local* digest — ground truth the owning shard refreshes
+//     at its own heartbeat (mean wait, free slots) and updates incrementally
+//     on queue transitions (per-dimension CRV demand/load);
+//   * the shard's *views* of every peer — the last gossiped digest received
+//     from each, with the origin's version and timestamp.
+//
+// Every gossip_period each shard publishes a versioned snapshot of its local
+// digest to all peers over the NetworkFabric (full-mesh push, staggered
+// start). Gossip messages ride the same chaos model as every other control
+// message: drops, duplicates, reordering, and partitions that sever a
+// shard's endpoint delay or lose digests, leaving peers with stale views.
+// Receivers discard out-of-order digests (version check), and readers treat
+// views older than the staleness bound as unknown, so a partitioned shard
+// degrades to home-territory-only placement instead of acting on garbage.
+//
+// Correctness never depends on gossip freshness: cross-shard placement is
+// optimistic (probe/bind into a peer's territory on a possibly-stale view)
+// and the scheduler's double-bind detection resolves conflicts by requeueing
+// through the existing redispatch path. The plane only shapes *where* work
+// is tried first.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/attributes.h"
+#include "cluster/machine.h"
+#include "federation/config.h"
+#include "federation/shard_map.h"
+#include "net/fabric.h"
+#include "obs/event.h"
+#include "sim/engine.h"
+
+namespace phoenix::federation {
+
+/// One shard's aggregate state as exchanged over gossip.
+struct ShardDigest {
+  /// Publication counter at the origin; receivers drop digests whose
+  /// version is not strictly newer than their current view.
+  std::uint64_t version = 0;
+  /// Origin refresh time (simulation seconds); staleness is measured
+  /// against this at read time. Negative = never refreshed/received.
+  double stamp = -1;
+  /// Territory-mean M/G/1 E[W] over live bindable workers, clamped so one
+  /// saturated estimator cannot poison the fleet view.
+  double mean_wait = 0;
+  std::uint32_t live_workers = 0;
+  /// Idle bindable workers with empty queues — the optimistic cross-shard
+  /// bind targets a shard advertising free slots.
+  std::uint32_t free_slots = 0;
+  /// Per-CRV-dimension queued demand within the territory: entry counts and
+  /// CRV load (sum over queued constraints of 1/|satisfying pool|, the
+  /// monitor's ratio contribution). Summing loads across shards
+  /// reconstructs the global CRV table when every view is fresh.
+  std::array<double, cluster::kNumCrvDims> crv_load{};
+  std::array<std::uint64_t, cluster::kNumCrvDims> crv_demand{};
+};
+
+class FederationPlane {
+ public:
+  struct Stats {
+    std::uint64_t digests_published = 0;  // per peer send
+    std::uint64_t digests_applied = 0;
+    std::uint64_t digests_stale_dropped = 0;  // out-of-order arrivals
+    /// Offload decisions blocked because every candidate peer view was
+    /// older than the staleness bound.
+    std::uint64_t offloads_blocked_stale = 0;
+  };
+
+  FederationPlane(sim::Engine& engine, net::NetworkFabric& fabric,
+                  const FederationConfig& config, std::size_t num_machines);
+
+  FederationPlane(const FederationPlane&) = delete;
+  FederationPlane& operator=(const FederationPlane&) = delete;
+
+  const FederationConfig& config() const { return config_; }
+  const ShardMap& shard_map() const { return map_; }
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(map_.num_shards());
+  }
+  std::uint32_t shard_of(cluster::MachineId machine) const {
+    return map_.shard_of(machine);
+  }
+  /// Home shard of a job: arrivals are spread round-robin by job id, the
+  /// deterministic stand-in for "submitted to the nearest front-end".
+  std::uint32_t HomeShard(std::uint64_t job_id) const {
+    return static_cast<std::uint32_t>(job_id % map_.num_shards());
+  }
+
+  /// Starts the per-shard gossip timer chains (staggered). `keep_running`
+  /// is polled at each fire; once false the chain stops so the engine can
+  /// drain. Call once, before the run.
+  void Start(std::function<bool()> keep_running);
+
+  /// Observability tap, mirroring NetworkFabric::set_emitter: the plane
+  /// emits kGossipPublish / kGossipApply through it.
+  void set_emitter(std::function<void(const obs::Event&)> emitter) {
+    emitter_ = std::move(emitter);
+  }
+
+  // ---- Owning-shard writes ------------------------------------------------
+
+  /// Heartbeat refresh of the shard's own aggregate signals.
+  void RefreshLocal(std::uint32_t shard, double mean_wait,
+                    std::uint32_t live_workers, std::uint32_t free_slots);
+
+  /// Incremental CRV accounting: a constrained entry demanding `dim` with
+  /// ratio contribution `inv_pool` entered (+1) or left (-1) a queue in the
+  /// shard's territory.
+  void OnQueuedDelta(std::uint32_t shard, std::size_t dim, double inv_pool,
+                     double sign);
+
+  // ---- Shard-perspective reads --------------------------------------------
+
+  const ShardDigest& Local(std::uint32_t shard) const {
+    return local_[shard];
+  }
+  /// `shard`'s current view of `peer` (its own local digest when peer ==
+  /// shard). stamp < 0 means no digest has ever arrived.
+  const ShardDigest& View(std::uint32_t shard, std::uint32_t peer) const;
+  /// View exists and its origin stamp is within the staleness bound.
+  bool Fresh(std::uint32_t shard, std::uint32_t peer) const;
+
+  /// Fleet-mean E[W] as `shard` believes it: its own live signal combined
+  /// with every fresh peer view, weighted by live workers. Stale peers drop
+  /// out of the average (degraded, never wrong-by-construction).
+  double GlobalMeanWait(std::uint32_t shard) const;
+
+  /// Global CRV load per dimension as `shard` believes it: own territory's
+  /// live counters plus fresh peers' gossiped loads. `demand_out` (optional)
+  /// receives the matching entry counts.
+  std::array<double, cluster::kNumCrvDims> GlobalCrvLoad(
+      std::uint32_t shard,
+      std::array<std::uint64_t, cluster::kNumCrvDims>* demand_out) const;
+
+  /// Best peer for optimistic offload from `shard`, or kNoShard. A peer
+  /// qualifies when its view is fresh, it advertises free slots, and its
+  /// gossiped mean wait is below offload_factor times the home shard's own;
+  /// the lowest mean wait wins (lowest shard id among ties). Returns
+  /// kNoShard without counting when the home shard itself has free slots.
+  std::uint32_t PickOffloadPeer(std::uint32_t shard);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void GossipTick(std::uint32_t shard);
+  void Publish(std::uint32_t shard);
+  void Apply(std::uint32_t receiver, std::uint32_t origin,
+             const ShardDigest& digest);
+  void EmitGossip(obs::EventType type, std::uint32_t shard,
+                  std::uint32_t peer, double version);
+
+  sim::Engine& engine_;
+  net::NetworkFabric& fabric_;
+  FederationConfig config_;
+  ShardMap map_;
+  /// Ground truth per shard (stamp tracks the last heartbeat refresh).
+  std::vector<ShardDigest> local_;
+  /// views_[receiver * S + origin]: receiver's last applied digest.
+  std::vector<ShardDigest> views_;
+  std::function<bool()> keep_running_;
+  std::function<void(const obs::Event&)> emitter_;
+  Stats stats_;
+};
+
+}  // namespace phoenix::federation

@@ -1,0 +1,78 @@
+// Static fleet partition: machine id -> owning scheduler shard.
+//
+// Shards own contiguous machine ranges (shard s owns [s*n/S, (s+1)*n/S)),
+// mirroring how production federations split a fleet along racks or cells.
+// The map is immutable for the run; elasticity flips lifecycle states within
+// a territory but never moves a machine between shards.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "cluster/machine.h"
+#include "util/check.h"
+
+namespace phoenix::federation {
+
+/// Sentinel shard id ("no shard chosen").
+inline constexpr std::uint32_t kNoShard = 0xffffffffu;
+
+class ShardMap {
+ public:
+  ShardMap(std::size_t num_machines, std::size_t shards)
+      : num_machines_(num_machines), shards_(shards) {
+    PHOENIX_CHECK_MSG(shards >= 1 && shards <= num_machines,
+                      "shard count must be in [1, fleet size]");
+  }
+
+  std::size_t num_shards() const { return shards_; }
+  std::size_t num_machines() const { return num_machines_; }
+
+  /// Owned machine range of `shard`, as [begin, end).
+  std::pair<cluster::MachineId, cluster::MachineId> range(
+      std::uint32_t shard) const {
+    PHOENIX_CHECK(shard < shards_);
+    return {static_cast<cluster::MachineId>(shard * num_machines_ / shards_),
+            static_cast<cluster::MachineId>((shard + 1) * num_machines_ /
+                                            shards_)};
+  }
+
+  std::uint32_t shard_of(cluster::MachineId machine) const {
+    PHOENIX_CHECK(machine < num_machines_);
+    // Inverse of the floor-division range split: candidate from the scaled
+    // division, corrected against the exact range bounds (integer rounding
+    // can land one off on either side).
+    std::uint32_t s = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(machine) * shards_ / num_machines_);
+    while (s + 1 < shards_ && machine >= range(s).second) ++s;
+    while (s > 0 && machine < range(s).first) --s;
+    return s;
+  }
+
+  /// The shard's gossip endpoint on the control-plane fabric: its first
+  /// machine. A fabric partition that severs this machine severs the
+  /// shard's gossip links, which is exactly the failure the staleness
+  /// bound exists for.
+  cluster::MachineId endpoint(std::uint32_t shard) const {
+    return range(shard).first;
+  }
+
+  /// Largest territory size — the per-event worker-scan bound of a sharded
+  /// heartbeat (the unsharded scheduler scans the whole fleet per tick).
+  std::size_t max_span() const {
+    std::size_t span = 0;
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+      const auto [lo, hi] = range(s);
+      span = span > static_cast<std::size_t>(hi - lo)
+                 ? span
+                 : static_cast<std::size_t>(hi - lo);
+    }
+    return span;
+  }
+
+ private:
+  std::size_t num_machines_;
+  std::size_t shards_;
+};
+
+}  // namespace phoenix::federation

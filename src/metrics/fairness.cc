@@ -1,6 +1,7 @@
 #include "metrics/fairness.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -14,8 +15,13 @@ double JainIndex(const std::vector<double>& values) {
     sum += v;
     sum_sq += v * v;
   }
+  // All-zero input is 0/0 in (Σx)²/(n·Σx²): vacuously fair, per contract.
   if (sum_sq <= 0) return 1.0;
-  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+  const double jain =
+      sum * sum / (static_cast<double>(values.size()) * sum_sq);
+  // Degenerate inputs (overflow to inf/inf, NaN samples) must not leak NaN
+  // into reports; fall back to the same documented vacuous value.
+  return std::isfinite(jain) ? jain : 1.0;
 }
 
 namespace {

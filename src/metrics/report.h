@@ -115,10 +115,32 @@ struct SchedulerCounters {
   /// Slack_threshold starvation guard) or already at the preemption cap.
   std::uint64_t preemptions_blocked_guard = 0;
   std::uint64_t preemptions_blocked_cap = 0;
+  /// Preemptions refused because the machine left the bindable fleet
+  /// (draining/retired): its slot work belongs to the drain sweep alone.
+  std::uint64_t preemptions_blocked_lifecycle = 0;
   /// Modeled restart cost paid by preempted tasks, and service seconds
   /// thrown away at their kills.
   double preemption_restart_seconds = 0;
   double preemption_lost_seconds = 0;
+  /// Sharded control plane (src/federation). All zero with --shards=1.
+  /// Gossip digests sent / applied / discarded as out-of-order stale.
+  std::uint64_t fed_gossip_published = 0;
+  std::uint64_t fed_gossip_applied = 0;
+  std::uint64_t fed_gossip_stale_dropped = 0;
+  /// Jobs steered off their home shard on a fresh peer view, and offload
+  /// decisions blocked because every candidate peer view was stale.
+  std::uint64_t fed_offloads = 0;
+  std::uint64_t fed_offloads_blocked_stale = 0;
+  /// Probes landing outside the job's home territory.
+  std::uint64_t fed_cross_shard_probes = 0;
+  /// Optimistic cross-shard binds: sent, accepted at a genuinely free slot,
+  /// rejected by double-bind detection (requeued via redispatch).
+  std::uint64_t fed_bind_attempts = 0;
+  std::uint64_t fed_bind_accepts = 0;
+  std::uint64_t fed_bind_rejects = 0;
+  /// Constrained placements whose satisfying pool missed the target
+  /// territory and fell back to a global draw.
+  std::uint64_t fed_territory_fallbacks = 0;
 };
 
 /// Per-tenant outcome slice (empty unless the run configured tenants).

@@ -54,6 +54,7 @@ enum class MessageKind : std::uint8_t {
   kFetchRequest,  // worker -> scheduler late-binding task fetch
   kFetchReply,    // scheduler -> worker fetched task body
   kHeartbeatReport,  // worker -> CRV monitor E[W] report
+  kGossipDigest,     // shard endpoint -> peer endpoint federation digest
 };
 
 enum class LatencyModel : std::uint8_t {

@@ -61,6 +61,10 @@ Rpc::CallId Rpc::Issue() {
   call.timer = 0;
   call.live = true;
   ++call.generation;
+  // Skip 0 on wrap: generation 0 is the never-issued state (and id 0 is the
+  // "no call" sentinel), so a slot that cycles through 2^32 tenants must not
+  // mint ids indistinguishable from it.
+  if (call.generation == 0) ++call.generation;
   return (static_cast<CallId>(call.generation) << 32) |
          static_cast<CallId>(slot + 1);
 }

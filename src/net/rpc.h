@@ -94,6 +94,12 @@ class Rpc {
   const RpcStats& stats() const { return stats_; }
   const RpcConfig& config() const { return config_; }
 
+  /// Test-only: plants `generation` on an existing (freed) slot so tests can
+  /// exercise the 2^32 generation wrap without issuing four billion calls.
+  void SetGenerationForTest(std::uint32_t slot, std::uint32_t generation) {
+    slots_[slot].generation = generation;
+  }
+
  private:
   struct Call {
     cluster::MachineId src = kControllerNode;

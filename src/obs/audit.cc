@@ -234,6 +234,18 @@ void InvariantAuditor::OnEvent(const Event& event) {
       // A preemption kills the running task; the start/completion balance
       // treats it like a failure kill, and conservation demands a matching
       // requeue for the same (job, task) before the run ends.
+      //
+      // Conservation also covers the machine lifecycle: a draining or
+      // retired machine's slot work is recovered by the drain/retire sweep,
+      // so a preemption there would put the victim on two recovery paths
+      // (requeue + sweep) and double-dispatch it.
+      if (event.machine != kNoId &&
+          LifecycleFor(event.machine) != kLifeActive) {
+        Violate(util::StrFormat(
+            "job %u task %u preempted on machine %u while %s at t=%.6f",
+            event.job, event.task, event.machine,
+            LifeName(LifecycleFor(event.machine)), event.time));
+      }
       ++preemptions_issued_;
       ++JobFor(event.job).kills;
       const std::uint64_t key =
@@ -267,6 +279,61 @@ void InvariantAuditor::OnEvent(const Event& event) {
             event.machine, event.time, event.value));
       }
       return;
+    case EventType::kFedBindSend: {
+      ++fed_binds_sent_;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(event.job) << 32) | event.task;
+      if (!outstanding_fed_binds_.insert(key).second) {
+        Violate(util::StrFormat(
+            "job %u task %u cross-shard bind re-sent before its "
+            "accept/reject at t=%.6f",
+            event.job, event.task, event.time));
+      }
+      return;
+    }
+    case EventType::kFedBindAccept:
+    case EventType::kFedBindReject: {
+      ++fed_binds_closed_;
+      if (event.type == EventType::kFedBindAccept && event.machine != kNoId &&
+          LifecycleFor(event.machine) != kLifeActive) {
+        // An accepted cross-shard bind starts fresh work on the target:
+        // only an active machine may take it (a draining/retired target
+        // must reject into the redispatch path instead).
+        Violate(util::StrFormat(
+            "machine %u accepted a cross-shard bind while %s at t=%.6f",
+            event.machine, LifeName(LifecycleFor(event.machine)),
+            event.time));
+      }
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(event.job) << 32) | event.task;
+      if (outstanding_fed_binds_.erase(key) == 0) {
+        Violate(util::StrFormat(
+            "job %u task %u cross-shard bind %s at t=%.6f without a "
+            "matching send",
+            event.job, event.task, EventTypeName(event.type), event.time));
+      }
+      return;
+    }
+    case EventType::kGossipApply: {
+      ++gossip_applies_;
+      // machine = receiver shard, task = origin shard, value = version.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(event.machine) << 32) | event.task;
+      const auto version = static_cast<std::uint64_t>(event.value);
+      auto [it, fresh] = gossip_versions_.try_emplace(key, version);
+      if (!fresh) {
+        if (version <= it->second) {
+          Violate(util::StrFormat(
+              "shard %u applied origin %u digest version %llu after %llu "
+              "at t=%.6f (stale digest must be dropped, not applied)",
+              event.machine, event.task,
+              static_cast<unsigned long long>(version),
+              static_cast<unsigned long long>(it->second), event.time));
+        }
+        it->second = version;
+      }
+      return;
+    }
     case EventType::kMsgDeliver:
     case EventType::kMsgDrop:
     case EventType::kMsgExpire: {
@@ -345,6 +412,15 @@ void InvariantAuditor::Finish() {
         "%zu preempted task(s) never requeued (e.g. job %llu task %llu): "
         "every preemption must requeue its victim exactly once",
         outstanding_preemptions_.size(),
+        static_cast<unsigned long long>(key >> 32),
+        static_cast<unsigned long long>(key & 0xffffffffULL)));
+  }
+  if (!outstanding_fed_binds_.empty()) {
+    const std::uint64_t key = *outstanding_fed_binds_.begin();
+    Violate(util::StrFormat(
+        "%zu cross-shard bind(s) never closed (e.g. job %llu task %llu): "
+        "every kFedBindSend must end in exactly one accept or reject",
+        outstanding_fed_binds_.size(),
         static_cast<unsigned long long>(key >> 32),
         static_cast<unsigned long long>(key & 0xffffffffULL)));
   }

@@ -25,6 +25,15 @@
 //   * quota non-violation — the post-charge quota fraction carried by
 //     kTenantAdmit / kTenantDowngrade stays within [0, 1]: admission never
 //     commits a tenant past its machine-second budget;
+//   * federated bind conservation — every optimistic cross-shard
+//     kFedBindSend is closed by exactly one kFedBindAccept or
+//     kFedBindReject for the same (job, task), none is outstanding at the
+//     end of the run, an accept never lands on a non-active machine, and
+//     no accept/reject appears without its send (stale gossip views may
+//     degrade placement into rejects, never into lost or doubled binds);
+//   * gossip monotonicity — the digest version carried by each kGossipApply
+//     is strictly increasing per (receiver shard, origin shard) pair:
+//     a reordered or replayed digest must be dropped, never applied;
 //   * worker structure (fed by the scheduler at each heartbeat and at the
 //     end of the run) — a busy worker always has a live slot event, a
 //     failed worker is never busy, and queues drain by the end of the run.
@@ -35,6 +44,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -75,6 +85,11 @@ class InvariantAuditor final : public EventSink {
   /// actually observed kill-and-requeue traffic).
   std::uint64_t preemptions_issued() const { return preemptions_issued_; }
   std::uint64_t preemptions_requeued() const { return preemptions_requeued_; }
+  /// Federated bind / gossip accounting (for tests asserting the federation
+  /// rules actually observed cross-shard traffic).
+  std::uint64_t fed_binds_sent() const { return fed_binds_sent_; }
+  std::uint64_t fed_binds_closed() const { return fed_binds_closed_; }
+  std::uint64_t gossip_applies() const { return gossip_applies_; }
 
  private:
   struct JobStats {
@@ -116,6 +131,13 @@ class InvariantAuditor final : public EventSink {
   std::unordered_set<std::uint64_t> outstanding_preemptions_;
   std::uint64_t preemptions_issued_ = 0;
   std::uint64_t preemptions_requeued_ = 0;
+  /// Cross-shard (job, task) binds awaiting their accept/reject handshake.
+  std::unordered_set<std::uint64_t> outstanding_fed_binds_;
+  /// Last applied digest version per (receiver shard << 32 | origin shard).
+  std::unordered_map<std::uint64_t, std::uint64_t> gossip_versions_;
+  std::uint64_t fed_binds_sent_ = 0;
+  std::uint64_t fed_binds_closed_ = 0;
+  std::uint64_t gossip_applies_ = 0;
   std::vector<std::string> violations_;
   std::uint64_t events_seen_ = 0;
 };

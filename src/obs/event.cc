@@ -45,6 +45,11 @@ const char* EventTypeName(EventType type) {
     case EventType::kTenantDowngrade: return "tenant_downgrade";
     case EventType::kPreemptIssue: return "preempt_issue";
     case EventType::kPreemptRequeue: return "preempt_requeue";
+    case EventType::kGossipPublish: return "gossip_publish";
+    case EventType::kGossipApply: return "gossip_apply";
+    case EventType::kFedBindSend: return "fed_bind_send";
+    case EventType::kFedBindAccept: return "fed_bind_accept";
+    case EventType::kFedBindReject: return "fed_bind_reject";
   }
   return "?";
 }

@@ -70,10 +70,23 @@ enum class EventType : std::uint8_t {
   kTenantDowngrade,   // class lowered / constraint traded; value = fraction
   kPreemptIssue,      // running task killed for prod work; value = lost s
   kPreemptRequeue,    // the preempted task re-entered its worker's queue
+  // Sharded control plane (src/federation). For the gossip pair `machine`
+  // carries the publishing/receiving shard id, `task` the peer shard (kNoId
+  // on publish), and `value` the digest version — the auditor requires
+  // applied versions to be strictly increasing per (receiver, origin) pair.
+  // For the optimistic cross-shard bind triple `job`/`machine`/`task`
+  // identify the binding as usual; every kFedBindSend must be matched by
+  // exactly one kFedBindAccept or kFedBindReject for the same (job, task),
+  // and an accept on a non-active machine is a lifecycle violation.
+  kGossipPublish,     // shard published its digest; value = version
+  kGossipApply,       // receiver applied a peer digest; value = version
+  kFedBindSend,       // task bound into a peer territory on a gossiped view
+  kFedBindAccept,     // remote worker had the advertised free slot
+  kFedBindReject,     // double-bind detected; task requeued at home
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kPreemptRequeue) + 1;
+    static_cast<std::size_t>(EventType::kFedBindReject) + 1;
 
 /// Stable lowercase name for serialization ("probe_send", ...).
 const char* EventTypeName(EventType type);

@@ -75,6 +75,12 @@ metrics::SimReport RunSimulation(const trace::Trace& trace,
         engine, *scheduler, *membership, options.elastic);
   }
 
+  // The federation plane must exist before SubmitTrace: the trace submit
+  // schedules one heartbeat chain per shard and starts the gossip timers.
+  if (options.federation.enabled()) {
+    scheduler->EnableFederation(options.federation);
+  }
+
   scheduler->SubmitTrace(trace);
   if (controller) controller->Start();
   const auto wall_start = std::chrono::steady_clock::now();
@@ -224,8 +230,19 @@ metrics::SchedulerCounters AggregateCounters(
     sum.preemption_requeues += c.preemption_requeues;
     sum.preemptions_blocked_guard += c.preemptions_blocked_guard;
     sum.preemptions_blocked_cap += c.preemptions_blocked_cap;
+    sum.preemptions_blocked_lifecycle += c.preemptions_blocked_lifecycle;
     sum.preemption_restart_seconds += c.preemption_restart_seconds;
     sum.preemption_lost_seconds += c.preemption_lost_seconds;
+    sum.fed_gossip_published += c.fed_gossip_published;
+    sum.fed_gossip_applied += c.fed_gossip_applied;
+    sum.fed_gossip_stale_dropped += c.fed_gossip_stale_dropped;
+    sum.fed_offloads += c.fed_offloads;
+    sum.fed_offloads_blocked_stale += c.fed_offloads_blocked_stale;
+    sum.fed_cross_shard_probes += c.fed_cross_shard_probes;
+    sum.fed_bind_attempts += c.fed_bind_attempts;
+    sum.fed_bind_accepts += c.fed_bind_accepts;
+    sum.fed_bind_rejects += c.fed_bind_rejects;
+    sum.fed_territory_fallbacks += c.fed_territory_fallbacks;
   }
   return sum;
 }

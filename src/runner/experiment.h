@@ -9,6 +9,7 @@
 
 #include "cluster/cluster.h"
 #include "elastic/config.h"
+#include "federation/config.h"
 #include "metrics/report.h"
 #include "sched/types.h"
 #include "trace/trace.h"
@@ -43,6 +44,11 @@ struct RunOptions {
   /// size); the run attaches a MembershipView and an ElasticityController.
   /// Disabled (the default) runs are byte-identical to the static fleet.
   elastic::ElasticConfig elastic;
+  /// Sharded control plane (src/federation). shards > 1 partitions the
+  /// fleet into per-shard heartbeat domains exchanging gossiped digests;
+  /// shards == 1 (the default) never constructs the plane and is
+  /// byte-identical to the unsharded scheduler.
+  federation::FederationConfig federation;
 };
 
 /// "out.json" + seed 43 -> "out.seed43.json" (multi-seed runs write one

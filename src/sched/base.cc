@@ -42,6 +42,16 @@ SchedulerBase::SchedulerBase(sim::Engine& engine,
   }
 }
 
+void SchedulerBase::EnableFederation(const federation::FederationConfig& cfg) {
+  PHOENIX_CHECK_MSG(jobs_.empty(), "enable federation before SubmitTrace");
+  if (!cfg.enabled()) return;  // --shards=1: stay on the unsharded paths
+  federation_ = std::make_unique<federation::FederationPlane>(
+      engine_, fabric_, cfg, workers_.size());
+  federation_->set_emitter([this](const obs::Event& event) {
+    for (obs::EventSink* sink : sinks_) sink->OnEvent(event);
+  });
+}
+
 void SchedulerBase::SetMembership(cluster::MembershipView* membership) {
   PHOENIX_CHECK_MSG(jobs_.empty(), "attach membership before SubmitTrace");
   PHOENIX_CHECK(membership != nullptr);
@@ -170,13 +180,15 @@ void SchedulerBase::EmitToSinks(EventType type, std::uint32_t job,
   for (obs::EventSink* sink : sinks_) sink->OnEvent(event);
 }
 
-void SchedulerBase::AuditWorkers(bool final_state) {
+void SchedulerBase::AuditWorkers(bool final_state, MachineId lo,
+                                 MachineId hi) {
   if (auditor_ == nullptr) return;
   // One engine snapshot amortizes the per-worker "busy slot has a live
-  // event" check across the fleet.
+  // event" check across the audited range.
   const auto pending = engine_.PendingIds();
   const double now = engine_.Now();
-  for (const WorkerState& w : workers_) {
+  for (MachineId i = lo; i < hi; ++i) {
+    const WorkerState& w = workers_[i];
     // A slot held for a fetch is backed by a live RPC call (whose deadline
     // or delivery event keeps the engine moving); an executing slot by the
     // completion event.
@@ -195,7 +207,8 @@ void SchedulerBase::AuditWorkers(bool final_state) {
 
 void SchedulerBase::FinalAudit() {
   if (auditor_ == nullptr) return;
-  AuditWorkers(/*final_state=*/true);
+  AuditWorkers(/*final_state=*/true, 0,
+               static_cast<MachineId>(workers_.size()));
   auditor_->Finish();
 }
 
@@ -229,7 +242,17 @@ void SchedulerBase::SubmitTrace(const trace::Trace& trace) {
     });
   }
   heartbeat_running_ = true;
-  engine_.ScheduleAfter(config_.heartbeat_interval, [this] { HeartbeatTick(); });
+  // One heartbeat chain per shard (a single fleet-wide chain unsharded), so
+  // no tick ever scans more than one territory.
+  const std::uint32_t hb_shards =
+      federation_ != nullptr ? federation_->num_shards() : 1;
+  for (std::uint32_t s = 0; s < hb_shards; ++s) {
+    engine_.ScheduleAfter(config_.heartbeat_interval,
+                          [this, s] { HeartbeatTick(s); });
+  }
+  if (federation_ != nullptr) {
+    federation_->Start([this] { return !AllJobsDone(); });
+  }
   if (membership_ != nullptr) {
     // Declare the initially-parked universe to the sinks so the auditor can
     // validate every lifecycle transition from its first event.
@@ -425,11 +448,23 @@ void SchedulerBase::RepairMachine(WorkerState& worker) {
   }
 }
 
-void SchedulerBase::HeartbeatTick() {
+void SchedulerBase::HeartbeatTick(std::uint32_t shard) {
   ++counters_.heartbeats;
-  if (tenancy_on_) {
+  // The tick's scan range: the whole fleet unsharded, only this shard's
+  // territory under federation — the structural guarantee that no single
+  // shard's heartbeat runs an O(fleet) loop.
+  MachineId lo = 0;
+  auto hi = static_cast<MachineId>(workers_.size());
+  if (federation_ != nullptr) {
+    const auto range = federation_->shard_map().range(shard);
+    lo = range.first;
+    hi = range.second;
+    RefreshShardDigest(shard, lo, hi);
+  }
+  if (tenancy_on_ && federation_ == nullptr) {
     // Fleet-mean E[W] snapshot for SLO-feasibility tests at admission —
     // same cadence as every other load signal (heartbeat synchronization).
+    // Federated runs read the gossiped global view at admission instead.
     double sum = 0;
     std::size_t live = 0;
     for (const WorkerState& w : workers_) {
@@ -439,12 +474,13 @@ void SchedulerBase::HeartbeatTick() {
     }
     fleet_wait_estimate_ = live > 0 ? sum / static_cast<double>(live) : 0;
   }
-  OnHeartbeat();
+  OnHeartbeat(lo, hi);
   if (tracing()) {
     // Publish the per-worker timeseries after OnHeartbeat so Phoenix's
     // freshly refreshed E[W] / CRV marks are what lands in the export.
     std::size_t queued = 0;
-    for (const WorkerState& w : workers_) {
+    for (MachineId i = lo; i < hi; ++i) {
+      const WorkerState& w = workers_[i];
       queued += w.queue.size();
       obs::WorkerSample sample;
       sample.time = engine_.Now();
@@ -460,12 +496,30 @@ void SchedulerBase::HeartbeatTick() {
     Emit(EventType::kHeartbeat, obs::kNoId, obs::kNoId, obs::kNoId,
          static_cast<double>(queued));
   }
-  AuditWorkers(/*final_state=*/false);
+  AuditWorkers(/*final_state=*/false, lo, hi);
   if (AllJobsDone()) {
     heartbeat_running_ = false;
     return;  // let the event queue drain so Run() terminates
   }
-  engine_.ScheduleAfter(config_.heartbeat_interval, [this] { HeartbeatTick(); });
+  engine_.ScheduleAfter(config_.heartbeat_interval,
+                        [this, shard] { HeartbeatTick(shard); });
+}
+
+void SchedulerBase::RefreshShardDigest(std::uint32_t shard, MachineId lo,
+                                       MachineId hi) {
+  double sum = 0;
+  std::uint32_t live = 0;
+  std::uint32_t free_slots = 0;
+  for (MachineId i = lo; i < hi; ++i) {
+    const WorkerState& w = workers_[i];
+    if (w.failed || !Bindable(i)) continue;
+    ++live;
+    // Clamp so one saturated estimator cannot poison the gossiped mean.
+    sum += std::min(w.estimator.EstimateWait(), 1e6);
+    if (!w.busy && w.queue.empty()) ++free_slots;
+  }
+  federation_->RefreshLocal(shard, live > 0 ? sum / live : 0, live,
+                            free_slots);
 }
 
 void SchedulerBase::HandleJobArrival(JobId id) {
@@ -550,8 +604,14 @@ void SchedulerBase::ApplyTenantAdmission(JobRuntime& job) {
   in.budget =
       tenants_.Budget(job.tenant, workers_.size(), config_.tenancy.quota_window);
   // The SLO feasibility signal: fleet-mean E[W] from the last heartbeat plus
-  // the unavoidable probe/bind round trip.
-  in.predicted_wait = fleet_wait_estimate_ + 2 * one_way();
+  // the unavoidable probe/bind round trip. Under federation the job's home
+  // shard answers from its gossiped global view (own territory + fresh
+  // peers) — the "quota consistent via owning shard" read path.
+  in.predicted_wait =
+      (federation_ != nullptr
+           ? federation_->GlobalMeanWait(federation_->HomeShard(job.id))
+           : fleet_wait_estimate_) +
+      2 * one_way();
   in.constrained_share = tenants_.ConstrainedShare(job.tenant);
   in.crv_share_limit = spec.crv_share;
   const tenancy::AdmissionDecision d = tenancy::DecideAdmission(in);
@@ -604,6 +664,16 @@ void SchedulerBase::TenantQueuedDelta(const QueueEntry& entry, double sign) {
 void SchedulerBase::MaybePreemptFor(WorkerState& worker,
                                     const QueueEntry& entry) {
   if (worker.running_job == trace::kInvalidJob) return;  // no victim
+  // Never preempt on a machine outside the bindable fleet. A draining
+  // machine's slot work already belongs to the drain/retire sweep; a
+  // preemption requeue would hand the victim to a second recovery path and
+  // the two could redispatch it twice. DeliverEntry bounces before reaching
+  // this point today, but any future caller (cross-shard binds, policy
+  // ticks) must hit the same wall — the sweep alone recovers the slot.
+  if (membership_ != nullptr && !membership_->Bindable(worker.id)) {
+    ++counters_.preemptions_blocked_lifecycle;
+    return;
+  }
   const JobRuntime& incoming = jobs_[entry.job];
   if (incoming.priority != tenancy::PriorityClass::kProd) return;
   // A probe of a fully placed job would dissolve at resolution — never kill
@@ -728,7 +798,7 @@ std::size_t SchedulerBase::SelectNextIndex(const WorkerState& worker) {
 }
 
 void SchedulerBase::OnWorkerIdle(WorkerState&) {}
-void SchedulerBase::OnHeartbeat() {}
+void SchedulerBase::OnHeartbeat(MachineId, MachineId) {}
 bool SchedulerBase::UseStickyBatchProbing(const JobRuntime&) const {
   return false;
 }
@@ -787,7 +857,107 @@ void SchedulerBase::NoteRackCommitment(JobRuntime& job, cluster::RackId rack) {
   }
 }
 
+MachineId SchedulerBase::SampleEligibleInShard(const cluster::ConstraintSet& cs,
+                                               std::uint32_t shard) {
+  const auto [lo, hi] = federation_->shard_map().range(shard);
+  // Rejection-sample the eligible pool into the territory. The attempt
+  // budget scales with the shard count (a uniform global draw lands in a
+  // given territory ~1/S of the time).
+  const std::size_t attempts = 4 * federation_->num_shards();
+  for (std::size_t a = 0; a < attempts; ++a) {
+    const MachineId m = SampleEligible(cs);
+    if (m >= lo && m < hi) return m;
+  }
+  // The constraint pool (likely) misses this territory: place globally
+  // rather than strand the job on a shard that cannot serve it.
+  ++counters_.fed_territory_fallbacks;
+  return SampleEligible(cs);
+}
+
+// Federated distributed placement: probes sample the job's target territory
+// — its home shard, or a peer chosen optimistically from the gossiped view
+// when home is saturated. Late binding self-corrects bad guesses (a probe
+// resolving at a busy peer just dissolves or waits), so no accept/reject
+// handshake is needed on this plane.
+void SchedulerBase::PlaceDistributedFederated(JobRuntime& job) {
+  const std::uint32_t home = federation_->HomeShard(job.id);
+  std::uint32_t target_shard = home;
+  const std::uint32_t peer = federation_->PickOffloadPeer(home);
+  if (peer != federation::kNoShard) {
+    target_shard = peer;
+    ++counters_.fed_offloads;
+  }
+  const auto [lo, hi] = federation_->shard_map().range(home);
+  const std::size_t wanted =
+      std::max<std::size_t>(config_.probe_ratio * job.num_tasks(),
+                            job.num_tasks());
+  std::vector<MachineId> targets;
+  targets.reserve(wanted);
+  for (std::size_t i = 0; i < wanted; ++i) {
+    targets.push_back(SampleEligibleInShard(job.effective, target_shard));
+  }
+  FilterByPlacement(job, targets);
+  while (targets.size() < wanted) {
+    targets.push_back(SampleEligibleInShard(job.effective, target_shard));
+  }
+  counters_.probes_sent += targets.size();
+  job.outstanding_probes += static_cast<std::uint32_t>(targets.size());
+  QueueEntry entry;
+  entry.kind = QueueEntry::Kind::kProbe;
+  entry.job = job.id;
+  entry.est_duration = EstimatedTaskDuration(job);
+  entry.short_class = job.short_class;
+  for (const MachineId target : targets) {
+    if (target < lo || target >= hi) ++counters_.fed_cross_shard_probes;
+    Emit(EventType::kProbeSend, job.id, target);
+    SendEntry(target, entry, one_way());
+  }
+}
+
+// Federated centralized placement: each task binds least-loaded within the
+// target territory. A bind leaving the home shard is optimistic — it rides
+// a possibly-stale free-slot advertisement, is marked cross_shard, and runs
+// double-bind detection at delivery (DeliverEntry): only a genuinely free
+// slot accepts; anything else rejects back into the home redispatch path.
+void SchedulerBase::PlaceCentralizedFederated(JobRuntime& job) {
+  const std::uint32_t home = federation_->HomeShard(job.id);
+  while (!job.AllPlaced()) {
+    const std::uint32_t index = TakeNextTaskIndex(job);
+    std::uint32_t target_shard = home;
+    const std::uint32_t peer = federation_->PickOffloadPeer(home);
+    if (peer != federation::kNoShard) {
+      target_shard = peer;
+      ++counters_.fed_offloads;
+    }
+    std::vector<MachineId> candidates;
+    candidates.reserve(config_.power_of_d);
+    for (std::size_t i = 0; i < config_.power_of_d; ++i) {
+      candidates.push_back(
+          SampleEligibleInShard(job.effective, target_shard));
+    }
+    FilterByPlacement(job, candidates);
+    const MachineId best = PickLeastLoadedLive(candidates, job);
+    NoteRackCommitment(job, cluster_.rack_of(best));
+    QueueEntry entry;
+    entry.kind = QueueEntry::Kind::kBoundTask;
+    entry.job = job.id;
+    entry.task_index = index;
+    entry.est_duration = EstimatedTaskDuration(job);
+    entry.short_class = job.short_class;
+    if (federation_->shard_of(best) != home) {
+      entry.cross_shard = true;
+      ++counters_.fed_bind_attempts;
+      Emit(EventType::kFedBindSend, job.id, best, index);
+    }
+    SendEntry(best, entry, one_way());
+  }
+}
+
 void SchedulerBase::PlaceDistributed(JobRuntime& job) {
+  if (federation_ != nullptr) {
+    PlaceDistributedFederated(job);
+    return;
+  }
   // Colocate jobs anchor to a rack up front (production systems anchor to
   // the rack holding the job's input data), so the probes themselves can be
   // steered there.
@@ -835,6 +1005,10 @@ void SchedulerBase::PlaceDistributed(JobRuntime& job) {
 }
 
 void SchedulerBase::PlaceCentralized(JobRuntime& job) {
+  if (federation_ != nullptr) {
+    PlaceCentralizedFederated(job);
+    return;
+  }
   while (!job.AllPlaced()) {
     const std::uint32_t index = TakeNextTaskIndex(job);
     std::vector<MachineId> candidates = ChooseLongCandidates(job);
@@ -867,6 +1041,26 @@ void SchedulerBase::SendEntry(MachineId target, QueueEntry entry, double delay,
 
 void SchedulerBase::DeliverEntry(MachineId target, QueueEntry entry) {
   WorkerState& w = workers_[target];
+  if (entry.cross_shard) {
+    // Double-bind detection for an optimistic cross-shard bind: the free
+    // slot it was sent toward may have been taken (or the machine lost)
+    // while the bind transited on a stale view. Accept only a genuinely
+    // free slot; otherwise reject back into the home redispatch path.
+    // Exactly one kFedBindAccept / kFedBindReject per kFedBindSend — the
+    // auditor's fed-bind conservation rule.
+    const bool slot_free =
+        !w.failed && Bindable(target) && !w.busy && w.queue.empty();
+    entry.cross_shard = false;  // resolved either way; requeues are plain
+    if (slot_free) {
+      ++counters_.fed_bind_accepts;
+      Emit(EventType::kFedBindAccept, entry.job, target, entry.task_index);
+    } else {
+      ++counters_.fed_bind_rejects;
+      Emit(EventType::kFedBindReject, entry.job, target, entry.task_index);
+      BounceUndelivered(std::move(entry), target, fabric_.bounce_backoff());
+      return;
+    }
+  }
   if (w.failed || !Bindable(target)) {
     // The destination died (or left the bindable fleet) in transit: bounce
     // to a live worker after the fabric's pacing backoff. Stale probes (job
@@ -900,6 +1094,13 @@ void SchedulerBase::GiveUpEntry(MachineId target, QueueEntry entry) {
   // target's steal marker, else a lost steal transfer would block that
   // worker from ever stealing again.
   workers_[target].steal_inflight = false;
+  if (entry.cross_shard) {
+    // The optimistic bind never reached the peer: close its accept/reject
+    // pair as a rejection so the conservation rule stays balanced.
+    entry.cross_shard = false;
+    ++counters_.fed_bind_rejects;
+    Emit(EventType::kFedBindReject, entry.job, target, entry.task_index);
+  }
   BounceUndelivered(std::move(entry), target, one_way());
 }
 
@@ -1221,6 +1422,13 @@ metrics::SimReport SchedulerBase::BuildReport() const {
   report.counters.net_messages_expired = fabric_.stats().expired;
   report.counters.rpc_retries = rpc_.stats().retries;
   report.counters.rpc_failures = rpc_.stats().failures;
+  if (federation_ != nullptr) {
+    const federation::FederationPlane::Stats& fs = federation_->stats();
+    report.counters.fed_gossip_published = fs.digests_published;
+    report.counters.fed_gossip_applied = fs.digests_applied;
+    report.counters.fed_gossip_stale_dropped = fs.digests_stale_dropped;
+    report.counters.fed_offloads_blocked_stale = fs.offloads_blocked_stale;
+  }
   report.total_busy_time = total_busy_time_;
   report.makespan = makespan_;
   if (membership_ != nullptr) {

@@ -24,6 +24,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/membership.h"
+#include "federation/plane.h"
 #include "metrics/report.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
@@ -70,6 +71,19 @@ class SchedulerBase {
   /// Per-tenant accounting of the run (empty registry when the config
   /// declared no tenants).
   const tenancy::TenantRegistry& tenants() const { return tenants_; }
+
+  // ---- Sharded control plane ---------------------------------------------
+
+  /// Partitions the control plane into cfg.shards territories over this
+  /// scheduler's fabric. Call before SubmitTrace. With cfg.shards <= 1 this
+  /// is a no-op and every path stays byte-identical to the unsharded
+  /// scheduler; otherwise each shard heartbeats only its own territory and
+  /// peers exchange gossiped digests (see federation/plane.h).
+  void EnableFederation(const federation::FederationConfig& cfg);
+  federation::FederationPlane* federation() { return federation_.get(); }
+  const federation::FederationPlane* federation() const {
+    return federation_.get();
+  }
 
   // ---- Elastic membership ------------------------------------------------
 
@@ -174,9 +188,11 @@ class SchedulerBase {
   /// here. Default: no-op.
   virtual void OnWorkerIdle(WorkerState& worker);
 
-  /// Heartbeat tick (every config.heartbeat_interval). Default: no-op.
-  /// Phoenix refreshes the CRV table and wait estimates here.
-  virtual void OnHeartbeat();
+  /// Heartbeat tick (every config.heartbeat_interval) over the worker range
+  /// [lo, hi) — the whole fleet unsharded, one shard's territory under
+  /// federation (nothing on a shard's tick may loop over the full fleet).
+  /// Default: no-op. Phoenix refreshes the CRV table and wait estimates.
+  virtual void OnHeartbeat(cluster::MachineId lo, cluster::MachineId hi);
 
   /// Sticky batch probing: after finishing a task of a job with unplaced
   /// tasks, fetch the next task of the same job directly (Eagle). Default
@@ -331,8 +347,10 @@ class SchedulerBase {
  private:
   void EmitToSinks(obs::EventType type, std::uint32_t job,
                    std::uint32_t machine, std::uint32_t task, double value);
-  /// Structural worker invariants -> auditor (heartbeat / end of run).
-  void AuditWorkers(bool final_state);
+  /// Structural worker invariants -> auditor over workers [lo, hi)
+  /// (a shard's territory at its heartbeat, the fleet at end of run).
+  void AuditWorkers(bool final_state, cluster::MachineId lo,
+                    cluster::MachineId hi);
 
   void HandleJobArrival(trace::JobId id);
   // Failure injection.
@@ -393,8 +411,26 @@ class SchedulerBase {
   void StartService(WorkerState& worker, JobRuntime& job,
                     std::uint32_t task_index, double service_penalty = 0);
   void FinishService(WorkerState& worker);
-  void HeartbeatTick();
+  /// One heartbeat of `shard`'s territory (shard 0 covers the whole fleet
+  /// when federation is off); each shard runs its own tick chain.
+  void HeartbeatTick(std::uint32_t shard);
   void RecordTaskStart(JobRuntime& job, sim::SimTime start);
+
+  // ---- Federation (all unreachable when federation_ is null) --------------
+
+  /// Recomputes `shard`'s digest over its territory [lo, hi) and publishes
+  /// it to the plane (mean E[W], live count, free slots).
+  void RefreshShardDigest(std::uint32_t shard, cluster::MachineId lo,
+                          cluster::MachineId hi);
+  /// Eligible draw constrained to `shard`'s territory by bounded rejection
+  /// sampling; falls back to a global draw (counted) when the constraint
+  /// pool misses the territory.
+  cluster::MachineId SampleEligibleInShard(const cluster::ConstraintSet& cs,
+                                           std::uint32_t shard);
+  /// Federated placement bodies (home-territory sampling + optimistic
+  /// offload); PlaceDistributed/PlaceCentralized branch to these.
+  void PlaceDistributedFederated(JobRuntime& job);
+  void PlaceCentralizedFederated(JobRuntime& job);
 
   // ---- Tenancy (all no-ops / never called when tenancy_on_ is false) ------
 
@@ -462,6 +498,10 @@ class SchedulerBase {
   /// Fleet-mean E[W] snapshot, refreshed each heartbeat; the wait estimate
   /// the admission lattice tests short-job SLOs against.
   double fleet_wait_estimate_ = 0;
+
+  /// Sharded control plane; null (the default) keeps every federation
+  /// branch unreachable and the scheduler byte-identical to unsharded runs.
+  std::unique_ptr<federation::FederationPlane> federation_;
 
   /// Elastic membership (null on a static fleet) and the in-service
   /// machine-seconds integral behind SimReport::active_machine_seconds.

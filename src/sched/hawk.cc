@@ -40,9 +40,10 @@ void HawkScheduler::OnWorkerIdle(WorkerState& worker) {
   TryStealFor(worker);
 }
 
-void HawkScheduler::OnHeartbeat() {
-  for (std::size_t i = 0; i < num_workers(); ++i) {
-    WorkerState& w = worker(static_cast<cluster::MachineId>(i));
+void HawkScheduler::OnHeartbeat(cluster::MachineId lo,
+                                cluster::MachineId hi) {
+  for (cluster::MachineId i = lo; i < hi; ++i) {
+    WorkerState& w = worker(i);
     if (!w.busy && w.queue.empty()) TryStealFor(w);
   }
 }

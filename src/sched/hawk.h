@@ -29,7 +29,7 @@ class HawkScheduler : public SchedulerBase {
 
   /// Idle workers whose steal attempt failed retry each heartbeat, so a
   /// burst landing after a worker went idle still gets pulled over.
-  void OnHeartbeat() override;
+  void OnHeartbeat(cluster::MachineId lo, cluster::MachineId hi) override;
 
   /// Machines with id < this are reserved for short work.
   cluster::MachineId short_partition_end() const {

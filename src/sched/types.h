@@ -129,6 +129,12 @@ struct QueueEntry {
   /// Times this bound task has already been preempted (feeds the
   /// max_preemptions_per_task immunity cap).
   std::uint8_t preempt_count = 0;
+  /// Federation: bound optimistically into a peer shard's territory on a
+  /// possibly-stale gossiped view. Delivery runs double-bind detection for
+  /// such entries (accept only an actually-free slot, else requeue at
+  /// home); cleared once resolved either way. Occupies the struct's last
+  /// pad byte, keeping the 40-byte / inline-capture layout above intact.
+  bool cross_shard = false;
 };
 
 /// Runtime bookkeeping for a job being scheduled.

@@ -16,17 +16,18 @@ std::size_t YaccDScheduler::SelectNextIndex(const WorkerState& worker) {
   return index;
 }
 
-void YaccDScheduler::OnHeartbeat() {
-  // Mean queued work across the fleet.
+void YaccDScheduler::OnHeartbeat(cluster::MachineId lo,
+                                 cluster::MachineId hi) {
+  // Mean queued work across the tick's territory (the fleet unsharded).
   double total = 0;
-  for (std::size_t i = 0; i < num_workers(); ++i) {
-    total += worker(static_cast<cluster::MachineId>(i)).est_queued_work;
+  for (cluster::MachineId i = lo; i < hi; ++i) {
+    total += worker(i).est_queued_work;
   }
-  const double mean = total / static_cast<double>(num_workers());
+  const double mean = total / static_cast<double>(hi - lo);
   if (mean <= 0) return;
 
-  for (std::size_t i = 0; i < num_workers(); ++i) {
-    WorkerState& w = worker(static_cast<cluster::MachineId>(i));
+  for (cluster::MachineId i = lo; i < hi; ++i) {
+    WorkerState& w = worker(i);
     if (w.est_queued_work <= kShedFactor * mean) continue;
     // Shed from the queue tail (the work that would wait longest) until the
     // worker is back near the mean.

@@ -26,8 +26,8 @@ class YaccDScheduler : public SchedulerBase {
   /// SRPT with the slack bound (Yaq's queue reordering).
   std::size_t SelectNextIndex(const WorkerState& worker) override;
 
-  /// Adaptive rebalancing pass.
-  void OnHeartbeat() override;
+  /// Adaptive rebalancing pass over the tick's territory.
+  void OnHeartbeat(cluster::MachineId lo, cluster::MachineId hi) override;
 
  private:
   /// Load above which a worker sheds queued tasks, as a multiple of the

@@ -106,10 +106,24 @@ void Engine::MaybePurge() {
   }
   // Tombstones dominate: sweep them out in one pass, so cancel-heavy
   // workloads keep the calendar at O(live) instead of O(scheduled).
+  //
+  // Precondition (what makes clearing cancelled_ below safe even when this
+  // runs from a callback mid-way through a harvested day): every id in
+  // cancelled_ has exactly one physical entry, and it sits in a bucket or
+  // in the *unserved* ready_ tail. Cancel only tombstones pending ids (so
+  // the entry exists and has not been served), and Step reclaims any
+  // tombstone it passes over, so none can hide in the served husk region
+  // [0, ready_head_). The sweep therefore drops each tombstone exactly
+  // once, and afterwards the set can be cleared with nothing left for the
+  // rest of the harvested run to consult. Both are checked below.
+  std::size_t dropped = 0;
   for (auto& bucket : buckets_) {
     std::size_t w = 0;
     for (std::size_t r = 0; r < bucket.size(); ++r) {
-      if (cancelled_.Contains(bucket[r].seq)) continue;
+      if (cancelled_.Contains(bucket[r].seq)) {
+        ++dropped;
+        continue;
+      }
       if (w != r) bucket[w] = std::move(bucket[r]);
       ++w;
     }
@@ -119,12 +133,19 @@ void Engine::MaybePurge() {
   // Compact the unserved ready_ tail in place (dropping served husks too).
   std::size_t w = 0;
   for (std::size_t r = ready_head_; r < ready_.size(); ++r) {
-    if (cancelled_.Contains(ready_[r].seq)) continue;
+    if (cancelled_.Contains(ready_[r].seq)) {
+      ++dropped;
+      continue;
+    }
     if (w != r) ready_[w] = std::move(ready_[r]);
     ++w;
   }
   ready_.resize(w);
   ready_head_ = 0;
+  PHOENIX_CHECK_MSG(dropped == cancelled_.size(),
+                    "purge dropped a different number of entries than there "
+                    "are tombstones: a cancelled event was served, double-"
+                    "counted, or physically lost");
   cancelled_.clear();
   ++compactions_;
   PHOENIX_CHECK(pending_entries() == pending_.size());

@@ -386,6 +386,33 @@ TEST(AuditorLifecycle, TaskStartOnDrainingMachineIsAllowed) {
   EXPECT_TRUE(audit.ok()) << audit.Summary();
 }
 
+TEST(AuditorLifecycle, PreemptOnDrainingMachineIsViolation) {
+  // A draining machine's slot work belongs to the drain/retire sweep; a
+  // preemption there would put the victim on two recovery paths (requeue +
+  // sweep) — the conservation rule covers the machine lifecycle too.
+  obs::InvariantAuditor audit;
+  audit.OnEvent(LifecycleEvent(0, obs::EventType::kMachineDrain, 1));
+  obs::Event issue = LifecycleEvent(1, obs::EventType::kPreemptIssue, 1, 0.5);
+  issue.job = 0;
+  issue.task = 0;
+  audit.OnEvent(issue);
+  EXPECT_FALSE(audit.ok());
+}
+
+TEST(AuditorLifecycle, PreemptOnActiveMachineIsClean) {
+  obs::InvariantAuditor audit;
+  obs::Event issue = LifecycleEvent(1, obs::EventType::kPreemptIssue, 1, 0.5);
+  issue.job = 0;
+  issue.task = 0;
+  audit.OnEvent(issue);
+  obs::Event requeue = LifecycleEvent(1, obs::EventType::kPreemptRequeue, 1);
+  requeue.job = 0;
+  requeue.task = 0;
+  audit.OnEvent(requeue);
+  audit.Finish();
+  EXPECT_TRUE(audit.ok()) << audit.Summary();
+}
+
 TEST(AuditorLifecycle, ProbeResolveOnDrainingMachineIsViolation) {
   obs::InvariantAuditor audit;
   audit.OnEvent(LifecycleEvent(0, obs::EventType::kMachineDrain, 1));

@@ -2,6 +2,9 @@
 // affect the fairness ... of the other long and unconstrained jobs").
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "cluster/builder.h"
 #include "metrics/fairness.h"
 #include "runner/experiment.h"
@@ -37,6 +40,32 @@ TEST(JainIndex, ScaleInvariant) {
 
 TEST(JainIndex, MonotoneInDispersion) {
   EXPECT_GT(JainIndex({4, 5, 6}), JainIndex({1, 5, 9}));
+}
+
+TEST(JainIndex, DegenerateInputsNeverLeakNaN) {
+  // (Σx)² and Σx² both overflow to inf; inf/inf is NaN unless guarded. For
+  // the equal-values case 1.0 is also the exact answer.
+  EXPECT_DOUBLE_EQ(JainIndex({1e200, 1e200}), 1.0);
+  EXPECT_TRUE(std::isfinite(JainIndex({1e200, 0.0})));
+  EXPECT_TRUE(std::isfinite(
+      JainIndex({std::numeric_limits<double>::quiet_NaN(), 1.0})));
+}
+
+TEST(TenantUsageJain, AllZeroUsageIsVacuouslyFair) {
+  // Idle tenants: every normalized usage is 0, the 0/0 case the contract
+  // pins to 1.0 (not NaN).
+  SimReport report;
+  for (int i = 0; i < 3; ++i) {
+    TenantOutcome t;
+    t.id = static_cast<std::uint16_t>(i);
+    t.quota_share = 1.0 / 3.0;
+    t.usage_seconds = 0.0;
+    report.tenants.push_back(t);
+  }
+  EXPECT_DOUBLE_EQ(TenantUsageJain(report), 1.0);
+  // A tenant without a configured quota enters unnormalized; still all-zero.
+  report.tenants[1].quota_share = 0.0;
+  EXPECT_DOUBLE_EQ(TenantUsageJain(report), 1.0);
 }
 
 class FairnessEndToEndTest : public ::testing::Test {

@@ -282,6 +282,46 @@ TEST(Rpc, CancelSilencesTheCallAndExpiresInFlightCopies) {
   EXPECT_EQ(fabric.stats().expired, 1u);  // the in-flight request went stale
 }
 
+TEST(Rpc, GenerationWrapSkipsZeroAndKeepsStaleIdsStale) {
+  sim::Engine engine;
+  NetworkFabric fabric(engine, FabricConfig{}, 37);
+  Rpc rpc(engine, fabric, RpcConfig{});
+  // Occupy slot 0, then free it so Issue() recycles it below.
+  const Rpc::CallId first = rpc.RoundTrip(
+      0, net::kControllerNode, MessageKind::kFetchRequest, 1e-3,
+      [] { FAIL(); }, [] { FAIL(); });
+  ASSERT_EQ(static_cast<std::uint32_t>(first), 1u);  // slot 0
+  rpc.Cancel(first);
+  // Plant the slot one step before the wrap: the next tenant gets the last
+  // 32-bit generation, the one after that crosses 2^32.
+  rpc.SetGenerationForTest(0, 0xFFFFFFFEu);
+  const Rpc::CallId pre_wrap = rpc.RoundTrip(
+      0, net::kControllerNode, MessageKind::kFetchRequest, 1e-3,
+      [] { FAIL(); }, [] { FAIL(); });
+  EXPECT_EQ(pre_wrap >> 32, 0xFFFFFFFFull);
+  rpc.Cancel(pre_wrap);
+  bool resolved = false;
+  const Rpc::CallId wrapped = rpc.RoundTrip(
+      0, net::kControllerNode, MessageKind::kFetchRequest, 1e-3,
+      [&resolved] { resolved = true; }, [] { FAIL(); });
+  // The wrapped generation must skip 0: an id whose generation bits are all
+  // zero would be indistinguishable from a never-issued slot (and id 0 is
+  // the "no call" sentinel), so the slot's cycle is 2^32 - 1, not 2^32.
+  EXPECT_NE(wrapped >> 32, 0ull);
+  EXPECT_TRUE(rpc.Alive(wrapped));
+  // The ancient pre-wrap id neither reads as live nor cancels the new call.
+  EXPECT_FALSE(rpc.Alive(pre_wrap));
+  rpc.Cancel(pre_wrap);
+  EXPECT_TRUE(rpc.Alive(wrapped));
+  // Nor does the hypothetical generation-0 id the unfixed wrap would mint.
+  const Rpc::CallId zero_gen = static_cast<Rpc::CallId>(1);  // gen 0, slot 0
+  EXPECT_FALSE(rpc.Alive(zero_gen));
+  rpc.Cancel(zero_gen);
+  EXPECT_TRUE(rpc.Alive(wrapped));
+  engine.Run();
+  EXPECT_TRUE(resolved);
+}
+
 TEST(Rpc, FastPathRoundTripTakesExactlyTheNominal) {
   sim::Engine engine;
   NetworkFabric fabric(engine, FabricConfig{}, 35);

@@ -10,9 +10,12 @@
 #include <string>
 
 #include "cluster/builder.h"
+#include "cluster/membership.h"
 #include "metrics/fairness.h"
+#include "obs/audit.h"
 #include "runner/experiment.h"
 #include "runner/parallel.h"
+#include "runner/registry.h"
 #include "tenancy/admission.h"
 #include "tenancy/config.h"
 #include "tenancy/preemption.h"
@@ -374,6 +377,82 @@ TEST(Tenancy, ZeroTenantRunHasNoTenancyFootprint) {
     EXPECT_EQ(j.tenant, 0xffff);
     EXPECT_EQ(j.priority, 1);  // default batch rank, untouched
   }
+}
+
+// Preemption/drain duel on one worker: the best-effort victim is preempted
+// (kill + requeue on the same machine), the machine then drains with the
+// victim's requeued bound task still in its queue, and a forced retire
+// sweeps the slot and queue mid-grace. The victim must be re-covered by
+// exactly one path — the retire sweep — and run exactly once; a second
+// recovery (preemption requeue racing the sweep) would double-run the task
+// and trip task conservation, the auditor's preemption-conservation set, or
+// its draining-machine preemption rule.
+TEST(Tenancy, PreemptDrainDuelRecoversVictimExactlyOnce) {
+  const auto cl = cluster::BuildCluster({.num_machines = 2, .seed = 71});
+  sim::Engine engine;
+  sched::SchedulerConfig cfg;
+  cfg.seed = 71;
+  cfg.tenancy.tenants.push_back(
+      {"prod", PriorityClass::kProd, 0.0, 0.0, 0.0});
+  cfg.tenancy.tenants.push_back(
+      {"scav", PriorityClass::kBestEffort, 0.0, 0.0, 0.0});
+  const auto sched = runner::MakeScheduler("phoenix", engine, cl, cfg);
+  // Machine 0 is the guaranteed base (never drainable); the duel plays out
+  // on reserve machine 1, commissioned below.
+  cluster::MembershipView view(cl, 1);
+  sched->SetMembership(&view);
+  obs::InvariantAuditor audit;
+  sched->AttachAuditor(&audit);
+
+  // Three single-task long jobs (cutoff 10): all take the centralized
+  // bound-task plane. The blocker occupies machine 0 for the whole run, so
+  // least-loaded placement deterministically sends the victim — and then
+  // the preempting prod bind — to machine 1.
+  trace::Job blocker;
+  blocker.id = 0;
+  blocker.submit_time = 0;
+  blocker.task_durations = {1000.0};
+  blocker.tenant = 0;
+  blocker.short_job = false;
+  trace::Job victim;
+  victim.id = 1;
+  victim.submit_time = 2.0;
+  victim.task_durations = {50.0};
+  victim.tenant = 1;
+  victim.short_job = false;
+  trace::Job prod;
+  prod.id = 2;
+  prod.submit_time = 5.0;
+  prod.task_durations = {50.0};
+  prod.tenant = 0;
+  prod.short_job = false;
+  trace::Trace t("preempt-drain-duel", {blocker, victim, prod});
+  t.set_short_cutoff(10.0);
+  sched->SubmitTrace(t);
+
+  // t=1: reserve machine 1 joins. t=2: victim binds there (machine 0 holds
+  // the blocker). t~5: the prod bind preempts the running victim — kill +
+  // requeue on machine 1, behind the promoted prod entry. t=6: machine 1
+  // drains with the victim's bound task still queued. t=8: forced retire
+  // kills the running prod task and sweeps the queue, including the
+  // requeued victim; everything re-covers onto machine 0 exactly once.
+  engine.ScheduleAt(0.2, [&] { sched->ProvisionMachine(1, 0.8); });
+  engine.ScheduleAt(1.0, [&] { sched->CommissionMachine(1); });
+  engine.ScheduleAt(6.0, [&] { sched->DrainMachine(1); });
+  engine.ScheduleAt(8.0, [&] { EXPECT_TRUE(sched->RetireMachine(1, true)); });
+  engine.Run();
+
+  EXPECT_TRUE(sched->AllJobsDone());
+  sched->FinalAudit();
+  EXPECT_TRUE(audit.ok()) << audit.Summary();
+  const auto report = sched->BuildReport();
+  report.CheckInvariants();
+  EXPECT_EQ(report.counters.preemptions_issued, 1u);
+  EXPECT_EQ(report.counters.preemption_requeues, 1u);
+  EXPECT_EQ(report.counters.preemptions_blocked_lifecycle, 0u);
+  // The sweep recovered exactly the running prod task plus the queued
+  // victim — each once.
+  EXPECT_EQ(report.counters.elastic_tasks_redispatched, 2u);
 }
 
 tenancy::TenancyConfig ThreeTenants(double prod_slo) {
