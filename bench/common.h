@@ -35,6 +35,16 @@
 //                     plane and is byte-identical to the unsharded run
 //   --gossip-period=S digest exchange period per shard
 //   --stale-bound=S   peer digests older than this drop out of global views
+//
+// Power management (see EXPERIMENTS.md "Energy"):
+//   --power                 attach the power model + controller; without it
+//                           no power code runs and output is byte-identical
+//   --power-policy=P        meter | dvfs | park | all (default all)
+//   --power-park-idle=S     continuous idle seconds before a park
+//   --power-min-active=F    min fraction of the fleet kept awake
+//   --power-target-wait=S   E[W] the wake threshold is scaled from
+//   --power-wake-factor=F   wake when fleet E[W] > factor * target-wait
+//   --power-parked-weight=F parked machine's weight as CRV supply
 // Defaults are the ideal fabric (constant latency, no loss): bit-identical
 // to the pre-fabric simulator.
 //
@@ -51,6 +61,7 @@
 #include "federation/config.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
+#include "power/config.h"
 #include "runner/experiment.h"
 #include "runner/parallel.h"
 #include "trace/generators.h"
@@ -78,6 +89,8 @@ struct BenchOptions {
   net::RpcConfig rpc;
   /// Sharded control plane; shards == 1 keeps the plane off.
   federation::FederationConfig federation;
+  /// Power management; disabled (the default) never constructs it.
+  power::PowerConfig power;
 };
 
 /// Parses the common flags; exits(1) on bad input. `extra` names additional
@@ -149,6 +162,43 @@ inline BenchOptions ParseBenchOptions(util::Flags& flags,
                  "must be positive\n");
     std::exit(1);
   }
+  o.power.enabled = flags.GetBool("power", false);
+  const std::string power_policy = flags.GetString("power-policy", "all");
+  if (power_policy == "meter") {
+    o.power.policy.park = false;
+    o.power.policy.dvfs = false;
+  } else if (power_policy == "dvfs") {
+    o.power.policy.park = false;
+  } else if (power_policy == "park") {
+    o.power.policy.dvfs = false;
+  } else if (power_policy != "all") {
+    std::fprintf(stderr,
+                 "--power-policy must be meter|dvfs|park|all (got \"%s\")\n",
+                 power_policy.c_str());
+    std::exit(1);
+  }
+  o.power.policy.park_idle_after =
+      flags.GetDouble("power-park-idle", o.power.policy.park_idle_after);
+  o.power.policy.min_active_fraction =
+      flags.GetDouble("power-min-active", o.power.policy.min_active_fraction);
+  o.power.policy.target_wait =
+      flags.GetDouble("power-target-wait", o.power.policy.target_wait);
+  o.power.policy.wake_wait_factor =
+      flags.GetDouble("power-wake-factor", o.power.policy.wake_wait_factor);
+  o.power.policy.parked_supply_weight = flags.GetDouble(
+      "power-parked-weight", o.power.policy.parked_supply_weight);
+  if (o.power.policy.park_idle_after < 0 ||
+      o.power.policy.min_active_fraction < 0 ||
+      o.power.policy.min_active_fraction > 1 ||
+      o.power.policy.target_wait <= 0 ||
+      o.power.policy.wake_wait_factor <= 0 ||
+      o.power.policy.parked_supply_weight < 0) {
+    std::fprintf(stderr,
+                 "--power-park-idle and --power-parked-weight must be >= 0; "
+                 "--power-min-active must be in [0,1]; --power-target-wait "
+                 "and --power-wake-factor must be positive\n");
+    std::exit(1);
+  }
   // After every flag above is declared, `--help` can print the complete
   // auto-generated listing and an unknown flag dies with that same usage.
   // Callers declaring extra flags before calling ParseBenchOptions get them
@@ -185,6 +235,7 @@ inline runner::RepeatedRuns Run(const std::string& scheduler,
   ro.config.rpc = o.rpc;
   ro.obs = o.obs;
   ro.federation = o.federation;
+  ro.power = o.power;
   return runner::RepeatedRuns(t, cl, ro, o.runs);
 }
 

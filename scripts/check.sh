@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Repo health check: configure, build, run the full test suite, then smoke
-# the observability stack (audited bench run + Chrome trace validity).
+# the observability stack (audited bench run + Chrome trace validity),
+# elastic churn, multi-tenant preemption, network chaos, multi-shard
+# gossip, and the power subsystem (audited diurnal energy run).
 # Usage: scripts/check.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -133,6 +135,42 @@ print(f"federation smoke ok: {len(sharded)} audited multi-shard cells, "
 EOF
 else
   echo "federation smoke ok (python3 not found; skipped JSON validation)"
+fi
+
+echo "== power suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L power -j "$JOBS"
+
+echo "== audited energy smoke =="
+# Diurnal load with deep park + DVFS and the invariant auditor on: the
+# auditor enforces power-transition legality (no binding to a parked
+# machine, no DVFS while asleep, no double park/wake) and re-integrates
+# the kPowerState stream against the meter total (energy conservation) —
+# it aborts the run on any violation, so exiting 0 IS the
+# violations == 0 assertion. The JSON then proves the policies engaged.
+"$BUILD_DIR/bench/bench_ext_energy" \
+  --nodes=48 --jobs=600 --runs=1 --audit \
+  --json="$SMOKE_DIR/energy.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR/energy.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cells = doc["cells"]
+assert cells, "no bench cells"
+assert all(c["joules"] > 0 for c in cells), "a cell metered zero joules"
+parked = [c for c in cells if c["policy"] in ("park", "all")]
+assert parked, "no park-policy cells"
+assert any(c["parks"] > 0 and c["sleep_fraction"] > 0 for c in parked), \
+    "deep park never engaged"
+meter = {(c["scheduler"], c["shape"]): c["joules"]
+         for c in cells if c["policy"] == "meter"}
+assert any(c["joules"] < meter[(c["scheduler"], c["shape"])]
+           for c in parked), "parking saved no energy vs always-on"
+print(f"energy smoke ok: {len(cells)} audited cells, joules metered, "
+      "parks engaged, park < meter")
+EOF
+else
+  echo "energy smoke ok (python3 not found; skipped JSON validation)"
 fi
 
 echo "== perf smoke =="

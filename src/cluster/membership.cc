@@ -22,11 +22,16 @@ MembershipView::MembershipView(const Cluster& cluster,
                                std::size_t guaranteed_active)
     : cluster_(cluster), guaranteed_(guaranteed_active),
       states_(cluster.size(), MachineLifecycle::kParked),
-      bindable_(cluster.size()), cache_(std::make_unique<PoolCache>()) {
+      bindable_(cluster.size()), parked_(cluster.size()),
+      cache_(std::make_unique<PoolCache>()) {
   PHOENIX_CHECK_MSG(guaranteed_active > 0,
                     "the guaranteed base fleet cannot be empty");
   PHOENIX_CHECK_MSG(guaranteed_active <= cluster.size(),
                     "guaranteed base fleet exceeds the machine universe");
+  for (std::size_t i = guaranteed_; i < cluster.size(); ++i) {
+    parked_.Set(i);
+  }
+  parked_count_ = cluster.size() - guaranteed_;
   for (std::size_t i = 0; i < guaranteed_; ++i) {
     states_[i] = MachineLifecycle::kActive;
     bindable_.Set(i);
@@ -59,7 +64,13 @@ void MembershipView::SetState(MachineId id, MachineLifecycle next) {
                         "retire requires a draining machine");
       break;
     case MachineLifecycle::kParked:
-      PHOENIX_CHECK_MSG(false, "machines never return to parked");
+      // Power management returns machines to deep sleep: an idle active
+      // machine parks directly, and a drained machine parks instead of
+      // retiring (it can be woken at S3-exit latency instead of paying a
+      // full provisioning warm-up).
+      PHOENIX_CHECK_MSG(cur == MachineLifecycle::kActive ||
+                            cur == MachineLifecycle::kDraining,
+                        "park requires an active or draining machine");
       break;
   }
   states_[id] = next;
@@ -75,12 +86,36 @@ void MembershipView::SetState(MachineId id, MachineLifecycle next) {
   }
   if (next == MachineLifecycle::kActive) ++in_service_count_;
   if (next == MachineLifecycle::kRetired) --in_service_count_;
+  if (next == MachineLifecycle::kParked) --in_service_count_;
+  if (next == MachineLifecycle::kParked) {
+    parked_.Set(id);
+    ++parked_count_;
+  } else if (cur == MachineLifecycle::kParked) {
+    parked_.Reset(id);
+    --parked_count_;
+  }
   ++epoch_;
   // Membership changed: every memoized eligible pool is stale.
   std::unique_lock lock(cache_->mu);
   cache_->pools.clear();
   cache_->pool_ids.clear();
   cache_->predicate_counts.clear();
+  cache_->parked_predicate_counts.clear();
+}
+
+std::size_t MembershipView::CountParkedSatisfying(const Constraint& c) const {
+  const std::uint32_t key = EncodePredicate(c);
+  {
+    std::shared_lock lock(cache_->mu);
+    const auto it = cache_->parked_predicate_counts.find(key);
+    if (it != cache_->parked_predicate_counts.end()) return it->second;
+  }
+  util::Bitset pool = cluster_.Satisfying(c);
+  pool.AndWith(parked_);
+  const std::size_t count = pool.Count();
+  std::unique_lock lock(cache_->mu);
+  cache_->parked_predicate_counts.emplace(key, count);
+  return count;
 }
 
 const util::Bitset& MembershipView::EligiblePool(

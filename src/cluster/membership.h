@@ -9,6 +9,11 @@
 //   parked -> provisioning -> active -> draining -> retired
 //                                          (retired -> provisioning re-leases)
 //
+// Power management (src/power) adds the return edges active -> parked and
+// draining -> parked: an idle machine can be put into deep sleep, and a
+// drained machine can sleep instead of retiring, to be woken later at its
+// S3-exit latency instead of a full provisioning warm-up.
+//
 // Only *active* machines accept new bindings (probes, bound tasks, steals);
 // a draining machine finishes the bound work it already holds and nothing
 // else. The view layers a second eligibility cache over the cluster's
@@ -73,13 +78,15 @@ class MembershipView {
 
   std::size_t bindable_count() const { return bindable_count_; }
   std::size_t in_service_count() const { return in_service_count_; }
+  std::size_t parked_count() const { return parked_count_; }
   /// Bumped on every SetState; pool caches key their validity on it.
   std::uint64_t epoch() const { return epoch_; }
 
   /// Advances `id` through the lifecycle. Legal transitions: parked or
   /// retired -> provisioning, provisioning -> active, active -> draining,
-  /// draining -> retired. Anything else aborts (the controller owns the
-  /// policy; the view enforces the state machine).
+  /// draining -> retired, and active/draining -> parked (power management
+  /// returns machines to deep sleep). Anything else aborts (the controllers
+  /// own the policy; the view enforces the state machine).
   void SetState(MachineId id, MachineLifecycle next);
 
   /// Bindable machines satisfying `cs`: the cluster pool AND the bindable
@@ -97,6 +104,11 @@ class MembershipView {
   /// eligible somewhere for the whole run regardless of churn.
   std::size_t CountAdmissible(const ConstraintSet& cs) const;
   std::size_t CountAdmissible(const Constraint& c) const;
+
+  /// Parked machines satisfying the single predicate, memoized per epoch.
+  /// Wake-aware CRV supply counts these at a wake-cost discount: sleeping
+  /// capacity that could cover a hot predicate is still supply.
+  std::size_t CountParkedSatisfying(const Constraint& c) const;
 
   // Sampling over the eligible pool. These mirror Cluster::Sample* exactly
   // (same draw pattern per call) — see the determinism contract above.
@@ -116,8 +128,10 @@ class MembershipView {
   std::size_t guaranteed_ = 0;
   std::vector<MachineLifecycle> states_;
   util::Bitset bindable_;
+  util::Bitset parked_;
   std::size_t bindable_count_ = 0;
   std::size_t in_service_count_ = 0;
+  std::size_t parked_count_ = 0;
   std::uint64_t epoch_ = 0;
 
   // Per-epoch eligible pools (cluster pool AND bindable), cleared on every
@@ -131,6 +145,7 @@ class MembershipView {
     std::map<Cluster::SetKey, util::Bitset> pools;
     std::map<Cluster::SetKey, std::vector<std::uint32_t>> pool_ids;
     std::map<std::uint32_t, std::size_t> predicate_counts;
+    std::map<std::uint32_t, std::size_t> parked_predicate_counts;
   };
   std::unique_ptr<PoolCache> cache_;
 };

@@ -77,9 +77,19 @@ std::uint64_t CrvMonitor::EligibleSupply(PredEntry& entry) const {
   const std::uint64_t epoch = view_->epoch();
   if (entry.supply_epoch != epoch) {
     entry.supply = view_->CountEligible(entry.constraint);
+    entry.parked = parked_weight_ > 0
+                       ? view_->CountParkedSatisfying(entry.constraint)
+                       : 0;
     entry.supply_epoch = epoch;
   }
   return entry.supply;
+}
+
+double CrvMonitor::EffectiveSupply(PredEntry& entry) const {
+  const std::uint64_t awake = EligibleSupply(entry);
+  if (parked_weight_ <= 0) return static_cast<double>(awake);
+  return static_cast<double>(awake) +
+         parked_weight_ * static_cast<double>(entry.parked);
 }
 
 CrvSnapshot CrvMonitor::TakeSnapshot() const {
@@ -95,9 +105,12 @@ CrvSnapshot CrvMonitor::TakeSnapshot() const {
       if (entry.count == 0) continue;
       const auto dim = static_cast<std::size_t>(
           cluster::AttrToCrvDim(entry.constraint.attr));
-      const std::uint64_t pool = EligibleSupply(entry);
-      ratio[dim] += pool > 0 ? static_cast<double>(entry.count) /
-                                   static_cast<double>(pool)
+      // A parked satisfying machine is wake-discounted supply: demand that
+      // could be absorbed after a wake transition reads as less congested
+      // than demand with no machine anywhere, so the CRV table distinguishes
+      // "wake something" from "nothing can serve this".
+      const double pool = EffectiveSupply(entry);
+      ratio[dim] += pool > 0 ? static_cast<double>(entry.count) / pool
                              : 2.0 * static_cast<double>(entry.count);
     }
     for (std::size_t d = 0; d < cluster::kNumCrvDims; ++d) {
@@ -133,6 +146,7 @@ std::vector<CrvMonitor::PredicateDemand> CrvMonitor::HotPredicates(
     pd.constraint = entry.constraint;
     pd.count = entry.count;
     pd.supply = EligibleSupply(entry);
+    pd.parked = entry.parked;
     out.push_back(pd);
   }
   // Hottest first; the key index yields key-ascending order, and

@@ -53,6 +53,13 @@ class CrvMonitor {
   /// view the original incremental static-pool path runs, byte-identical.
   void AttachMembership(const cluster::MembershipView* view);
 
+  /// Wake-latency-aware supply (power management): a parked machine
+  /// satisfying a predicate counts as `weight` of a machine in that
+  /// predicate's snapshot supply — it can serve the demand, but only after
+  /// paying a wake transition. Weight 0 (the default) keeps the ratio math
+  /// byte-identical to the power-free build. Requires an attached view.
+  void SetParkedSupplyWeight(double weight) { parked_weight_ = weight; }
+
   /// A constrained entry entered / left a worker queue.
   void OnEnqueue(const cluster::ConstraintSet& cs);
   void OnDequeue(const cluster::ConstraintSet& cs);
@@ -81,6 +88,7 @@ class CrvMonitor {
     cluster::Constraint constraint;
     std::uint64_t count = 0;   // queued entries demanding this predicate
     std::uint64_t supply = 0;  // active machines satisfying it
+    std::uint64_t parked = 0;  // parked machines that could serve it (power)
   };
 
   /// Distinct queued predicates on `dim`, hottest (highest count) first,
@@ -96,7 +104,11 @@ class CrvMonitor {
   /// Memoized 1/|satisfying pool| for the static-fleet path.
   double InvPool(const cluster::Constraint& c);
   /// Epoch-cached eligible supply for a tracked predicate (view mode).
+  /// With a nonzero parked weight the parked pool is refreshed under the
+  /// same epoch check.
   std::uint64_t EligibleSupply(PredEntry& entry) const;
+  /// Supply with the wake-discounted parked pool folded in (snapshot math).
+  double EffectiveSupply(PredEntry& entry) const;
 
   struct PredEntry {
     cluster::Constraint constraint;
@@ -106,11 +118,13 @@ class CrvMonitor {
     /// predicate's supply costs one table read instead of a locked
     /// pool-cache lookup.
     std::uint64_t supply = 0;
+    std::uint64_t parked = 0;
     std::uint64_t supply_epoch = kNoEpoch;
   };
 
   const cluster::Cluster& cluster_;
   const cluster::MembershipView* view_ = nullptr;
+  double parked_weight_ = 0;
   std::array<std::int64_t, cluster::kNumCrvDims> demand_{};
   std::array<double, cluster::kNumCrvDims> load_{};  // sum of 1/pool
   /// Per-predicate demand, keyed by cluster::EncodePredicate (view mode).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "power/manager.h"
+
 namespace phoenix::core {
 
 using cluster::MachineId;
@@ -21,6 +23,11 @@ void PhoenixScheduler::SetMembership(cluster::MembershipView* membership) {
   EagleScheduler::SetMembership(membership);
   monitor_.AttachMembership(membership);
   admission_.AttachMembership(membership);
+}
+
+void PhoenixScheduler::SetPower(power::PowerManager* power) {
+  EagleScheduler::SetPower(power);
+  monitor_.SetParkedSupplyWeight(power->config().policy.parked_supply_weight);
 }
 
 void PhoenixScheduler::AdmitJob(JobRuntime& job) {

@@ -40,6 +40,11 @@ class PhoenixScheduler : public sched::EagleScheduler {
   /// controller (eligible-pool scarcity gates).
   void SetMembership(cluster::MembershipView* membership) override;
 
+  /// Additionally forwards the parked-supply discount into the CRV monitor:
+  /// parked satisfying machines count as wake-discounted supply in the
+  /// snapshot ratios (wake-latency-aware CRV).
+  void SetPower(power::PowerManager* power) override;
+
   /// Demand/supply per distinct queued predicate on the currently hottest
   /// CRV dimension — the elasticity controller's input for CRV-aware supply
   /// shaping. Empty without a membership view.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/phoenix.h"
+#include "power/manager.h"
 #include "util/check.h"
 
 namespace phoenix::elastic {
@@ -131,15 +132,26 @@ void ElasticityController::ReactiveDecision() {
   } else {
     // Cluster-wide mean of the per-worker M/G/1 E[W] estimates. A saturated
     // estimator reports +infinity; clamp so one hot worker reads as "very
-    // congested" rather than poisoning the mean outright.
+    // congested" rather than poisoning the mean outright. With power
+    // management attached, parked machines join the mean at their
+    // wake-penalized estimate (exactly the wake penalty on a cleared
+    // estimator): sleeping capacity reads as available-at-a-cost, so the
+    // park-vs-scale decision sees the energy dimension.
+    const bool count_parked = scheduler_.power() != nullptr;
     double sum = 0;
+    std::size_t counted = 0;
     for (std::size_t id = 0; id < scheduler_.num_machines(); ++id) {
       const auto mid = static_cast<MachineId>(id);
-      if (!view_.Bindable(mid)) continue;
+      const bool parked_supply =
+          count_parked && view_.state(mid) == MachineLifecycle::kParked &&
+          !scheduler_.worker_state(mid).failed;
+      if (!view_.Bindable(mid) && !parked_supply) continue;
       sum += std::min(scheduler_.worker_state(mid).estimator.EstimateWait(),
                       1e6);
+      ++counted;
     }
-    mean = sum / static_cast<double>(view_.bindable_count());
+    mean = count_parked ? sum / static_cast<double>(counted)
+                        : sum / static_cast<double>(view_.bindable_count());
   }
   if (mean > config_.scale_up_factor * config_.target_wait) {
     ScaleUp(config_.scale_step);
@@ -235,8 +247,14 @@ MachineId ElasticityController::PickProvisionCandidate() {
 }
 
 void ElasticityController::BeginLease(MachineId id) {
-  scheduler_.ProvisionMachine(id, config_.warmup_delay);
-  engine_.ScheduleAfter(config_.warmup_delay, [this, id] {
+  // A machine sleeping in S3 pays its class's wake transition instead of the
+  // configured cold warm-up — the whole point of parking over retiring.
+  double warmup = config_.warmup_delay;
+  if (const auto* pm = scheduler_.power(); pm != nullptr && pm->asleep(id)) {
+    warmup = pm->WakeLatency(id);
+  }
+  scheduler_.ProvisionMachine(id, warmup);
+  engine_.ScheduleAfter(warmup, [this, id] {
     if (view_.state(id) != MachineLifecycle::kProvisioning) return;
     scheduler_.CommissionMachine(id);
     tasks_at_commission_[id] = scheduler_.worker_state(id).tasks_started;
@@ -248,14 +266,15 @@ void ElasticityController::BeginDrain(MachineId id,
                                       double grace) {
   scheduler_.DrainMachine(id, reason);
   const double deadline = engine_.Now() + grace;
-  drain_deadline_[id] = deadline;
+  drain_deadline_[id] = DrainRecord{
+      deadline, reason == sched::SchedulerBase::DrainReason::kReclamation};
   engine_.ScheduleAfter(grace, [this, id] {
     auto it = drain_deadline_.find(id);
     // Gone: a tick-poll graceful retire beat the timer. Later deadline: the
     // machine was retired, re-leased and re-drained; that drain's own timer
     // will handle it.
     if (it == drain_deadline_.end()) return;
-    if (it->second > engine_.Now() + 1e-9) return;
+    if (it->second.deadline > engine_.Now() + 1e-9) return;
     drain_deadline_.erase(it);
     if (!TryRetire(id, /*force=*/false)) {
       TryRetire(id, /*force=*/true);
@@ -264,7 +283,26 @@ void ElasticityController::BeginDrain(MachineId id,
 }
 
 bool ElasticityController::TryRetire(MachineId id, bool force) {
+  // Park-vs-retire: with power management attached a drained machine we
+  // still own goes to sleep instead of leaving the universe — waking it
+  // later costs seconds, not a cold lease. A reclaimed transient is the
+  // provider's machine; it must truly retire.
+  if (!force && scheduler_.power() != nullptr) {
+    auto it = drain_deadline_.find(id);
+    const bool reclaimed = it != drain_deadline_.end() && it->second.reclaimed;
+    if (!reclaimed && scheduler_.ParkMachine(id)) {
+      ++stats_.parks_instead_of_retire;
+      CloseLease(id);
+      return true;
+    }
+    if (!reclaimed) return false;  // still holds work; keep polling
+  }
   if (!scheduler_.RetireMachine(id, force)) return false;
+  CloseLease(id);
+  return true;
+}
+
+void ElasticityController::CloseLease(MachineId id) {
   auto it = tasks_at_commission_.find(id);
   if (it != tasks_at_commission_.end()) {
     if (scheduler_.worker_state(id).tasks_started == it->second) {
@@ -272,7 +310,6 @@ bool ElasticityController::TryRetire(MachineId id, bool force) {
     }
     tasks_at_commission_.erase(it);
   }
-  return true;
 }
 
 }  // namespace phoenix::elastic

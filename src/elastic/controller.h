@@ -58,6 +58,9 @@ class ElasticityController {
     std::uint64_t scale_up_decisions = 0;
     std::uint64_t scale_down_decisions = 0;
     std::uint64_t crv_shaped_picks = 0;
+    /// Scale-down drains closed by parking into deep sleep instead of
+    /// retiring (power management attached; the machine stays wakeable).
+    std::uint64_t parks_instead_of_retire = 0;
     /// Warm-up seconds spent on leases that retired without ever starting
     /// a task.
     double wasted_warmup_seconds = 0;
@@ -83,8 +86,13 @@ class ElasticityController {
   void BeginDrain(cluster::MachineId id,
                   sched::SchedulerBase::DrainReason reason, double grace);
   /// RetireMachine + wasted-warm-up accounting. Returns false if a graceful
-  /// retire was refused (machine still holds work).
+  /// retire was refused (machine still holds work). With power management
+  /// attached, a non-reclaimed drain parks into deep sleep instead of
+  /// retiring (park-vs-retire: the machine stays ours and wakeable);
+  /// reclaimed leases always truly retire — the provider takes them back.
   bool TryRetire(cluster::MachineId id, bool force);
+  /// Lease-close bookkeeping shared by retire and park.
+  void CloseLease(cluster::MachineId id);
 
   /// Best scale-up candidate among parked/retired reserve machines; applies
   /// CRV-aware supply shaping under Phoenix. kInvalidMachine if none.
@@ -104,9 +112,13 @@ class ElasticityController {
   Stats stats_;
   double last_tick_ = 0;
   double last_decision_ = 0;
-  /// Draining machines -> forced-retire deadline (ordered by id, so polls
-  /// are deterministic).
-  std::map<cluster::MachineId, double> drain_deadline_;
+  /// Draining machines -> forced-retire deadline plus whether the drain was
+  /// a reclamation (ordered by id, so polls are deterministic).
+  struct DrainRecord {
+    double deadline = 0;
+    bool reclaimed = false;
+  };
+  std::map<cluster::MachineId, DrainRecord> drain_deadline_;
   /// tasks_started at commission time, per open lease (wasted-warm-up).
   std::map<cluster::MachineId, std::uint64_t> tasks_at_commission_;
 };

@@ -141,6 +141,24 @@ struct SchedulerCounters {
   /// Constrained placements whose satisfying pool missed the target
   /// territory and fell back to a global draw.
   std::uint64_t fed_territory_fallbacks = 0;
+  /// Energy/power management (src/power). All zero without a power model.
+  std::uint64_t power_parks = 0;
+  std::uint64_t power_wakes = 0;
+  /// Wakes forced by a placement that found every satisfying machine
+  /// asleep (the dispatch-time CRV demand signal; also counted in
+  /// power_wakes).
+  std::uint64_t power_demand_wakes = 0;
+  /// DVFS steps: raises go toward P0 (faster/hungrier), lowers away.
+  std::uint64_t power_dvfs_raises = 0;
+  std::uint64_t power_dvfs_lowers = 0;
+  /// Parks the controller refused: coverage guard (the last awake machine
+  /// satisfying a hot CRV predicate) and the min-active floor.
+  std::uint64_t power_park_vetoes_coverage = 0;
+  std::uint64_t power_park_vetoes_floor = 0;
+  /// Controller ticks that issued at least one wake.
+  std::uint64_t power_wake_decisions = 0;
+  /// Drained machines the elastic controller parked instead of retiring.
+  std::uint64_t power_parks_instead_of_retire = 0;
 };
 
 /// Per-tenant outcome slice (empty unless the run configured tenants).
@@ -200,6 +218,18 @@ class SimReport {
   /// the byte-stable paper-figure outputs.
   double sim_wall_seconds = 0;
   std::uint64_t events_fired = 0;
+  /// Energy accounting (src/power), filled only when a power model is
+  /// attached; all zero (and power_enabled false) otherwise, so reports and
+  /// JSON emitters can gate the energy fields on one flag.
+  bool power_enabled = false;
+  /// Fleet energy with every state dwell closed at the report horizon.
+  double total_joules = 0;
+  /// total_joules / completed tasks.
+  double energy_per_task = 0;
+  /// total_joules x mean job response time (the classic EDP, J*s).
+  double energy_delay_product = 0;
+  /// Integral of the number of machines in deep sleep, machine-seconds.
+  double sleep_machine_seconds = 0;
 
   /// Simulated events retired per wall second (0 when not measured).
   double EventsPerSec() const {

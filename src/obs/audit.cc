@@ -58,9 +58,11 @@ void InvariantAuditor::OnLifecycleEvent(const Event& event) {
   };
   switch (event.type) {
     case EventType::kMachinePark:
-      // Only valid as the run-start declaration of a not-yet-leased
-      // machine (before any lifecycle transition touched it).
-      if (state != kLifeActive || event.time > 0) illegal();
+      // The run-start declaration of a not-yet-leased machine, or a power
+      // park: an idle active machine goes to deep sleep, a drained machine
+      // sleeps instead of retiring. Never legal from parked/provisioning/
+      // retired (double park, or parking a machine outside the fleet).
+      if (state != kLifeActive && state != kLifeDraining) illegal();
       state = kLifeParked;
       return;
     case EventType::kMachineProvision:
@@ -347,9 +349,86 @@ void InvariantAuditor::OnEvent(const Event& event) {
       }
       return;
     }
+    case EventType::kPowerState: {
+      ++power_events_seen_;
+      if (event.machine == kNoId) {
+        Violate("power state event without a machine id");
+        return;
+      }
+      if (event.value < 0) {
+        Violate(util::StrFormat("machine %u declared negative draw %.6f W",
+                                event.machine, event.value));
+      }
+      if (event.machine >= power_channels_.size()) {
+        power_channels_.resize(event.machine + 1);
+      }
+      PowerChannel& ch = power_channels_[event.machine];
+      if (ch.seen && event.time < ch.last) {
+        Violate(util::StrFormat(
+            "machine %u power state moved backwards in time (%.6f < %.6f)",
+            event.machine, event.time, ch.last));
+        return;
+      }
+      if (ch.seen) ch.joules += ch.watts * (event.time - ch.last);
+      ch.seen = true;
+      ch.last = event.time;
+      ch.watts = event.value;
+      return;
+    }
+    case EventType::kPowerPark:
+      // Park/wake decision legality mirrors the lifecycle rules: the park
+      // decision precedes its kMachinePark, the wake its kMachineProvision.
+      if (event.machine == kNoId ||
+          (LifecycleFor(event.machine) != kLifeActive &&
+           LifecycleFor(event.machine) != kLifeDraining)) {
+        Violate(util::StrFormat(
+            "power park of machine %u while %s at t=%.6f", event.machine,
+            event.machine == kNoId ? "?"
+                                   : LifeName(LifecycleFor(event.machine)),
+            event.time));
+      }
+      return;
+    case EventType::kPowerWake:
+      if (event.machine == kNoId ||
+          LifecycleFor(event.machine) != kLifeParked) {
+        Violate(util::StrFormat(
+            "power wake of machine %u while %s at t=%.6f", event.machine,
+            event.machine == kNoId ? "?"
+                                   : LifeName(LifecycleFor(event.machine)),
+            event.time));
+      }
+      return;
+    case EventType::kPowerDvfs:
+      // DVFS only retunes machines taking new work; a sleeping or
+      // out-of-fleet machine has no P-state to step.
+      if (event.machine == kNoId ||
+          LifecycleFor(event.machine) != kLifeActive) {
+        Violate(util::StrFormat(
+            "DVFS step on machine %u while %s at t=%.6f", event.machine,
+            event.machine == kNoId ? "?"
+                                   : LifeName(LifecycleFor(event.machine)),
+            event.time));
+      }
+      return;
     default:
       return;  // informational events carry no audited state
   }
+}
+
+void InvariantAuditor::ExpectEnergy(double joules, double horizon) {
+  energy_expected_ = true;
+  expected_joules_ = joules;
+  energy_horizon_ = horizon;
+}
+
+double InvariantAuditor::IntegratedJoules(double horizon) const {
+  double total = 0.0;
+  for (const PowerChannel& ch : power_channels_) {
+    if (!ch.seen) continue;
+    total += ch.joules;
+    if (horizon > ch.last) total += ch.watts * (horizon - ch.last);
+  }
+  return total;
 }
 
 void InvariantAuditor::CheckWorker(double now, std::uint32_t machine,
@@ -396,6 +475,22 @@ void InvariantAuditor::CheckWorker(double now, std::uint32_t machine,
 }
 
 void InvariantAuditor::Finish() {
+  if (energy_expected_) {
+    // Energy conservation: the joules the scheduler's meter accrued must
+    // equal the kPowerState stream integrated over state dwells — a missed
+    // or double-counted transition breaks the balance on either side.
+    const double integrated = IntegratedJoules(energy_horizon_);
+    const double tolerance =
+        std::fabs(expected_joules_) * 1e-6 > 1e-3
+            ? std::fabs(expected_joules_) * 1e-6
+            : 1e-3;
+    if (std::fabs(integrated - expected_joules_) > tolerance) {
+      Violate(util::StrFormat(
+          "energy conservation broken: meter %.6f J vs event-stream "
+          "integral %.6f J at horizon %.6f",
+          expected_joules_, integrated, energy_horizon_));
+    }
+  }
   for (std::size_t m = 0; m < machine_lifecycle_.size(); ++m) {
     // Capacity conservation: a lease must close. Ending provisioning means
     // a commission timer was lost; ending draining means the drain never

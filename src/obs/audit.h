@@ -34,6 +34,11 @@
 //   * gossip monotonicity — the digest version carried by each kGossipApply
 //     is strictly increasing per (receiver shard, origin shard) pair:
 //     a reordered or replayed digest must be dropped, never applied;
+//   * power legality + energy conservation — a power park decision lands
+//     only on an active/draining machine, a wake only on a parked one, a
+//     DVFS step only on an active one, and when the scheduler declares its
+//     meter total via ExpectEnergy the kPowerState stream integrated over
+//     state dwells (joules = Sigma dwell x watts) must match it;
 //   * worker structure (fed by the scheduler at each heartbeat and at the
 //     end of the run) — a busy worker always has a live slot event, a
 //     failed worker is never busy, and queues drain by the end of the run.
@@ -68,6 +73,15 @@ class InvariantAuditor final : public EventSink {
                    double est_queued_work, bool final_state,
                    bool out_of_service = false);
 
+  /// Declares the scheduler-side energy integral for the end-of-run energy
+  /// conservation check: the kPowerState stream integrated to `horizon`
+  /// must match `joules` within a relative tolerance. Call before Finish.
+  void ExpectEnergy(double joules, double horizon);
+
+  /// Integral of the observed kPowerState stream with every dwell closed
+  /// at `horizon` (the auditor's side of the energy-conservation balance).
+  double IntegratedJoules(double horizon) const;
+
   /// End-of-run conservation checks. Call after the event queue drains.
   void Finish();
 
@@ -90,6 +104,9 @@ class InvariantAuditor final : public EventSink {
   std::uint64_t fed_binds_sent() const { return fed_binds_sent_; }
   std::uint64_t fed_binds_closed() const { return fed_binds_closed_; }
   std::uint64_t gossip_applies() const { return gossip_applies_; }
+  /// Power accounting (for tests asserting the energy rules observed a
+  /// powered run's transition stream).
+  std::uint64_t power_events_seen() const { return power_events_seen_; }
 
  private:
   struct JobStats {
@@ -138,6 +155,18 @@ class InvariantAuditor final : public EventSink {
   std::uint64_t fed_binds_sent_ = 0;
   std::uint64_t fed_binds_closed_ = 0;
   std::uint64_t gossip_applies_ = 0;
+  /// Per-machine dwell integral of the kPowerState stream.
+  struct PowerChannel {
+    double watts = 0;
+    double last = 0;
+    double joules = 0;
+    bool seen = false;
+  };
+  std::vector<PowerChannel> power_channels_;
+  std::uint64_t power_events_seen_ = 0;
+  bool energy_expected_ = false;
+  double expected_joules_ = 0;
+  double energy_horizon_ = 0;
   std::vector<std::string> violations_;
   std::uint64_t events_seen_ = 0;
 };

@@ -50,6 +50,10 @@ const char* EventTypeName(EventType type) {
     case EventType::kFedBindSend: return "fed_bind_send";
     case EventType::kFedBindAccept: return "fed_bind_accept";
     case EventType::kFedBindReject: return "fed_bind_reject";
+    case EventType::kPowerState: return "power_state";
+    case EventType::kPowerPark: return "power_park";
+    case EventType::kPowerWake: return "power_wake";
+    case EventType::kPowerDvfs: return "power_dvfs";
   }
   return "?";
 }

@@ -83,10 +83,21 @@ enum class EventType : std::uint8_t {
   kFedBindSend,       // task bound into a peer territory on a gossiped view
   kFedBindAccept,     // remote worker had the advertised free slot
   kFedBindReject,     // double-bind detected; task requeued at home
+  // Energy/power management (src/power). kPowerState carries the machine's
+  // new electrical draw in `value` (watts); the run opens with one per
+  // machine declaring the initial draw, and the auditor integrates the
+  // stream into Sigma state-dwell x watts, which must equal the meter's
+  // joules at the end of the run (energy conservation). kPowerPark is legal
+  // only on an active/draining machine, kPowerWake only on a parked one,
+  // kPowerDvfs only on an active one (`task` = new P-state index).
+  kPowerState,        // draw changed; value = new watts
+  kPowerPark,         // controller parked the machine into deep sleep
+  kPowerWake,         // wake begun; value = S3-exit latency (seconds)
+  kPowerDvfs,         // DVFS step; task = new P-state, value = new watts
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kFedBindReject) + 1;
+    static_cast<std::size_t>(EventType::kPowerDvfs) + 1;
 
 /// Stable lowercase name for serialization ("probe_send", ...).
 const char* EventTypeName(EventType type);

@@ -1,0 +1,90 @@
+#include "power/manager.h"
+
+#include "cluster/machine.h"
+#include "util/check.h"
+
+namespace phoenix::power {
+
+PowerManager::PowerManager(const cluster::Cluster& cluster,
+                           const PowerConfig& config)
+    : cluster_(cluster), config_(config), model_(cluster),
+      state_(cluster.size()) {
+  PHOENIX_CHECK_MSG(config.enabled, "PowerManager requires an enabled config");
+}
+
+void PowerManager::StartRun(double now, const cluster::MembershipView* view) {
+  std::vector<double> watts(state_.size());
+  std::vector<double> sleeping(state_.size());
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    const bool asleep =
+        view != nullptr && view->state(static_cast<cluster::MachineId>(i)) ==
+                               cluster::MachineLifecycle::kParked;
+    state_[i] = MachinePowerState{};
+    state_[i].asleep = asleep;
+    watts[i] = asleep ? model_.SleepWatts(i) : model_.IdleWatts(i, 0);
+    sleeping[i] = asleep ? 1.0 : 0.0;
+  }
+  meter_.Init(now, watts);
+  sleep_meter_.Init(now, sleeping);
+}
+
+double PowerManager::CurrentWatts(cluster::MachineId id) const {
+  const MachinePowerState& s = state_[id];
+  if (s.asleep) return model_.SleepWatts(id);
+  if (s.executing) return model_.ExecWatts(id, s.p_state);
+  return model_.IdleWatts(id, s.p_state);
+}
+
+double PowerManager::OnExecBegin(cluster::MachineId id, double now) {
+  MachinePowerState& s = state_[id];
+  PHOENIX_CHECK_MSG(!s.asleep, "a sleeping machine cannot execute");
+  if (s.executing) return -1.0;
+  s.executing = true;
+  const double w = CurrentWatts(id);
+  meter_.SetWatts(id, now, w);
+  return w;
+}
+
+double PowerManager::OnExecEnd(cluster::MachineId id, double now) {
+  MachinePowerState& s = state_[id];
+  if (!s.executing) return -1.0;  // idempotent: evict + preempt paths overlap
+  s.executing = false;
+  const double w = CurrentWatts(id);
+  meter_.SetWatts(id, now, w);
+  return w;
+}
+
+double PowerManager::SetPState(cluster::MachineId id, unsigned p, double now) {
+  PHOENIX_CHECK(p < kNumPStates);
+  MachinePowerState& s = state_[id];
+  PHOENIX_CHECK_MSG(!s.asleep, "DVFS on a sleeping machine");
+  if (s.p_state == p) return -1.0;
+  s.p_state = static_cast<std::uint8_t>(p);
+  const double w = CurrentWatts(id);
+  meter_.SetWatts(id, now, w);
+  return w;
+}
+
+double PowerManager::Park(cluster::MachineId id, double now) {
+  MachinePowerState& s = state_[id];
+  PHOENIX_CHECK_MSG(!s.asleep, "double park");
+  PHOENIX_CHECK_MSG(!s.executing, "parking a machine mid-execution");
+  s.asleep = true;
+  const double w = CurrentWatts(id);
+  meter_.SetWatts(id, now, w);
+  sleep_meter_.SetWatts(id, now, 1.0);
+  return w;
+}
+
+double PowerManager::Wake(cluster::MachineId id, double now) {
+  MachinePowerState& s = state_[id];
+  PHOENIX_CHECK_MSG(s.asleep, "waking a machine that is not asleep");
+  s.asleep = false;
+  s.p_state = 0;
+  const double w = CurrentWatts(id);
+  meter_.SetWatts(id, now, w);
+  sleep_meter_.SetWatts(id, now, 0.0);
+  return w;
+}
+
+}  // namespace phoenix::power

@@ -1,0 +1,94 @@
+// PowerManager: per-machine electrical state plus the energy integral.
+//
+// The manager owns what the machines *are* (awake/asleep, current DVFS
+// P-state, executing or idle) and what that costs (the EnergyMeter); the
+// PowerController owns *policy* (when to park, throttle, wake) and the
+// scheduler owns *actuation* (lifecycle transitions + event emission).
+// Every transition returns the machine's new draw in watts so the caller
+// can emit the matching kPowerState event — the auditor re-integrates
+// those events and checks them against this meter at the end of the run
+// (energy conservation: joules == Sigma state-dwell x watts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/membership.h"
+#include "power/config.h"
+#include "power/meter.h"
+#include "power/model.h"
+
+namespace phoenix::power {
+
+class PowerManager {
+ public:
+  PowerManager(const cluster::Cluster& cluster, const PowerConfig& config);
+
+  const PowerConfig& config() const { return config_; }
+  const PowerModel& model() const { return model_; }
+
+  /// Initializes every machine's state at `now`: machines the view holds
+  /// parked start asleep (sleep watts), the rest awake-idle at P0. Call
+  /// once, before the first transition (SubmitTrace does).
+  void StartRun(double now, const cluster::MembershipView* view);
+
+  // --- transitions; each returns the new watts, or a negative value when
+  // --- the call was a no-op (no kPowerState event to emit).
+  double OnExecBegin(cluster::MachineId id, double now);
+  double OnExecEnd(cluster::MachineId id, double now);
+  double SetPState(cluster::MachineId id, unsigned p, double now);
+  double Park(cluster::MachineId id, double now);
+  /// Asleep -> awake. Resets the machine to P0 (a wake is demand-driven;
+  /// it comes back at full clock).
+  double Wake(cluster::MachineId id, double now);
+
+  bool asleep(cluster::MachineId id) const { return state_[id].asleep; }
+  bool executing(cluster::MachineId id) const { return state_[id].executing; }
+  unsigned p_state(cluster::MachineId id) const { return state_[id].p_state; }
+  double watts(cluster::MachineId id) const { return meter_.watts(id); }
+
+  /// Duration multiplier for a task starting on `id` now (>= 1).
+  double SpeedMultiplier(cluster::MachineId id) const {
+    return model_.SpeedScale(id, state_[id].p_state);
+  }
+  double WakeLatency(cluster::MachineId id) const {
+    return model_.WakeLatency(id);
+  }
+  /// The wake cost folded into a parked worker's advertised E[W].
+  double WakePenalty(cluster::MachineId id) const {
+    return model_.WakeLatency(id) * config_.policy.wake_penalty_factor;
+  }
+
+  // --- accounting (const: dwells are closed at `horizon` without mutation).
+  double TotalJoules(double horizon) const {
+    return meter_.TotalJoules(horizon);
+  }
+  double MachineJoules(cluster::MachineId id, double horizon) const {
+    return meter_.MachineJoules(id, horizon);
+  }
+  /// Integral of the number of asleep machines (machine-seconds in S3).
+  double SleepMachineSeconds(double horizon) const {
+    return sleep_meter_.TotalJoules(horizon);
+  }
+
+ private:
+  struct MachinePowerState {
+    std::uint8_t p_state = 0;
+    bool asleep = false;
+    bool executing = false;
+  };
+
+  double CurrentWatts(cluster::MachineId id) const;
+
+  const cluster::Cluster& cluster_;
+  PowerConfig config_;
+  PowerModel model_;
+  std::vector<MachinePowerState> state_;
+  EnergyMeter meter_;
+  // Reuses the dwell-integral machinery at 1 "watt" per asleep machine, so
+  // SleepMachineSeconds falls out of the same closed-at-horizon read.
+  EnergyMeter sleep_meter_;
+};
+
+}  // namespace phoenix::power

@@ -1,0 +1,65 @@
+// Energy accounting: a per-machine dwell integral.
+//
+// Each machine is one channel holding (current watts, time of last change,
+// joules accrued before it). Every power-state transition closes the open
+// dwell at the transition instant; reads close every dwell at a caller-
+// supplied horizon without mutating the channels, so a const report can be
+// built mid-run. joules == Sigma over dwells of (dwell length x watts) —
+// exactly the quantity the auditor reconstructs from kPowerState events
+// for the energy-conservation rule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace phoenix::power {
+
+class EnergyMeter {
+ public:
+  /// Starts every channel at `watts[i]` from time `now`.
+  void Init(double now, const std::vector<double>& watts) {
+    ch_.assign(watts.size(), Channel{});
+    for (std::size_t i = 0; i < watts.size(); ++i) {
+      ch_[i].watts = watts[i];
+      ch_[i].last_change = now;
+    }
+  }
+
+  /// Machine `id` draws `watts` from `now` on; the previous rate's dwell
+  /// is closed at `now`.
+  void SetWatts(std::size_t id, double now, double watts) {
+    Channel& c = ch_[id];
+    PHOENIX_CHECK_MSG(now >= c.last_change, "power meter time went backwards");
+    c.joules += c.watts * (now - c.last_change);
+    c.last_change = now;
+    c.watts = watts;
+  }
+
+  double watts(std::size_t id) const { return ch_[id].watts; }
+
+  double MachineJoules(std::size_t id, double horizon) const {
+    const Channel& c = ch_[id];
+    const double tail = horizon > c.last_change ? horizon - c.last_change : 0.0;
+    return c.joules + c.watts * tail;
+  }
+
+  double TotalJoules(double horizon) const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < ch_.size(); ++i) {
+      total += MachineJoules(i, horizon);
+    }
+    return total;
+  }
+
+ private:
+  struct Channel {
+    double watts = 0.0;
+    double last_change = 0.0;
+    double joules = 0.0;
+  };
+  std::vector<Channel> ch_;
+};
+
+}  // namespace phoenix::power

@@ -1,0 +1,56 @@
+#include "power/model.h"
+
+#include "cluster/attributes.h"
+#include "cluster/machine.h"
+#include "util/check.h"
+
+namespace phoenix::power {
+
+const std::vector<MachineClass>& ClassCatalog() {
+  // Profiles follow the S/P/C-state exemplars in SNIPPETS.md: exec watts
+  // roughly double per tier, deep sleep draws a few watts, and bigger
+  // machines pay a longer S3 wake. Idle draw is deliberately high (~40% of
+  // peak) — servers are not energy-proportional, which is precisely why
+  // parking an idle machine or running a lightly loaded one at a lower
+  // P-state saves real energy.
+  static const std::vector<MachineClass> kCatalog = {
+      {"efficiency",
+       {80.0, 60.0, 45.0, 30.0},
+       {30.0, 25.0, 20.0, 16.0},
+       2.0,
+       5.0,
+       {2000.0, 1600.0, 1200.0, 800.0}},
+      {"standard",
+       {160.0, 120.0, 90.0, 60.0},
+       {60.0, 50.0, 40.0, 32.0},
+       4.0,
+       10.0,
+       {3000.0, 2400.0, 1800.0, 1200.0}},
+      {"performance",
+       {320.0, 240.0, 180.0, 120.0},
+       {110.0, 92.0, 74.0, 60.0},
+       8.0,
+       20.0,
+       {4000.0, 3200.0, 2400.0, 1600.0}},
+  };
+  return kCatalog;
+}
+
+PowerModel::PowerModel(const cluster::Cluster& cluster) {
+  class_of_.reserve(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const cluster::Machine& m = cluster.machine(i);
+    const std::int32_t cores = m.Get(cluster::Attr::kNumCores);
+    const std::int32_t clock = m.Get(cluster::Attr::kCpuClock);
+    std::uint32_t c = 1;  // standard
+    if (cores <= 4) {
+      c = 0;  // efficiency: the small-core tail of the fleet
+    } else if (cores >= 16 || clock >= 32) {
+      c = 2;  // performance: many-core or high-clock parts
+    }
+    class_of_.push_back(c);
+  }
+  PHOENIX_CHECK(ClassCatalog().size() == 3);
+}
+
+}  // namespace phoenix::power

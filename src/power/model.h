@@ -1,0 +1,75 @@
+// Machine power model: per-machine-class electrical profiles.
+//
+// Each machine class carries the S/P/C-state catalog the related energy
+// simulators model (see SNIPPETS.md): execution and awake-idle watts per
+// DVFS P-state (idle draw falls with the P-state — that is what throttling
+// a lightly loaded machine buys), deep-sleep watts (S3), the S3 -> active
+// wake latency, and per-P-state MIPS. Service times scale with MIPS: a
+// task on a machine throttled to P-state p runs mips[P0] / mips[p] times
+// longer than at full clock (the scheduler boosts to P0 at dispatch, so in
+// practice work executes at full speed and P-states thin the idle draw).
+//
+// Classes are derived deterministically from the immutable machine
+// attributes (core count and CPU clock), so attaching a power model never
+// consumes fleet-synthesis randomness and never perturbs the cluster.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace phoenix::power {
+
+inline constexpr unsigned kNumPStates = 4;
+
+/// One machine class's electrical profile. Watts are strictly ordered
+/// exec > idle > sleep at every P-state; watts and mips strictly decrease
+/// with the P-state index.
+struct MachineClass {
+  std::string_view name;
+  std::array<double, kNumPStates> exec_watts;  // while executing, per P-state
+  std::array<double, kNumPStates> idle_watts;  // awake, slot idle (C1)
+  double sleep_watts;                          // deep sleep (S3)
+  double wake_latency;                         // S3 -> active, seconds
+  std::array<double, kNumPStates> mips;        // service rate per P-state
+};
+
+/// The built-in class catalog: efficiency / standard / performance tiers.
+const std::vector<MachineClass>& ClassCatalog();
+
+/// Maps every machine of a cluster onto a class from the catalog (by core
+/// count and clock) and answers per-machine power queries.
+class PowerModel {
+ public:
+  explicit PowerModel(const cluster::Cluster& cluster);
+
+  std::size_t size() const { return class_of_.size(); }
+  std::uint32_t class_of(cluster::MachineId id) const { return class_of_[id]; }
+  const MachineClass& cls(cluster::MachineId id) const {
+    return ClassCatalog()[class_of_[id]];
+  }
+
+  double ExecWatts(cluster::MachineId id, unsigned p) const {
+    return cls(id).exec_watts[p];
+  }
+  double IdleWatts(cluster::MachineId id, unsigned p) const {
+    return cls(id).idle_watts[p];
+  }
+  double SleepWatts(cluster::MachineId id) const { return cls(id).sleep_watts; }
+  double WakeLatency(cluster::MachineId id) const {
+    return cls(id).wake_latency;
+  }
+  /// Duration multiplier at P-state `p`: mips[P0] / mips[p] >= 1.
+  double SpeedScale(cluster::MachineId id, unsigned p) const {
+    const MachineClass& c = cls(id);
+    return c.mips[0] / c.mips[p];
+  }
+
+ private:
+  std::vector<std::uint32_t> class_of_;
+};
+
+}  // namespace phoenix::power

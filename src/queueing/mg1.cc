@@ -72,7 +72,9 @@ double WorkerWaitEstimator::EstimateRho() const {
 }
 
 double WorkerWaitEstimator::EstimateWait() const {
-  if (!wait_dirty_) return cached_wait_;
+  if (!wait_dirty_) {
+    return wake_penalty_ > 0.0 ? cached_wait_ + wake_penalty_ : cached_wait_;
+  }
   if (interarrival_.empty() || service_.empty()) {
     cached_wait_ = 0.0;
   } else {
@@ -80,13 +82,14 @@ double WorkerWaitEstimator::EstimateWait() const {
         PkWait(EstimateRho(), service_.mean(), service_.second_moment());
   }
   wait_dirty_ = false;
-  return cached_wait_;
+  return wake_penalty_ > 0.0 ? cached_wait_ + wake_penalty_ : cached_wait_;
 }
 
 void WorkerWaitEstimator::Clear() {
   interarrival_.Clear();
   service_.Clear();
   last_arrival_ = -1.0;
+  wake_penalty_ = 0.0;
   cached_wait_ = 0.0;
   wait_dirty_ = true;
 }

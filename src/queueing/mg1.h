@@ -62,12 +62,21 @@ class WorkerWaitEstimator {
   double lambda() const;
   double expected_service() const { return service_.mean(); }
 
+  /// Wake-cost penalty added to EstimateWait while the worker is parked in
+  /// deep sleep (src/power): a sleeping machine is supply whose expected
+  /// wait is its wake latency. Set at park, reset by Clear() when the
+  /// machine is commissioned back. Zero (the default) leaves the estimate
+  /// untouched — the penalty path is branch-gated for byte identity.
+  void SetWakePenalty(double penalty) { wake_penalty_ = penalty; }
+  double wake_penalty() const { return wake_penalty_; }
+
   void Clear();
 
  private:
   WindowedStats interarrival_;
   WindowedStats service_;
   sim::SimTime last_arrival_ = -1.0;
+  double wake_penalty_ = 0.0;
   mutable double cached_wait_ = 0.0;
   mutable bool wait_dirty_ = true;
 };

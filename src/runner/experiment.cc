@@ -8,6 +8,8 @@
 #include "obs/audit.h"
 #include "obs/heartbeat_log.h"
 #include "obs/trace_writer.h"
+#include "power/controller.h"
+#include "power/manager.h"
 #include "runner/parallel.h"
 #include "runner/registry.h"
 #include "sim/engine.h"
@@ -81,8 +83,34 @@ metrics::SimReport RunSimulation(const trace::Trace& trace,
     scheduler->EnableFederation(options.federation);
   }
 
+  // Power management rides on a membership view (parked is a lifecycle
+  // state). A non-elastic powered run gets an all-active view over the full
+  // fleet — CountAdmissible over every machine, identical to the static
+  // world until the controller parks something.
+  std::unique_ptr<power::PowerManager> power_mgr;
+  std::unique_ptr<power::PowerController> power_ctl;
+  if (options.power.enabled) {
+    if (!membership) {
+      membership =
+          std::make_unique<cluster::MembershipView>(cluster, cluster.size());
+      scheduler->SetMembership(membership.get());
+    }
+    power_mgr =
+        std::make_unique<power::PowerManager>(cluster, options.power);
+    scheduler->SetPower(power_mgr.get());
+    // Elastic runs keep the transient pool out of the park policy's hands:
+    // lease top-up and parking would otherwise fight over the same ids.
+    const std::size_t park_limit =
+        options.elastic.enabled
+            ? options.elastic.base_machines + options.elastic.reserve_machines
+            : cluster.size();
+    power_ctl = std::make_unique<power::PowerController>(
+        engine, *scheduler, *membership, *power_mgr, park_limit);
+  }
+
   scheduler->SubmitTrace(trace);
   if (controller) controller->Start();
+  if (power_ctl) power_ctl->Start();
   const auto wall_start = std::chrono::steady_clock::now();
   engine.Run();
   const double wall_seconds =
@@ -101,6 +129,14 @@ metrics::SimReport RunSimulation(const trace::Trace& trace,
     report.counters.elastic_crv_shaped_picks = stats.crv_shaped_picks;
     report.counters.elastic_wasted_warmup_seconds =
         stats.wasted_warmup_seconds;
+    report.counters.power_parks_instead_of_retire =
+        stats.parks_instead_of_retire;
+  }
+  if (power_ctl) {
+    const auto& stats = power_ctl->stats();
+    report.counters.power_park_vetoes_coverage = stats.park_vetoes_coverage;
+    report.counters.power_park_vetoes_floor = stats.park_vetoes_floor;
+    report.counters.power_wake_decisions = stats.wake_decisions;
   }
 
   if (jsonl) jsonl->Flush();
@@ -243,6 +279,15 @@ metrics::SchedulerCounters AggregateCounters(
     sum.fed_bind_accepts += c.fed_bind_accepts;
     sum.fed_bind_rejects += c.fed_bind_rejects;
     sum.fed_territory_fallbacks += c.fed_territory_fallbacks;
+    sum.power_parks += c.power_parks;
+    sum.power_wakes += c.power_wakes;
+    sum.power_demand_wakes += c.power_demand_wakes;
+    sum.power_dvfs_raises += c.power_dvfs_raises;
+    sum.power_dvfs_lowers += c.power_dvfs_lowers;
+    sum.power_park_vetoes_coverage += c.power_park_vetoes_coverage;
+    sum.power_park_vetoes_floor += c.power_park_vetoes_floor;
+    sum.power_wake_decisions += c.power_wake_decisions;
+    sum.power_parks_instead_of_retire += c.power_parks_instead_of_retire;
   }
   return sum;
 }

@@ -11,6 +11,7 @@
 #include "elastic/config.h"
 #include "federation/config.h"
 #include "metrics/report.h"
+#include "power/config.h"
 #include "sched/types.h"
 #include "trace/trace.h"
 
@@ -49,6 +50,13 @@ struct RunOptions {
   /// shards == 1 (the default) never constructs the plane and is
   /// byte-identical to the unsharded scheduler.
   federation::FederationConfig federation;
+  /// Power management (src/power). When enabled, the run attaches a
+  /// PowerManager (machine power model + energy meter) and a
+  /// PowerController (park / DVFS / wake on the heartbeat cadence). A
+  /// non-elastic run gets an all-active MembershipView so parked is a legal
+  /// lifecycle state. Disabled (the default) runs never construct any of it
+  /// and are byte-identical to a build without src/power.
+  power::PowerConfig power;
 };
 
 /// "out.json" + seed 43 -> "out.seed43.json" (multi-seed runs write one

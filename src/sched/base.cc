@@ -4,6 +4,7 @@
 
 #include "metrics/fairness.h"
 #include "obs/audit.h"
+#include "power/manager.h"
 #include "queueing/distributions.h"
 #include "tenancy/admission.h"
 
@@ -62,6 +63,15 @@ void SchedulerBase::SetMembership(cluster::MembershipView* membership) {
   last_membership_change_ = engine_.Now();
 }
 
+void SchedulerBase::SetPower(power::PowerManager* power) {
+  PHOENIX_CHECK_MSG(jobs_.empty(), "attach the power manager before SubmitTrace");
+  PHOENIX_CHECK(power != nullptr);
+  PHOENIX_CHECK_MSG(membership_ != nullptr,
+                    "power management needs a membership view (parked is a "
+                    "lifecycle state)");
+  power_ = power;
+}
+
 void SchedulerBase::AccrueInService() {
   in_service_seconds_ += static_cast<double>(in_service_count_) *
                          (engine_.Now() - last_membership_change_);
@@ -72,6 +82,16 @@ void SchedulerBase::ProvisionMachine(MachineId id, double warmup_delay) {
   PHOENIX_CHECK_MSG(membership_ != nullptr,
                     "lifecycle actuators need a membership view");
   PHOENIX_CHECK(id < workers_.size());
+  if (power_ != nullptr && power_->asleep(id)) {
+    // The machine sleeps in S3: every provision of it — elastic lease or
+    // power wake — pays the wake transition here, so both planes share one
+    // wake path and one set of counters. kPowerWake precedes the lifecycle
+    // event: the auditor checks its legality against the still-parked state.
+    ++counters_.power_wakes;
+    Emit(EventType::kPowerWake, obs::kNoId, id, obs::kNoId, warmup_delay);
+    const double watts = power_->Wake(id, engine_.Now());
+    Emit(EventType::kPowerState, obs::kNoId, id, obs::kNoId, watts);
+  }
   membership_->SetState(id, cluster::MachineLifecycle::kProvisioning);
   ++counters_.elastic_provisions;
   counters_.elastic_warmup_seconds += warmup_delay;
@@ -156,6 +176,102 @@ bool SchedulerBase::RetireMachine(MachineId id, bool force) {
   return true;
 }
 
+bool SchedulerBase::ParkMachine(MachineId id) {
+  PHOENIX_CHECK_MSG(membership_ != nullptr && power_ != nullptr,
+                    "parking needs a membership view and a power manager");
+  PHOENIX_CHECK(id < workers_.size());
+  WorkerState& w = workers_[id];
+  const cluster::MachineLifecycle state = membership_->state(id);
+  if (state != cluster::MachineLifecycle::kActive &&
+      state != cluster::MachineLifecycle::kDraining) {
+    return false;  // double-park / park-of-retired: idempotent no-op
+  }
+  // Never strand work: a busy slot or a non-empty queue vetoes the park (the
+  // controller re-evaluates next tick once the worker truly drains).
+  if (w.busy || !w.queue.empty() || w.failed) return false;
+  AccrueInService();
+  PHOENIX_CHECK(in_service_count_ > 0);
+  --in_service_count_;
+  // kPowerPark first (legal while active/draining), then the lifecycle
+  // transition, then the metered wattage drop into S3.
+  Emit(EventType::kPowerPark, obs::kNoId, id);
+  membership_->SetState(id, cluster::MachineLifecycle::kParked);
+  Emit(EventType::kMachinePark, obs::kNoId, id);
+  const double watts = power_->Park(id, engine_.Now());
+  PHOENIX_CHECK(watts >= 0);
+  Emit(EventType::kPowerState, obs::kNoId, id, obs::kNoId, watts);
+  ++counters_.power_parks;
+  // A parked machine still advertises wake-penalized supply: the cleared
+  // estimator reads exactly the wake penalty, so probe targeting and the
+  // elastic controller see "available, but at wake cost".
+  w.estimator.Clear();
+  w.estimator.SetWakePenalty(power_->WakePenalty(id));
+  w.last_wait_estimate = 0;
+  w.crv_marked = false;
+  w.steal_inflight = false;
+  return true;
+}
+
+bool SchedulerBase::SetMachinePState(MachineId id, unsigned p) {
+  PHOENIX_CHECK_MSG(power_ != nullptr, "DVFS needs a power manager");
+  PHOENIX_CHECK(id < workers_.size());
+  // A running task's duration was priced at the old speed; retune only
+  // between executions (the controller retries next tick).
+  if (power_->asleep(id) || power_->executing(id)) return false;
+  const unsigned prev = power_->p_state(id);
+  const double watts = power_->SetPState(id, p, engine_.Now());
+  if (watts < 0) return false;  // already at p
+  if (p > prev) {
+    ++counters_.power_dvfs_lowers;
+  } else {
+    ++counters_.power_dvfs_raises;
+  }
+  Emit(EventType::kPowerDvfs, obs::kNoId, id, p, watts);
+  Emit(EventType::kPowerState, obs::kNoId, id, obs::kNoId, watts);
+  return true;
+}
+
+void SchedulerBase::WakeParkedMachine(cluster::MachineId id) {
+  PHOENIX_CHECK(power_ != nullptr && membership_ != nullptr);
+  PHOENIX_CHECK_MSG(
+      membership_->state(id) == cluster::MachineLifecycle::kParked,
+      "only a parked machine can be woken");
+  const double latency = power_->WakeLatency(id);
+  ProvisionMachine(id, latency);
+  engine_.ScheduleAfter(latency, [this, id] {
+    // Commission unless something else moved the machine meanwhile.
+    if (membership_->state(id) == cluster::MachineLifecycle::kProvisioning) {
+      CommissionMachine(id);
+    }
+  });
+}
+
+MachineId SchedulerBase::WakeSatisfierFallback(
+    const cluster::ConstraintSet& cs) {
+  if (power_ == nullptr || membership_ == nullptr) {
+    return cluster::kInvalidMachine;
+  }
+  const util::Bitset& sat = cluster_.Satisfying(cs);
+  MachineId parked_pick = cluster::kInvalidMachine;
+  for (std::size_t id = 0; id < workers_.size(); ++id) {
+    if (!sat.Test(id) || workers_[id].failed) continue;
+    const cluster::MachineLifecycle st =
+        membership_->state(static_cast<MachineId>(id));
+    if (st == cluster::MachineLifecycle::kProvisioning) {
+      return static_cast<MachineId>(id);  // already on its way up
+    }
+    if (st == cluster::MachineLifecycle::kParked &&
+        parked_pick == cluster::kInvalidMachine) {
+      parked_pick = static_cast<MachineId>(id);
+    }
+  }
+  if (parked_pick != cluster::kInvalidMachine) {
+    ++counters_.power_demand_wakes;
+    WakeParkedMachine(parked_pick);
+  }
+  return parked_pick;
+}
+
 void SchedulerBase::AttachSink(obs::EventSink* sink) {
   PHOENIX_CHECK_MSG(jobs_.empty(), "attach sinks before SubmitTrace");
   PHOENIX_CHECK(sink != nullptr);
@@ -209,6 +325,11 @@ void SchedulerBase::FinalAudit() {
   if (auditor_ == nullptr) return;
   AuditWorkers(/*final_state=*/true, 0,
                static_cast<MachineId>(workers_.size()));
+  if (power_ != nullptr) {
+    const double horizon =
+        std::max<double>(makespan_, last_membership_change_);
+    auditor_->ExpectEnergy(power_->TotalJoules(horizon), horizon);
+  }
   auditor_->Finish();
 }
 
@@ -261,6 +382,20 @@ void SchedulerBase::SubmitTrace(const trace::Trace& trace) {
           cluster::MachineLifecycle::kParked) {
         Emit(EventType::kMachinePark, obs::kNoId,
              static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  if (power_ != nullptr) {
+    // Open every machine's dwell integral and declare the starting wattage
+    // to the sinks — the auditor integrates this stream and checks it
+    // against the meter's total at FinalAudit (energy conservation).
+    power_->StartRun(engine_.Now(), membership_);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Emit(EventType::kPowerState, obs::kNoId, static_cast<std::uint32_t>(i),
+           obs::kNoId, power_->watts(static_cast<MachineId>(i)));
+      if (power_->asleep(static_cast<MachineId>(i))) {
+        workers_[i].estimator.SetWakePenalty(
+            power_->WakePenalty(static_cast<MachineId>(i)));
       }
     }
   }
@@ -341,6 +476,14 @@ void SchedulerBase::EvictSlotWork(WorkerState& worker, bool kill_running) {
   // completion) and recover its work.
   {
     CancelSlotEvent(worker);
+    if (power_ != nullptr) {
+      // Idempotent: only a genuinely executing slot drops back to idle watts
+      // (a fetch- or resolve-held slot never raised them).
+      const double watts = power_->OnExecEnd(worker.id, engine_.Now());
+      if (watts >= 0) {
+        Emit(EventType::kPowerState, obs::kNoId, worker.id, obs::kNoId, watts);
+      }
+    }
     if (worker.running_job != trace::kInvalidJob) {
       // Running task is lost: un-count its unfinished service and replay it.
       JobRuntime& job = jobs_[worker.running_job];
@@ -707,6 +850,12 @@ void SchedulerBase::PreemptRunning(WorkerState& worker) {
   const double elapsed = std::max(0.0, now - worker.running_start);
   const std::uint32_t index = worker.running_index;
   CancelSlotEvent(worker);
+  if (power_ != nullptr) {
+    const double watts = power_->OnExecEnd(worker.id, now);
+    if (watts >= 0) {
+      Emit(EventType::kPowerState, obs::kNoId, worker.id, obs::kNoId, watts);
+    }
+  }
   // The machine was genuinely busy for `elapsed`; only the unserved
   // remainder leaves the busy-time integral. The served part is wasted work.
   total_busy_time_ -= remaining;
@@ -969,6 +1118,13 @@ void SchedulerBase::PlaceDistributed(JobRuntime& job) {
     }
   }
   std::vector<MachineId> targets = ChooseProbeTargets(job);
+  if (targets.empty() && power_ != nullptr) {
+    // Every satisfying machine is asleep (the probe choosers iterate the
+    // bindable pool directly): wake one and aim the probes at it —
+    // deliveries bounce until the S3 exit commissions the machine.
+    const MachineId woken = WakeSatisfierFallback(job.effective);
+    if (woken != cluster::kInvalidMachine) targets.push_back(woken);
+  }
   PHOENIX_CHECK_MSG(!targets.empty(),
                     "admission control must leave a satisfiable pool");
   FilterByPlacement(job, targets);
@@ -1293,7 +1449,24 @@ void SchedulerBase::StartService(WorkerState& worker, JobRuntime& job,
                                  double service_penalty) {
   PHOENIX_CHECK_MSG(!worker.busy, "worker slot already held");
   const sim::SimTime now = engine_.Now();
-  const double duration = job.ActualDuration(task_index) + service_penalty;
+  double duration = job.ActualDuration(task_index) + service_penalty;
+  if (power_ != nullptr) {
+    // Ondemand boost: arriving work snaps a throttled machine back to P0,
+    // so DVFS thins the idle draw of lightly loaded machines without
+    // stretching service (frequency transitions are instantaneous next to
+    // task durations; S3 wakes are the latency that matters).
+    if (power_->p_state(worker.id) != 0 && !power_->executing(worker.id)) {
+      ++counters_.power_dvfs_raises;
+      const double boosted = power_->SetPState(worker.id, 0, now);
+      Emit(EventType::kPowerDvfs, obs::kNoId, worker.id, 0, boosted);
+      Emit(EventType::kPowerState, obs::kNoId, worker.id, obs::kNoId, boosted);
+    }
+    duration *= power_->SpeedMultiplier(worker.id);
+    const double watts = power_->OnExecBegin(worker.id, now);
+    if (watts >= 0) {
+      Emit(EventType::kPowerState, obs::kNoId, worker.id, obs::kNoId, watts);
+    }
+  }
   if (service_penalty > 0) {
     counters_.preemption_restart_seconds += service_penalty;
   }
@@ -1310,6 +1483,12 @@ void SchedulerBase::StartService(WorkerState& worker, JobRuntime& job,
   worker.pending_event =
       engine_.ScheduleAt(worker.busy_until, [this, wid = worker.id, duration] {
         WorkerState& w = workers_[wid];
+        if (power_ != nullptr) {
+          const double watts = power_->OnExecEnd(wid, engine_.Now());
+          if (watts >= 0) {
+            Emit(EventType::kPowerState, obs::kNoId, wid, obs::kNoId, watts);
+          }
+        }
         w.estimator.OnServiceComplete(duration);
         if (tenancy_on_) {
           const JobRuntime& j = jobs_[w.running_job];
@@ -1438,6 +1617,25 @@ metrics::SimReport SchedulerBase::BuildReport() const {
     report.active_machine_seconds =
         in_service_seconds_ + static_cast<double>(in_service_count_) *
                                   (horizon - last_membership_change_);
+  }
+  if (power_ != nullptr) {
+    const double horizon = std::max<double>(makespan_, last_membership_change_);
+    report.power_enabled = true;
+    report.total_joules = power_->TotalJoules(horizon);
+    std::uint64_t tasks_completed = 0;
+    double response_sum = 0;
+    for (const JobRuntime& job : jobs_) {
+      tasks_completed += job.completed;
+      response_sum += job.completion - job.spec->submit_time;
+    }
+    report.energy_per_task =
+        tasks_completed > 0
+            ? report.total_joules / static_cast<double>(tasks_completed)
+            : 0;
+    const double mean_response =
+        jobs_.empty() ? 0 : response_sum / static_cast<double>(jobs_.size());
+    report.energy_delay_product = report.total_joules * mean_response;
+    report.sleep_machine_seconds = power_->SleepMachineSeconds(horizon);
   }
   report.jobs.reserve(jobs_.size());
   for (const JobRuntime& job : jobs_) {

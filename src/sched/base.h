@@ -40,6 +40,10 @@ namespace phoenix::obs {
 class InvariantAuditor;
 }  // namespace phoenix::obs
 
+namespace phoenix::power {
+class PowerManager;
+}  // namespace phoenix::power
+
 namespace phoenix::sched {
 
 class SchedulerBase {
@@ -127,6 +131,44 @@ class SchedulerBase {
   /// machine with an empty queue (returns false otherwise); forced evicts
   /// the running task and queue, redispatching everything elsewhere.
   bool RetireMachine(cluster::MachineId id, bool force);
+
+  // ---- Power management ---------------------------------------------------
+
+  /// Attaches the power manager (requires a membership view: parked is a
+  /// lifecycle state). Call after SetMembership and before SubmitTrace.
+  /// With no manager attached every power branch is unreachable and the
+  /// run is byte-identical to a build without src/power. Phoenix overrides
+  /// to enable wake-discounted parked supply in its CRV monitor.
+  virtual void SetPower(power::PowerManager* power);
+  power::PowerManager* power() { return power_; }
+  const power::PowerManager* power() const { return power_; }
+
+  /// active/draining -> parked deep sleep. Refuses (returns false) when the
+  /// machine holds any work (busy slot or non-empty queue), is failed, or
+  /// is not active/draining — so the park policy and the elastic
+  /// park-instead-of-retire path share one safety check. The parked
+  /// worker's estimator advertises the wake-cost penalty as its E[W].
+  bool ParkMachine(cluster::MachineId id);
+
+  /// DVFS actuation: retune `id` to P-state `p`. Returns false if the
+  /// machine was already there. Emits kPowerDvfs + kPowerState.
+  bool SetMachinePState(cluster::MachineId id, unsigned p);
+
+  /// parked -> provisioning with the machine's S3 wake latency, plus a
+  /// timer that commissions it when the wake completes (unless something
+  /// else moved the machine meanwhile). The one wake path shared by the
+  /// power controller, the elastic lease top-up, and the dispatch-time
+  /// demand fallback below.
+  void WakeParkedMachine(cluster::MachineId id);
+
+  /// Demand-driven wake: called when a placement finds no bindable machine
+  /// satisfying `cs`. Returns a satisfying machine that is already waking
+  /// (provisioning), or wakes the lowest-id parked satisfier and returns
+  /// it — deliveries bounce until the wake completes, so nothing ever
+  /// binds to a sleeping machine. Returns kInvalidMachine when no power
+  /// manager is attached or no parked satisfier exists (the pre-power
+  /// contract: such pools cannot empty).
+  cluster::MachineId WakeSatisfierFallback(const cluster::ConstraintSet& cs);
 
   // ---- Observability -----------------------------------------------------
 
@@ -289,20 +331,33 @@ class SchedulerBase {
                                   : membership_->CountAdmissible(c);
   }
   cluster::MachineId SampleEligible(const cluster::ConstraintSet& cs) {
-    return membership_ == nullptr ? cluster_.SampleSatisfying(cs, rng_)
-                                  : membership_->SampleEligible(cs, rng_);
+    const cluster::MachineId m =
+        membership_ == nullptr ? cluster_.SampleSatisfying(cs, rng_)
+                               : membership_->SampleEligible(cs, rng_);
+    return m != cluster::kInvalidMachine ? m : WakeSatisfierFallback(cs);
   }
   std::vector<cluster::MachineId> SampleEligible(
       const cluster::ConstraintSet& cs, std::size_t k) {
-    return membership_ == nullptr
-               ? cluster_.SampleSatisfying(cs, k, rng_)
-               : membership_->SampleEligible(cs, k, rng_);
+    std::vector<cluster::MachineId> v =
+        membership_ == nullptr ? cluster_.SampleSatisfying(cs, k, rng_)
+                               : membership_->SampleEligible(cs, k, rng_);
+    if (v.empty() && k > 0) {
+      const cluster::MachineId m = WakeSatisfierFallback(cs);
+      if (m != cluster::kInvalidMachine) v.push_back(m);
+    }
+    return v;
   }
   std::vector<cluster::MachineId> SampleDistinctEligible(
       const cluster::ConstraintSet& cs, std::size_t k) {
-    return membership_ == nullptr
-               ? cluster_.SampleDistinctSatisfying(cs, k, rng_)
-               : membership_->SampleDistinctEligible(cs, k, rng_);
+    std::vector<cluster::MachineId> v =
+        membership_ == nullptr
+            ? cluster_.SampleDistinctSatisfying(cs, k, rng_)
+            : membership_->SampleDistinctEligible(cs, k, rng_);
+    if (v.empty() && k > 0) {
+      const cluster::MachineId m = WakeSatisfierFallback(cs);
+      if (m != cluster::kInvalidMachine) v.push_back(m);
+    }
+    return v;
   }
 
   JobRuntime& runtime(trace::JobId id) { return jobs_[id]; }
@@ -509,6 +564,10 @@ class SchedulerBase {
   double in_service_seconds_ = 0;
   double last_membership_change_ = 0;
   std::size_t in_service_count_ = 0;
+
+  /// Power manager (null by default): gates DVFS service-time scaling, the
+  /// exec on/off metering hooks, and the energy fields of BuildReport.
+  power::PowerManager* power_ = nullptr;
 };
 
 }  // namespace phoenix::sched

@@ -85,8 +85,14 @@ TEST(MembershipViewDeathTest, IllegalTransitionsAbort) {
   EXPECT_DEATH(view.SetState(6, MachineLifecycle::kActive), "");
   // parked -> draining is meaningless.
   EXPECT_DEATH(view.SetState(6, MachineLifecycle::kDraining), "");
-  // Nothing returns to parked.
-  EXPECT_DEATH(view.SetState(0, MachineLifecycle::kParked), "");
+  // Only an active or draining machine can park (the power return edge);
+  // a provisioning or retired one cannot.
+  view.SetState(7, MachineLifecycle::kProvisioning);
+  EXPECT_DEATH(view.SetState(7, MachineLifecycle::kParked), "");
+  view.SetState(7, MachineLifecycle::kActive);
+  view.SetState(7, MachineLifecycle::kDraining);
+  view.SetState(7, MachineLifecycle::kRetired);
+  EXPECT_DEATH(view.SetState(7, MachineLifecycle::kParked), "");
   // The guaranteed base fleet can never drain.
   EXPECT_DEATH(view.SetState(0, MachineLifecycle::kDraining), "");
 }
