@@ -28,13 +28,6 @@ using namespace phoenix;
 
 namespace {
 
-struct LoadShape {
-  const char* name;
-  double burst_factor;
-  double burst_fraction;
-  double burst_duration_mean;
-};
-
 struct Cell {
   std::string scheduler;
   std::string shape;
@@ -111,12 +104,13 @@ int main(int argc, char** argv) {
               "drain grace=%gs, reclaim grace=%gs)\n\n",
               o.nodes, reserve, transient, warmup, grace, reclaim_grace);
 
-  // Two shaped variants of the Google profile. Bursty: rare, intense,
-  // minute-scale episodes that outrun the warm-up delay. Diurnal: a gentle
-  // half-duty swell slow enough for reactive scaling to track.
-  const std::vector<LoadShape> shapes = {
-      {"bursty", 4.0, 0.15, 60.0},
-      {"diurnal", 2.5, 0.50, 600.0},
+  // Two shaped variants of the Google profile, from the shared preset table
+  // (src/trace/generators.h). Flash-crowd: rare, intense, minute-scale
+  // episodes that outrun the warm-up delay. Diurnal: a gentle half-duty
+  // swell slow enough for reactive scaling to track.
+  const std::vector<trace::LoadShapePreset> shapes = {
+      trace::ShapeByName("flash-crowd"),
+      trace::ShapeByName("diurnal"),
   };
   // Mean transient lease lifetimes of infinity, 20 min, 5 min.
   const std::vector<double> reclaim_rates = {0.0, 1.0 / 1200.0, 1.0 / 300.0};
@@ -143,15 +137,13 @@ int main(int argc, char** argv) {
     util::TextTable t({"shape", "reclaim", "short p90 qdelay", "util",
                        "commissions", "drains", "reclaims", "forced",
                        "redisp", "crv picks", "wasted warmup"});
-    for (const LoadShape& shape : shapes) {
+    for (const trace::LoadShapePreset& shape : shapes) {
       auto gen = trace::ProfileByName("google");
       gen.num_jobs = o.jobs;
       gen.num_workers = o.nodes;
       gen.target_load = o.load;
       gen.seed = o.seed;
-      gen.burst_factor = shape.burst_factor;
-      gen.burst_fraction = shape.burst_fraction;
-      gen.burst_duration_mean = shape.burst_duration_mean;
+      trace::ApplyLoadShape(shape, gen);
       const auto trace = trace::GenerateTrace(shape.name, gen);
       for (const double rate : reclaim_rates) {
         runner::RunOptions ro;

@@ -17,7 +17,13 @@
 // is the free-lunch column: dispatch boosts throttled machines back to P0
 // before work starts, so it thins *idle* draw at identical latency.
 //
+// With `--sla-mix` (default "balanced"; "off" disables) the trace carries a
+// prod/batch/best-effort tenant mix and each cell additionally slices
+// execution joules by SLA class — who the saved (or spent) energy actually
+// served.
+//
 // `--json=PATH` additionally writes every cell as machine-readable JSON.
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -25,17 +31,11 @@
 
 #include "bench/common.h"
 #include "metrics/percentile.h"
+#include "tenancy/config.h"
 
 using namespace phoenix;
 
 namespace {
-
-struct LoadShape {
-  const char* name;
-  double burst_factor;
-  double burst_fraction;
-  double burst_duration_mean;
-};
 
 struct Cell {
   std::string scheduler;
@@ -46,6 +46,11 @@ struct Cell {
   double edp = 0;
   double short_p90 = 0;
   double sleep_fraction = 0;
+  /// Mean execution joules, completed tasks, and joules-per-task per SLA
+  /// class (prod / batch / best-effort), zero when --sla-mix=off.
+  std::array<double, 3> class_joules{};
+  std::array<std::uint64_t, 3> class_tasks{};
+  std::array<double, 3> class_j_per_task{};
   std::uint64_t parks = 0;
   std::uint64_t wakes = 0;
   std::uint64_t dvfs_steps = 0;
@@ -53,6 +58,22 @@ struct Cell {
   std::uint64_t events = 0;
   double wall = 0;
 };
+
+/// The tenancy bench's standing three-class tenant set, minus preemption —
+/// here tenancy exists to attribute energy, not to reshuffle queues.
+tenancy::TenancyConfig MakeSlaTenants() {
+  tenancy::TenancyConfig tc;
+  tc.tenants.push_back({"prod", tenancy::PriorityClass::kProd,
+                        /*quota_share=*/0.5, /*crv_share=*/0.0,
+                        /*slo_target=*/60.0});
+  tc.tenants.push_back({"batch", tenancy::PriorityClass::kBatch,
+                        /*quota_share=*/0.4, /*crv_share=*/0.6,
+                        /*slo_target=*/0.0});
+  tc.tenants.push_back({"scavenger", tenancy::PriorityClass::kBestEffort,
+                        /*quota_share=*/0.0, /*crv_share=*/0.0,
+                        /*slo_target=*/0.0});
+  return tc;
+}
 
 power::PowerConfig MakePower(const std::string& policy,
                              const power::PowerConfig& base) {
@@ -64,6 +85,7 @@ power::PowerConfig MakePower(const std::string& policy,
 }
 
 bench::JsonEmitter MakeEmitter(const bench::BenchOptions& o,
+                               const std::string& sla_mix,
                                const std::vector<Cell>& cells) {
   bench::JsonEmitter emitter(
       "ext_energy",
@@ -75,7 +97,9 @@ bench::JsonEmitter MakeEmitter(const bench::BenchOptions& o,
       .Add("min_active_fraction", o.power.policy.min_active_fraction)
       .Add("target_wait_s", o.power.policy.target_wait)
       .Add("wake_wait_factor", o.power.policy.wake_wait_factor)
-      .Add("parked_supply_weight", o.power.policy.parked_supply_weight);
+      .Add("parked_supply_weight", o.power.policy.parked_supply_weight)
+      .Add("sla_mix", sla_mix);
+  static const char* kClassKeys[3] = {"prod", "batch", "best_effort"};
   for (const Cell& c : cells) {
     auto& cell = emitter.NewCell();
     cell.Add("scheduler", c.scheduler)
@@ -85,8 +109,15 @@ bench::JsonEmitter MakeEmitter(const bench::BenchOptions& o,
         .Add("joules_per_task", c.joules_per_task)
         .Add("energy_delay_product", c.edp)
         .Add("short_p90_queuing_s", c.short_p90)
-        .Add("sleep_fraction", c.sleep_fraction)
-        .AddInt("parks", c.parks)
+        .Add("sleep_fraction", c.sleep_fraction);
+    for (std::size_t k = 0; k < 3; ++k) {
+      cell.Add(util::StrFormat("exec_joules_%s", kClassKeys[k]).c_str(),
+               c.class_joules[k])
+          .Add(util::StrFormat("exec_joules_per_task_%s",
+                               kClassKeys[k]).c_str(),
+               c.class_j_per_task[k]);
+    }
+    cell.AddInt("parks", c.parks)
         .AddInt("wakes", c.wakes)
         .AddInt("dvfs_steps", c.dvfs_steps)
         .AddInt("park_vetoes", c.park_vetoes);
@@ -101,16 +132,23 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.Parse(argc, argv);
   const std::string json_path = flags.GetString("json", "");
+  const std::string sla_mix = flags.GetString("sla-mix", "balanced");
   auto o = bench::ParseBenchOptions(flags, 96, 2);
+  if (sla_mix != "balanced" && sla_mix != "prod-heavy" && sla_mix != "off") {
+    std::fprintf(stderr,
+                 "--sla-mix must be balanced|prod-heavy|off (got \"%s\")\n",
+                 sla_mix.c_str());
+    return 1;
+  }
   // The interesting regime is moderate load: a fleet sized for its peaks
   // has troughs worth sleeping through. --load still overrides.
   if (!flags.Provided("load")) o.load = 0.40;
   bench::PrintHeader("Extension: energy-aware scheduling", o,
                      "beyond-paper: the paper's fleets are always-on");
 
-  const std::vector<LoadShape> shapes = {
-      {"steady", 1.0, 0.0, 0.0},
-      {"diurnal", 2.5, 0.50, 600.0},
+  const std::vector<trace::LoadShapePreset> shapes = {
+      trace::ShapeByName("steady"),
+      trace::ShapeByName("diurnal"),
   };
   const std::vector<std::string> policies = {"meter", "dvfs", "park", "all"};
 
@@ -132,18 +170,21 @@ int main(int argc, char** argv) {
   std::vector<Cell> cells;
   for (const std::string sched : {"phoenix", "eagle-c"}) {
     std::printf("--- %s ---\n", sched.c_str());
-    util::TextTable t({"shape", "policy", "joules", "J/task", "EDP",
-                       "short p90 qdelay", "sleep frac", "parks", "wakes",
-                       "dvfs"});
-    for (const LoadShape& shape : shapes) {
+    util::TextTable t({"shape", "policy", "joules", "J/task", "prod J/task",
+                       "EDP", "short p90 qdelay", "sleep frac", "parks",
+                       "wakes", "dvfs"});
+    for (const trace::LoadShapePreset& shape : shapes) {
       auto gen = trace::ProfileByName("google");
       gen.num_jobs = o.jobs;
       gen.num_workers = o.nodes;
       gen.target_load = o.load;
       gen.seed = o.seed;
-      gen.burst_factor = shape.burst_factor;
-      gen.burst_fraction = shape.burst_fraction;
-      gen.burst_duration_mean = shape.burst_duration_mean;
+      trace::ApplyLoadShape(shape, gen);
+      if (sla_mix == "balanced") {
+        gen.tenant_weights = {1.0, 1.0, 1.0};
+      } else if (sla_mix == "prod-heavy") {
+        gen.tenant_weights = {3.0, 1.0, 1.0};
+      }
       const auto trace = trace::GenerateTrace(shape.name, gen);
       for (const std::string& policy : policies) {
         runner::RunOptions ro;
@@ -151,6 +192,7 @@ int main(int argc, char** argv) {
         ro.config.seed = o.seed;
         ro.config.net = o.net;
         ro.config.rpc = o.rpc;
+        if (sla_mix != "off") ro.config.tenancy = MakeSlaTenants();
         ro.obs = o.obs;
         ro.power = MakePower(policy, o.power);
         const runner::RepeatedRuns runs(trace, cluster, ro, o.runs);
@@ -165,6 +207,10 @@ int main(int argc, char** argv) {
           c.joules += r.total_joules;
           c.joules_per_task += r.energy_per_task;
           c.edp += r.energy_delay_product;
+          for (std::size_t k = 0; k < 3; ++k) {
+            c.class_joules[k] += r.class_exec_joules[k];
+            c.class_tasks[k] += r.class_tasks[k];
+          }
           sleep_frac_sum +=
               r.makespan > 0
                   ? r.sleep_machine_seconds /
@@ -183,10 +229,20 @@ int main(int argc, char** argv) {
         c.joules /= n;
         c.joules_per_task /= n;
         c.edp /= n;
+        for (std::size_t k = 0; k < 3; ++k) {
+          // Ratio over the summed runs first, then reduce joules to a mean.
+          c.class_j_per_task[k] =
+              c.class_tasks[k] > 0
+                  ? c.class_joules[k] / static_cast<double>(c.class_tasks[k])
+                  : 0.0;
+          c.class_joules[k] /= n;
+        }
         c.sleep_fraction = sleep_frac_sum / n;
+        const double prod_j_per_task = c.class_j_per_task[0];
         cells.push_back(c);
         t.AddRow({shape.name, policy, util::StrFormat("%.3g", c.joules),
                   util::StrFormat("%.1f", c.joules_per_task),
+                  util::StrFormat("%.1f", prod_j_per_task),
                   util::StrFormat("%.3g", c.edp),
                   util::HumanDuration(c.short_p90),
                   util::StrFormat("%.1f%%", 100 * c.sleep_fraction),
@@ -209,7 +265,8 @@ int main(int argc, char** argv) {
     std::printf("%s\n", t.ToString().c_str());
   }
   if (tsv != nullptr) std::fclose(tsv);
-  if (!json_path.empty() && !MakeEmitter(o, cells).WriteTo(json_path)) {
+  if (!json_path.empty() &&
+      !MakeEmitter(o, sla_mix, cells).WriteTo(json_path)) {
     return 1;
   }
   std::printf(

@@ -45,6 +45,17 @@
 //   --power-target-wait=S   E[W] the wake threshold is scaled from
 //   --power-wake-factor=F   wake when fleet E[W] > factor * target-wait
 //   --power-parked-weight=F parked machine's weight as CRV supply
+//
+// Multi-resource packing (see EXPERIMENTS.md "Packing"):
+//   --packing               multi-dimensional capacity/demand vectors and
+//                           multi-slot machines; without it the single-slot
+//                           model runs and output is byte-identical
+//   --gang-fraction=F       fraction of multi-task jobs tagged gang
+//                           (all-or-nothing multi-machine start)
+//   --gang-hold=S           reservation hold before a gang round aborts
+//   --frag-weight=W         fragmentation penalty weight in the pack score
+//   --malleable-fraction=F  fraction of multi-task jobs tagged malleable
+//   --malleable-min-frac=F  malleable width floor as a fraction of tasks
 // Defaults are the ideal fabric (constant latency, no loss): bit-identical
 // to the pre-fabric simulator.
 //
@@ -61,6 +72,7 @@
 #include "federation/config.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
+#include "packing/config.h"
 #include "power/config.h"
 #include "runner/experiment.h"
 #include "runner/parallel.h"
@@ -91,6 +103,10 @@ struct BenchOptions {
   federation::FederationConfig federation;
   /// Power management; disabled (the default) never constructs it.
   power::PowerConfig power;
+  /// Multi-resource packing; disabled (the default) keeps the single-slot
+  /// worker model. The gang/malleable fractions also drive trace tagging
+  /// (MakeTrace threads them into the generator).
+  packing::PackingConfig packing;
 };
 
 /// Parses the common flags; exits(1) on bad input. `extra` names additional
@@ -199,6 +215,28 @@ inline BenchOptions ParseBenchOptions(util::Flags& flags,
                  "and --power-wake-factor must be positive\n");
     std::exit(1);
   }
+  o.packing.enabled = flags.GetBool("packing", false);
+  o.packing.gang_fraction =
+      flags.GetDouble("gang-fraction", o.packing.gang_fraction);
+  o.packing.gang_hold = flags.GetDouble("gang-hold", o.packing.gang_hold);
+  o.packing.frag_weight =
+      flags.GetDouble("frag-weight", o.packing.frag_weight);
+  o.packing.malleable_fraction =
+      flags.GetDouble("malleable-fraction", o.packing.malleable_fraction);
+  o.packing.malleable_min_frac =
+      flags.GetDouble("malleable-min-frac", o.packing.malleable_min_frac);
+  if (o.packing.gang_fraction < 0 || o.packing.malleable_fraction < 0 ||
+      o.packing.gang_fraction + o.packing.malleable_fraction > 1.0 ||
+      o.packing.malleable_min_frac < 0 ||
+      o.packing.malleable_min_frac > 1.0 || o.packing.gang_hold <= 0 ||
+      o.packing.frag_weight < 0) {
+    std::fprintf(stderr,
+                 "--gang-fraction and --malleable-fraction must be >= 0 and "
+                 "sum to <= 1; --malleable-min-frac must be in [0,1]; "
+                 "--gang-hold must be positive; --frag-weight must be "
+                 ">= 0\n");
+    std::exit(1);
+  }
   // After every flag above is declared, `--help` can print the complete
   // auto-generated listing and an unknown flag dies with that same usage.
   // Callers declaring extra flags before calling ParseBenchOptions get them
@@ -208,7 +246,9 @@ inline BenchOptions ParseBenchOptions(util::Flags& flags,
   return o;
 }
 
-/// Generates the named profile's trace calibrated to the bench fleet.
+/// Generates the named profile's trace calibrated to the bench fleet. The
+/// packing gang/malleable mix tags the trace only when packing is enabled,
+/// so `--packing`-off runs generate byte-identical traces.
 inline trace::Trace MakeTrace(const std::string& profile,
                               const BenchOptions& o) {
   auto gen = trace::ProfileByName(profile);
@@ -216,6 +256,11 @@ inline trace::Trace MakeTrace(const std::string& profile,
   gen.num_workers = o.nodes;
   gen.target_load = o.load;
   gen.seed = o.seed;
+  if (o.packing.enabled) {
+    gen.gang_fraction = o.packing.gang_fraction;
+    gen.malleable_fraction = o.packing.malleable_fraction;
+    gen.malleable_min_frac = o.packing.malleable_min_frac;
+  }
   return trace::GenerateTrace(profile, gen);
 }
 
@@ -236,6 +281,7 @@ inline runner::RepeatedRuns Run(const std::string& scheduler,
   ro.obs = o.obs;
   ro.federation = o.federation;
   ro.power = o.power;
+  ro.config.packing = o.packing;
   return runner::RepeatedRuns(t, cl, ro, o.runs);
 }
 

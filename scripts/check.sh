@@ -173,6 +173,63 @@ else
   echo "energy smoke ok (python3 not found; skipped JSON validation)"
 fi
 
+echo "== packing suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L packing -j "$JOBS"
+
+echo "== audited packed chaos smoke =="
+# Gang + malleable mixes on a lossy, reordering fabric with the invariant
+# auditor on: per-machine claims minus releases must return to exactly zero
+# (capacity conservation) and every gang reservation round must close in
+# exactly one commit or abort (gang atomicity) — the runner aborts on any
+# violation, so exiting 0 is the assertion. The JSON then proves the
+# subsystem engaged: packed co-location, gang commits, malleable width
+# churn.
+"$BUILD_DIR/bench/bench_ext_packing" \
+  --nodes=32 --jobs=600 --runs=1 --audit \
+  --net-model=lognormal --net-drop=0.02 --rpc-retries=4 \
+  --json="$SMOKE_DIR/packing.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR/packing.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cells = doc["cells"]
+assert cells, "no bench cells"
+assert doc["config"]["audit"] is True, "packing smoke must run audited"
+assert all(0 < c["packing_efficiency"] <= 1 for c in cells), \
+    "packing efficiency outside (0, 1]"
+assert all(c["packed_tasks"] > 0 for c in cells), "a cell never packed"
+gangs = [c for c in cells if c["mix"] in ("gang", "mixed")]
+assert gangs and any(c["gang_commits"] > 0 for c in gangs), \
+    "gang commits never engaged"
+malleable = [c for c in cells if c["mix"] in ("malleable", "mixed")]
+assert malleable and any(
+    c["malleable_expands"] + c["malleable_shrinks"] > 0
+    for c in malleable), "malleable width never moved"
+print(f"packed chaos smoke ok: {len(cells)} audited cells, "
+      "ledger balanced, gangs committed, widths moved")
+EOF
+else
+  echo "packed chaos smoke ok (python3 not found; skipped JSON validation)"
+fi
+
+echo "== golden-diff guard =="
+# Packing off must stay byte-identical to the committed pre-packing
+# outputs: the figure benches never mention packing, so any drift here
+# means the disabled subsystem perturbed the scheduler (an RNG draw, an
+# iteration-order change, a stray counter) — exactly the layering bug the
+# guard exists to catch.
+"$BUILD_DIR/bench/bench_fig7_phoenix_vs_eagle_short" \
+  --nodes=60 --jobs=1200 --runs=1 > "$SMOKE_DIR/fig7.txt" 2>&1
+"$BUILD_DIR/bench/bench_fig10_phoenix_vs_hawk" \
+  --nodes=60 --jobs=1200 --runs=1 > "$SMOKE_DIR/fig10.txt" 2>&1
+"$BUILD_DIR/bench/bench_ext_affinity_failures" \
+  --nodes=60 --jobs=1200 --runs=1 > "$SMOKE_DIR/ext_affinity.txt" 2>&1
+diff "$SMOKE_DIR/fig7.txt" tests/golden/fig7_nodes60_jobs1200.txt
+diff "$SMOKE_DIR/fig10.txt" tests/golden/fig10_nodes60_jobs1200.txt
+diff "$SMOKE_DIR/ext_affinity.txt" tests/golden/ext_affinity_nodes60_jobs1200.txt
+echo "golden-diff guard ok: fig7/fig10/ext_affinity byte-identical"
+
 echo "== perf smoke =="
 # Core-throughput gate: event counts must match the committed baseline
 # exactly (determinism), events/sec within 25% (algorithmic regressions).

@@ -1,0 +1,38 @@
+#include "cluster/capacity.h"
+
+namespace phoenix::cluster {
+
+packing::ResourceVector CapacityOf(const Machine& m) {
+  packing::ResourceVector cap;
+  cap[packing::PackDim::kCores] = static_cast<double>(m.Get(Attr::kNumCores));
+  cap[packing::PackDim::kMemoryGb] =
+      static_cast<double>(m.Get(Attr::kMinMemory));
+  // Platform families 2 and 3 (the newer ~35 % of the fleet) carry one and
+  // two GPUs respectively; older generations have none — a zero-capacity
+  // dimension the packing policy must respect.
+  const std::int32_t family = m.Get(Attr::kPlatformFamily);
+  cap[packing::PackDim::kGpus] = family >= 2 ? family - 1 : 0;
+  return cap;
+}
+
+packing::ResourceVector MaxCapacity(const Cluster& cluster) {
+  packing::ResourceVector max;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const packing::ResourceVector cap =
+        CapacityOf(cluster.machine(static_cast<MachineId>(i)));
+    for (std::size_t d = 0; d < packing::kNumPackDims; ++d) {
+      if (cap.dim(d) > max.dim(d)) max.dim(d) = cap.dim(d);
+    }
+  }
+  return max;
+}
+
+packing::ResourceVector TotalCapacity(const Cluster& cluster) {
+  packing::ResourceVector total;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    total.Add(CapacityOf(cluster.machine(static_cast<MachineId>(i))));
+  }
+  return total;
+}
+
+}  // namespace phoenix::cluster

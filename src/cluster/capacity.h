@@ -1,0 +1,27 @@
+// Multi-dimensional capacity vectors derived from machine attributes.
+//
+// The packing subsystem needs each machine's (cores, memory, gpus) capacity.
+// Rather than inventing new machine state, capacity is a pure function of
+// the attribute vector the builder already draws: cores and memory come
+// straight from kNumCores / kMinMemory, and GPUs are carried by the newer
+// platform generations (families 2 and 3), giving the fleet a realistically
+// scarce accelerator tier without a new attribute or RNG draw.
+#pragma once
+
+#include "cluster/cluster.h"
+#include "cluster/machine.h"
+#include "packing/vector.h"
+
+namespace phoenix::cluster {
+
+/// The packing capacity of one machine.
+packing::ResourceVector CapacityOf(const Machine& m);
+
+/// Component-wise max of CapacityOf over the fleet — the clamp target for
+/// demands no machine could ever host.
+packing::ResourceVector MaxCapacity(const Cluster& cluster);
+
+/// Component-wise sum of CapacityOf over the fleet.
+packing::ResourceVector TotalCapacity(const Cluster& cluster);
+
+}  // namespace phoenix::cluster

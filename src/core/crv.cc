@@ -109,7 +109,9 @@ CrvSnapshot CrvMonitor::TakeSnapshot() const {
       // could be absorbed after a wake transition reads as less congested
       // than demand with no machine anywhere, so the CRV table distinguishes
       // "wake something" from "nothing can serve this".
-      const double pool = EffectiveSupply(entry);
+      double pool = EffectiveSupply(entry);
+      // Packed supply: P machines advertise P x scale concurrent task slots.
+      if (supply_scale_ != 1.0) pool *= supply_scale_;
       ratio[dim] += pool > 0 ? static_cast<double>(entry.count) / pool
                              : 2.0 * static_cast<double>(entry.count);
     }
@@ -125,7 +127,8 @@ CrvSnapshot CrvMonitor::TakeSnapshot() const {
   }
   for (std::size_t d = 0; d < cluster::kNumCrvDims; ++d) {
     snap.demand[d] = static_cast<std::uint64_t>(demand_[d]);
-    snap.ratio[d] = load_[d];
+    // load_ is Sigma demand/supply; scaling every pool by s divides it by s.
+    snap.ratio[d] = supply_scale_ != 1.0 ? load_[d] / supply_scale_ : load_[d];
     if (snap.ratio[d] > snap.max_ratio) {
       snap.max_ratio = snap.ratio[d];
       snap.max_dim = static_cast<cluster::CrvDim>(d);

@@ -60,6 +60,14 @@ class CrvMonitor {
   /// byte-identical to the power-free build. Requires an attached view.
   void SetParkedSupplyWeight(double weight) { parked_weight_ = weight; }
 
+  /// Residual-capacity supply scale (src/packing): under vector packing one
+  /// machine hosts several tasks, so a satisfying pool of P machines offers
+  /// roughly P x scale task slots, where scale is the fleet's free-copy
+  /// density (SchedulerBase::PackedSupplyScale). Every snapshot pool is
+  /// multiplied by the scale before the demand/supply ratio forms. 1.0 (the
+  /// default) is branch-gated for byte identity with non-packing builds.
+  void SetSupplyScale(double scale) { supply_scale_ = scale; }
+
   /// A constrained entry entered / left a worker queue.
   void OnEnqueue(const cluster::ConstraintSet& cs);
   void OnDequeue(const cluster::ConstraintSet& cs);
@@ -125,6 +133,7 @@ class CrvMonitor {
   const cluster::Cluster& cluster_;
   const cluster::MembershipView* view_ = nullptr;
   double parked_weight_ = 0;
+  double supply_scale_ = 1.0;
   std::array<std::int64_t, cluster::kNumCrvDims> demand_{};
   std::array<double, cluster::kNumCrvDims> load_{};  // sum of 1/pool
   /// Per-predicate demand, keyed by cluster::EncodePredicate (view mode).

@@ -105,6 +105,11 @@ void PhoenixScheduler::FederatedQueuedDelta(MachineId wid,
 void PhoenixScheduler::OnHeartbeat(MachineId lo, MachineId hi) {
   EagleScheduler::OnHeartbeat(lo, hi);  // idle-worker steal retry
   if (federation() == nullptr) {
+    if (packing_on()) {
+      // Weight CRV supply by residual packed capacity: a pool of P machines
+      // advertises P x free-copy-density task slots this heartbeat.
+      monitor_.SetSupplyScale(PackedSupplyScale());
+    }
     snapshot_ = monitor_.TakeSnapshot();
     congested_ = snapshot_.CongestedAbove(config().crv_threshold);
   } else {

@@ -94,9 +94,19 @@ void SimReport::CheckInvariants() const {
                       "job completed after makespan");
   }
   PHOENIX_CHECK_MSG(total_busy_time >= 0, "negative busy time");
-  if (num_workers > 0 && makespan > 0) {
+  if (num_workers > 0 && makespan > 0 && !packing_enabled) {
+    // Vector packing runs several tasks per machine concurrently, so the
+    // per-slot utilization bound only holds for single-slot runs.
     PHOENIX_CHECK_MSG(Utilization() <= 1.0 + 1e-9,
                       "utilization above 100% with single-slot workers");
+  }
+  if (packing_enabled) {
+    PHOENIX_CHECK_MSG(
+        packing_efficiency >= 0 && packing_efficiency <= 1.0 + 1e-9,
+        "packing efficiency outside [0, 1]");
+    PHOENIX_CHECK_MSG(fragmentation_time_avg >= -1e-9,
+                      "negative fragmentation average");
+    PHOENIX_CHECK_MSG(gang_wait_mean >= -1e-9, "negative gang wait");
   }
 }
 

@@ -7,6 +7,7 @@
 // reordering statistics) and measured cluster utilization.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -159,6 +160,30 @@ struct SchedulerCounters {
   std::uint64_t power_wake_decisions = 0;
   /// Drained machines the elastic controller parked instead of retiring.
   std::uint64_t power_parks_instead_of_retire = 0;
+  /// Multi-resource packing (src/packing). All zero with --packing off.
+  /// Task executions started against a residual-capacity ledger.
+  std::uint64_t packed_tasks = 0;
+  /// Probe resolutions / deliveries refused because the demand no longer
+  /// fit the residual vector (the probe re-routes, nothing strands).
+  std::uint64_t pack_fit_rejections = 0;
+  /// Jobs whose hashed demand exceeded every machine's capacity and was
+  /// clamped to the fleet max (the reject-then-renegotiate path).
+  std::uint64_t pack_demand_clamped = 0;
+  /// Gang scheduling: placements attempted, reservation rounds committed /
+  /// aborted, and attempts deferred for lack of free capacity.
+  std::uint64_t gangs_placed = 0;
+  std::uint64_t gang_commits = 0;
+  std::uint64_t gang_aborts = 0;
+  std::uint64_t gang_retry_waits = 0;
+  /// Gangs no empty eligible fleet could co-host, degraded to non-atomic
+  /// placement (the liveness escape from the retry loop).
+  std::uint64_t gangs_degraded = 0;
+  /// Malleable jobs: arrivals, width expansions / shrinks, and ticks a
+  /// job's width sat clamped at its minimum parallelism.
+  std::uint64_t malleable_jobs = 0;
+  std::uint64_t malleable_expands = 0;
+  std::uint64_t malleable_shrinks = 0;
+  std::uint64_t malleable_min_hits = 0;
 };
 
 /// Per-tenant outcome slice (empty unless the run configured tenants).
@@ -230,6 +255,23 @@ class SimReport {
   double energy_delay_product = 0;
   /// Integral of the number of machines in deep sleep, machine-seconds.
   double sleep_machine_seconds = 0;
+  /// Per-SLA-class (priority rank 0 prod / 1 batch / 2 best-effort) energy
+  /// attainment: execution joules attributed to each class's completed
+  /// tasks and the class task counts. Filled when power and tenancy are
+  /// both attached; all zero otherwise.
+  std::array<double, 3> class_exec_joules{};
+  std::array<std::uint64_t, 3> class_tasks{};
+  /// Multi-resource packing (src/packing), filled when packing is enabled.
+  bool packing_enabled = false;
+  /// Demand-weighted core-seconds executed over fleet core capacity x
+  /// makespan — the packed analogue of Utilization().
+  double packing_efficiency = 0;
+  /// Time-average over heartbeats of the free-core fraction stranded on
+  /// machines that are partially busy (capacity neither used nor cleanly
+  /// idle — the fragmentation cost of vector packing).
+  double fragmentation_time_avg = 0;
+  /// Mean seconds from a gang job's arrival to its reservation commit.
+  double gang_wait_mean = 0;
 
   /// Simulated events retired per wall second (0 when not measured).
   double EventsPerSec() const {

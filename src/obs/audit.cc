@@ -162,6 +162,15 @@ void InvariantAuditor::OnEvent(const Event& event) {
             "job %u task bound to non-active machine %u (%s) at t=%.6f",
             event.job, event.machine, LifeName(life), event.time));
       }
+      // Gang atomicity: members start only after the atomic commit closes
+      // the round, never while a reservation is still open.
+      auto gang = gang_rounds_.find(event.job);
+      if (gang != gang_rounds_.end() && gang->second.open) {
+        Violate(util::StrFormat(
+            "gang job %u task %u started inside an open reservation round "
+            "at t=%.6f (must wait for the commit)",
+            event.job, event.task, event.time));
+      }
       ++JobFor(event.job).starts;
       return;
     }
@@ -410,6 +419,79 @@ void InvariantAuditor::OnEvent(const Event& event) {
             event.time));
       }
       return;
+    case EventType::kPackCapacity: {
+      // machine + dimension (in the task field) declare one ledger cell.
+      if (event.machine == kNoId || event.task == kNoId) {
+        Violate("pack capacity event without a machine/dimension");
+        return;
+      }
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(event.machine) << 3) | event.task;
+      PackLedger& ledger = pack_ledgers_[key];
+      if (ledger.declared) {
+        Violate(util::StrFormat(
+            "machine %u dimension %u capacity declared twice", event.machine,
+            event.task));
+      }
+      ledger.declared = true;
+      ledger.capacity = event.value;
+      return;
+    }
+    case EventType::kPackClaim:
+    case EventType::kPackRelease: {
+      if (event.machine == kNoId || event.task == kNoId) {
+        Violate("pack claim/release event without a machine/dimension");
+        return;
+      }
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(event.machine) << 3) | event.task;
+      PackLedger& ledger = pack_ledgers_[key];
+      if (event.type == EventType::kPackClaim) {
+        ++pack_claims_seen_;
+        ledger.outstanding += event.value;
+        if (ledger.outstanding > ledger.capacity + 1e-6) {
+          Violate(util::StrFormat(
+              "machine %u over-committed dimension %u at t=%.6f "
+              "(outstanding %.6f > capacity %.6f)",
+              event.machine, event.task, event.time, ledger.outstanding,
+              ledger.capacity));
+        }
+      } else {
+        ledger.outstanding -= event.value;
+        if (ledger.outstanding < -1e-6) {
+          Violate(util::StrFormat(
+              "machine %u released more of dimension %u than was claimed "
+              "at t=%.6f (outstanding %.6f)",
+              event.machine, event.task, event.time, ledger.outstanding));
+        }
+      }
+      return;
+    }
+    case EventType::kGangReserve: {
+      GangAudit& gang = gang_rounds_[event.job];
+      // Several kGangReserve events (one per member machine) open one
+      // round; the first of them flips it open.
+      if (!gang.open) {
+        gang.open = true;
+        ++gang.opens;
+        ++gang_rounds_opened_;
+      }
+      return;
+    }
+    case EventType::kGangCommit:
+    case EventType::kGangAbort: {
+      GangAudit& gang = gang_rounds_[event.job];
+      if (!gang.open) {
+        Violate(util::StrFormat(
+            "gang job %u %s at t=%.6f without an open reservation round",
+            event.job, EventTypeName(event.type), event.time));
+        return;
+      }
+      gang.open = false;
+      ++gang.closes;
+      ++gang_rounds_closed_;
+      return;
+    }
     default:
       return;  // informational events carry no audited state
   }
@@ -499,6 +581,26 @@ void InvariantAuditor::Finish() {
     if (life == kLifeProvisioning || life == kLifeDraining) {
       Violate(util::StrFormat("machine %zu ended the run %s (capacity leak)",
                               m, LifeName(life)));
+    }
+  }
+  for (const auto& [key, ledger] : pack_ledgers_) {
+    // Packed-capacity conservation: every claim must be released by the end
+    // of the run — a nonzero balance is a leaked run or reservation.
+    if (std::fabs(ledger.outstanding) > 1e-6) {
+      Violate(util::StrFormat(
+          "machine %llu dimension %llu ended the run with %.6f of claimed "
+          "capacity outstanding (capacity leak)",
+          static_cast<unsigned long long>(key >> 3),
+          static_cast<unsigned long long>(key & 0x7ULL),
+          ledger.outstanding));
+    }
+  }
+  for (const auto& [job, gang] : gang_rounds_) {
+    if (gang.open) {
+      Violate(util::StrFormat(
+          "gang job %u ended the run with its reservation round still open "
+          "(no commit or abort)",
+          job));
     }
   }
   if (!outstanding_preemptions_.empty()) {

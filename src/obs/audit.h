@@ -39,6 +39,14 @@
 //     DVFS step only on an active one, and when the scheduler declares its
 //     meter total via ExpectEnergy the kPowerState stream integrated over
 //     state dwells (joules = Sigma dwell x watts) must match it;
+//   * packed-capacity conservation — per (machine, dimension), claims minus
+//     releases (the kPackClaim / kPackRelease stream) never exceed the
+//     capacity declared by kPackCapacity, never go negative, and return to
+//     exactly zero by the end of the run (no leaked reservation or run);
+//   * gang atomicity — a job's kGangReserve events open a reservation round
+//     that must be closed by exactly one kGangCommit or kGangAbort, no task
+//     of the job starts while a round is open (members start only after the
+//     atomic commit), and no round is still open when the run ends;
 //   * worker structure (fed by the scheduler at each heartbeat and at the
 //     end of the run) — a busy worker always has a live slot event, a
 //     failed worker is never busy, and queues drain by the end of the run.
@@ -107,6 +115,11 @@ class InvariantAuditor final : public EventSink {
   /// Power accounting (for tests asserting the energy rules observed a
   /// powered run's transition stream).
   std::uint64_t power_events_seen() const { return power_events_seen_; }
+  /// Packing accounting (for tests asserting the capacity-conservation and
+  /// gang-atomicity rules actually observed packed traffic).
+  std::uint64_t pack_claims_seen() const { return pack_claims_seen_; }
+  std::uint64_t gang_rounds_opened() const { return gang_rounds_opened_; }
+  std::uint64_t gang_rounds_closed() const { return gang_rounds_closed_; }
 
  private:
   struct JobStats {
@@ -164,6 +177,24 @@ class InvariantAuditor final : public EventSink {
   };
   std::vector<PowerChannel> power_channels_;
   std::uint64_t power_events_seen_ = 0;
+  /// Packed-capacity ledger per (machine << 3 | dimension): capacity from
+  /// kPackCapacity, outstanding = claims - releases.
+  struct PackLedger {
+    double capacity = 0;
+    double outstanding = 0;
+    bool declared = false;
+  };
+  std::unordered_map<std::uint64_t, PackLedger> pack_ledgers_;
+  std::uint64_t pack_claims_seen_ = 0;
+  /// Gang reservation rounds per job: open until the commit/abort closes it.
+  struct GangAudit {
+    bool open = false;
+    std::uint64_t opens = 0;
+    std::uint64_t closes = 0;
+  };
+  std::unordered_map<std::uint32_t, GangAudit> gang_rounds_;
+  std::uint64_t gang_rounds_opened_ = 0;
+  std::uint64_t gang_rounds_closed_ = 0;
   bool energy_expected_ = false;
   double expected_joules_ = 0;
   double energy_horizon_ = 0;

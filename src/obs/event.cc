@@ -54,6 +54,13 @@ const char* EventTypeName(EventType type) {
     case EventType::kPowerPark: return "power_park";
     case EventType::kPowerWake: return "power_wake";
     case EventType::kPowerDvfs: return "power_dvfs";
+    case EventType::kPackCapacity: return "pack_capacity";
+    case EventType::kPackClaim: return "pack_claim";
+    case EventType::kPackRelease: return "pack_release";
+    case EventType::kGangReserve: return "gang_reserve";
+    case EventType::kGangCommit: return "gang_commit";
+    case EventType::kGangAbort: return "gang_abort";
+    case EventType::kMalleableWidth: return "malleable_width";
   }
   return "?";
 }

@@ -94,10 +94,30 @@ enum class EventType : std::uint8_t {
   kPowerPark,         // controller parked the machine into deep sleep
   kPowerWake,         // wake begun; value = S3-exit latency (seconds)
   kPowerDvfs,         // DVFS step; task = new P-state, value = new watts
+  // Multi-resource packing (src/packing). kPackCapacity declares one
+  // dimension of a machine's capacity at run start (`task` = PackDim index,
+  // `value` = capacity). Every kPackClaim (task start or gang reservation)
+  // must be balanced by kPackRelease of the same amount on the same
+  // (machine, dimension); the auditor integrates the stream into a residual
+  // ledger that must stay within [0, capacity] at every step and return to
+  // zero outstanding at the end of the run (capacity conservation). For the
+  // gang triple `job` is the gang: every kGangReserve opens a reservation
+  // round closed by exactly one kGangCommit (all members co-start) or
+  // kGangAbort (hold expired / member lost; reservations released), and no
+  // kTaskStart of a gang job may precede its round's commit (gang
+  // atomicity). kMalleableWidth records a malleable job's new parallelism
+  // target in `value`.
+  kPackCapacity,      // task = dimension, value = machine capacity
+  kPackClaim,         // task = dimension, value = amount claimed
+  kPackRelease,       // task = dimension, value = amount released
+  kGangReserve,       // machine reserved; task = member count, value = hold
+  kGangCommit,        // all members arrived; value = gang wait (seconds)
+  kGangAbort,         // reservation round abandoned; value = retry backoff
+  kMalleableWidth,    // width changed; value = new parallelism target
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kPowerDvfs) + 1;
+    static_cast<std::size_t>(EventType::kMalleableWidth) + 1;
 
 /// Stable lowercase name for serialization ("probe_send", ...).
 const char* EventTypeName(EventType type);

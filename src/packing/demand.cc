@@ -1,0 +1,74 @@
+#include "packing/demand.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace phoenix::packing {
+
+namespace {
+
+/// Three independent uniform [0,1) draws hashed from (seed, job_id).
+struct DemandDraws {
+  double core_u, mem_u, gpu_u;
+};
+
+DemandDraws DrawsFor(std::uint64_t seed, std::uint32_t job_id) {
+  std::uint64_t state =
+      (seed ^ 0xa0761d6478bd642fULL) + 0x9e3779b97f4a7c15ULL * (job_id + 1);
+  const auto unit = [&state] {
+    return static_cast<double>(util::SplitMix64(state) >> 11) * 0x1.0p-53;
+  };
+  DemandDraws d;
+  d.core_u = unit();
+  d.mem_u = unit();
+  d.gpu_u = unit();
+  return d;
+}
+
+}  // namespace
+
+ResourceVector DemandFor(std::uint64_t seed, std::uint32_t job_id,
+                         const PackingConfig& config) {
+  const DemandDraws d = DrawsFor(seed, job_id);
+  ResourceVector demand;
+  // Squaring the uniform skews the bucket index small: most jobs request one
+  // or two cores, a tail requests 2^(buckets-1).
+  const std::uint32_t buckets =
+      config.demand_core_buckets > 0 ? config.demand_core_buckets : 1;
+  auto bucket = static_cast<std::uint32_t>(d.core_u * d.core_u *
+                                           static_cast<double>(buckets));
+  if (bucket >= buckets) bucket = buckets - 1;
+  const double cores = static_cast<double>(1u << bucket);
+  const double per_core =
+      config.demand_mem_per_core_lo +
+      d.mem_u * (config.demand_mem_per_core_hi - config.demand_mem_per_core_lo);
+  demand[PackDim::kCores] = cores;
+  demand[PackDim::kMemoryGb] = cores * per_core;
+  demand[PackDim::kGpus] = d.gpu_u < config.gpu_job_fraction ? 1.0 : 0.0;
+  return demand;
+}
+
+ResourceVector MeanDemand(const PackingConfig& config) {
+  // E[cores]: bucket k is hit when u^2 in [k/B, (k+1)/B), i.e. with
+  // probability sqrt((k+1)/B) - sqrt(k/B).
+  const std::uint32_t buckets =
+      config.demand_core_buckets > 0 ? config.demand_core_buckets : 1;
+  double mean_cores = 0;
+  double prev_sqrt = 0;
+  for (std::uint32_t k = 0; k < buckets; ++k) {
+    const double next_sqrt = std::sqrt(static_cast<double>(k + 1) /
+                                       static_cast<double>(buckets));
+    mean_cores += (next_sqrt - prev_sqrt) * static_cast<double>(1u << k);
+    prev_sqrt = next_sqrt;
+  }
+  ResourceVector mean;
+  mean[PackDim::kCores] = mean_cores;
+  mean[PackDim::kMemoryGb] =
+      mean_cores *
+      0.5 * (config.demand_mem_per_core_lo + config.demand_mem_per_core_hi);
+  mean[PackDim::kGpus] = config.gpu_job_fraction;
+  return mean;
+}
+
+}  // namespace phoenix::packing

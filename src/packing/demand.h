@@ -1,0 +1,26 @@
+// Deterministic per-job demand vectors.
+//
+// Demands are pure functions of (run seed, job id): no scheduler RNG draw
+// happens anywhere on the packing path, so enabling packing perturbs neither
+// the generator streams nor the scheduler's sampling sequence — packed runs
+// stay thread-fingerprint-identical and `--packing` off stays byte-identical.
+#pragma once
+
+#include <cstdint>
+
+#include "packing/config.h"
+#include "packing/vector.h"
+
+namespace phoenix::packing {
+
+/// The demand vector of job `job_id` under `seed`. All tasks of a job share
+/// its demand (the convention constraints already follow).
+ResourceVector DemandFor(std::uint64_t seed, std::uint32_t job_id,
+                         const PackingConfig& config);
+
+/// Closed-form mean of DemandFor over the job population — the per-machine
+/// effective-server count (capacity / mean demand) generalizes the P-K E[W]
+/// estimator to multi-slot machines.
+ResourceVector MeanDemand(const PackingConfig& config);
+
+}  // namespace phoenix::packing

@@ -1,0 +1,25 @@
+#include "packing/policy.h"
+
+namespace phoenix::packing {
+
+double PackScore(const ResourceVector& demand, const ResourceVector& residual,
+                 const ResourceVector& capacity, const PackingConfig& config) {
+  if (!demand.FitsIn(residual)) return kNoFit;
+  double align = 0;
+  double frag_min = 1.0;
+  double frag_max = 0.0;
+  for (std::size_t d = 0; d < kNumPackDims; ++d) {
+    const double cap = capacity.dim(d);
+    if (cap <= 0) continue;  // a dimension this machine does not have
+    const double dem = demand.dim(d) / cap;
+    const double res = residual.dim(d) / cap;
+    align += dem * res;
+    double after = res - dem;
+    if (after < 0) after = 0;
+    if (after < frag_min) frag_min = after;
+    if (after > frag_max) frag_max = after;
+  }
+  return align - config.frag_weight * (frag_max - frag_min);
+}
+
+}  // namespace phoenix::packing

@@ -1,0 +1,29 @@
+// The vector bin-packing placement score that replaces the boolean
+// slot-free test (arXiv 2004.00518 §2: alignment/best-fit heuristics).
+#pragma once
+
+#include "packing/config.h"
+#include "packing/vector.h"
+
+namespace phoenix::packing {
+
+/// Score of placing `demand` on a machine with `residual` free out of
+/// `capacity`. Higher is better; negative infinity (well, -1e30) when the
+/// demand does not fit. Two terms:
+///
+///   * alignment: the normalized dot product demand . residual — placing
+///     work where the free vector points the same way as the demand fills
+///     machines evenly across dimensions (the classic DotProduct heuristic);
+///   * fragmentation penalty: the imbalance (max - min) of the
+///     post-placement residual fractions — a placement that strands one
+///     dimension (all memory gone, cores idle) scores worse than one that
+///     drains dimensions together.
+///
+/// Pure arithmetic of its inputs: deterministic, tie-broken by the caller
+/// (lowest machine id) so packed runs are identical across thread counts.
+double PackScore(const ResourceVector& demand, const ResourceVector& residual,
+                 const ResourceVector& capacity, const PackingConfig& config);
+
+inline constexpr double kNoFit = -1e30;
+
+}  // namespace phoenix::packing

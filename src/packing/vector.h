@@ -1,0 +1,94 @@
+// Multi-dimensional resource vectors for vector bin-packing placement.
+//
+// The paper's worker model is one slot per machine: a boolean busy bit and a
+// queue. Real heterogeneous fleets place tasks against multi-dimensional
+// capacity — cores, memory, accelerators — and a machine runs as many tasks
+// concurrently as its residual vector admits (arXiv 2004.00518). This header
+// defines the fixed-dimension resource vector shared by machine capacities,
+// per-job demands, and the residual ledgers in sched::WorkerState.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace phoenix::packing {
+
+/// Packing dimensions. Deliberately distinct from cluster::CrvDim — CRV
+/// dimensions price *constraint* scarcity (which machines may serve a task);
+/// pack dimensions price *capacity* (how much of a machine a task consumes).
+enum class PackDim : std::uint8_t {
+  kCores = 0,
+  kMemoryGb,
+  kGpus,
+};
+
+inline constexpr std::size_t kNumPackDims = 3;
+
+constexpr std::string_view PackDimName(PackDim dim) {
+  switch (dim) {
+    case PackDim::kCores: return "cores";
+    case PackDim::kMemoryGb: return "memory_gb";
+    case PackDim::kGpus: return "gpus";
+  }
+  return "?";
+}
+
+/// A point in the (cores, memory, gpus) space. Plain aggregate so worker
+/// ledgers stay trivially copyable.
+struct ResourceVector {
+  std::array<double, kNumPackDims> v{};
+
+  double& operator[](PackDim d) { return v[static_cast<std::size_t>(d)]; }
+  double operator[](PackDim d) const { return v[static_cast<std::size_t>(d)]; }
+  double& dim(std::size_t d) { return v[d]; }
+  double dim(std::size_t d) const { return v[d]; }
+
+  /// Component-wise `this <= avail` with a small epsilon so a ledger that
+  /// has been incremented and decremented by the same demand many times
+  /// still admits an exact refit despite floating-point drift.
+  bool FitsIn(const ResourceVector& avail) const {
+    for (std::size_t d = 0; d < kNumPackDims; ++d) {
+      if (v[d] > avail.v[d] + kEps) return false;
+    }
+    return true;
+  }
+
+  void Add(const ResourceVector& o) {
+    for (std::size_t d = 0; d < kNumPackDims; ++d) v[d] += o.v[d];
+  }
+  void Sub(const ResourceVector& o) {
+    for (std::size_t d = 0; d < kNumPackDims; ++d) v[d] -= o.v[d];
+  }
+  /// Add/Sub `count` copies (gang reservations move k members at once).
+  void AddScaled(const ResourceVector& o, double count) {
+    for (std::size_t d = 0; d < kNumPackDims; ++d) v[d] += count * o.v[d];
+  }
+
+  bool IsZero() const {
+    for (std::size_t d = 0; d < kNumPackDims; ++d) {
+      if (v[d] != 0.0) return false;
+    }
+    return true;
+  }
+
+  /// How many whole copies of `demand` fit into this vector (0 if a demanded
+  /// dimension has no capacity here). Dimensions the demand does not touch
+  /// never constrain the count.
+  std::uint32_t CopiesOf(const ResourceVector& demand) const {
+    double copies = 1e18;
+    for (std::size_t d = 0; d < kNumPackDims; ++d) {
+      if (demand.v[d] <= 0) continue;
+      const double c = (v[d] + kEps) / demand.v[d];
+      if (c < copies) copies = c;
+    }
+    if (copies < 0) copies = 0;
+    if (copies > 4e9) copies = 4e9;  // untouched-by-demand: effectively inf
+    return static_cast<std::uint32_t>(copies);
+  }
+
+  static constexpr double kEps = 1e-9;
+};
+
+}  // namespace phoenix::packing

@@ -53,7 +53,7 @@ PowerController::FleetSample PowerController::Sample(double now) {
     const sched::WorkerState& w = scheduler_.worker_state(id);
     if (w.failed) continue;
     ++fleet.awake;
-    const bool occupied = w.busy || !w.queue.empty();
+    const bool occupied = w.HoldsWork();
     if (occupied) {
       last_busy_seen_[id] = now;
       ++fleet.occupied;
@@ -190,7 +190,7 @@ void PowerController::ParkPass(double now, const FleetSample& fleet) {
   for (std::size_t id = 0; id < park_limit_; ++id) {
     if (!view_.Bindable(id)) continue;
     const sched::WorkerState& w = scheduler_.worker_state(id);
-    if (w.failed || w.busy || !w.queue.empty()) continue;
+    if (w.failed || w.HoldsWork()) continue;
     if (now - last_busy_seen_[id] < policy_.park_idle_after) continue;
     candidates.push_back(
         {static_cast<cluster::MachineId>(id), last_busy_seen_[id]});

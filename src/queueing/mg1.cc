@@ -80,6 +80,14 @@ double WorkerWaitEstimator::EstimateWait() const {
   } else {
     cached_wait_ =
         PkWait(EstimateRho(), service_.mean(), service_.second_moment());
+    if (effective_servers_ > 1 &&
+        cached_wait_ != std::numeric_limits<double>::infinity()) {
+      // Multi-slot machine as c pooled servers: the single-queue wait
+      // divides by the concurrency the capacity vector sustains. (The exact
+      // M/G/c wait has no closed form; W/c is the standard scaling and
+      // preserves the estimator's ordering role.)
+      cached_wait_ /= static_cast<double>(effective_servers_);
+    }
   }
   wait_dirty_ = false;
   return wake_penalty_ > 0.0 ? cached_wait_ + wake_penalty_ : cached_wait_;

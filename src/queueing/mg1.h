@@ -11,6 +11,8 @@
 // the P-K formula assumes (§IV-A).
 #pragma once
 
+#include <cstdint>
+
 #include "queueing/stats.h"
 #include "sim/simtime.h"
 
@@ -70,6 +72,18 @@ class WorkerWaitEstimator {
   void SetWakePenalty(double penalty) { wake_penalty_ = penalty; }
   double wake_penalty() const { return wake_penalty_; }
 
+  /// Effective-server count c (src/packing): a multi-slot machine serving c
+  /// mean-demand tasks concurrently behaves like c pooled servers, so its
+  /// expected wait divides by c — the per-machine generalization of the P-K
+  /// estimate that keeps E[W]-guided probe ranking meaningful under vector
+  /// packing. c == 1 (the default) is branch-gated for byte identity.
+  /// Unlike the wake penalty, Clear() preserves it: the count derives from
+  /// the machine's static capacity vector, not from learned load.
+  void SetEffectiveServers(std::uint32_t servers) {
+    effective_servers_ = servers > 0 ? servers : 1;
+  }
+  std::uint32_t effective_servers() const { return effective_servers_; }
+
   void Clear();
 
  private:
@@ -77,6 +91,7 @@ class WorkerWaitEstimator {
   WindowedStats service_;
   sim::SimTime last_arrival_ = -1.0;
   double wake_penalty_ = 0.0;
+  std::uint32_t effective_servers_ = 1;
   mutable double cached_wait_ = 0.0;
   mutable bool wait_dirty_ = true;
 };

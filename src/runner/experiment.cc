@@ -288,6 +288,18 @@ metrics::SchedulerCounters AggregateCounters(
     sum.power_park_vetoes_floor += c.power_park_vetoes_floor;
     sum.power_wake_decisions += c.power_wake_decisions;
     sum.power_parks_instead_of_retire += c.power_parks_instead_of_retire;
+    sum.packed_tasks += c.packed_tasks;
+    sum.pack_fit_rejections += c.pack_fit_rejections;
+    sum.pack_demand_clamped += c.pack_demand_clamped;
+    sum.gangs_placed += c.gangs_placed;
+    sum.gang_commits += c.gang_commits;
+    sum.gang_aborts += c.gang_aborts;
+    sum.gang_retry_waits += c.gang_retry_waits;
+    sum.gangs_degraded += c.gangs_degraded;
+    sum.malleable_jobs += c.malleable_jobs;
+    sum.malleable_expands += c.malleable_expands;
+    sum.malleable_shrinks += c.malleable_shrinks;
+    sum.malleable_min_hits += c.malleable_min_hits;
   }
   return sum;
 }

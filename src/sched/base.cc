@@ -1,9 +1,14 @@
 #include "sched/base.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
+#include "cluster/capacity.h"
 #include "metrics/fairness.h"
 #include "obs/audit.h"
+#include "packing/demand.h"
+#include "packing/policy.h"
 #include "power/manager.h"
 #include "queueing/distributions.h"
 #include "tenancy/admission.h"
@@ -30,11 +35,36 @@ SchedulerBase::SchedulerBase(sim::Engine& engine,
   });
   workers_.reserve(cluster.size());
   for (std::size_t i = 0; i < cluster.size(); ++i) {
-    workers_.emplace_back(config_.estimator_window);
+    workers_.emplace_back(config_.estimator_window, &arena_);
     workers_.back().id = static_cast<MachineId>(i);
   }
   short_probe_counts_.assign(cluster.size(), 0);
   long_busy_.assign(cluster.size(), 0);
+  if (config_.packing.enabled) {
+    packing_on_ = true;
+    max_capacity_ = cluster::MaxCapacity(cluster);
+    fleet_capacity_ = cluster::TotalCapacity(cluster);
+    mean_demand_ = packing::MeanDemand(config_.packing);
+    // Clamp target for demands no machine can host: the machine with the
+    // largest normalized capacity volume (ties: lowest id), so a clamped
+    // demand is guaranteed a feasible host.
+    double best_volume = -1.0;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      WorkerState& w = workers_[i];
+      w.capacity = cluster::CapacityOf(cluster.machine(i));
+      w.residual = w.capacity;
+      double volume = 0;
+      for (std::size_t d = 0; d < packing::kNumPackDims; ++d) {
+        if (max_capacity_.dim(d) > 0) {
+          volume += w.capacity.dim(d) / max_capacity_.dim(d);
+        }
+      }
+      if (volume > best_volume) {
+        best_volume = volume;
+        clamp_capacity_ = w.capacity;
+      }
+    }
+  }
   if (config_.tenancy.enabled()) {
     tenancy_on_ = true;
     tenants_ = tenancy::TenantRegistry(config_.tenancy.tenants);
@@ -46,6 +76,9 @@ SchedulerBase::SchedulerBase(sim::Engine& engine,
 void SchedulerBase::EnableFederation(const federation::FederationConfig& cfg) {
   PHOENIX_CHECK_MSG(jobs_.empty(), "enable federation before SubmitTrace");
   if (!cfg.enabled()) return;  // --shards=1: stay on the unsharded paths
+  PHOENIX_CHECK_MSG(!packing_on_,
+                    "packing and federation are mutually exclusive (gossiped "
+                    "free-slot digests do not carry capacity vectors)");
   federation_ = std::make_unique<federation::FederationPlane>(
       engine_, fabric_, cfg, workers_.size());
   federation_->set_emitter([this](const obs::Event& event) {
@@ -150,11 +183,19 @@ bool SchedulerBase::RetireMachine(MachineId id, bool force) {
   PHOENIX_CHECK_MSG(
       membership_->state(id) == cluster::MachineLifecycle::kDraining,
       "retire requires a draining machine");
-  if (!force && (w.busy || !w.queue.empty())) return false;
+  if (!force && (w.HoldsWork() ||
+                 (packing_on_ && !w.capacity.FitsIn(w.residual)))) {
+    return false;
+  }
   if (force) {
     counters_.elastic_tasks_redispatched +=
-        w.queue.size() + (w.running_job != trace::kInvalidJob ? 1 : 0);
+        w.queue.size() + (w.running_job != trace::kInvalidJob ? 1 : 0) +
+        w.run_list.size();
     EvictSlotWork(w, /*kill_running=*/true);
+    if (packing_on_) {
+      EvictPackedRuns(w);
+      EvictGangReservations(w);
+    }
     while (!w.queue.empty()) {
       BounceUndelivered(RemoveQueueAt(w, w.queue.size() - 1), id, one_way());
     }
@@ -186,9 +227,12 @@ bool SchedulerBase::ParkMachine(MachineId id) {
       state != cluster::MachineLifecycle::kDraining) {
     return false;  // double-park / park-of-retired: idempotent no-op
   }
-  // Never strand work: a busy slot or a non-empty queue vetoes the park (the
-  // controller re-evaluates next tick once the worker truly drains).
-  if (w.busy || !w.queue.empty() || w.failed) return false;
+  // Never strand work: held work (slot, queue, or packed runs) vetoes the
+  // park (the controller re-evaluates next tick once the worker truly
+  // drains). An outstanding gang reservation — residual below capacity with
+  // nothing running — vetoes too: parking would strand the claimed share.
+  if (w.HoldsWork() || w.failed) return false;
+  if (packing_on_ && !w.capacity.FitsIn(w.residual)) return false;
   AccrueInService();
   PHOENIX_CHECK(in_service_count_ > 0);
   --in_service_count_;
@@ -348,7 +392,9 @@ void SchedulerBase::SubmitTrace(const trace::Trace& trace) {
   PHOENIX_CHECK_MSG(jobs_.empty(), "SubmitTrace may be called once");
   trace_name_ = trace.name();
   config_.short_cutoff = trace.short_cutoff();
-  jobs_.resize(trace.size());
+  // Job records pool their replay lists in the scheduler arena (the copy
+  // constructor propagates the arena-bound allocator to every element).
+  jobs_.assign(trace.size(), JobRuntime(&arena_));
   for (const trace::Job& spec : trace.jobs()) {
     JobRuntime& job = jobs_[spec.id];
     job.spec = &spec;
@@ -361,6 +407,23 @@ void SchedulerBase::SubmitTrace(const trace::Trace& trace) {
     engine_.ScheduleAt(spec.submit_time, [this, id = spec.id] {
       HandleJobArrival(id);
     });
+  }
+  if (packing_on_) {
+    // Declare every machine's capacity vector to the sinks (the auditor's
+    // conservation ledger opens from these), and seed the estimators with
+    // their effective-server counts: a machine able to run c mean-demand
+    // tasks concurrently behaves like c pooled servers.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      WorkerState& w = workers_[i];
+      std::uint32_t servers = w.capacity.CopiesOf(mean_demand_);
+      if (servers < 1) servers = 1;
+      w.estimator.SetEffectiveServers(servers);
+      for (std::size_t d = 0; d < packing::kNumPackDims; ++d) {
+        Emit(EventType::kPackCapacity, obs::kNoId,
+             static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(d),
+             w.capacity.dim(d));
+      }
+    }
   }
   heartbeat_running_ = true;
   // One heartbeat chain per shard (a single fleet-wide chain unsharded), so
@@ -464,8 +527,12 @@ void SchedulerBase::RedispatchEntry(QueueEntry entry, double delay) {
     SendEntry(target, entry, delay);
     return;
   }
-  // Bound task: re-bind to the least-loaded live satisfying worker.
-  const MachineId best = PickLeastLoadedLive(ChooseLongCandidates(job), job);
+  // Bound task: re-bind to the least-loaded live satisfying worker (best
+  // vector-packing fit under packing).
+  const MachineId best = packing_on_
+                             ? PickBestPacked(ChooseLongCandidates(job), job)
+                             : PickLeastLoadedLive(ChooseLongCandidates(job),
+                                                   job);
   SendEntry(best, entry, std::max(delay, 2 * one_way()));
 }
 
@@ -542,9 +609,15 @@ void SchedulerBase::EvictSlotWork(WorkerState& worker, bool kill_running) {
 }
 
 void SchedulerBase::RefreshLongBusy(const WorkerState& worker) {
-  const bool running_long =
+  bool running_long =
       worker.busy && worker.running_job != trace::kInvalidJob &&
       !jobs_[worker.running_job].short_class;
+  // Packed runs (run_list is empty when packing is off): any long task in
+  // the concurrent set keeps the SSS bit up.
+  for (const PackedRun& run : worker.run_list) {
+    if (running_long) break;
+    running_long = !jobs_[run.job].short_class;
+  }
   long_busy_[worker.id] = (worker.long_entries > 0 || running_long) ? 1 : 0;
 }
 
@@ -555,6 +628,10 @@ void SchedulerBase::FailMachine(WorkerState& worker, bool auto_repair) {
   Emit(EventType::kMachineFail, obs::kNoId, worker.id);
 
   EvictSlotWork(worker, /*kill_running=*/true);
+  if (packing_on_) {
+    EvictPackedRuns(worker);
+    EvictGangReservations(worker);
+  }
 
   // Drain the queue, re-dispatching every entry to live workers (stale
   // probes dissolve inside BounceUndelivered).
@@ -618,6 +695,31 @@ void SchedulerBase::HeartbeatTick(std::uint32_t shard) {
     fleet_wait_estimate_ = live > 0 ? sum / static_cast<double>(live) : 0;
   }
   OnHeartbeat(lo, hi);
+  if (packing_on_) {
+    // Fragmentation sample: fleet-mean spread between the most- and
+    // least-consumed capacity dimension of each live machine. High spread =
+    // stranded capacity (e.g. cores free but memory exhausted).
+    double spread_sum = 0;
+    std::size_t live = 0;
+    for (const WorkerState& w : workers_) {
+      if (w.failed || !Bindable(w.id)) continue;
+      double lo_frac = 1.0;
+      double hi_frac = 0.0;
+      for (std::size_t d = 0; d < packing::kNumPackDims; ++d) {
+        if (w.capacity.dim(d) <= 0) continue;
+        const double frac = w.residual.dim(d) / w.capacity.dim(d);
+        lo_frac = std::min(lo_frac, frac);
+        hi_frac = std::max(hi_frac, frac);
+      }
+      spread_sum += std::max(0.0, hi_frac - lo_frac);
+      ++live;
+    }
+    if (live > 0) {
+      frag_sum_ += spread_sum / static_cast<double>(live);
+      ++frag_samples_;
+    }
+    RefreshMalleableWidths();
+  }
   if (tracing()) {
     // Publish the per-worker timeseries after OnHeartbeat so Phoenix's
     // freshly refreshed E[W] / CRV marks are what lands in the export.
@@ -671,10 +773,33 @@ void SchedulerBase::HandleJobArrival(JobId id) {
       EstimatedTaskDuration(job) <= config_.short_cutoff;
   Emit(EventType::kJobArrival, id, obs::kNoId, obs::kNoId,
        static_cast<double>(job.num_tasks()));
+  if (packing_on_) {
+    job.demand = packing::DemandFor(config_.seed, id, config_.packing);
+  }
   // Tenant admission runs first: it may demote the class, strip the SLO, or
   // trade a soft constraint away before the constraint layers see the job.
   if (tenancy_on_) ApplyTenantAdmission(job);
   AdmitJob(job);
+  // The feasibility clamp must see the post-admission constraint set: a
+  // demand no *satisfying* machine can host would bounce between delivery
+  // and redispatch forever (the satisfying pool and the capacity-fitting
+  // pool must intersect).
+  if (packing_on_) ClampDemandToHostable(job);
+  if (packing_on_ && job.num_tasks() > 1) {
+    // Gang and malleable jobs bypass both probe planes: their tasks bind
+    // centrally (reserve -> commit for gangs, width-tracked top-up for
+    // malleable jobs), whatever their duration class.
+    if (job.gang()) {
+      job.gang_arrival = engine_.Now();
+      ++counters_.gangs_placed;
+      PlaceGang(id);
+      return;
+    }
+    if (job.malleable()) {
+      PlaceMalleable(id);
+      return;
+    }
+  }
   if (UsesDistributedPlane(job)) {
     PlaceDistributed(job);
   } else {
@@ -1173,7 +1298,9 @@ void SchedulerBase::PlaceCentralized(JobRuntime& job) {
     FilterByPlacement(job, candidates);
     // Shared with RedispatchEntry: least-loaded live candidate, or a fresh
     // pool draw when every candidate is down (never a known-dead bind).
-    const MachineId best = PickLeastLoadedLive(candidates, job);
+    // Under packing, best vector fit wins instead.
+    const MachineId best = packing_on_ ? PickBestPacked(candidates, job)
+                                       : PickLeastLoadedLive(candidates, job);
     NoteRackCommitment(job, cluster_.rack_of(best));
     QueueEntry entry;
     entry.kind = QueueEntry::Kind::kBoundTask;
@@ -1196,6 +1323,13 @@ void SchedulerBase::SendEntry(MachineId target, QueueEntry entry, double delay,
 }
 
 void SchedulerBase::DeliverEntry(MachineId target, QueueEntry entry) {
+  if (packing_on_ && !gangs_.empty() && gangs_.count(entry.job) != 0) {
+    // Gang member arriving inside an open reservation round: stage it for
+    // the atomic commit instead of queueing (post-commit replays of gang
+    // tasks flow through the normal path below — their round is closed).
+    DeliverGangMember(target, std::move(entry));
+    return;
+  }
   WorkerState& w = workers_[target];
   if (entry.cross_shard) {
     // Double-bind detection for an optimistic cross-shard bind: the free
@@ -1221,6 +1355,15 @@ void SchedulerBase::DeliverEntry(MachineId target, QueueEntry entry) {
     // The destination died (or left the bindable fleet) in transit: bounce
     // to a live worker after the fabric's pacing backoff. Stale probes (job
     // fully placed) dissolve.
+    BounceUndelivered(std::move(entry), target, fabric_.bounce_backoff());
+    return;
+  }
+  if (packing_on_ && !jobs_[entry.job].demand.FitsIn(w.capacity)) {
+    // The demand exceeds this machine's *total* capacity: the entry could
+    // never start here no matter how the residual moves. Queueing it would
+    // strand it, so re-cover it like a bounce off a dead destination (the
+    // rebind paths prefer capacity-fitting machines).
+    ++counters_.pack_fit_rejections;
     BounceUndelivered(std::move(entry), target, fabric_.bounce_backoff());
     return;
   }
@@ -1250,6 +1393,18 @@ void SchedulerBase::GiveUpEntry(MachineId target, QueueEntry entry) {
   // target's steal marker, else a lost steal transfer would block that
   // worker from ever stealing again.
   workers_[target].steal_inflight = false;
+  if (packing_on_ && !gangs_.empty()) {
+    auto it = gangs_.find(entry.job);
+    if (it != gangs_.end()) {
+      // A gang member that never arrived fails its whole round: reclaim the
+      // task index and close the member so the round can abort and retry.
+      jobs_[entry.job].replay_tasks.push_back(entry.task_index);
+      it->second.failed = true;
+      ++it->second.closed;
+      CloseGangMember(entry.job);
+      return;
+    }
+  }
   if (entry.cross_shard) {
     // The optimistic bind never reached the peer: close its accept/reject
     // pair as a rejection so the conservation rule stays balanced.
@@ -1318,6 +1473,10 @@ QueueEntry SchedulerBase::RemoveQueueAt(WorkerState& worker,
 }
 
 void SchedulerBase::TryStartNext(WorkerState& worker) {
+  if (packing_on_) {
+    PackedTryStart(worker);
+    return;
+  }
   if (worker.busy || worker.failed) return;
   if (worker.queue.empty()) {
     OnWorkerIdle(worker);
@@ -1422,10 +1581,26 @@ void SchedulerBase::ResolveProbe(WorkerState& worker, QueueEntry entry) {
       TryStartNext(worker);
       return;
     }
+    if (packing_on_ && !job.demand.FitsIn(worker.residual)) {
+      // Capacity moved while the fetch transited: the resolved slot cannot
+      // host the demand any more. Re-cover the probe elsewhere (not a
+      // failure — compensate RedispatchEntry's counter).
+      ++counters_.pack_fit_rejections;
+      worker.busy = false;
+      RedispatchEntry(entry, one_way());
+      --counters_.tasks_rescheduled_failure;
+      TryStartNext(worker);
+      return;
+    }
     const std::uint32_t index = TakeNextTaskIndex(job);
     Emit(EventType::kProbeResolve, job.id, worker.id, index);
     NoteRackCommitment(job, rack);
     worker.busy = false;  // StartService re-claims the slot
+    if (packing_on_) {
+      StartPackedRun(worker, job, index, 0.0, /*from_reserve=*/false);
+      PackedTryStart(worker);
+      return;
+    }
     StartService(worker, job, index);
     return;
   }
@@ -1484,6 +1659,14 @@ void SchedulerBase::StartService(WorkerState& worker, JobRuntime& job,
       engine_.ScheduleAt(worker.busy_until, [this, wid = worker.id, duration] {
         WorkerState& w = workers_[wid];
         if (power_ != nullptr) {
+          // Per-SLA-class energy attainment: the exec draw was constant for
+          // the whole run (DVFS is blocked while executing), so watts x
+          // duration is this task's exact share of the meter's exec joules.
+          // Untenanted work lands in the batch bucket.
+          const std::uint8_t rank =
+              tenancy::PriorityRank(jobs_[w.running_job].priority);
+          class_exec_joules_[rank] += power_->watts(wid) * duration;
+          ++class_tasks_[rank];
           const double watts = power_->OnExecEnd(wid, engine_.Now());
           if (watts >= 0) {
             Emit(EventType::kPowerState, obs::kNoId, wid, obs::kNoId, watts);
@@ -1586,6 +1769,723 @@ bool SchedulerBase::TryStealFor(WorkerState& worker) {
   return false;
 }
 
+// ---- Multi-resource packing (src/packing) ---------------------------------
+//
+// Everything below is unreachable when packing_on_ is false: run lists stay
+// empty, residual ledgers never move, and the single-slot paths above remain
+// byte-identical to the pre-packing scheduler.
+
+void SchedulerBase::ClampDemandToHostable(JobRuntime& job) {
+  // The satisfying pool and the capacity-fitting pool must intersect, or
+  // the job's entries would bounce between delivery and redispatch forever.
+  // Admission already guarantees a non-empty satisfying pool; find its
+  // largest member (normalized volume, ties: lowest id) and clamp the
+  // demand component-wise to that machine's capacity when nothing in the
+  // pool can host the original request.
+  const packing::ResourceVector* best = nullptr;
+  double best_volume = -1.0;
+  for (const WorkerState& w : workers_) {
+    if (!cluster_.machine(w.id).Satisfies(job.effective)) continue;
+    if (job.demand.FitsIn(w.capacity)) return;  // already hostable
+    double volume = 0;
+    for (std::size_t d = 0; d < packing::kNumPackDims; ++d) {
+      if (max_capacity_.dim(d) > 0) {
+        volume += w.capacity.dim(d) / max_capacity_.dim(d);
+      }
+    }
+    if (volume > best_volume) {
+      best_volume = volume;
+      best = &w.capacity;
+    }
+  }
+  const packing::ResourceVector& target =
+      best != nullptr ? *best : clamp_capacity_;
+  for (std::size_t d = 0; d < packing::kNumPackDims; ++d) {
+    job.demand.v[d] = std::min(job.demand.dim(d), target.dim(d));
+  }
+  ++counters_.pack_demand_clamped;
+}
+
+void SchedulerBase::ClaimPackedCapacity(WorkerState& worker,
+                                        const packing::ResourceVector& demand,
+                                        double copies, JobId job) {
+  worker.residual.AddScaled(demand, -copies);
+  if (sinks_.empty()) return;
+  for (std::size_t d = 0; d < packing::kNumPackDims; ++d) {
+    if (demand.dim(d) <= 0) continue;
+    Emit(EventType::kPackClaim, job, worker.id, static_cast<std::uint32_t>(d),
+         demand.dim(d) * copies);
+  }
+}
+
+void SchedulerBase::ReleasePackedCapacity(WorkerState& worker,
+                                          const packing::ResourceVector& demand,
+                                          double copies, JobId job) {
+  worker.residual.AddScaled(demand, copies);
+  if (sinks_.empty()) return;
+  for (std::size_t d = 0; d < packing::kNumPackDims; ++d) {
+    if (demand.dim(d) <= 0) continue;
+    Emit(EventType::kPackRelease, job, worker.id,
+         static_cast<std::uint32_t>(d), demand.dim(d) * copies);
+  }
+}
+
+void SchedulerBase::PackedTryStart(WorkerState& worker) {
+  // `busy` under packing means "control slot held for an in-flight fetch":
+  // one probe resolution at a time, so the residual the fetch validated is
+  // still meaningful when it lands.
+  if (worker.failed || worker.busy) return;
+  while (!worker.queue.empty()) {
+    std::size_t index = SelectNextIndex(worker);
+    PHOENIX_CHECK_MSG(index < worker.queue.size(),
+                      "queue discipline returned an out-of-range index");
+    if (tenancy_on_) {
+      const std::size_t promoted = PromoteByPriority(worker, index);
+      if (promoted != index) {
+        index = promoted;
+        ++counters_.tenant_priority_promotions;
+      }
+    }
+    if (!PackedFits(worker, worker.queue[index])) {
+      ++counters_.pack_fit_rejections;
+      if (tenancy_on_ && TryPackedPreemptFor(worker, worker.queue[index])) {
+        continue;  // capacity freed now; re-run the selection
+      }
+      // Backfill: the first entry in queue order that does fit runs instead.
+      // The selected entry keeps its place and accrues bypass credit via
+      // PopQueueAt, so the starvation guard still sees it.
+      bool found = false;
+      for (std::size_t i = 0; i < worker.queue.size(); ++i) {
+        if (i == index) continue;
+        if (PackedFits(worker, worker.queue[i])) {
+          index = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return;  // nothing fits: wait for a completion
+    }
+    QueueEntry entry = PopQueueAt(worker, index);
+    if (tenancy_on_) {
+      worker.running_bypass_exhausted =
+          entry.bypass_count >= config_.slack_threshold;
+      worker.running_preempt_count = entry.preempt_count;
+    }
+    if (entry.kind == QueueEntry::Kind::kBoundTask) {
+      StartPackedRun(worker, jobs_[entry.job], entry.task_index,
+                     entry.service_penalty, /*from_reserve=*/false);
+      continue;
+    }
+    // Probe: hold the control slot while fetching over one RTT (late
+    // binding), exactly like the single-slot path.
+    worker.busy = true;
+    worker.resolving = true;
+    worker.resolving_entry = entry;
+    worker.pending_call = rpc_.RoundTrip(
+        worker.id, net::kControllerNode, net::MessageKind::kFetchRequest,
+        one_way(),
+        [this, wid = worker.id, entry] {
+          WorkerState& w = workers_[wid];
+          w.pending_call = 0;
+          w.resolving = false;
+          ResolveProbe(w, entry);
+        },
+        [this, wid = worker.id, entry] { AbortProbeResolution(wid, entry); });
+    return;
+  }
+  if (worker.run_list.empty()) OnWorkerIdle(worker);
+}
+
+bool SchedulerBase::TryPackedPreemptFor(WorkerState& worker,
+                                        const QueueEntry& head) {
+  const JobRuntime& incoming = jobs_[head.job];
+  if (incoming.priority != tenancy::PriorityClass::kProd) return false;
+  if (head.kind == QueueEntry::Kind::kProbe && incoming.AllPlaced()) {
+    return false;  // would dissolve at resolution; never kill work for it
+  }
+  if (membership_ != nullptr && !membership_->Bindable(worker.id)) {
+    ++counters_.preemptions_blocked_lifecycle;
+    return false;
+  }
+  // Newest best-effort run first: LIFO minimizes the served work lost.
+  for (std::size_t i = worker.run_list.size(); i-- > 0;) {
+    JobRuntime& victim = jobs_[worker.run_list[i].job];
+    if (victim.priority != tenancy::PriorityClass::kBestEffort) continue;
+    if (preempt_policy_.Judge(incoming.priority, victim.priority,
+                              worker.running_bypass_exhausted,
+                              worker.running_preempt_count) !=
+        tenancy::PreemptVerdict::kPreempt) {
+      continue;
+    }
+    if (tenants_.Known(incoming.tenant)) {
+      ++tenants_.state(incoming.tenant).preemptions_issued;
+    }
+    const PackedRun run = worker.run_list[i];
+    worker.run_list.erase(worker.run_list.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    engine_.Cancel(run.pending_event);
+    const sim::SimTime now = engine_.Now();
+    const double remaining = std::max(0.0, run.until - now);
+    const double elapsed = std::max(0.0, now - run.start);
+    ReleasePackedCapacity(worker, victim.demand, 1.0, victim.id);
+    if (power_ != nullptr && worker.run_list.empty()) {
+      const double watts = power_->OnExecEnd(worker.id, now);
+      if (watts >= 0) {
+        Emit(EventType::kPowerState, obs::kNoId, worker.id, obs::kNoId, watts);
+      }
+    }
+    total_busy_time_ -= remaining;
+    packed_core_seconds_ -=
+        remaining * victim.demand[packing::PackDim::kCores];
+    counters_.preemption_lost_seconds += elapsed;
+    ++counters_.preemptions_issued;
+    ++victim.preemptions;
+    if (tenants_.Known(victim.tenant)) {
+      ++tenants_.state(victim.tenant).preemptions_suffered;
+    }
+    Emit(EventType::kPreemptIssue, victim.id, worker.id, run.task_index,
+         elapsed);
+    // Requeue locally with the restart cost — one control action, no fabric
+    // transit, so chaos cannot strand the victim.
+    QueueEntry entry;
+    entry.kind = QueueEntry::Kind::kBoundTask;
+    entry.job = victim.id;
+    entry.task_index = run.task_index;
+    entry.est_duration = EstimatedTaskDuration(victim);
+    entry.enqueue_time = now;
+    entry.short_class = victim.short_class;
+    entry.service_penalty = config_.tenancy.preemption_restart_cost;
+    entry.preempt_count = static_cast<std::uint8_t>(
+        std::min<std::size_t>(worker.running_preempt_count + 1, 255));
+    worker.queue.push_back(entry);
+    worker.est_queued_work += entry.est_duration;
+    if (!entry.short_class) ++worker.long_entries;
+    worker.estimator.OnArrival(now);
+    OnEntryEnqueued(worker, entry);
+    TenantQueuedDelta(entry, +1);
+    ++counters_.preemption_requeues;
+    Emit(EventType::kPreemptRequeue, victim.id, worker.id, run.task_index);
+    RefreshLongBusy(worker);
+    return true;
+  }
+  return false;
+}
+
+void SchedulerBase::StartPackedRun(WorkerState& worker, JobRuntime& job,
+                                   std::uint32_t task_index,
+                                   double service_penalty, bool from_reserve) {
+  const sim::SimTime now = engine_.Now();
+  double duration = job.ActualDuration(task_index) + service_penalty;
+  if (power_ != nullptr) {
+    if (worker.run_list.empty() && power_->p_state(worker.id) != 0 &&
+        !power_->executing(worker.id)) {
+      ++counters_.power_dvfs_raises;
+      const double boosted = power_->SetPState(worker.id, 0, now);
+      Emit(EventType::kPowerDvfs, obs::kNoId, worker.id, 0, boosted);
+      Emit(EventType::kPowerState, obs::kNoId, worker.id, obs::kNoId, boosted);
+    }
+    duration *= power_->SpeedMultiplier(worker.id);
+    if (worker.run_list.empty()) {
+      // Exec metering opens on the 0 -> 1 run transition only; concurrent
+      // runs share the machine's single exec draw.
+      const double watts = power_->OnExecBegin(worker.id, now);
+      if (watts >= 0) {
+        Emit(EventType::kPowerState, obs::kNoId, worker.id, obs::kNoId, watts);
+      }
+    }
+  }
+  if (service_penalty > 0) {
+    counters_.preemption_restart_seconds += service_penalty;
+  }
+  if (!from_reserve) {
+    ClaimPackedCapacity(worker, job.demand, 1.0, job.id);
+  }
+  RecordTaskStart(job, now);
+  ++worker.tasks_started;
+  ++counters_.packed_tasks;
+  PackedRun run;
+  run.job = job.id;
+  run.task_index = task_index;
+  run.run_id = worker.next_run_id++;
+  run.start = now;
+  run.until = now + duration;
+  total_busy_time_ += duration;
+  packed_core_seconds_ += duration * job.demand[packing::PackDim::kCores];
+  Emit(EventType::kTaskStart, job.id, worker.id, task_index, duration);
+  run.pending_event = engine_.ScheduleAt(
+      run.until, [this, wid = worker.id, rid = run.run_id, duration] {
+        FinishPackedRun(wid, rid, duration);
+      });
+  worker.run_list.push_back(run);
+  RefreshLongBusy(worker);
+}
+
+void SchedulerBase::FinishPackedRun(MachineId wid, std::uint32_t run_id,
+                                    double duration) {
+  WorkerState& worker = workers_[wid];
+  std::size_t slot = worker.run_list.size();
+  for (std::size_t i = 0; i < worker.run_list.size(); ++i) {
+    if (worker.run_list[i].run_id == run_id) {
+      slot = i;
+      break;
+    }
+  }
+  PHOENIX_CHECK_MSG(slot < worker.run_list.size(),
+                    "completion event for an evicted packed run");
+  const PackedRun run = worker.run_list[slot];
+  worker.run_list.erase(worker.run_list.begin() +
+                        static_cast<std::ptrdiff_t>(slot));
+  JobRuntime& job = jobs_[run.job];
+  const sim::SimTime now = engine_.Now();
+  if (power_ != nullptr) {
+    // Per-class energy under packing: the machine's exec draw is split
+    // evenly across the runs sharing it (this one included) — approximate
+    // under concurrency, exact when the run was alone.
+    const double share =
+        power_->watts(wid) / static_cast<double>(worker.run_list.size() + 1);
+    const std::uint8_t rank = tenancy::PriorityRank(job.priority);
+    class_exec_joules_[rank] += share * duration;
+    ++class_tasks_[rank];
+    if (worker.run_list.empty()) {
+      const double watts = power_->OnExecEnd(wid, now);
+      if (watts >= 0) {
+        Emit(EventType::kPowerState, obs::kNoId, wid, obs::kNoId, watts);
+      }
+    }
+  }
+  ReleasePackedCapacity(worker, job.demand, 1.0, job.id);
+  worker.estimator.OnServiceComplete(duration);
+  if (tenancy_on_ && tenants_.Known(job.tenant)) {
+    tenants_.state(job.tenant).usage_seconds += duration;
+  }
+  Emit(EventType::kTaskComplete, job.id, wid, run.task_index, duration);
+  ++job.completed;
+  makespan_ = std::max(makespan_, now);
+  RefreshLongBusy(worker);
+  if (job.Done()) {
+    job.completion = now;
+    ++jobs_done_;
+    if (tenancy_on_) OnTenantJobComplete(job);
+    Emit(EventType::kJobComplete, job.id, wid, obs::kNoId,
+         now - job.spec->submit_time);
+  } else if (job.malleable() && job.malleable_inflight > 0) {
+    --job.malleable_inflight;
+    TopUpMalleable(job);
+  }
+  PackedTryStart(worker);
+}
+
+void SchedulerBase::EvictPackedRuns(WorkerState& worker) {
+  if (worker.run_list.empty()) return;
+  const sim::SimTime now = engine_.Now();
+  std::vector<PackedRun> runs;
+  runs.swap(worker.run_list);
+  if (power_ != nullptr) {
+    const double watts = power_->OnExecEnd(worker.id, now);
+    if (watts >= 0) {
+      Emit(EventType::kPowerState, obs::kNoId, worker.id, obs::kNoId, watts);
+    }
+  }
+  for (const PackedRun& run : runs) {
+    engine_.Cancel(run.pending_event);
+    JobRuntime& job = jobs_[run.job];
+    const double remaining = std::max(0.0, run.until - now);
+    ReleasePackedCapacity(worker, job.demand, 1.0, job.id);
+    total_busy_time_ -= remaining;
+    packed_core_seconds_ -= remaining * job.demand[packing::PackDim::kCores];
+    job.replay_tasks.push_back(run.task_index);
+    Emit(EventType::kTaskKill, job.id, worker.id, run.task_index);
+    // Malleable inflight is NOT decremented: the replay below re-covers the
+    // task, so it stays "placed" for the width accounting.
+    QueueEntry entry;
+    entry.job = job.id;
+    entry.est_duration = EstimatedTaskDuration(job);
+    entry.short_class = job.short_class;
+    if (UsesDistributedPlane(job) && !job.gang() && !job.malleable()) {
+      entry.kind = QueueEntry::Kind::kProbe;
+    } else {
+      entry.kind = QueueEntry::Kind::kBoundTask;
+      entry.task_index = TakeNextTaskIndex(job);
+    }
+    RedispatchEntry(std::move(entry), one_way());
+  }
+  RefreshLongBusy(worker);
+}
+
+MachineId SchedulerBase::PickBestPacked(
+    const std::vector<MachineId>& candidates, JobRuntime& job) {
+  PHOENIX_CHECK(!candidates.empty());
+  // Stage 1: best packing score among the sampled candidates with residual
+  // room right now (lowest id ties, for determinism).
+  MachineId best = cluster::kInvalidMachine;
+  double best_score = packing::kNoFit;
+  for (const MachineId c : candidates) {
+    const WorkerState& w = workers_[c];
+    if (w.failed || !Bindable(c)) continue;
+    const double s =
+        packing::PackScore(job.demand, w.residual, w.capacity, config_.packing);
+    if (s == packing::kNoFit) continue;
+    if (best == cluster::kInvalidMachine || s > best_score ||
+        (s == best_score && c < best)) {
+      best_score = s;
+      best = c;
+    }
+  }
+  if (best != cluster::kInvalidMachine) return best;
+  // Stage 2: no residual room anywhere — queue on the least-loaded candidate
+  // whose *total capacity* can eventually host the demand (a permanently
+  // too-small machine would strand the task).
+  double best_load = std::numeric_limits<double>::infinity();
+  for (const MachineId c : candidates) {
+    const WorkerState& w = workers_[c];
+    if (w.failed || !Bindable(c)) continue;
+    if (!job.demand.FitsIn(w.capacity)) continue;
+    if (w.est_queued_work < best_load ||
+        (w.est_queued_work == best_load && c < best)) {
+      best_load = w.est_queued_work;
+      best = c;
+    }
+  }
+  if (best != cluster::kInvalidMachine) {
+    ++counters_.pack_fit_rejections;
+    return best;
+  }
+  // Stage 3: every sampled candidate is too small — deterministic fleet scan
+  // for the least-loaded live machine large enough, constraint-satisfying
+  // first, any machine second (the demand clamp guarantees one exists while
+  // any large machine is up).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const WorkerState& w : workers_) {
+      if (w.failed || !Bindable(w.id)) continue;
+      if (!job.demand.FitsIn(w.capacity)) continue;
+      if (pass == 0 && !cluster_.machine(w.id).Satisfies(job.effective)) {
+        continue;
+      }
+      if (w.est_queued_work < best_load) {
+        best_load = w.est_queued_work;
+        best = w.id;
+      }
+    }
+    if (best != cluster::kInvalidMachine) {
+      ++counters_.pack_fit_rejections;
+      return best;
+    }
+  }
+  // Every large-enough machine is down: fall back like the dead-pool path
+  // (the delivery bounce re-covers the entry once something repairs).
+  ++counters_.placement_dead_fallbacks;
+  const MachineId fallback = SampleEligible(job.effective);
+  PHOENIX_CHECK(fallback != cluster::kInvalidMachine);
+  return fallback;
+}
+
+double SchedulerBase::PackedSupplyScale() const {
+  if (!packing_on_) return 1.0;
+  double copies = 0;
+  std::size_t live = 0;
+  for (const WorkerState& w : workers_) {
+    if (w.failed || !Bindable(w.id)) continue;
+    ++live;
+    copies += static_cast<double>(w.residual.CopiesOf(mean_demand_));
+  }
+  if (live == 0) return 1.0;
+  // Floored: a saturated fleet still advertises a sliver of supply, so the
+  // CRV ratios stay finite and comparable across heartbeats.
+  return std::max(copies / static_cast<double>(live), 0.05);
+}
+
+// ---- Gang scheduling: atomic reserve -> commit / abort ---------------------
+
+double SchedulerBase::ScheduleGangRetry(JobRuntime& job) {
+  ++job.gang_retries;
+  ++counters_.gang_retry_waits;
+  const double backoff =
+      std::min(config_.packing.gang_retry_backoff *
+                   std::exp2(static_cast<double>(job.gang_retries - 1)),
+               config_.packing.gang_retry_cap);
+  engine_.ScheduleAfter(backoff, [this, id = job.id] { PlaceGang(id); });
+  return backoff;
+}
+
+void SchedulerBase::PlaceGang(JobId id) {
+  JobRuntime& job = jobs_[id];
+  if (job.Done()) return;
+  PHOENIX_CHECK_MSG(gangs_.count(id) == 0, "gang round already open");
+  const std::uint32_t members =
+      static_cast<std::uint32_t>(job.num_tasks()) - job.next_unplaced +
+      static_cast<std::uint32_t>(job.replay_tasks.size());
+  PHOENIX_CHECK(members > 0);
+  // Liveness gate: if even an *empty* eligible fleet cannot host `members`
+  // concurrent copies, no amount of backoff will ever place this gang —
+  // degrade it to the normal (non-atomic) placement path instead of
+  // retrying forever. Evaluated per attempt so a fleet shrunk by failures
+  // degrades rather than stalls; the trade is availability over atomicity.
+  std::uint64_t potential = 0;
+  for (const WorkerState& w : workers_) {
+    if (w.failed || !Bindable(w.id)) continue;
+    if (!cluster_.machine(w.id).Satisfies(job.effective)) continue;
+    potential += w.capacity.CopiesOf(job.demand);
+    if (potential >= members) break;
+  }
+  if (potential < members) {
+    ++counters_.gangs_degraded;
+    if (UsesDistributedPlane(job)) {
+      PlaceDistributed(job);
+    } else {
+      PlaceCentralized(job);
+    }
+    return;
+  }
+  // Reserve member-by-member, claiming as we go: each pick sees the residual
+  // left by the previous members, so one machine hosts several members only
+  // when its vector truly admits them. Deterministic fleet scan (no
+  // sampling): gang placement is rare and all-or-nothing, so it pays for a
+  // full view instead of perturbing the shared RNG stream.
+  std::vector<MachineId> targets;
+  targets.reserve(members);
+  bool ok = true;
+  for (std::uint32_t m = 0; m < members; ++m) {
+    MachineId best = cluster::kInvalidMachine;
+    double best_score = packing::kNoFit;
+    for (const WorkerState& w : workers_) {
+      if (w.failed || !Bindable(w.id)) continue;
+      if (!cluster_.machine(w.id).Satisfies(job.effective)) continue;
+      const double s = packing::PackScore(job.demand, w.residual, w.capacity,
+                                          config_.packing);
+      if (s == packing::kNoFit) continue;
+      if (best == cluster::kInvalidMachine || s > best_score) {
+        best_score = s;
+        best = w.id;
+      }
+    }
+    if (best == cluster::kInvalidMachine) {
+      ok = false;
+      break;
+    }
+    ClaimPackedCapacity(workers_[best], job.demand, 1.0, id);
+    targets.push_back(best);
+  }
+  if (!ok) {
+    // Not enough simultaneous capacity: release the partial claims and retry
+    // after a capped exponential backoff. No kGangReserve was emitted, so no
+    // abort event either (the auditor pairs aborts with open rounds).
+    for (const MachineId t : targets) {
+      ReleasePackedCapacity(workers_[t], job.demand, 1.0, id);
+    }
+    ScheduleGangRetry(job);
+    return;
+  }
+  GangState& g = gangs_[id];
+  g.expected = members;
+  for (const MachineId t : targets) {
+    bool merged = false;
+    for (auto& r : g.reserved) {
+      if (r.first == t) {
+        ++r.second;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) g.reserved.emplace_back(t, 1);
+  }
+  for (const auto& [wid, count] : g.reserved) {
+    Emit(EventType::kGangReserve, id, wid, count, config_.packing.gang_hold);
+  }
+  // Bounded hold: if the round is still open when this fires (members lost
+  // in a chaotic fabric), it is failed and aborts at closure. Close paths
+  // cancel blindly (Cancel on a fired id is a no-op).
+  g.hold_event =
+      engine_.ScheduleAfter(config_.packing.gang_hold, [this, id] {
+        auto it = gangs_.find(id);
+        if (it == gangs_.end()) return;  // round already closed
+        it->second.failed = true;
+      });
+  // Member entries transit the fabric like any bind; DeliverEntry diverts
+  // them into the staging area while the round is open.
+  for (const MachineId t : targets) {
+    QueueEntry entry;
+    entry.kind = QueueEntry::Kind::kBoundTask;
+    entry.job = id;
+    entry.task_index = TakeNextTaskIndex(job);
+    entry.est_duration = EstimatedTaskDuration(job);
+    entry.short_class = job.short_class;
+    NoteRackCommitment(job, cluster_.rack_of(t));
+    SendEntry(t, entry, one_way());
+  }
+}
+
+void SchedulerBase::DeliverGangMember(MachineId target, QueueEntry entry) {
+  auto it = gangs_.find(entry.job);
+  PHOENIX_CHECK(it != gangs_.end());
+  GangState& g = it->second;
+  WorkerState& w = workers_[target];
+  ++g.closed;
+  if (w.failed || !Bindable(target)) {
+    // The member's machine left the fleet mid-round (a failure sweep already
+    // released its reservation; a drain keeps it until the abort). Reclaim
+    // the index for the retry round and fail the gang.
+    jobs_[entry.job].replay_tasks.push_back(entry.task_index);
+    g.failed = true;
+  } else {
+    g.staged.emplace_back(target, entry);
+  }
+  CloseGangMember(entry.job);
+}
+
+void SchedulerBase::CloseGangMember(JobId id) {
+  auto it = gangs_.find(id);
+  PHOENIX_CHECK(it != gangs_.end());
+  const GangState& g = it->second;
+  if (g.closed < g.expected) return;
+  if (g.failed) {
+    AbortGang(id);
+  } else {
+    CommitGang(id);
+  }
+}
+
+void SchedulerBase::CommitGang(JobId id) {
+  auto node = gangs_.extract(id);
+  GangState& g = node.mapped();
+  engine_.Cancel(g.hold_event);
+  JobRuntime& job = jobs_[id];
+  const double wait = engine_.Now() - job.gang_arrival;
+  gang_wait_sum_ += wait;
+  ++counters_.gang_commits;
+  Emit(EventType::kGangCommit, id, obs::kNoId, obs::kNoId, wait);
+  // Atomic co-start: every member begins now, consuming the capacity its
+  // reservation already claimed.
+  for (auto& [wid, entry] : g.staged) {
+    StartPackedRun(workers_[wid], job, entry.task_index, entry.service_penalty,
+                   /*from_reserve=*/true);
+  }
+}
+
+void SchedulerBase::AbortGang(JobId id) {
+  auto node = gangs_.extract(id);
+  GangState& g = node.mapped();
+  engine_.Cancel(g.hold_event);
+  JobRuntime& job = jobs_[id];
+  // Release what is still reserved (machines lost mid-round were already
+  // released by their eviction sweep and removed from the list) and reclaim
+  // the staged members' indices for the retry round.
+  for (const auto& [wid, count] : g.reserved) {
+    ReleasePackedCapacity(workers_[wid], job.demand,
+                          static_cast<double>(count), id);
+  }
+  for (const auto& [wid, entry] : g.staged) {
+    job.replay_tasks.push_back(entry.task_index);
+  }
+  ++counters_.gang_aborts;
+  const double backoff = ScheduleGangRetry(job);
+  Emit(EventType::kGangAbort, id, obs::kNoId, obs::kNoId, backoff);
+}
+
+void SchedulerBase::EvictGangReservations(WorkerState& worker) {
+  if (gangs_.empty()) return;
+  for (auto& [id, g] : gangs_) {
+    for (std::size_t i = 0; i < g.reserved.size(); ++i) {
+      if (g.reserved[i].first != worker.id) continue;
+      ReleasePackedCapacity(worker, jobs_[id].demand,
+                            static_cast<double>(g.reserved[i].second), id);
+      g.reserved.erase(g.reserved.begin() + static_cast<std::ptrdiff_t>(i));
+      g.failed = true;
+      break;
+    }
+    for (std::size_t i = g.staged.size(); i-- > 0;) {
+      if (g.staged[i].first != worker.id) continue;
+      // Already counted as closed when it staged; reclaim the index only.
+      jobs_[id].replay_tasks.push_back(g.staged[i].second.task_index);
+      g.staged.erase(g.staged.begin() + static_cast<std::ptrdiff_t>(i));
+      g.failed = true;
+    }
+    // An open round always has closed < expected (full closure commits or
+    // aborts synchronously), so the in-flight members' delivery or give-up
+    // callbacks are guaranteed to close — and now abort — the round.
+  }
+}
+
+// ---- Malleable jobs: width from the elastic supply signal ------------------
+
+std::uint32_t SchedulerBase::PackedFreeCopies(const JobRuntime& job) const {
+  std::uint64_t total = 0;
+  for (const WorkerState& w : workers_) {
+    if (w.failed || !Bindable(w.id)) continue;
+    if (!cluster_.machine(w.id).Satisfies(job.effective)) continue;
+    total += w.residual.CopiesOf(job.demand);
+    if (total > std::numeric_limits<std::uint32_t>::max()) {
+      return std::numeric_limits<std::uint32_t>::max();
+    }
+  }
+  return static_cast<std::uint32_t>(total);
+}
+
+void SchedulerBase::PlaceMalleable(JobId id) {
+  JobRuntime& job = jobs_[id];
+  ++counters_.malleable_jobs;
+  malleable_active_.push_back(id);
+  const auto max_width = static_cast<std::uint32_t>(job.num_tasks());
+  std::uint32_t width = PackedFreeCopies(job);
+  if (width < job.min_parallel()) {
+    width = job.min_parallel();
+    ++counters_.malleable_min_hits;
+  }
+  width = std::min(width, max_width);
+  job.malleable_width = width;
+  Emit(EventType::kMalleableWidth, id, obs::kNoId, obs::kNoId, width);
+  TopUpMalleable(job);
+}
+
+void SchedulerBase::TopUpMalleable(JobRuntime& job) {
+  if (job.Done()) return;
+  while (!job.AllPlaced() && job.malleable_inflight < job.malleable_width) {
+    const std::uint32_t index = TakeNextTaskIndex(job);
+    std::vector<MachineId> candidates = ChooseLongCandidates(job);
+    PHOENIX_CHECK_MSG(!candidates.empty(),
+                      "admission control must leave a satisfiable pool");
+    FilterByPlacement(job, candidates);
+    const MachineId best = PickBestPacked(candidates, job);
+    NoteRackCommitment(job, cluster_.rack_of(best));
+    QueueEntry entry;
+    entry.kind = QueueEntry::Kind::kBoundTask;
+    entry.job = job.id;
+    entry.task_index = index;
+    entry.est_duration = EstimatedTaskDuration(job);
+    entry.short_class = job.short_class;
+    SendEntry(best, entry, one_way());
+    ++job.malleable_inflight;
+  }
+}
+
+void SchedulerBase::RefreshMalleableWidths() {
+  if (malleable_active_.empty()) return;
+  std::size_t keep = 0;
+  for (const JobId id : malleable_active_) {
+    JobRuntime& job = jobs_[id];
+    if (job.Done()) continue;  // drops out of the active list
+    malleable_active_[keep++] = id;
+    const auto max_width = static_cast<std::uint32_t>(job.num_tasks());
+    // Expand into free supply; shrink passively when it evaporates (inflight
+    // work is never killed — the top-up loop just stops issuing).
+    std::uint32_t width = job.malleable_inflight + PackedFreeCopies(job);
+    if (width < job.min_parallel()) {
+      width = job.min_parallel();
+      ++counters_.malleable_min_hits;
+    }
+    width = std::min(width, max_width);
+    if (width == job.malleable_width) continue;
+    if (width > job.malleable_width) {
+      ++counters_.malleable_expands;
+    } else {
+      ++counters_.malleable_shrinks;
+    }
+    job.malleable_width = width;
+    Emit(EventType::kMalleableWidth, id, obs::kNoId, obs::kNoId, width);
+    TopUpMalleable(job);
+  }
+  malleable_active_.resize(keep);
+}
+
 metrics::SimReport SchedulerBase::BuildReport() const {
   PHOENIX_CHECK_MSG(jobs_done_ == jobs_.size(),
                     "BuildReport called before every job completed");
@@ -1636,6 +2536,21 @@ metrics::SimReport SchedulerBase::BuildReport() const {
         jobs_.empty() ? 0 : response_sum / static_cast<double>(jobs_.size());
     report.energy_delay_product = report.total_joules * mean_response;
     report.sleep_machine_seconds = power_->SleepMachineSeconds(horizon);
+    report.class_exec_joules = class_exec_joules_;
+    report.class_tasks = class_tasks_;
+  }
+  if (packing_on_) {
+    report.packing_enabled = true;
+    const double core_capacity =
+        fleet_capacity_[packing::PackDim::kCores] * makespan_;
+    report.packing_efficiency =
+        core_capacity > 0 ? packed_core_seconds_ / core_capacity : 0;
+    report.fragmentation_time_avg =
+        frag_samples_ > 0 ? frag_sum_ / static_cast<double>(frag_samples_) : 0;
+    report.gang_wait_mean =
+        counters_.gang_commits > 0
+            ? gang_wait_sum_ / static_cast<double>(counters_.gang_commits)
+            : 0;
   }
   report.jobs.reserve(jobs_.size());
   for (const JobRuntime& job : jobs_) {

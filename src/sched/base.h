@@ -22,6 +22,10 @@
 #include <string>
 #include <vector>
 
+#include <array>
+#include <map>
+#include <utility>
+
 #include "cluster/cluster.h"
 #include "cluster/membership.h"
 #include "federation/plane.h"
@@ -29,11 +33,13 @@
 #include "net/fabric.h"
 #include "net/rpc.h"
 #include "obs/event.h"
+#include "packing/vector.h"
 #include "sched/types.h"
 #include "sim/engine.h"
 #include "tenancy/preemption.h"
 #include "tenancy/tenant.h"
 #include "trace/trace.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace phoenix::obs {
@@ -390,6 +396,17 @@ class SchedulerBase {
   /// True when at least one event sink is attached (tracing enabled).
   bool tracing() const { return !sinks_.empty(); }
 
+  // ---- Packing (all unreachable when packing_on_ is false) ----------------
+
+  /// Multi-resource packing is enabled for this run.
+  bool packing_on() const { return packing_on_; }
+
+  /// Fleet residual-capacity fraction in cores, weighted by the per-machine
+  /// effective-server counts — Phoenix scales its CRV supply by this so the
+  /// table prices "how many more tasks the fleet can absorb", not "how many
+  /// machines exist". 1.0 when packing is off (no supply rescale).
+  double PackedSupplyScale() const;
+
   /// Emits an event to the attached sinks. The no-sink case is a single
   /// branch, so instrumented code paths cost nothing in normal runs.
   void Emit(obs::EventType type, std::uint32_t job = obs::kNoId,
@@ -471,6 +488,73 @@ class SchedulerBase {
   void HeartbeatTick(std::uint32_t shard);
   void RecordTaskStart(JobRuntime& job, sim::SimTime start);
 
+  // ---- Packing (all unreachable when packing_on_ is false) ----------------
+
+  /// The entry's demand fits the worker's residual vector. A probe of a
+  /// fully placed job always "fits": it dissolves at resolution without
+  /// claiming capacity, and fit-gating it would strand it in the queue.
+  bool PackedFits(const WorkerState& worker, const QueueEntry& entry) const {
+    if (entry.kind == QueueEntry::Kind::kProbe && jobs_[entry.job].AllPlaced()) {
+      return true;
+    }
+    return jobs_[entry.job].demand.FitsIn(worker.residual);
+  }
+  /// Post-admission feasibility clamp: guarantees at least one machine
+  /// satisfying the job's effective constraints can host its demand.
+  void ClampDemandToHostable(JobRuntime& job);
+  /// Residual ledger moves, paired with the auditor's claim/release events.
+  void ClaimPackedCapacity(WorkerState& worker,
+                           const packing::ResourceVector& demand,
+                           double copies, trace::JobId job);
+  void ReleasePackedCapacity(WorkerState& worker,
+                             const packing::ResourceVector& demand,
+                             double copies, trace::JobId job);
+  /// The packed worker loop: starts every queued entry that fits the
+  /// residual vector (selection discipline first, then first-fit down the
+  /// queue), holding the control slot only for probe-resolution RTTs.
+  void PackedTryStart(WorkerState& worker);
+  /// Starts one task as a packed run. `from_reserve` marks gang members
+  /// whose capacity was already claimed at reservation time.
+  void StartPackedRun(WorkerState& worker, JobRuntime& job,
+                      std::uint32_t task_index, double service_penalty,
+                      bool from_reserve);
+  void FinishPackedRun(cluster::MachineId wid, std::uint32_t run_id,
+                       double duration);
+  /// Kills every packed run on a failed / force-retired machine, releasing
+  /// capacity and replaying the tasks elsewhere.
+  void EvictPackedRuns(WorkerState& worker);
+  /// Tenancy-under-packing: queue head is prod and does not fit — kill the
+  /// newest best-effort run whose release would admit it. Returns true if a
+  /// victim was preempted (capacity frees now; the head starts this pass).
+  bool TryPackedPreemptFor(WorkerState& worker, const QueueEntry& head);
+  /// Best packing score among live fitting candidates (lowest id ties);
+  /// least-loaded among live ones when nothing fits (the task queues).
+  cluster::MachineId PickBestPacked(
+      const std::vector<cluster::MachineId>& candidates, JobRuntime& job);
+
+  // Gang scheduling: atomic multi-machine reserve -> commit/abort.
+  void PlaceGang(trace::JobId id);
+  void DeliverGangMember(cluster::MachineId target, QueueEntry entry);
+  void CloseGangMember(trace::JobId id);
+  void CommitGang(trace::JobId id);
+  void AbortGang(trace::JobId id);
+  /// Arms the capped-exponential-backoff retry timer for the gang's next
+  /// reservation round. Returns the backoff chosen (the kGangAbort payload).
+  double ScheduleGangRetry(JobRuntime& job);
+  /// Clears `worker`'s part of any open gang round (failure/retire path):
+  /// releases its reservation and fails the gang so it aborts and retries.
+  void EvictGangReservations(WorkerState& worker);
+
+  // Malleable jobs: shrink/expand parallelism from the packed supply signal.
+  void PlaceMalleable(trace::JobId id);
+  /// Places bound tasks until inflight reaches the job's current width.
+  void TopUpMalleable(JobRuntime& job);
+  /// Heartbeat pass (fleet tick only): recompute every active malleable
+  /// job's width from the free-capacity estimate.
+  void RefreshMalleableWidths();
+  /// Whole copies of the job's demand the bindable fleet could start now.
+  std::uint32_t PackedFreeCopies(const JobRuntime& job) const;
+
   // ---- Federation (all unreachable when federation_ is null) --------------
 
   /// Recomputes `shard`'s digest over its territory [lo, hi) and publishes
@@ -517,6 +601,11 @@ class SchedulerBase {
   util::Rng rng_;
   net::NetworkFabric fabric_;
   net::Rpc rpc_;
+
+  /// Hot-path bump allocator backing worker queues and job replay lists.
+  /// Declared before workers_/jobs_ so it outlives them (containers release
+  /// their blocks into the arena's free lists during destruction).
+  util::Arena arena_;
 
   /// Contiguous per-worker state. Sized once at construction (the machine
   /// universe is fixed; elasticity only flips lifecycle states), so
@@ -568,6 +657,54 @@ class SchedulerBase {
   /// Power manager (null by default): gates DVFS service-time scaling, the
   /// exec on/off metering hooks, and the energy fields of BuildReport.
   power::PowerManager* power_ = nullptr;
+
+  /// Per-SLA-class energy attribution (index = tenancy::PriorityClass rank;
+  /// untenanted work lands in batch). Accumulated at task completion when a
+  /// power manager is attached; surfaced via SimReport.
+  std::array<double, 3> class_exec_joules_{};
+  std::array<std::uint64_t, 3> class_tasks_{};
+
+  /// Multi-resource packing state. packing_on_ gates every packing touch
+  /// point so a default config never enters a packing branch: run lists
+  /// stay empty, HoldsWork() degenerates to busy-or-queued, and the single
+  /// slot-per-machine path is byte-identical to the pre-packing scheduler.
+  bool packing_on_ = false;
+  packing::ResourceVector max_capacity_;    // component-wise fleet max
+  packing::ResourceVector fleet_capacity_;  // component-wise fleet sum
+  /// Closed-form mean of the demand sampler (effective-server counts and
+  /// the CRV supply scale price capacity in units of it).
+  packing::ResourceVector mean_demand_;
+  /// Largest-volume machine's capacity: the clamp target for demands that
+  /// fit no machine (the reject-then-clamp admission path).
+  packing::ResourceVector clamp_capacity_;
+  /// Packed-run integrals behind the BuildReport packing block:
+  /// core-seconds actually executed, and the heartbeat-sampled
+  /// fragmentation (max-min residual-fraction spread, fleet mean).
+  double packed_core_seconds_ = 0;
+  double frag_sum_ = 0;
+  std::uint64_t frag_samples_ = 0;
+  double gang_wait_sum_ = 0;
+
+  /// One open reservation round per gang job: capacity is claimed on every
+  /// member machine up front, member entries stage here, and the round
+  /// closes with exactly one commit (all arrived) or abort (hold expired /
+  /// machine lost). Ordered map: abort/commit iteration must be
+  /// deterministic across runs.
+  struct GangState {
+    std::vector<std::pair<cluster::MachineId, std::uint32_t>> reserved;
+    std::vector<std::pair<cluster::MachineId, QueueEntry>> staged;
+    std::uint32_t expected = 0;  // member count of this round
+    std::uint32_t closed = 0;    // members delivered (staged or failed)
+    bool failed = false;  // a member machine died mid-round
+    /// Bounded-hold timer; always armed while the round is open (Cancel on
+    /// an already-fired id is a safe no-op, so close paths cancel blindly).
+    sim::Engine::EventId hold_event = 0;
+  };
+  std::map<trace::JobId, GangState> gangs_;
+
+  /// Ascending-id list of malleable jobs with tasks left to place; the
+  /// heartbeat width-refresh pass walks it in order (determinism).
+  std::vector<trace::JobId> malleable_active_;
 };
 
 }  // namespace phoenix::sched

@@ -9,6 +9,9 @@
 #include "cluster/machine.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
+#include "packing/config.h"
+#include "packing/vector.h"
+#include "util/arena.h"
 #include "util/bitset.h"
 #include "queueing/mg1.h"
 #include "sim/simtime.h"
@@ -93,6 +96,11 @@ struct SchedulerConfig {
   /// tenancy-free run.
   tenancy::TenancyConfig tenancy;
 
+  /// Multi-resource vector packing, gang tasks, and malleable jobs
+  /// (src/packing). Disabled = the paper's single-slot worker model,
+  /// byte-identical to a packing-free run.
+  packing::PackingConfig packing;
+
   // Failure injection (0 disables). Machines fail with exponential
   // inter-failure times of mean machine_mtbf seconds; a failed machine's
   // queue is re-dispatched, its running task is replayed elsewhere, and the
@@ -137,8 +145,18 @@ struct QueueEntry {
   bool cross_shard = false;
 };
 
+/// Per-job replay list, pooled in the scheduler's arena (hot-path churn on
+/// failure/preemption replays; a null-arena allocator falls back to the
+/// global heap for standalone construction in tests).
+using ReplayList = std::vector<std::uint32_t,
+                               util::ArenaAllocator<std::uint32_t>>;
+
 /// Runtime bookkeeping for a job being scheduled.
 struct JobRuntime {
+  JobRuntime() = default;
+  explicit JobRuntime(util::Arena* arena)
+      : replay_tasks(util::ArenaAllocator<std::uint32_t>(arena)) {}
+
   const trace::Job* spec = nullptr;
   trace::JobId id = trace::kInvalidJob;
   /// Constraints after admission-control relaxation.
@@ -155,7 +173,7 @@ struct JobRuntime {
   /// Live proxy probes for this job (sent minus resolved).
   std::uint32_t outstanding_probes = 0;
   /// Task indices killed by a machine failure, awaiting re-execution.
-  std::vector<std::uint32_t> replay_tasks;
+  ReplayList replay_tasks;
 
   /// Racks that already host (or are bound to host) a task of this job —
   /// the state behind the spread/colocate placement preferences.
@@ -186,6 +204,26 @@ struct JobRuntime {
   std::uint32_t task_starts = 0;
   sim::SimTime completion = 0;
 
+  // ---- Packing (meaningful only when config.packing.enabled) --------------
+  /// Per-job demand vector, hashed from (run seed, job id) at arrival and
+  /// clamped to the fleet's max capacity (the reject-then-clamp path).
+  packing::ResourceVector demand;
+  /// Gang bookkeeping: consecutive placement retries (drives the capped
+  /// exponential backoff) and the arrival time (gang wait = commit - arrival).
+  std::uint32_t gang_retries = 0;
+  sim::SimTime gang_arrival = 0;
+  /// Malleable bookkeeping: current parallelism target and tasks placed but
+  /// not yet completed. Width moves in [min_parallel, num_tasks] with the
+  /// packed free-capacity signal; shrink is passive (never kills a run).
+  std::uint32_t malleable_width = 0;
+  std::uint32_t malleable_inflight = 0;
+
+  bool gang() const { return spec->gang; }
+  bool malleable() const { return spec->malleable; }
+  std::uint32_t min_parallel() const {
+    return spec->min_parallel > 0 ? spec->min_parallel : 1;
+  }
+
   std::size_t num_tasks() const { return spec->task_durations.size(); }
   bool AllPlaced() const {
     return next_unplaced >= num_tasks() && replay_tasks.empty();
@@ -197,10 +235,29 @@ struct JobRuntime {
   }
 };
 
-/// Runtime state of one worker (single execution slot + queue, §V-A).
+/// One concurrently executing task on a multi-slot (packed) worker. The
+/// single-slot model keeps its scalar running_* fields; under packing each
+/// machine instead carries a run list bounded by its capacity vector.
+struct PackedRun {
+  trace::JobId job = trace::kInvalidJob;
+  std::uint32_t task_index = 0;
+  /// Ties the completion event to this run (run_list indices shift).
+  std::uint32_t run_id = 0;
+  /// The cancellable completion event for this run.
+  std::uint64_t pending_event = 0;
+  sim::SimTime start = 0;
+  sim::SimTime until = 0;
+};
+
+/// Worker queue storage, pooled in the scheduler's arena (deque chunks are
+/// the steady-state allocation churn of a run).
+using EntryQueue = std::deque<QueueEntry, util::ArenaAllocator<QueueEntry>>;
+
+/// Runtime state of one worker (single execution slot + queue, §V-A; under
+/// packing the slot becomes a residual-capacity ledger plus a run list).
 struct WorkerState {
   cluster::MachineId id = cluster::kInvalidMachine;
-  std::deque<QueueEntry> queue;
+  EntryQueue queue;
 
   /// True while the slot is held: resolving a probe, fetching, or executing.
   bool busy = false;
@@ -257,8 +314,31 @@ struct WorkerState {
   /// can re-cover the fetched job instead of relying on leftover probes).
   trace::JobId fetching_job = trace::kInvalidJob;
 
-  explicit WorkerState(std::size_t estimator_window)
-      : estimator(estimator_window) {}
+  // ---- Packing (capacity == residual == zero when packing is off) ---------
+  /// Static capacity vector derived from the machine's attributes.
+  packing::ResourceVector capacity;
+  /// Capacity not claimed by running tasks or gang reservations. The
+  /// auditor's conservation rule re-integrates claim/release events against
+  /// this ledger.
+  packing::ResourceVector residual;
+  /// Tasks executing concurrently on this machine.
+  std::vector<PackedRun> run_list;
+  /// Monotone run-id source for this machine's completion events.
+  std::uint32_t next_run_id = 0;
+
+  /// True when the machine holds any work: the single slot (busy covers
+  /// running, probe-resolving, and fetching), queued entries, or — under
+  /// packing — live packed runs. Park/retire/free-slot decisions use this;
+  /// run_list is always empty when packing is off, so the predicate
+  /// degenerates to the original busy-or-queued test.
+  bool HoldsWork() const {
+    return busy || !queue.empty() || !run_list.empty();
+  }
+
+  explicit WorkerState(std::size_t estimator_window,
+                       util::Arena* arena = nullptr)
+      : queue(util::ArenaAllocator<QueueEntry>(arena)),
+        estimator(estimator_window) {}
 };
 
 }  // namespace phoenix::sched

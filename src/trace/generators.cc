@@ -50,6 +50,14 @@ Trace GenerateTrace(const std::string& name, const GeneratorOptions& o) {
   // Forked after every pre-existing stream, and drawn from only when a
   // tenant mix is configured: untagged traces stay byte-identical.
   util::Rng tenant_rng = rng.Fork();
+  // Same fork-after-everything discipline as the tenant stream: the packing
+  // stream exists (and is drawn from) only when a gang/malleable mix is
+  // configured, so untagged traces stay byte-identical.
+  const bool tag_packing = o.gang_fraction > 0 || o.malleable_fraction > 0;
+  PHOENIX_CHECK(o.gang_fraction >= 0 && o.malleable_fraction >= 0 &&
+                o.gang_fraction + o.malleable_fraction <= 1.0);
+  PHOENIX_CHECK(o.malleable_min_frac >= 0 && o.malleable_min_frac <= 1.0);
+  util::Rng packing_rng = tag_packing ? rng.Fork() : util::Rng(0);
   double tenant_weight_sum = 0;
   for (const double w : o.tenant_weights) {
     PHOENIX_CHECK_MSG(w >= 0, "tenant weights must be non-negative");
@@ -129,6 +137,20 @@ Trace GenerateTrace(const std::string& name, const GeneratorOptions& o) {
         job.placement = PlacementPref::kColocate;
       }
     }
+    if (tag_packing && job.task_durations.size() > 1) {
+      // One uniform draw splits [0, gang) | [gang, gang+malleable) | rest,
+      // so a job is gang XOR malleable, never both.
+      const double u = packing_rng.NextDouble();
+      if (u < o.gang_fraction) {
+        job.gang = true;
+      } else if (u < o.gang_fraction + o.malleable_fraction) {
+        job.malleable = true;
+        const auto floor_width = static_cast<std::uint16_t>(std::max<double>(
+            1.0, std::round(o.malleable_min_frac *
+                            static_cast<double>(job.task_durations.size()))));
+        job.min_parallel = floor_width;
+      }
+    }
     jobs.push_back(std::move(job));
   }
 
@@ -204,6 +226,26 @@ GeneratorOptions ProfileByName(const std::string& name) {
   if (name == "yahoo") return YahooProfile();
   if (name == "cloudera") return ClouderaProfile();
   PHOENIX_CHECK_MSG(false, "unknown trace profile (google|yahoo|cloudera)");
+}
+
+// The diurnal / flash-crowd parameters are the shapes the elasticity bench
+// has always swept (bench_ext_elasticity), promoted here so every bench and
+// test shapes load identically. -1 marks "keep the profile's own value".
+
+LoadShapePreset ShapeByName(const std::string& name) {
+  if (name == "steady") return {"steady", 1.0, 0.0, -1.0};
+  if (name == "diurnal") return {"diurnal", 2.5, 0.50, 600.0};
+  if (name == "flash-crowd") return {"flash-crowd", 4.0, 0.15, 60.0};
+  PHOENIX_CHECK_MSG(false,
+                    "unknown load shape (steady|diurnal|flash-crowd)");
+}
+
+void ApplyLoadShape(const LoadShapePreset& shape, GeneratorOptions& options) {
+  if (shape.burst_factor >= 0) options.burst_factor = shape.burst_factor;
+  if (shape.burst_fraction >= 0) options.burst_fraction = shape.burst_fraction;
+  if (shape.burst_duration_mean >= 0) {
+    options.burst_duration_mean = shape.burst_duration_mean;
+  }
 }
 
 namespace {

@@ -71,7 +71,40 @@ struct GeneratorOptions {
   double burst_factor = 10.0;
   double burst_fraction = 0.08;
   double burst_duration_mean = 120.0;
+
+  /// Packing structure: each multi-task job is tagged gang (all-or-nothing
+  /// start) with probability gang_fraction, else malleable (shrinkable
+  /// width) with probability malleable_fraction. A malleable job's floor is
+  /// max(1, round(tasks * malleable_min_frac)). Both fractions default to 0
+  /// and draw nothing — untagged traces are byte-identical to the
+  /// pre-packing generator. Tags are drawn from a dedicated RNG stream
+  /// forked after every other stream, so tagging a trace never perturbs its
+  /// arrivals, shapes, constraints, or tenants.
+  double gang_fraction = 0;
+  double malleable_fraction = 0;
+  double malleable_min_frac = 0.25;
 };
+
+/// Named arrival shape applied on top of a profile's MMPP parameters.
+/// Extracted from the elasticity/energy benches so every experiment shapes
+/// load the same way: "steady" is a flat Poisson stream (no bursts),
+/// "diurnal" is a gentle half-duty swell, "flash-crowd" is rare intense
+/// minute-scale episodes.
+struct LoadShapePreset {
+  const char* name;
+  double burst_factor;
+  double burst_fraction;
+  double burst_duration_mean;
+};
+
+/// Shape lookup by name ("steady" | "diurnal" | "flash-crowd"); aborts on
+/// unknown names. A preset field of -1 is a sentinel ApplyLoadShape leaves
+/// at the profile's own value.
+LoadShapePreset ShapeByName(const std::string& name);
+
+/// Overwrites the MMPP fields of `options` with the preset's, skipping
+/// sentinel (-1) fields.
+void ApplyLoadShape(const LoadShapePreset& shape, GeneratorOptions& options);
 
 /// Generates a trace from explicit options.
 Trace GenerateTrace(const std::string& name, const GeneratorOptions& options);

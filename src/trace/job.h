@@ -42,6 +42,17 @@ struct Job {
   /// the trace's short-job cutoff, as Hawk/Eagle do.
   bool short_job = true;
 
+  /// Gang job: all tasks must co-start (all-or-nothing multi-machine
+  /// reservation). Only meaningful to packing-enabled schedulers; a
+  /// non-packing run executes the job as ordinary independent tasks. Raw
+  /// flags here (like `tenant` above) so trace stays free of src/packing.
+  bool gang = false;
+  /// Malleable job: parallelism may shrink/expand between min_parallel and
+  /// num_tasks under the scheduler's elastic supply signal.
+  bool malleable = false;
+  /// Minimum parallelism of a malleable job (0 = treat as 1).
+  std::uint16_t min_parallel = 0;
+
   std::size_t num_tasks() const { return task_durations.size(); }
 
   double total_work() const {

@@ -1,0 +1,159 @@
+// A chunked pool arena for hot-path task/job records.
+//
+// The scheduler's steady-state allocation churn is container nodes: worker
+// queue blocks (std::deque chunks) and per-job replay vectors, allocated and
+// freed millions of times per run through the global allocator. The arena
+// replaces that with bump allocation out of large chunks plus size-bucketed
+// free lists, so a freed block is recycled with two pointer moves and the
+// arena's footprint is bounded by the peak live set, not the churn.
+//
+// Deliberately simple and single-threaded (each simulation owns its engine
+// and scheduler outright; cross-run parallelism is process-of-one-run in
+// the experiment runner). Blocks never return to the OS until the arena
+// dies — exactly the lifetime of one simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace phoenix::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(std::size_t bytes, std::size_t align) {
+    bytes = RoundUp(bytes, align < kMinAlign ? kMinAlign : align);
+    const std::size_t bucket = BucketFor(bytes);
+    if (bucket < kNumBuckets) {
+      // Pool path: pop a recycled block of this size class if one exists.
+      if (FreeNode* node = free_[bucket]) {
+        free_[bucket] = node->next;
+        return node;
+      }
+      bytes = std::size_t{1} << (bucket + kMinShift);
+    }
+    return Bump(bytes, align);
+  }
+
+  void Deallocate(void* p, std::size_t bytes, std::size_t align) {
+    if (p == nullptr) return;
+    bytes = RoundUp(bytes, align < kMinAlign ? kMinAlign : align);
+    const std::size_t bucket = BucketFor(bytes);
+    if (bucket >= kNumBuckets) return;  // oversize: leaked into the arena
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = free_[bucket];
+    free_[bucket] = node;
+  }
+
+  /// Bytes handed out by the bump allocator (chunk footprint, not live set).
+  std::size_t bytes_reserved() const { return reserved_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr std::size_t kMinShift = 4;  // smallest bucket: 16 bytes
+  static constexpr std::size_t kNumBuckets = 16;  // ... largest: 512 KiB
+  static constexpr std::size_t kMinAlign = alignof(std::max_align_t);
+
+  static std::size_t RoundUp(std::size_t n, std::size_t align) {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  /// Smallest power-of-two bucket holding `bytes`; kNumBuckets if oversize.
+  static std::size_t BucketFor(std::size_t bytes) {
+    std::size_t bucket = 0;
+    std::size_t size = std::size_t{1} << kMinShift;
+    while (bucket < kNumBuckets && size < bytes) {
+      size <<= 1;
+      ++bucket;
+    }
+    return bucket;
+  }
+
+  void* Bump(std::size_t bytes, std::size_t align) {
+    std::size_t head = RoundUp(cursor_, align);
+    if (chunks_.empty() || head + bytes > chunk_end_) {
+      const std::size_t want = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+      chunks_.emplace_back(new std::byte[want]);
+      reserved_ += want;
+      cursor_ = reinterpret_cast<std::uintptr_t>(chunks_.back().get());
+      chunk_end_ = cursor_ + want;
+      head = RoundUp(cursor_, align);
+    }
+    cursor_ = head + bytes;
+    return reinterpret_cast<void*>(head);
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t chunk_end_ = 0;
+  std::size_t reserved_ = 0;
+  FreeNode* free_[kNumBuckets] = {};
+};
+
+/// std-compatible allocator over an Arena. A null arena falls back to the
+/// global allocator so default-constructed containers (tests, fixtures)
+/// keep working. Copies share the arena; container copy construction keeps
+/// it via select_on_container_copy_construction.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) noexcept : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_ == nullptr) {
+      return static_cast<T*>(::operator new(bytes, std::align_val_t{
+                                                       alignof(T)}));
+    }
+    return static_cast<T*>(arena_->Allocate(bytes, alignof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (arena_ == nullptr) {
+      ::operator delete(p, n * sizeof(T), std::align_val_t{alignof(T)});
+      return;
+    }
+    arena_->Deallocate(p, n * sizeof(T), alignof(T));
+  }
+
+  ArenaAllocator select_on_container_copy_construction() const {
+    return *this;
+  }
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ != o.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace phoenix::util
