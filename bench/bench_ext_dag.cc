@@ -1,0 +1,187 @@
+// Extension bench: DAG workloads and deadline/SLA scheduling (src/workflow).
+//
+// The paper's jobs are bags of independent tasks; production analytics jobs
+// are DAGs with precedence edges and latency SLAs. This sweep overlays a DAG
+// shape on the trace's multi-task jobs — flat (no edges, the pre-DAG model),
+// chain (strict pipeline), fanout (source barrier), diamond (fork-join) —
+// and crosses it with the deadline policy (off vs EDF tie-break over
+// SLA-class deadlines) for Phoenix and Eagle-C.
+//
+// Reported per cell: short-job p90 queuing delay, the DAG counters (DAG
+// jobs, task releases), and with `--deadline` the per-SLA-class deadline
+// attainment plus the miss/promotion counters. Deadlines are assigned from
+// the tenancy priority rank (2x/4x/8x the expected critical path for
+// prod/batch/best-effort); batch is the binding class — prod jobs are
+// short and promoted, best-effort holds the loosest budget.
+//
+// `--json=PATH` additionally writes every cell as machine-readable JSON
+// (committed as BENCH_dag.json).
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "metrics/percentile.h"
+
+using namespace phoenix;
+
+namespace {
+
+struct Cell {
+  std::string scheduler;
+  std::string shape;
+  bool deadline = false;
+  double short_p90 = 0;
+  double attain[3] = {1.0, 1.0, 1.0};
+  metrics::SchedulerCounters counters;
+  std::uint64_t events = 0;
+  double wall = 0;
+};
+
+bench::JsonEmitter MakeEmitter(const bench::BenchOptions& o,
+                               const std::vector<Cell>& cells) {
+  bench::JsonEmitter emitter(
+      "ext_dag",
+      "DAG workloads and deadline/SLA scheduling: precedence-aware dispatch "
+      "in critical-path order, EDF tie-break over SLA-class deadlines "
+      "(dag shape x deadline policy x scheduler)");
+  emitter.AddCommonConfig(o);
+  emitter.config()
+      .Add("audit", o.obs.audit)
+      .Add("dag_fraction", o.dag_fraction);
+  for (const Cell& c : cells) {
+    auto& cell = emitter.NewCell();
+    cell.Add("scheduler", c.scheduler)
+        .Add("dag_shape", c.shape)
+        .Add("deadline", c.deadline)
+        .Add("short_p90_queuing_s", c.short_p90)
+        .AddInt("dag_jobs", c.counters.dag_jobs)
+        .AddInt("dag_tasks_released", c.counters.dag_tasks_released)
+        .AddInt("deadline_jobs", c.counters.deadline_jobs)
+        .AddInt("deadline_misses", c.counters.deadline_misses)
+        .AddInt("deadline_promotions", c.counters.deadline_promotions)
+        .Add("attain_prod", c.attain[0])
+        .Add("attain_batch", c.attain[1])
+        .Add("attain_best_effort", c.attain[2]);
+    bench::AddThroughput(cell, c.events, c.wall);
+  }
+  return emitter;
+}
+
+std::string AttainLabel(const Cell& c) {
+  if (!c.deadline) return "-";
+  return util::StrFormat("%.0f%%/%.0f%%/%.0f%%", 100 * c.attain[0],
+                         100 * c.attain[1], 100 * c.attain[2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.Parse(argc, argv);
+  const std::string json_path = flags.GetString("json", "");
+  auto o = bench::ParseBenchOptions(flags, 96, 2);
+  bench::PrintHeader("Extension: DAG workloads and deadline scheduling", o,
+                     "beyond-paper: the paper's jobs are independent tasks");
+  std::printf("dag: %.0f%% of multi-task jobs tagged per shape; deadlines "
+              "2x/4x/8x expected critical path (prod/batch/best-effort)\n\n",
+              100 * o.dag_fraction);
+
+  const std::vector<std::string> shapes = {"flat", "chain", "fanout",
+                                           "diamond"};
+
+  const auto cluster = bench::MakeCluster(o.nodes, o.seed);
+
+  std::FILE* tsv = nullptr;
+  if (!o.tsv.empty()) {
+    tsv = std::fopen(o.tsv.c_str(), "a");
+    if (tsv != nullptr) {
+      std::fseek(tsv, 0, SEEK_END);
+      if (std::ftell(tsv) == 0) {
+        std::fprintf(tsv,
+                     "scheduler\tshape\tdeadline\tshort_p90\tdag_jobs\t"
+                     "released\tmisses\tpromotions\n");
+      }
+    }
+  }
+
+  std::vector<Cell> cells;
+  for (const std::string sched : {"phoenix", "eagle-c"}) {
+    std::printf("--- %s ---\n", sched.c_str());
+    util::TextTable t({"shape", "deadline", "short p90 qdelay", "dag jobs",
+                       "released", "misses", "promotions",
+                       "attain prod/batch/be"});
+    for (const std::string& shape : shapes) {
+      for (const bool deadline : {false, true}) {
+        auto po = o;
+        po.workflow.dag = shape != "flat";
+        po.workflow.deadline = deadline;
+        if (po.workflow.dag) po.dag_shape = shape;
+        const auto trace = bench::MakeTrace("google", po);
+        const auto runs = bench::Run(sched, trace, cluster, po);
+        Cell c;
+        c.scheduler = sched;
+        c.shape = shape;
+        c.deadline = deadline;
+        c.counters = runner::AggregateCounters(runs.reports());
+        c.short_p90 = runs.MeanQueuingPercentile(
+            90, metrics::ClassFilter::kShort,
+            metrics::ConstraintFilter::kAll);
+        std::uint64_t class_jobs[3] = {0, 0, 0};
+        std::uint64_t class_attained[3] = {0, 0, 0};
+        for (const auto& r : runs.reports()) {
+          c.events += r.events_fired;
+          c.wall += r.sim_wall_seconds;
+          for (std::size_t rank = 0; rank < 3; ++rank) {
+            class_jobs[rank] += r.class_deadline_jobs[rank];
+            class_attained[rank] += r.class_deadline_attained[rank];
+          }
+        }
+        for (std::size_t rank = 0; rank < 3; ++rank) {
+          c.attain[rank] =
+              class_jobs[rank] == 0
+                  ? 1.0
+                  : static_cast<double>(class_attained[rank]) /
+                        static_cast<double>(class_jobs[rank]);
+        }
+        cells.push_back(c);
+        t.AddRow({shape, deadline ? "edf" : "off",
+                  util::HumanDuration(c.short_p90),
+                  util::WithCommas(
+                      static_cast<std::int64_t>(c.counters.dag_jobs)),
+                  util::WithCommas(static_cast<std::int64_t>(
+                      c.counters.dag_tasks_released)),
+                  util::WithCommas(
+                      static_cast<std::int64_t>(c.counters.deadline_misses)),
+                  util::WithCommas(static_cast<std::int64_t>(
+                      c.counters.deadline_promotions)),
+                  AttainLabel(c)});
+        if (tsv != nullptr) {
+          std::fprintf(
+              tsv, "%s\t%s\t%d\t%.6f\t%llu\t%llu\t%llu\t%llu\n",
+              sched.c_str(), shape.c_str(), deadline ? 1 : 0, c.short_p90,
+              static_cast<unsigned long long>(c.counters.dag_jobs),
+              static_cast<unsigned long long>(c.counters.dag_tasks_released),
+              static_cast<unsigned long long>(c.counters.deadline_misses),
+              static_cast<unsigned long long>(
+                  c.counters.deadline_promotions));
+        }
+      }
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+  if (tsv != nullptr) std::fclose(tsv);
+  if (!json_path.empty() && !MakeEmitter(o, cells).WriteTo(json_path)) {
+    return 1;
+  }
+  std::printf(
+      "expected shape: DAG jobs release tasks wave by wave instead of all "
+      "at arrival — a chain trickles one task per completion (smooth "
+      "queues, p90 closest to flat), while fanout and diamond dump a whole "
+      "wave when their barrier clears (bursty queues, highest p90); with "
+      "the EDF tie-break prod and best-effort attain near-fully (short "
+      "promoted jobs, loosest budget respectively) and batch carries the "
+      "misses — its mid-tier budget binds against the longest jobs\n");
+  return 0;
+}

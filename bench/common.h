@@ -56,6 +56,22 @@
 //   --frag-weight=W         fragmentation penalty weight in the pack score
 //   --malleable-fraction=F  fraction of multi-task jobs tagged malleable
 //   --malleable-min-frac=F  malleable width floor as a fraction of tasks
+//
+// DAG workflows and deadlines (see EXPERIMENTS.md "DAG workloads"):
+//   --dag             honor precedence edges: only ready tasks dispatch,
+//                     completions release successors in critical-path
+//                     order; off, jobs with deps run as flat tasks and
+//                     output is byte-identical
+//   --deadline        SLA-class deadlines + EDF tie-break in the worker
+//                     queues; per-class attainment lands in the report
+//   --dag-shape=S     chain | fanout | diamond edges overlaid on the trace
+//   --dag-fraction=F  fraction of multi-task jobs tagged with DAG edges
+//
+// Workload frontends:
+//   --shape=S         steady | diurnal | flash-crowd arrival shape applied
+//                     on top of the profile's MMPP parameters
+//   --trace-google=F  replay a Google cluster-trace v2 task_events CSV
+//                     instead of the synthetic generator
 // Defaults are the ideal fabric (constant latency, no loss): bit-identical
 // to the pre-fabric simulator.
 //
@@ -77,8 +93,11 @@
 #include "runner/experiment.h"
 #include "runner/parallel.h"
 #include "trace/generators.h"
+#include "trace/google_reader.h"
 #include "util/flags.h"
 #include "util/format.h"
+#include "workflow/config.h"
+#include "workflow/shapes.h"
 
 namespace phoenix::bench {
 
@@ -107,6 +126,16 @@ struct BenchOptions {
   /// worker model. The gang/malleable fractions also drive trace tagging
   /// (MakeTrace threads them into the generator).
   packing::PackingConfig packing;
+  /// DAG workflows and deadline scheduling; both gates off (the default)
+  /// never enters a workflow branch and output is byte-identical.
+  workflow::WorkflowConfig workflow;
+  /// DAG edge overlay MakeTrace applies when the dag gate is on.
+  std::string dag_shape = "chain";
+  double dag_fraction = 0.3;
+  /// Arrival shape applied on top of the profile ("" keeps its MMPP mix).
+  std::string shape;
+  /// Google cluster-trace v2 CSV replayed instead of the generator.
+  std::string trace_google;
 };
 
 /// Parses the common flags; exits(1) on bad input. `extra` names additional
@@ -237,6 +266,29 @@ inline BenchOptions ParseBenchOptions(util::Flags& flags,
                  ">= 0\n");
     std::exit(1);
   }
+  o.workflow.dag = flags.GetBool("dag", false);
+  o.workflow.deadline = flags.GetBool("deadline", false);
+  o.dag_shape = flags.GetString("dag-shape", o.dag_shape);
+  o.dag_fraction = flags.GetDouble("dag-fraction", o.dag_fraction);
+  o.shape = flags.GetString("shape", "");
+  o.trace_google = flags.GetString("trace-google", "");
+  if (!workflow::KnownDagShape(o.dag_shape)) {
+    std::fprintf(stderr, "--dag-shape must be chain|fanout|diamond (got \"%s\")\n",
+                 o.dag_shape.c_str());
+    std::exit(1);
+  }
+  if (o.dag_fraction < 0 || o.dag_fraction > 1.0) {
+    std::fprintf(stderr, "--dag-fraction must be in [0,1]\n");
+    std::exit(1);
+  }
+  // Unknown shapes are a usage error, not a silent steady fallback (and not
+  // an abort: the nullable lookup exists exactly for CLI input).
+  if (!o.shape.empty() && trace::FindShapeByName(o.shape) == nullptr) {
+    std::fprintf(stderr,
+                 "--shape must be steady|diurnal|flash-crowd (got \"%s\")\n",
+                 o.shape.c_str());
+    std::exit(1);
+  }
   // After every flag above is declared, `--help` can print the complete
   // auto-generated listing and an unknown flag dies with that same usage.
   // Callers declaring extra flags before calling ParseBenchOptions get them
@@ -246,22 +298,41 @@ inline BenchOptions ParseBenchOptions(util::Flags& flags,
   return o;
 }
 
-/// Generates the named profile's trace calibrated to the bench fleet. The
-/// packing gang/malleable mix tags the trace only when packing is enabled,
-/// so `--packing`-off runs generate byte-identical traces.
+/// Generates the named profile's trace calibrated to the bench fleet, or
+/// replays `--trace-google` when set. The packing gang/malleable mix tags
+/// the trace only when packing is enabled, so `--packing`-off runs generate
+/// byte-identical traces; likewise the DAG overlay runs only under `--dag`.
 inline trace::Trace MakeTrace(const std::string& profile,
                               const BenchOptions& o) {
-  auto gen = trace::ProfileByName(profile);
-  gen.num_jobs = o.jobs;
-  gen.num_workers = o.nodes;
-  gen.target_load = o.load;
-  gen.seed = o.seed;
-  if (o.packing.enabled) {
-    gen.gang_fraction = o.packing.gang_fraction;
-    gen.malleable_fraction = o.packing.malleable_fraction;
-    gen.malleable_min_frac = o.packing.malleable_min_frac;
+  trace::Trace t;
+  if (!o.trace_google.empty()) {
+    std::string error;
+    t = trace::ReadGoogleTraceFile(o.trace_google, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "--trace-google %s: %s\n", o.trace_google.c_str(),
+                   error.c_str());
+      std::exit(1);
+    }
+  } else {
+    auto gen = trace::ProfileByName(profile);
+    gen.num_jobs = o.jobs;
+    gen.num_workers = o.nodes;
+    gen.target_load = o.load;
+    gen.seed = o.seed;
+    if (o.packing.enabled) {
+      gen.gang_fraction = o.packing.gang_fraction;
+      gen.malleable_fraction = o.packing.malleable_fraction;
+      gen.malleable_min_frac = o.packing.malleable_min_frac;
+    }
+    if (!o.shape.empty()) {
+      trace::ApplyLoadShape(*trace::FindShapeByName(o.shape), gen);
+    }
+    t = trace::GenerateTrace(profile, gen);
   }
-  return trace::GenerateTrace(profile, gen);
+  if (o.workflow.dag) {
+    t = workflow::ApplyDagShape(t, o.dag_shape, o.dag_fraction, o.seed);
+  }
+  return t;
 }
 
 inline cluster::Cluster MakeCluster(std::size_t nodes, std::uint64_t seed) {
@@ -282,6 +353,7 @@ inline runner::RepeatedRuns Run(const std::string& scheduler,
   ro.federation = o.federation;
   ro.power = o.power;
   ro.config.packing = o.packing;
+  ro.config.workflow = o.workflow;
   return runner::RepeatedRuns(t, cl, ro, o.runs);
 }
 

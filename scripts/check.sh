@@ -2,7 +2,9 @@
 # Repo health check: configure, build, run the full test suite, then smoke
 # the observability stack (audited bench run + Chrome trace validity),
 # elastic churn, multi-tenant preemption, network chaos, multi-shard
-# gossip, and the power subsystem (audited diurnal energy run).
+# gossip, the power subsystem (audited diurnal energy run), packed
+# gang/malleable chaos, and DAG/deadline scheduling (audited chaos run +
+# golden-diff byte-identity with the gates off).
 # Usage: scripts/check.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -213,12 +215,57 @@ else
   echo "packed chaos smoke ok (python3 not found; skipped JSON validation)"
 fi
 
+echo "== dag suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L dag -j "$JOBS"
+
+echo "== audited dag chaos smoke =="
+# DAG shapes crossed with deadline scheduling on a lossy fabric with the
+# invariant auditor on: no task may start before its predecessors finish
+# (precedence) and every DAG job must release exactly its task count — the
+# runner aborts on any violation, so exiting 0 is the assertion. The JSON
+# then proves the subsystem engaged: DAG jobs released tasks in waves and
+# the EDF tie-break promoted earlier deadlines.
+"$BUILD_DIR/bench/bench_ext_dag" \
+  --nodes=32 --jobs=600 --runs=1 --audit \
+  --net-model=lognormal --net-drop=0.02 --rpc-retries=4 \
+  --json="$SMOKE_DIR/dag.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR/dag.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cells = doc["cells"]
+assert cells, "no bench cells"
+assert doc["config"]["audit"] is True, "dag smoke must run audited"
+dag = [c for c in cells if c["dag_shape"] != "flat"]
+assert dag and all(c["dag_jobs"] > 0 for c in dag), "DAG jobs never engaged"
+assert all(c["dag_tasks_released"] >= c["dag_jobs"] for c in dag), \
+    "released fewer tasks than DAG jobs"
+edf = [c for c in cells if c["deadline"]]
+assert edf and all(c["deadline_jobs"] > 0 for c in edf), \
+    "deadline tracking never engaged"
+assert any(c["deadline_promotions"] > 0 for c in edf), \
+    "EDF tie-break never promoted"
+assert all(0 <= c[k] <= 1 for c in edf
+           for k in ("attain_prod", "attain_batch", "attain_best_effort")), \
+    "attainment outside [0, 1]"
+off = [c for c in cells if not c["deadline"]]
+assert all(c["deadline_jobs"] == 0 and c["deadline_promotions"] == 0
+           for c in off), "deadline counters moved with the gate off"
+print(f"dag chaos smoke ok: {len(dag)} audited DAG cells, precedence clean, "
+      "deadlines tracked, EDF promoted")
+EOF
+else
+  echo "dag chaos smoke ok (python3 not found; skipped JSON validation)"
+fi
+
 echo "== golden-diff guard =="
 # Packing off must stay byte-identical to the committed pre-packing
-# outputs: the figure benches never mention packing, so any drift here
-# means the disabled subsystem perturbed the scheduler (an RNG draw, an
+# outputs: the figure benches never mention packing or DAGs, so any drift
+# here means a disabled subsystem perturbed the scheduler (an RNG draw, an
 # iteration-order change, a stray counter) — exactly the layering bug the
-# guard exists to catch.
+# guard exists to catch. This is also the `--dag`/`--deadline`-off
+# byte-identity assertion: these benches run with both gates off.
 "$BUILD_DIR/bench/bench_fig7_phoenix_vs_eagle_short" \
   --nodes=60 --jobs=1200 --runs=1 > "$SMOKE_DIR/fig7.txt" 2>&1
 "$BUILD_DIR/bench/bench_fig10_phoenix_vs_hawk" \

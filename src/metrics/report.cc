@@ -108,6 +108,19 @@ void SimReport::CheckInvariants() const {
                       "negative fragmentation average");
     PHOENIX_CHECK_MSG(gang_wait_mean >= -1e-9, "negative gang wait");
   }
+  if (deadline_enabled) {
+    std::uint64_t tracked = 0;
+    std::uint64_t attained = 0;
+    for (std::size_t rank = 0; rank < 3; ++rank) {
+      PHOENIX_CHECK_MSG(
+          class_deadline_attained[rank] <= class_deadline_jobs[rank],
+          "deadline attainment above the class job count");
+      tracked += class_deadline_jobs[rank];
+      attained += class_deadline_attained[rank];
+    }
+    PHOENIX_CHECK_MSG(tracked - attained == counters.deadline_misses,
+                      "deadline misses disagree with the per-class slices");
+  }
 }
 
 double SpeedupAtPercentile(const SimReport& treatment,

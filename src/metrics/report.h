@@ -184,6 +184,15 @@ struct SchedulerCounters {
   std::uint64_t malleable_expands = 0;
   std::uint64_t malleable_shrinks = 0;
   std::uint64_t malleable_min_hits = 0;
+  /// DAG workflows and deadline scheduling (src/workflow). All zero with
+  /// --dag/--deadline off. dag_tasks_released counts kDagRelease events
+  /// (ready tasks handed to the dispatch path); deadline_promotions counts
+  /// queue picks where the EDF tie-break overrode the discipline's choice.
+  std::uint64_t dag_jobs = 0;
+  std::uint64_t dag_tasks_released = 0;
+  std::uint64_t deadline_jobs = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t deadline_promotions = 0;
 };
 
 /// Per-tenant outcome slice (empty unless the run configured tenants).
@@ -272,6 +281,25 @@ class SimReport {
   double fragmentation_time_avg = 0;
   /// Mean seconds from a gang job's arrival to its reservation commit.
   double gang_wait_mean = 0;
+  /// DAG workflows / deadline scheduling (src/workflow), filled when the
+  /// corresponding gate is on; all zero (and the flags false) otherwise so
+  /// emitters can gate the blocks on one boolean each. Deadline attainment
+  /// is sliced by SLA class rank (0 prod / 1 batch / 2 best-effort):
+  /// class_deadline_jobs counts completed deadline-tracked jobs per class,
+  /// class_deadline_attained the subset that finished by their deadline.
+  bool dag_enabled = false;
+  bool deadline_enabled = false;
+  std::array<std::uint64_t, 3> class_deadline_jobs{};
+  std::array<std::uint64_t, 3> class_deadline_attained{};
+
+  /// Fraction of deadline-tracked jobs of class `rank` that met their
+  /// deadline (1.0 when the class saw no tracked jobs).
+  double DeadlineAttainment(std::size_t rank) const {
+    return class_deadline_jobs[rank] == 0
+               ? 1.0
+               : static_cast<double>(class_deadline_attained[rank]) /
+                     static_cast<double>(class_deadline_jobs[rank]);
+  }
 
   /// Simulated events retired per wall second (0 when not measured).
   double EventsPerSec() const {

@@ -171,6 +171,20 @@ void InvariantAuditor::OnEvent(const Event& event) {
             "at t=%.6f (must wait for the commit)",
             event.job, event.task, event.time));
       }
+      // DAG precedence: a task of a DAG job (one the stream marked ready
+      // via kDagReady) may start only after its ready mark — i.e. after
+      // every predecessor finished. Failure replays restart legally: the
+      // mark persists across the kill.
+      if (!dag_jobs_.empty() && event.task != kNoId &&
+          dag_jobs_.find(event.job) != dag_jobs_.end() &&
+          dag_ready_set_.count(
+              (static_cast<std::uint64_t>(event.job) << 32) | event.task) ==
+              0) {
+        Violate(util::StrFormat(
+            "DAG job %u task %u started before its predecessors finished "
+            "at t=%.6f (no kDagReady)",
+            event.job, event.task, event.time));
+      }
       ++JobFor(event.job).starts;
       return;
     }
@@ -492,6 +506,48 @@ void InvariantAuditor::OnEvent(const Event& event) {
       ++gang_rounds_closed_;
       return;
     }
+    case EventType::kDagReady: {
+      ++dag_ready_seen_;
+      ++dag_jobs_[event.job].ready;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(event.job) << 32) | event.task;
+      if (!dag_ready_set_.insert(key).second) {
+        Violate(util::StrFormat(
+            "DAG job %u task %u marked ready twice at t=%.6f", event.job,
+            event.task, event.time));
+      }
+      return;
+    }
+    case EventType::kDagRelease: {
+      ++dag_releases_seen_;
+      ++dag_jobs_[event.job].released;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(event.job) << 32) | event.task;
+      if (dag_ready_set_.count(key) == 0) {
+        Violate(util::StrFormat(
+            "DAG job %u released task %u that was never marked ready "
+            "at t=%.6f",
+            event.job, event.task, event.time));
+      }
+      if (!dag_released_set_.insert(key).second) {
+        Violate(util::StrFormat("DAG job %u task %u released twice at t=%.6f",
+                                event.job, event.task, event.time));
+      }
+      return;
+    }
+    case EventType::kDeadlineMiss: {
+      ++deadline_misses_seen_;
+      if (!deadline_missed_jobs_.insert(event.job).second) {
+        Violate(util::StrFormat("job %u missed its deadline twice at t=%.6f",
+                                event.job, event.time));
+      }
+      if (event.value <= 0) {
+        Violate(util::StrFormat(
+            "job %u deadline miss with non-positive lateness %.6f", event.job,
+            event.value));
+      }
+      return;
+    }
     default:
       return;  // informational events carry no audited state
   }
@@ -601,6 +657,19 @@ void InvariantAuditor::Finish() {
           "gang job %u ended the run with its reservation round still open "
           "(no commit or abort)",
           job));
+    }
+  }
+  for (const auto& [jid, dag] : dag_jobs_) {
+    // DAG release conservation: by the end of the run every task of a DAG
+    // job must have been released to the dispatch path exactly once.
+    const std::uint64_t tasks =
+        jid < jobs_.size() && jobs_[jid].arrived ? jobs_[jid].tasks : 0;
+    if (dag.released != tasks) {
+      Violate(util::StrFormat(
+          "DAG job %u released %llu of %llu tasks (precedence deadlock or "
+          "double release)",
+          jid, static_cast<unsigned long long>(dag.released),
+          static_cast<unsigned long long>(tasks)));
     }
   }
   if (!outstanding_preemptions_.empty()) {

@@ -47,6 +47,13 @@
 //     that must be closed by exactly one kGangCommit or kGangAbort, no task
 //     of the job starts while a round is open (members start only after the
 //     atomic commit), and no round is still open when the run ends;
+//   * DAG precedence — per (job, task), kDagReady and kDagRelease each fire
+//     at most once, a release requires its ready, no kTaskStart of a DAG
+//     job happens without a prior kDagReady for that task (a task never
+//     runs before all its predecessors finish), and at the end of the run
+//     every DAG job's released count equals its task count;
+//   * deadline sanity — kDeadlineMiss fires at most once per job, with a
+//     positive lateness, for a job that actually arrived;
 //   * worker structure (fed by the scheduler at each heartbeat and at the
 //     end of the run) — a busy worker always has a live slot event, a
 //     failed worker is never busy, and queues drain by the end of the run.
@@ -120,6 +127,11 @@ class InvariantAuditor final : public EventSink {
   std::uint64_t pack_claims_seen() const { return pack_claims_seen_; }
   std::uint64_t gang_rounds_opened() const { return gang_rounds_opened_; }
   std::uint64_t gang_rounds_closed() const { return gang_rounds_closed_; }
+  /// DAG / deadline accounting (for tests asserting the precedence rules
+  /// actually observed workflow traffic).
+  std::uint64_t dag_ready_seen() const { return dag_ready_seen_; }
+  std::uint64_t dag_releases_seen() const { return dag_releases_seen_; }
+  std::uint64_t deadline_misses_seen() const { return deadline_misses_seen_; }
 
  private:
   struct JobStats {
@@ -195,6 +207,21 @@ class InvariantAuditor final : public EventSink {
   std::unordered_map<std::uint32_t, GangAudit> gang_rounds_;
   std::uint64_t gang_rounds_opened_ = 0;
   std::uint64_t gang_rounds_closed_ = 0;
+  /// DAG precedence ledger per job (present only for jobs that emitted a
+  /// kDagReady): (job << 32 | task) membership sets enforce the
+  /// at-most-once rules, released counts close against the job's task count
+  /// at Finish().
+  struct DagAudit {
+    std::uint64_t ready = 0;
+    std::uint64_t released = 0;
+  };
+  std::unordered_map<std::uint32_t, DagAudit> dag_jobs_;
+  std::unordered_set<std::uint64_t> dag_ready_set_;
+  std::unordered_set<std::uint64_t> dag_released_set_;
+  std::unordered_set<std::uint32_t> deadline_missed_jobs_;
+  std::uint64_t dag_ready_seen_ = 0;
+  std::uint64_t dag_releases_seen_ = 0;
+  std::uint64_t deadline_misses_seen_ = 0;
   bool energy_expected_ = false;
   double expected_joules_ = 0;
   double energy_horizon_ = 0;

@@ -61,6 +61,9 @@ const char* EventTypeName(EventType type) {
     case EventType::kGangCommit: return "gang_commit";
     case EventType::kGangAbort: return "gang_abort";
     case EventType::kMalleableWidth: return "malleable_width";
+    case EventType::kDagReady: return "dag_ready";
+    case EventType::kDagRelease: return "dag_release";
+    case EventType::kDeadlineMiss: return "deadline_miss";
   }
   return "?";
 }

@@ -114,10 +114,23 @@ enum class EventType : std::uint8_t {
   kGangCommit,        // all members arrived; value = gang wait (seconds)
   kGangAbort,         // reservation round abandoned; value = retry backoff
   kMalleableWidth,    // width changed; value = new parallelism target
+  // DAG workflows and deadline scheduling (src/workflow). A DAG job's task
+  // becomes ready (all predecessors finished) with kDagReady — `value`
+  // carries its downstream critical-path work — and is handed to the
+  // dispatch path with kDagRelease. The auditor requires each (job, task)
+  // to be marked ready and released at most once, rejects any kTaskStart of
+  // a DAG job without a prior kDagReady for that task (no task may run
+  // before its predecessors finish), and at Finish() requires every DAG
+  // job's released count to equal its task count. kDeadlineMiss fires at
+  // most once per job, at completion, with the positive lateness in
+  // `value`.
+  kDagReady,          // task's predecessors all finished; value = downstream
+  kDagRelease,        // ready task entered the dispatch path
+  kDeadlineMiss,      // job finished past its deadline; value = lateness (s)
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kMalleableWidth) + 1;
+    static_cast<std::size_t>(EventType::kDeadlineMiss) + 1;
 
 /// Stable lowercase name for serialization ("probe_send", ...).
 const char* EventTypeName(EventType type);

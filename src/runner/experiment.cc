@@ -300,6 +300,11 @@ metrics::SchedulerCounters AggregateCounters(
     sum.malleable_expands += c.malleable_expands;
     sum.malleable_shrinks += c.malleable_shrinks;
     sum.malleable_min_hits += c.malleable_min_hits;
+    sum.dag_jobs += c.dag_jobs;
+    sum.dag_tasks_released += c.dag_tasks_released;
+    sum.deadline_jobs += c.deadline_jobs;
+    sum.deadline_misses += c.deadline_misses;
+    sum.deadline_promotions += c.deadline_promotions;
   }
   return sum;
 }

@@ -71,6 +71,8 @@ SchedulerBase::SchedulerBase(sim::Engine& engine,
     preempt_policy_ = tenancy::PreemptionPolicy(
         config_.tenancy.preemption, config_.tenancy.max_preemptions_per_task);
   }
+  dag_on_ = config_.workflow.dag;
+  deadline_on_ = config_.workflow.deadline;
 }
 
 void SchedulerBase::EnableFederation(const federation::FederationConfig& cfg) {
@@ -395,6 +397,9 @@ void SchedulerBase::SubmitTrace(const trace::Trace& trace) {
   // Job records pool their replay lists in the scheduler arena (the copy
   // constructor propagates the arena-bound allocator to every element).
   jobs_.assign(trace.size(), JobRuntime(&arena_));
+  // DAG precedence state is a side table (JobRuntime must stay cheaply
+  // copyable for the prototype-assign above); built per job at arrival.
+  if (dag_on_) dag_states_.resize(trace.size());
   for (const trace::Job& spec : trace.jobs()) {
     JobRuntime& job = jobs_[spec.id];
     job.spec = &spec;
@@ -558,7 +563,10 @@ void SchedulerBase::EvictSlotWork(WorkerState& worker, bool kill_running) {
       job.replay_tasks.push_back(worker.running_index);
       Emit(EventType::kTaskKill, job.id, worker.id, worker.running_index);
       ++counters_.tasks_rescheduled_failure;
-      if (UsesDistributedPlane(job)) {
+      // A DAG job's replay must re-bind, never probe: a late-binding probe
+      // could fetch an unreleased task. The replayed index itself already
+      // ran, so its predecessors are finished and the re-bind is legal.
+      if (UsesDistributedPlane(job) && !DagManaged(job)) {
         QueueEntry probe;
         probe.kind = QueueEntry::Kind::kProbe;
         probe.job = job.id;
@@ -775,6 +783,23 @@ void SchedulerBase::HandleJobArrival(JobId id) {
        static_cast<double>(job.num_tasks()));
   if (packing_on_) {
     job.demand = packing::DemandFor(config_.seed, id, config_.packing);
+    if (job.spec->req_cpu >= 0 || job.spec->req_mem >= 0 ||
+        job.spec->req_gpu >= 0) {
+      // Trace-supplied demand (Google-trace requests are normalized to the
+      // largest machine) overrides the hashed sampler. Unset dimensions stay
+      // zero and never constrain placement; the feasibility clamp below
+      // still guarantees a hostable vector.
+      job.demand = packing::ResourceVector{};
+      job.demand[packing::PackDim::kCores] =
+          std::max(0.0, job.spec->req_cpu) *
+          max_capacity_[packing::PackDim::kCores];
+      job.demand[packing::PackDim::kMemoryGb] =
+          std::max(0.0, job.spec->req_mem) *
+          max_capacity_[packing::PackDim::kMemoryGb];
+      job.demand[packing::PackDim::kGpus] =
+          std::max(0.0, job.spec->req_gpu) *
+          max_capacity_[packing::PackDim::kGpus];
+    }
   }
   // Tenant admission runs first: it may demote the class, strip the SLO, or
   // trade a soft constraint away before the constraint layers see the job.
@@ -785,6 +810,14 @@ void SchedulerBase::HandleJobArrival(JobId id) {
   // and redispatch forever (the satisfying pool and the capacity-fitting
   // pool must intersect).
   if (packing_on_) ClampDemandToHostable(job);
+  if (deadline_on_) AssignDeadline(job);
+  if (DagManaged(job)) {
+    // Precedence-driven dispatch: only source tasks enter the cluster now;
+    // completions release the rest. DAG jobs bypass both probe planes and
+    // the gang/malleable paths, whatever their duration class.
+    PlaceDagJob(job);
+    return;
+  }
   if (packing_on_ && job.num_tasks() > 1) {
     // Gang and malleable jobs bypass both probe planes: their tasks bind
     // centrally (reserve -> commit for gangs, width-tracked top-up for
@@ -1492,6 +1525,15 @@ void SchedulerBase::TryStartNext(WorkerState& worker) {
       ++counters_.tenant_priority_promotions;
     }
   }
+  if (deadline_on_) {
+    // EDF tie-break runs last: an earlier-deadline entry overrides both the
+    // discipline's pick and the class promotion (never the slack guard).
+    const std::size_t promoted = PromoteByDeadline(worker, index);
+    if (promoted != index) {
+      index = promoted;
+      ++counters_.deadline_promotions;
+    }
+  }
   QueueEntry entry = PopQueueAt(worker, index);
   if (tenancy_on_) {
     // Snapshot the entry's starvation/preemption state for the preemption
@@ -1688,6 +1730,7 @@ void SchedulerBase::StartService(WorkerState& worker, JobRuntime& job,
 void SchedulerBase::FinishService(WorkerState& worker) {
   JobRuntime& job = jobs_[worker.running_job];
   const sim::SimTime now = engine_.Now();
+  const std::uint32_t finished_index = worker.running_index;
   ++job.completed;
   makespan_ = std::max(makespan_, now);
   worker.running_job = trace::kInvalidJob;
@@ -1698,9 +1741,16 @@ void SchedulerBase::FinishService(WorkerState& worker) {
     if (tenancy_on_) OnTenantJobComplete(job);
     Emit(EventType::kJobComplete, job.id, worker.id, obs::kNoId,
          now - job.spec->submit_time);
+    if (deadline_on_) ScoreDeadline(job);
+  } else if (DagManaged(job)) {
+    // The finished task's successors may have become ready; dispatch them
+    // (the last task to finish has none, so the Done branch skips this).
+    ReleaseDagSuccessors(job, finished_index);
   }
+  // Sticky batch probing never fetches from a DAG job: TakeNextTaskIndex
+  // hands out tasks in index order, released or not.
   if (!job.AllPlaced() && job.placement() != trace::PlacementPref::kSpread &&
-      Bindable(worker.id) && UseStickyBatchProbing(job)) {
+      Bindable(worker.id) && !DagManaged(job) && UseStickyBatchProbing(job)) {
     // Sticky batch probing: keep the slot and fetch the job's next task
     // directly, skipping the probe queue (Eagle §"divide and stick").
     // fetching_job marks the in-flight fetch so a machine failure can
@@ -1844,6 +1894,13 @@ void SchedulerBase::PackedTryStart(WorkerState& worker) {
       if (promoted != index) {
         index = promoted;
         ++counters_.tenant_priority_promotions;
+      }
+    }
+    if (deadline_on_) {
+      const std::size_t promoted = PromoteByDeadline(worker, index);
+      if (promoted != index) {
+        index = promoted;
+        ++counters_.deadline_promotions;
       }
     }
     if (!PackedFits(worker, worker.queue[index])) {
@@ -2068,6 +2125,9 @@ void SchedulerBase::FinishPackedRun(MachineId wid, std::uint32_t run_id,
     if (tenancy_on_) OnTenantJobComplete(job);
     Emit(EventType::kJobComplete, job.id, wid, obs::kNoId,
          now - job.spec->submit_time);
+    if (deadline_on_) ScoreDeadline(job);
+  } else if (DagManaged(job)) {
+    ReleaseDagSuccessors(job, run.task_index);
   } else if (job.malleable() && job.malleable_inflight > 0) {
     --job.malleable_inflight;
     TopUpMalleable(job);
@@ -2101,9 +2161,12 @@ void SchedulerBase::EvictPackedRuns(WorkerState& worker) {
     entry.job = job.id;
     entry.est_duration = EstimatedTaskDuration(job);
     entry.short_class = job.short_class;
-    if (UsesDistributedPlane(job) && !job.gang() && !job.malleable()) {
+    if (UsesDistributedPlane(job) && !job.gang() && !job.malleable() &&
+        !DagManaged(job)) {
       entry.kind = QueueEntry::Kind::kProbe;
     } else {
+      // Gang/malleable/DAG replays re-bind (DAG: a probe could fetch an
+      // unreleased task; the killed index just pushed is popped right back).
       entry.kind = QueueEntry::Kind::kBoundTask;
       entry.task_index = TakeNextTaskIndex(job);
     }
@@ -2486,6 +2549,133 @@ void SchedulerBase::RefreshMalleableWidths() {
   malleable_active_.resize(keep);
 }
 
+// ---- DAG workflows and deadline scheduling (src/workflow) ------------------
+//
+// Everything below is unreachable when dag_on_ / deadline_on_ are false:
+// dag_states_ stays empty, no deadline is ever tracked, and every dispatch
+// path above remains byte-identical to the pre-workflow scheduler.
+
+void SchedulerBase::PlaceDagJob(JobRuntime& job) {
+  dag_states_[job.id] = workflow::BuildDagState(*job.spec);
+  ++counters_.dag_jobs;
+  const workflow::DagState& state = *dag_states_[job.id];
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t t = 0; t < job.num_tasks(); ++t) {
+    if (state.indegree[t] == 0) ready.push_back(t);
+  }
+  DispatchReadyDagTasks(job, ready);
+}
+
+void SchedulerBase::DispatchReadyDagTasks(JobRuntime& job,
+                                          std::vector<std::uint32_t>& ready) {
+  PHOENIX_CHECK_MSG(!ready.empty(), "DAG job with no ready task");
+  const workflow::DagState& state = *dag_states_[job.id];
+  // Critical-path priority: the task with the longest remaining downstream
+  // work dispatches first (ascending index on ties, for determinism).
+  std::sort(ready.begin(), ready.end(),
+            [&state](std::uint32_t a, std::uint32_t b) {
+              if (state.downstream[a] != state.downstream[b]) {
+                return state.downstream[a] > state.downstream[b];
+              }
+              return a < b;
+            });
+  for (const std::uint32_t t : ready) {
+    Emit(EventType::kDagReady, job.id, obs::kNoId, t, state.downstream[t]);
+    PlaceDagTask(job, t);
+  }
+}
+
+void SchedulerBase::PlaceDagTask(JobRuntime& job, std::uint32_t task_index) {
+  // The per-task body of PlaceCentralized with an explicit index. DAG tasks
+  // always bind early, whatever the job's duration class: a late-binding
+  // probe fetches the job's next task in index order, which could hand out
+  // a task whose predecessors have not finished.
+  workflow::DagState& state = *dag_states_[job.id];
+  ++state.released;
+  // next_unplaced doubles as the release counter so AllPlaced() keeps its
+  // meaning (every task dispatched, no replay outstanding).
+  ++job.next_unplaced;
+  ++counters_.dag_tasks_released;
+  Emit(EventType::kDagRelease, job.id, obs::kNoId, task_index);
+  std::vector<MachineId> candidates = ChooseLongCandidates(job);
+  PHOENIX_CHECK_MSG(!candidates.empty(),
+                    "admission control must leave a satisfiable pool");
+  FilterByPlacement(job, candidates);
+  const MachineId best = packing_on_ ? PickBestPacked(candidates, job)
+                                     : PickLeastLoadedLive(candidates, job);
+  NoteRackCommitment(job, cluster_.rack_of(best));
+  QueueEntry entry;
+  entry.kind = QueueEntry::Kind::kBoundTask;
+  entry.job = job.id;
+  entry.task_index = task_index;
+  entry.est_duration = EstimatedTaskDuration(job);
+  entry.short_class = job.short_class;
+  SendEntry(best, entry, one_way());
+}
+
+void SchedulerBase::ReleaseDagSuccessors(JobRuntime& job,
+                                         std::uint32_t task_index) {
+  workflow::DagState& state = *dag_states_[job.id];
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t e = state.succ_offsets[task_index];
+       e < state.succ_offsets[task_index + 1]; ++e) {
+    const std::uint32_t s = state.succ[e];
+    PHOENIX_CHECK_MSG(state.indegree[s] > 0,
+                      "DAG predecessor finished more times than its edges");
+    if (--state.indegree[s] == 0) ready.push_back(s);
+  }
+  if (!ready.empty()) DispatchReadyDagTasks(job, ready);
+}
+
+void SchedulerBase::AssignDeadline(JobRuntime& job) {
+  // SLA class: the trace's explicit tag (Google-trace priority bands) wins;
+  // untagged jobs fall back to their post-admission tenancy class rank.
+  job.sla_rank = job.spec->sla_class != trace::kNoSlaClass
+                     ? job.spec->sla_class
+                     : tenancy::PriorityRank(job.priority);
+  PHOENIX_CHECK_MSG(job.sla_rank < 3, "SLA class rank out of range");
+  const double cp = workflow::CriticalPathLength(*job.spec);
+  job.deadline = job.spec->submit_time +
+                 config_.workflow.deadline_multiplier[job.sla_rank] * cp;
+  job.deadline_tracked = true;
+  ++counters_.deadline_jobs;
+}
+
+void SchedulerBase::ScoreDeadline(JobRuntime& job) {
+  if (!job.deadline_tracked) return;
+  ++class_deadline_jobs_[job.sla_rank];
+  if (job.completion <= job.deadline + 1e-9) {
+    ++class_deadline_attained_[job.sla_rank];
+  } else {
+    ++counters_.deadline_misses;
+    Emit(EventType::kDeadlineMiss, job.id, obs::kNoId, obs::kNoId,
+         job.completion - job.deadline);
+  }
+}
+
+std::size_t SchedulerBase::PromoteByDeadline(const WorkerState& worker,
+                                             std::size_t chosen) {
+  const QueueEntry& pick = worker.queue[chosen];
+  // Never override the starvation guard's selection.
+  if (pick.bypass_count >= config_.slack_threshold) return chosen;
+  const auto deadline_of = [this](const QueueEntry& e) {
+    const JobRuntime& j = jobs_[e.job];
+    return j.deadline_tracked ? j.deadline
+                              : std::numeric_limits<double>::infinity();
+  };
+  double best_deadline = deadline_of(pick);
+  std::size_t best = chosen;
+  for (std::size_t i = 0; i < worker.queue.size(); ++i) {
+    if (i == chosen) continue;
+    const double d = deadline_of(worker.queue[i]);
+    if (d < best_deadline) {  // first strictly-earlier deadline wins
+      best_deadline = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
 metrics::SimReport SchedulerBase::BuildReport() const {
   PHOENIX_CHECK_MSG(jobs_done_ == jobs_.size(),
                     "BuildReport called before every job completed");
@@ -2551,6 +2741,12 @@ metrics::SimReport SchedulerBase::BuildReport() const {
         counters_.gang_commits > 0
             ? gang_wait_sum_ / static_cast<double>(counters_.gang_commits)
             : 0;
+  }
+  report.dag_enabled = dag_on_;
+  if (deadline_on_) {
+    report.deadline_enabled = true;
+    report.class_deadline_jobs = class_deadline_jobs_;
+    report.class_deadline_attained = class_deadline_attained_;
   }
   report.jobs.reserve(jobs_.size());
   for (const JobRuntime& job : jobs_) {

@@ -41,6 +41,7 @@
 #include "trace/trace.h"
 #include "util/arena.h"
 #include "util/rng.h"
+#include "workflow/dag.h"
 
 namespace phoenix::obs {
 class InvariantAuditor;
@@ -595,6 +596,41 @@ class SchedulerBase {
   /// Releases the job's quota charge and scores its SLO at completion.
   void OnTenantJobComplete(JobRuntime& job);
 
+  // ---- Workflow (all unreachable when dag_on_ / deadline_on_ are false) ---
+
+  /// The job's dispatch is precedence-driven: tasks enter the bound plane
+  /// only as their predecessors finish. Flat jobs (and every job with the
+  /// --dag gate off) take the original planes untouched.
+  bool DagManaged(const JobRuntime& job) const {
+    return dag_on_ && job.spec->has_deps();
+  }
+  /// Arrival placement for a DAG job: builds the precedence state and
+  /// dispatches every source (indegree-zero) task.
+  void PlaceDagJob(JobRuntime& job);
+  /// Binds one released DAG task centrally (the per-task body of
+  /// PlaceCentralized with an explicit index), emitting kDagRelease.
+  void PlaceDagTask(JobRuntime& job, std::uint32_t task_index);
+  /// A DAG task finished: decrement successor indegrees and dispatch every
+  /// newly-ready task in critical-path order (longest downstream work
+  /// first), emitting kDagReady per release.
+  void ReleaseDagSuccessors(JobRuntime& job, std::uint32_t task_index);
+  /// Sorts `ready` by downstream critical-path work (descending, index
+  /// ascending on ties), emits kDagReady for each, and dispatches them.
+  void DispatchReadyDagTasks(JobRuntime& job,
+                             std::vector<std::uint32_t>& ready);
+  /// Derives the job's absolute deadline from its SLA class multiplier over
+  /// the expected critical-path length (mean-duration based; flat jobs use
+  /// their longest task). Called at arrival when deadline_on_.
+  void AssignDeadline(JobRuntime& job);
+  /// Scores the finished job against its deadline: per-class attainment
+  /// tally, kDeadlineMiss emission, miss counter.
+  void ScoreDeadline(JobRuntime& job);
+  /// EDF tie-break over the discipline's choice: the first queued entry
+  /// with a strictly earlier deadline than `chosen`'s runs instead (never
+  /// overrides a slack-guard selection; untracked jobs rank last).
+  std::size_t PromoteByDeadline(const WorkerState& worker,
+                                std::size_t chosen);
+
   sim::Engine& engine_;
   const cluster::Cluster& cluster_;
   SchedulerConfig config_;
@@ -705,6 +741,19 @@ class SchedulerBase {
   /// Ascending-id list of malleable jobs with tasks left to place; the
   /// heartbeat width-refresh pass walks it in order (determinism).
   std::vector<trace::JobId> malleable_active_;
+
+  /// Workflow state. dag_on_ / deadline_on_ gate every workflow touch point
+  /// so a default config never enters a workflow branch (byte-identity).
+  /// DAG precedence state lives in a side vector (not JobRuntime, which
+  /// must stay cheaply copyable for the prototype-assign in SubmitTrace),
+  /// indexed by job id, null for flat jobs.
+  bool dag_on_ = false;
+  bool deadline_on_ = false;
+  std::vector<std::unique_ptr<workflow::DagState>> dag_states_;
+  /// Per-SLA-class deadline attainment (index = class rank), surfaced via
+  /// SimReport when deadline_on_.
+  std::array<std::uint64_t, 3> class_deadline_jobs_{};
+  std::array<std::uint64_t, 3> class_deadline_attained_{};
 };
 
 }  // namespace phoenix::sched

@@ -17,6 +17,7 @@
 #include "sim/simtime.h"
 #include "tenancy/config.h"
 #include "trace/job.h"
+#include "workflow/config.h"
 
 namespace phoenix::sched {
 
@@ -100,6 +101,10 @@ struct SchedulerConfig {
   /// (src/packing). Disabled = the paper's single-slot worker model,
   /// byte-identical to a packing-free run.
   packing::PackingConfig packing;
+
+  /// DAG workloads and deadline/SLA scheduling (src/workflow). Both gates
+  /// off = byte-identical to a workflow-free run.
+  workflow::WorkflowConfig workflow;
 
   // Failure injection (0 disables). Machines fail with exponential
   // inter-failure times of mean machine_mtbf seconds; a failed machine's
@@ -217,6 +222,14 @@ struct JobRuntime {
   /// packed free-capacity signal; shrink is passive (never kills a run).
   std::uint32_t malleable_width = 0;
   std::uint32_t malleable_inflight = 0;
+
+  // ---- Workflow (meaningful only when config.workflow gates are on) -------
+  /// Absolute completion deadline (submit + multiplier x critical path) and
+  /// the SLA class rank (0 prod / 1 batch / 2 best-effort) it was derived
+  /// from. deadline_tracked is false when deadline scheduling is off.
+  double deadline = 0;
+  bool deadline_tracked = false;
+  std::uint8_t sla_rank = 1;
 
   bool gang() const { return spec->gang; }
   bool malleable() const { return spec->malleable; }

@@ -232,12 +232,23 @@ GeneratorOptions ProfileByName(const std::string& name) {
 // has always swept (bench_ext_elasticity), promoted here so every bench and
 // test shapes load identically. -1 marks "keep the profile's own value".
 
+const LoadShapePreset* FindShapeByName(const std::string& name) {
+  static constexpr LoadShapePreset kShapes[] = {
+      {"steady", 1.0, 0.0, -1.0},
+      {"diurnal", 2.5, 0.50, 600.0},
+      {"flash-crowd", 4.0, 0.15, 60.0},
+  };
+  for (const LoadShapePreset& shape : kShapes) {
+    if (name == shape.name) return &shape;
+  }
+  return nullptr;
+}
+
 LoadShapePreset ShapeByName(const std::string& name) {
-  if (name == "steady") return {"steady", 1.0, 0.0, -1.0};
-  if (name == "diurnal") return {"diurnal", 2.5, 0.50, 600.0};
-  if (name == "flash-crowd") return {"flash-crowd", 4.0, 0.15, 60.0};
-  PHOENIX_CHECK_MSG(false,
+  const LoadShapePreset* shape = FindShapeByName(name);
+  PHOENIX_CHECK_MSG(shape != nullptr,
                     "unknown load shape (steady|diurnal|flash-crowd)");
+  return *shape;
 }
 
 void ApplyLoadShape(const LoadShapePreset& shape, GeneratorOptions& options) {

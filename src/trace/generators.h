@@ -97,6 +97,11 @@ struct LoadShapePreset {
   double burst_duration_mean;
 };
 
+/// Nullable shape lookup by name ("steady" | "diurnal" | "flash-crowd");
+/// returns nullptr on unknown names so CLI frontends can print a usage error
+/// instead of aborting. The returned preset has static storage duration.
+const LoadShapePreset* FindShapeByName(const std::string& name);
+
 /// Shape lookup by name ("steady" | "diurnal" | "flash-crowd"); aborts on
 /// unknown names. A preset field of -1 is a sentinel ApplyLoadShape leaves
 /// at the profile's own value.

@@ -1,0 +1,266 @@
+#include "trace/google_reader.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/format.h"
+
+namespace phoenix::trace {
+
+namespace {
+
+// task_events event types (clusterdata-2011 schema). SUBMIT / SCHEDULE /
+// FINISH drive the aggregation; the remaining lifecycle events are
+// recognized and skipped (a task that was evicted and resubmitted keeps its
+// first SUBMIT and last FINISH).
+constexpr int kSubmit = 0;
+constexpr int kSchedule = 1;
+constexpr int kEvict = 2;
+constexpr int kFail = 3;
+constexpr int kFinish = 4;
+constexpr int kKill = 5;
+constexpr int kLost = 6;
+constexpr int kUpdatePending = 7;
+constexpr int kUpdateRunning = 8;
+
+constexpr std::size_t kColumns = 13;
+
+/// Per-(job, task) aggregation of the lifecycle rows. Times in seconds;
+/// negative = not seen yet.
+struct TaskAgg {
+  double submit = -1;
+  double schedule = -1;
+  double finish = -1;
+  double cpu = -1;
+  double mem = -1;
+  bool spread = false;
+};
+
+/// Per-google-job aggregation, keyed by the trace's 64-bit job id.
+struct JobAgg {
+  std::map<std::uint32_t, TaskAgg> tasks;
+  int priority = -1;
+};
+
+bool ParseI64(const std::string& s, std::int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Google priority (0-11, higher = more important) -> SLA class rank
+/// (tenancy::PriorityRank order: 0 prod / 1 batch / 2 best-effort).
+/// "Production" tier in the published trace is priorities 9-11; the free /
+/// gratis tiers are 0-1.
+std::uint8_t SlaClassFromPriority(std::int64_t priority) {
+  if (priority >= 9) return 0;
+  if (priority >= 2) return 1;
+  return 2;
+}
+
+}  // namespace
+
+Trace ReadGoogleTrace(std::istream& in, std::string* error) {
+  error->clear();
+  std::map<std::uint64_t, JobAgg> agg;
+
+  std::string line;
+  std::size_t line_no = 0;
+  double last_timestamp = -1;
+  auto fail = [&](const std::string& msg) {
+    *error = util::StrFormat("line %zu: %s", line_no, msg.c_str());
+    return Trace();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = util::Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+
+    const std::vector<std::string> cols = util::Split(line, ',');
+    if (cols.size() != kColumns) {
+      return fail(util::StrFormat(
+          "expected %zu comma-separated columns, got %zu (truncated row?)",
+          kColumns, cols.size()));
+    }
+
+    std::int64_t timestamp_us = 0;
+    if (!ParseI64(util::Trim(cols[0]), &timestamp_us) || timestamp_us < 0) {
+      return fail("bad timestamp '" + cols[0] + "'");
+    }
+    const double timestamp = static_cast<double>(timestamp_us) / 1e6;
+    if (timestamp < last_timestamp) {
+      return fail(util::StrFormat(
+          "timestamps must be non-decreasing (%.6f after %.6f)", timestamp,
+          last_timestamp));
+    }
+    last_timestamp = timestamp;
+
+    std::int64_t job_id = 0;
+    if (!ParseI64(util::Trim(cols[2]), &job_id) || job_id < 0) {
+      return fail("bad job id '" + cols[2] + "'");
+    }
+    std::int64_t task_index = 0;
+    if (!ParseI64(util::Trim(cols[3]), &task_index) || task_index < 0) {
+      return fail("bad task index '" + cols[3] + "'");
+    }
+    std::int64_t event_type = 0;
+    if (!ParseI64(util::Trim(cols[5]), &event_type)) {
+      return fail("bad event type '" + cols[5] + "'");
+    }
+    if (event_type < kSubmit || event_type > kUpdateRunning) {
+      return fail(util::StrFormat("unknown event type %lld",
+                                  static_cast<long long>(event_type)));
+    }
+    std::int64_t priority = 0;
+    if (!ParseI64(util::Trim(cols[8]), &priority) || priority < 0 ||
+        priority > 11) {
+      return fail("priority '" + cols[8] + "' outside the trace's 0-11 range");
+    }
+
+    JobAgg& job = agg[static_cast<std::uint64_t>(job_id)];
+    TaskAgg& task = job.tasks[static_cast<std::uint32_t>(task_index)];
+
+    switch (static_cast<int>(event_type)) {
+      case kSubmit: {
+        if (task.submit < 0) task.submit = timestamp;
+        // The job's class is the highest priority any of its tasks submitted
+        // at (the trace attaches priority per task; like constraints we lift
+        // it to job scope).
+        job.priority = std::max(job.priority, static_cast<int>(priority));
+        double cpu = -1;
+        double mem = -1;
+        const std::string cpu_s = util::Trim(cols[9]);
+        const std::string mem_s = util::Trim(cols[10]);
+        if (!cpu_s.empty()) {
+          if (!ParseF64(cpu_s, &cpu) || cpu < 0) {
+            return fail("bad cpu request '" + cols[9] + "'");
+          }
+          task.cpu = std::max(task.cpu, cpu);
+        }
+        if (!mem_s.empty()) {
+          if (!ParseF64(mem_s, &mem) || mem < 0) {
+            return fail("bad memory request '" + cols[10] + "'");
+          }
+          task.mem = std::max(task.mem, mem);
+        }
+        if (util::Trim(cols[12]) == "1") task.spread = true;
+        break;
+      }
+      case kSchedule:
+        if (task.submit < 0) {
+          return fail(util::StrFormat(
+              "SCHEDULE for task %lld of job %lld with no prior SUBMIT",
+              static_cast<long long>(task_index),
+              static_cast<long long>(job_id)));
+        }
+        if (task.schedule < 0) task.schedule = timestamp;
+        break;
+      case kFinish: {
+        if (task.submit < 0) {
+          return fail(util::StrFormat(
+              "FINISH for task %lld of job %lld with no prior SUBMIT",
+              static_cast<long long>(task_index),
+              static_cast<long long>(job_id)));
+        }
+        const double started = task.schedule >= 0 ? task.schedule : task.submit;
+        if (timestamp < started) {
+          return fail("FINISH earlier than the task's start");
+        }
+        task.finish = timestamp;
+        break;
+      }
+      case kEvict:
+      case kFail:
+      case kKill:
+      case kLost:
+      case kUpdatePending:
+      case kUpdateRunning:
+        break;  // recognized lifecycle noise; the aggregation ignores it
+      default:
+        break;
+    }
+  }
+
+  // Aggregate into jobs: a task contributes only if the window recorded both
+  // its SUBMIT and its FINISH (truncated lifecycles are dropped, as trace
+  // replays conventionally do); a job contributes only if at least one task
+  // survived.
+  std::vector<Job> jobs;
+  for (const auto& [google_id, j] : agg) {
+    Job job;
+    double arrival = -1;
+    double cpu = -1;
+    double mem = -1;
+    bool spread = false;
+    for (const auto& [index, t] : j.tasks) {
+      (void)index;
+      if (t.submit < 0 || t.finish < 0) continue;
+      const double started = t.schedule >= 0 ? t.schedule : t.submit;
+      // Zero-length rows floor at one trace tick (1 us) so downstream
+      // duration math never divides by zero.
+      job.task_durations.push_back(std::max(t.finish - started, 1e-6));
+      arrival = arrival < 0 ? t.submit : std::min(arrival, t.submit);
+      cpu = std::max(cpu, t.cpu);
+      mem = std::max(mem, t.mem);
+      spread = spread || t.spread;
+    }
+    if (job.task_durations.empty()) continue;
+    job.submit_time = arrival;
+    job.sla_class = SlaClassFromPriority(j.priority < 0 ? 0 : j.priority);
+    job.req_cpu = cpu;
+    job.req_mem = mem;
+    if (spread && job.task_durations.size() > 1) {
+      job.placement = PlacementPref::kSpread;
+    }
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) {
+    *error = "trace contains no completed tasks";
+    return Trace();
+  }
+
+  // Dense ids in arrival order, rebased so the first arrival is t=0. The
+  // aggregation map is keyed by google job id, so equal arrivals break ties
+  // deterministically by that id (stable sort over the map's order).
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  const double base = jobs.front().submit_time;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+    jobs[i].submit_time -= base;
+  }
+
+  const double cutoff = ComputeShortJobCutoff(jobs, 0.9);
+  for (Job& job : jobs) job.short_job = job.mean_task_duration() <= cutoff;
+
+  Trace trace("google-v2", std::move(jobs));
+  trace.set_short_cutoff(cutoff);
+  return trace;
+}
+
+Trace ReadGoogleTraceFile(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    *error = "cannot open trace file: " + path;
+    return Trace();
+  }
+  return ReadGoogleTrace(in, error);
+}
+
+}  // namespace phoenix::trace

@@ -1,0 +1,38 @@
+// Google cluster-trace v2 frontend.
+//
+// Reads the public clusterdata-2011 `task_events` CSV (13 columns:
+// timestamp_us, missing_info, job_id, task_index, machine_id, event_type,
+// user, scheduling_class, priority, cpu_request, memory_request,
+// disk_request, different_machines_constraint) and aggregates the SUBMIT /
+// SCHEDULE / FINISH rows of each (job, task) into a trace::Job:
+//
+//   * arrival        = earliest SUBMIT timestamp of the job's tasks,
+//   * task duration  = FINISH - SCHEDULE (FINISH - SUBMIT when the trace
+//                      never recorded a SCHEDULE for that task),
+//   * demand         = cpu/memory requests -> Job::req_cpu / req_mem
+//                      (fractions of the largest machine, as published),
+//   * priority       = 0-11 -> SLA class (>= 9 prod, 2-8 batch, else
+//                      best-effort), carried as Job::sla_class,
+//   * different_machines_constraint -> PlacementPref::kSpread.
+//
+// Malformed input (wrong column count, unparsable numbers, timestamps that
+// go backwards, priorities outside 0-11, unknown event types) produces an
+// empty trace and a line-numbered error message — never UB. Comment lines
+// (leading '#') and blank lines are skipped, so committed samples can
+// document themselves.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace phoenix::trace {
+
+/// Parses a task_events CSV. On malformed input returns an empty trace and
+/// fills `error` with "line N: ...". Jobs are re-numbered densely in
+/// arrival order; times are rebased so the first arrival is t=0.
+Trace ReadGoogleTrace(std::istream& in, std::string* error);
+Trace ReadGoogleTraceFile(const std::string& path, std::string* error);
+
+}  // namespace phoenix::trace

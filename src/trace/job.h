@@ -18,6 +18,9 @@ namespace phoenix::trace {
 using JobId = std::uint32_t;
 inline constexpr JobId kInvalidJob = 0xffffffffu;
 
+/// Sentinel for Job::sla_class: no production-trace SLA tag.
+inline constexpr std::uint8_t kNoSlaClass = 0xff;
+
 /// Combinatorial / affinity placement preferences (paper §III-A): spread
 /// tasks across racks for fault tolerance, or co-locate them on one rack
 /// for data locality. These are preferences, not hard requirements — the
@@ -52,6 +55,27 @@ struct Job {
   bool malleable = false;
   /// Minimum parallelism of a malleable job (0 = treat as 1).
   std::uint16_t min_parallel = 0;
+
+  /// Precedence edges (predecessor task index -> successor task index): a
+  /// task may start only after all its predecessors finish. Empty = flat
+  /// independent tasks (every pre-DAG trace). Raw pairs here (like `gang`
+  /// above) so trace stays free of src/workflow; schedulers that ignore
+  /// dependencies run the job as ordinary independent tasks.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> deps;
+
+  /// SLA class from a production trace frontend (0 prod / 1 batch /
+  /// 2 best-effort; 0xff = unset). Deadline scheduling maps it to a latency
+  /// multiplier; unset jobs fall back to their tenancy priority rank.
+  std::uint8_t sla_class = kNoSlaClass;
+
+  /// Per-task resource requests from a production trace (fractions of a
+  /// machine; negative = unset, packing hashes demand instead). Raw doubles
+  /// so trace stays free of src/packing.
+  double req_cpu = -1;
+  double req_mem = -1;
+  double req_gpu = -1;
+
+  bool has_deps() const { return !deps.empty(); }
 
   std::size_t num_tasks() const { return task_durations.size(); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 namespace phoenix::util {
 
@@ -76,7 +77,26 @@ bool Flags::Parse(int argc, const char* const* argv) {
 void Flags::Declare(const std::string& name, const char* type,
                     std::string default_value) {
   const auto it = std::lower_bound(declared_.begin(), declared_.end(), name);
-  if (it != declared_.end() && *it == name) return;  // first declaration wins
+  if (it != declared_.end() && *it == name) {
+    // Re-declaration. Two Get* calls for the same flag must agree on type
+    // and default, or the value the program sees depends on call order — a
+    // silent registration conflict. Abort loudly at startup instead.
+    // Names without a declaration record ("help", injected by Parse) have
+    // nothing to conflict with.
+    for (const auto& d : declaration_order_) {
+      if (d.name != name) continue;
+      if (std::string_view(d.type) != type || d.default_value != default_value) {
+        std::fprintf(stderr,
+                     "%s: flag --%s declared twice with conflicting "
+                     "registrations: %s (default %s) vs %s (default %s)\n",
+                     program_.c_str(), name.c_str(), d.type,
+                     d.default_value.c_str(), type, default_value.c_str());
+        std::abort();
+      }
+      break;
+    }
+    return;  // identical re-declaration: first one stands
+  }
   declared_.insert(it, name);
   declaration_order_.push_back({name, type, std::move(default_value)});
 }

@@ -1,0 +1,33 @@
+// DAG workflow and deadline scheduling configuration.
+//
+// Both features default off, and every scheduler touch point is gated on
+// them — a default WorkflowConfig never enters a workflow branch, so
+// `--dag`/`--deadline`-off runs are byte-identical to a build without
+// src/workflow.
+#pragma once
+
+#include <array>
+
+namespace phoenix::workflow {
+
+struct WorkflowConfig {
+  /// Honor inter-task precedence edges: only ready tasks (all predecessors
+  /// finished) are admitted to the dispatch path, completions release
+  /// successors, and ready tasks dispatch in critical-path order. Off,
+  /// jobs with deps run as flat independent tasks (the pre-DAG model).
+  bool dag = false;
+
+  /// Deadline scheduling: each job gets a deadline mapped from its SLA
+  /// class, an EDF-style tie-break promotes earlier deadlines in the worker
+  /// queues, and per-class attainment lands in SimReport.
+  bool deadline = false;
+
+  /// Deadline = arrival + multiplier[sla class] * expected critical-path
+  /// length (max task duration for flat jobs, longest dependency chain for
+  /// DAGs). Prod is tightest; best-effort gets the loosest latency budget.
+  std::array<double, 3> deadline_multiplier = {2.0, 4.0, 8.0};
+
+  bool enabled() const { return dag || deadline; }
+};
+
+}  // namespace phoenix::workflow

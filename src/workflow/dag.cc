@@ -1,0 +1,86 @@
+#include "workflow/dag.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace phoenix::workflow {
+
+double DagState::CriticalPath() const {
+  double cp = 0;
+  for (const double d : downstream) cp = std::max(cp, d);
+  return cp;
+}
+
+std::unique_ptr<DagState> BuildDagState(const trace::Job& job) {
+  const auto n = static_cast<std::uint32_t>(job.num_tasks());
+  auto state = std::make_unique<DagState>();
+  state->indegree.assign(n, 0);
+  state->succ_offsets.assign(n + 1, 0);
+
+  for (const auto& [pred, succ] : job.deps) {
+    PHOENIX_CHECK_MSG(pred < n && succ < n, "DAG edge index out of range");
+    PHOENIX_CHECK_MSG(pred != succ, "DAG self-edge");
+    ++state->succ_offsets[pred + 1];
+    ++state->indegree[succ];
+  }
+  for (std::uint32_t t = 0; t < n; ++t) {
+    state->succ_offsets[t + 1] += state->succ_offsets[t];
+  }
+  state->succ.resize(job.deps.size());
+  {
+    std::vector<std::uint32_t> cursor(state->succ_offsets.begin(),
+                                      state->succ_offsets.end() - 1);
+    for (const auto& [pred, succ] : job.deps) {
+      state->succ[cursor[pred]++] = succ;
+    }
+  }
+  // Deterministic successor order regardless of edge-list order: ascending
+  // index within each task's CSR range.
+  for (std::uint32_t t = 0; t < n; ++t) {
+    std::sort(state->succ.begin() + state->succ_offsets[t],
+              state->succ.begin() + state->succ_offsets[t + 1]);
+  }
+
+  // Kahn topological order doubles as the acyclicity check; the reverse
+  // order then folds downstream work (own duration + longest successor
+  // chain) in one pass.
+  std::vector<std::uint32_t> topo;
+  topo.reserve(n);
+  {
+    std::vector<std::uint32_t> indeg = state->indegree;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      if (indeg[t] == 0) topo.push_back(t);
+    }
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      const std::uint32_t t = topo[i];
+      for (std::uint32_t e = state->succ_offsets[t];
+           e < state->succ_offsets[t + 1]; ++e) {
+        if (--indeg[state->succ[e]] == 0) topo.push_back(state->succ[e]);
+      }
+    }
+    PHOENIX_CHECK_MSG(topo.size() == n, "DAG contains a cycle");
+  }
+  state->downstream.assign(n, 0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const std::uint32_t t = *it;
+    double longest_succ = 0;
+    for (std::uint32_t e = state->succ_offsets[t];
+         e < state->succ_offsets[t + 1]; ++e) {
+      longest_succ = std::max(longest_succ, state->downstream[state->succ[e]]);
+    }
+    state->downstream[t] = job.task_durations[t] + longest_succ;
+  }
+  return state;
+}
+
+double CriticalPathLength(const trace::Job& job) {
+  if (!job.has_deps()) {
+    double longest = 0;
+    for (const double d : job.task_durations) longest = std::max(longest, d);
+    return longest;
+  }
+  return BuildDagState(job)->CriticalPath();
+}
+
+}  // namespace phoenix::workflow

@@ -1,0 +1,47 @@
+// Per-job DAG runtime state: indegrees, successor lists, and the
+// critical-path priority (longest remaining downstream work) that orders
+// ready tasks within a job.
+//
+// Built once per DAG job at arrival from the trace's precedence edges.
+// BuildDagState validates the edge list (indices in range, no self-edges,
+// acyclic) and aborts on malformed input — a trace frontend must reject bad
+// DAGs at parse time, not hand them to the scheduler.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/job.h"
+
+namespace phoenix::workflow {
+
+struct DagState {
+  /// Remaining unfinished predecessors per task; a task is ready at 0.
+  std::vector<std::uint32_t> indegree;
+  /// CSR successor lists: successors of t are succ[succ_offsets[t] ..
+  /// succ_offsets[t+1]).
+  std::vector<std::uint32_t> succ_offsets;
+  std::vector<std::uint32_t> succ;
+  /// Critical-path-to-exit work per task: its own duration plus the longest
+  /// downstream chain. The within-job dispatch priority (largest first).
+  std::vector<double> downstream;
+  /// Tasks handed to the dispatch path so far (the auditor's released ==
+  /// task-count rule counts the matching kDagRelease events).
+  std::uint32_t released = 0;
+
+  /// The job's expected critical-path length (max over entry tasks — every
+  /// task, since downstream includes the task itself).
+  double CriticalPath() const;
+};
+
+/// Builds the DAG state for `job`. Aborts on out-of-range or self edges and
+/// on cycles (Kahn's algorithm must consume every task).
+std::unique_ptr<DagState> BuildDagState(const trace::Job& job);
+
+/// Expected critical-path length of `job` without materializing state: the
+/// longest dependency chain (by summed durations) for a DAG job, the max
+/// task duration for a flat job (all tasks could run in parallel).
+double CriticalPathLength(const trace::Job& job);
+
+}  // namespace phoenix::workflow

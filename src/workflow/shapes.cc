@@ -1,0 +1,57 @@
+#include "workflow/shapes.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace phoenix::workflow {
+
+namespace {
+
+void AddShapeEdges(trace::Job& job, const std::string& shape) {
+  const auto n = static_cast<std::uint32_t>(job.num_tasks());
+  job.deps.clear();
+  if (n < 2) return;
+  if (shape == "chain") {
+    for (std::uint32_t t = 0; t + 1 < n; ++t) job.deps.push_back({t, t + 1});
+  } else if (shape == "fanout") {
+    for (std::uint32_t t = 1; t < n; ++t) job.deps.push_back({0, t});
+  } else if (shape == "diamond") {
+    if (n == 2) {
+      job.deps.push_back({0, 1});
+      return;
+    }
+    for (std::uint32_t t = 1; t + 1 < n; ++t) {
+      job.deps.push_back({0, t});
+      job.deps.push_back({t, n - 1});
+    }
+  }
+}
+
+}  // namespace
+
+bool KnownDagShape(const std::string& shape) {
+  return shape == "chain" || shape == "fanout" || shape == "diamond";
+}
+
+trace::Trace ApplyDagShape(const trace::Trace& trace, const std::string& shape,
+                           double fraction, std::uint64_t seed) {
+  PHOENIX_CHECK_MSG(KnownDagShape(shape),
+                    "unknown DAG shape (chain|fanout|diamond)");
+  PHOENIX_CHECK_MSG(fraction >= 0 && fraction <= 1.0,
+                    "DAG fraction must be in [0, 1]");
+  std::vector<trace::Job> jobs = trace.jobs();
+  util::Rng rng(seed ^ 0xd1b54a32d192ed03ULL);
+  for (trace::Job& job : jobs) {
+    if (job.num_tasks() < 2) continue;
+    if (!rng.Bernoulli(fraction)) continue;
+    AddShapeEdges(job, shape);
+  }
+  trace::Trace out(trace.name(), std::move(jobs));
+  out.set_short_cutoff(trace.short_cutoff());
+  return out;
+}
+
+}  // namespace phoenix::workflow

@@ -1,0 +1,30 @@
+// Synthetic DAG structure applied on top of a generated (or read) trace.
+//
+// The trace generator stays untouched — a DAG run takes any flat trace and
+// overlays precedence edges on a fraction of its multi-task jobs, so the
+// arrival process, durations, constraints, and every RNG stream of the
+// underlying trace are identical with and without `--dag`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace phoenix::workflow {
+
+/// True for the shape names ApplyDagShape accepts:
+///   "chain"   - strict pipeline 0 -> 1 -> ... -> n-1 (CP = total work),
+///   "fanout"  - task 0 fans out to every other task (source barrier),
+///   "diamond" - fork-join: 0 -> middles -> n-1 (map/reduce with a tail).
+bool KnownDagShape(const std::string& shape);
+
+/// Returns a copy of `trace` where each multi-task job independently gets
+/// `shape` edges with probability `fraction` (a dedicated RNG stream keyed
+/// by `seed`; single-task jobs are never tagged). Name and short cutoff are
+/// preserved. Aborts on unknown shapes or fraction outside [0, 1] — callers
+/// route user input through KnownDagShape first for a usage error instead.
+trace::Trace ApplyDagShape(const trace::Trace& trace, const std::string& shape,
+                           double fraction, std::uint64_t seed);
+
+}  // namespace phoenix::workflow

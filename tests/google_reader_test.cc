@@ -1,0 +1,206 @@
+// Google cluster-trace v2 frontend tests: the committed task_events sample
+// parses into the expected jobs (arrival order and rebase, SCHEDULE->FINISH
+// durations with the SUBMIT fallback, priority -> SLA class bands, cpu /
+// memory request lifting, the spread constraint, dropped truncated
+// lifecycles), malformed input dies with a line-numbered message (truncated
+// rows, backwards timestamps, out-of-range priorities, bad numbers,
+// lifecycle rows with no SUBMIT), and the committed sample drives a full
+// simulation end-to-end — including deadline scheduling over the trace's
+// own SLA classes and request-vector packing. Registered under the "dag"
+// ctest label (scripts/check.sh runs `ctest -L dag`).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cluster/builder.h"
+#include "runner/experiment.h"
+#include "trace/google_reader.h"
+#include "trace/job.h"
+
+namespace phoenix {
+namespace {
+
+#ifndef PHOENIX_TEST_DATA_DIR
+#define PHOENIX_TEST_DATA_DIR "tests/data"
+#endif
+
+std::string SamplePath() {
+  return std::string(PHOENIX_TEST_DATA_DIR) + "/google_trace_sample.csv";
+}
+
+trace::Trace ParseOk(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string error;
+  trace::Trace t = trace::ReadGoogleTrace(in, &error);
+  EXPECT_EQ(error, "");
+  return t;
+}
+
+std::string ParseError(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string error;
+  const trace::Trace t = trace::ReadGoogleTrace(in, &error);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+// ---- The committed sample ------------------------------------------------
+
+TEST(GoogleReaderTest, CommittedSampleParsesIntoExpectedJobs) {
+  std::string error;
+  const auto t = trace::ReadGoogleTraceFile(SamplePath(), &error);
+  ASSERT_EQ(error, "");
+  ASSERT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.name(), "google-v2");
+
+  // Dense ids in arrival order, rebased so the first arrival is t=0.
+  EXPECT_EQ(t.job(0).submit_time, 0.0);
+  EXPECT_EQ(t.job(1).submit_time, 1.0);
+  EXPECT_EQ(t.job(2).submit_time, 3.0);
+  EXPECT_EQ(t.job(3).submit_time, 5.0);
+  for (trace::JobId id = 0; id < t.size(); ++id) {
+    EXPECT_EQ(t.job(id).id, id);
+  }
+
+  // Job 101 -> id 0: durations are FINISH - SCHEDULE, the spread constraint
+  // lifts to PlacementPref::kSpread, priority 10 is production.
+  const auto& prod = t.job(0);
+  ASSERT_EQ(prod.num_tasks(), 2u);
+  EXPECT_DOUBLE_EQ(prod.task_durations[0], 8.0);
+  EXPECT_DOUBLE_EQ(prod.task_durations[1], 10.0);
+  EXPECT_EQ(prod.sla_class, 0);
+  EXPECT_EQ(prod.placement, trace::PlacementPref::kSpread);
+  EXPECT_DOUBLE_EQ(prod.req_cpu, 0.5);
+  EXPECT_DOUBLE_EQ(prod.req_mem, 0.25);
+
+  // Priority bands: 4 -> batch, 0 -> best-effort, 9 -> prod.
+  EXPECT_EQ(t.job(1).sla_class, 1);
+  EXPECT_EQ(t.job(2).sla_class, 2);
+  EXPECT_EQ(t.job(3).sla_class, 0);
+
+  // Job 107 -> id 6 never recorded a SCHEDULE: duration falls back to
+  // FINISH - SUBMIT.
+  ASSERT_EQ(t.job(6).num_tasks(), 1u);
+  EXPECT_DOUBLE_EQ(t.job(6).task_durations[0], 14.0);
+
+  // Job 108 -> id 7: the task with no FINISH in the window is dropped.
+  EXPECT_EQ(t.job(7).num_tasks(), 1u);
+
+  // The reader classifies short jobs against its own computed cutoff.
+  EXPECT_GT(t.short_cutoff(), 0.0);
+}
+
+TEST(GoogleReaderTest, CommittedSampleDrivesASimulationEndToEnd) {
+  std::string error;
+  const auto t = trace::ReadGoogleTraceFile(SamplePath(), &error);
+  ASSERT_EQ(error, "");
+  const auto cl = cluster::BuildCluster({.num_machines = 8, .seed = 3});
+  // Deadline scheduling over the trace's own SLA classes, packed placement
+  // over its request vectors, auditor on (the runner aborts on violations).
+  runner::RunOptions o;
+  o.scheduler = "phoenix";
+  o.config.packing.enabled = true;
+  o.config.workflow.deadline = true;
+  o.obs.audit = true;
+  const auto r = runner::RunSimulation(t, cl, o);
+  EXPECT_EQ(r.jobs.size(), t.size());
+  EXPECT_TRUE(r.deadline_enabled);
+  EXPECT_EQ(r.counters.deadline_jobs, t.size());
+  // Every job lands in the SLA-class slice its trace priority mapped to
+  // (prod: 101 104 107, batch: 102 105 108, best-effort: 103 106).
+  EXPECT_EQ(r.class_deadline_jobs[0], 3u);
+  EXPECT_EQ(r.class_deadline_jobs[1], 3u);
+  EXPECT_EQ(r.class_deadline_jobs[2], 2u);
+  for (std::size_t rank = 0; rank < 3; ++rank) {
+    EXPECT_GE(r.DeadlineAttainment(rank), 0.0);
+    EXPECT_LE(r.DeadlineAttainment(rank), 1.0);
+  }
+}
+
+// ---- Malformed input dies with a line-numbered message -------------------
+
+TEST(GoogleReaderTest, TruncatedRowReportsLineNumber) {
+  const std::string csv =
+      "# comment\n"
+      "0,0,1,0,,0,u,0,5,0.1,0.1,0.0,0\n"
+      "1000000,0,1,0,,1,u,0,5\n";  // 9 columns
+  const std::string error = ParseError(csv);
+  EXPECT_NE(error.find("line 3:"), std::string::npos) << error;
+  EXPECT_NE(error.find("13"), std::string::npos) << error;
+}
+
+TEST(GoogleReaderTest, BackwardsTimestampsReportLineNumber) {
+  const std::string csv =
+      "5000000,0,1,0,,0,u,0,5,0.1,0.1,0.0,0\n"
+      "4000000,0,1,0,,1,u,0,5,,,,\n";
+  const std::string error = ParseError(csv);
+  EXPECT_NE(error.find("line 2:"), std::string::npos) << error;
+  EXPECT_NE(error.find("non-decreasing"), std::string::npos) << error;
+}
+
+TEST(GoogleReaderTest, PriorityOutsideTraceRangeReportsLineNumber) {
+  const std::string csv = "0,0,1,0,,0,u,0,12,0.1,0.1,0.0,0\n";
+  const std::string error = ParseError(csv);
+  EXPECT_NE(error.find("line 1:"), std::string::npos) << error;
+  EXPECT_NE(error.find("0-11"), std::string::npos) << error;
+}
+
+TEST(GoogleReaderTest, UnknownEventTypeAndBadNumbersReportLineNumbers) {
+  EXPECT_NE(ParseError("0,0,1,0,,9,u,0,5,0.1,0.1,0.0,0\n")
+                .find("unknown event type"),
+            std::string::npos);
+  EXPECT_NE(ParseError("zero,0,1,0,,0,u,0,5,0.1,0.1,0.0,0\n")
+                .find("bad timestamp"),
+            std::string::npos);
+  EXPECT_NE(ParseError("0,0,1,0,,0,u,0,5,lots,0.1,0.0,0\n")
+                .find("bad cpu request"),
+            std::string::npos);
+}
+
+TEST(GoogleReaderTest, LifecycleRowWithNoSubmitReportsLineNumber) {
+  const std::string error =
+      ParseError("0,0,7,3,,4,u,0,5,,,,\n");  // FINISH with no SUBMIT
+  EXPECT_NE(error.find("line 1:"), std::string::npos) << error;
+  EXPECT_NE(error.find("no prior SUBMIT"), std::string::npos) << error;
+}
+
+TEST(GoogleReaderTest, WindowWithNoCompletedTasksIsAnError) {
+  // SUBMIT-only lifecycles (the window closed before any FINISH).
+  const std::string error = ParseError("0,0,1,0,,0,u,0,5,0.1,0.1,0.0,0\n");
+  EXPECT_NE(error.find("no completed tasks"), std::string::npos) << error;
+}
+
+TEST(GoogleReaderTest, MissingFileReportsPath) {
+  std::string error;
+  const auto t = trace::ReadGoogleTraceFile("/nonexistent/trace.csv", &error);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+// ---- Aggregation details --------------------------------------------------
+
+TEST(GoogleReaderTest, ZeroLengthTasksFloorAtOneMicrosecond) {
+  // SCHEDULE and FINISH at the same tick: the duration floors at 1 us
+  // instead of going to zero.
+  const auto t = ParseOk(
+      "0,0,1,0,,0,u,0,5,0.1,0.1,0.0,0\n"
+      "1000000,0,1,0,,1,u,0,5,,,,\n"
+      "1000000,0,1,0,,4,u,0,5,,,,\n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.job(0).task_durations[0], 1e-6);
+}
+
+TEST(GoogleReaderTest, SingleTaskSpreadJobStaysUnconstrained) {
+  // The spread preference is meaningless for one task; the reader only
+  // lifts it for multi-task jobs.
+  const auto t = ParseOk(
+      "0,0,1,0,,0,u,0,5,0.1,0.1,0.0,1\n"
+      "1000000,0,1,0,,4,u,0,5,,,,\n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.job(0).placement, trace::PlacementPref::kNone);
+}
+
+}  // namespace
+}  // namespace phoenix

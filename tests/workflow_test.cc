@@ -1,0 +1,338 @@
+// Workflow subsystem tests: DAG state construction (indegrees, CSR
+// successor lists, critical-path-to-exit priorities, malformed-edge
+// aborts), critical-path length for flat and DAG jobs, the synthetic shape
+// overlay (per-shape edge structure, fraction bounds, determinism, the
+// untouched underlying trace), and end-to-end DAG / deadline runs:
+// audit-clean precedence under both planes (the auditor's kTaskStart rule
+// aborts on any successor starting early), full task release accounting,
+// byte-identical runs with the gates off (deps present but ignored), SLA
+// deadline attainment slices, EDF promotions under load, and bit-identity
+// across thread budgets. Registered under the "dag" ctest label
+// (scripts/check.sh runs `ctest -L dag`).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/builder.h"
+#include "runner/experiment.h"
+#include "runner/parallel.h"
+#include "trace/generators.h"
+#include "trace/job.h"
+#include "workflow/config.h"
+#include "workflow/dag.h"
+#include "workflow/shapes.h"
+
+namespace phoenix {
+namespace {
+
+cluster::Cluster MakeUniverse(std::size_t n, std::uint64_t seed = 7) {
+  return cluster::BuildCluster({.num_machines = n, .seed = seed});
+}
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(std::size_t n) { runner::SetExperimentThreads(n); }
+  ~ScopedThreads() { runner::SetExperimentThreads(0); }
+};
+
+trace::Job MakeJob(std::vector<double> durations,
+                   std::vector<std::pair<std::uint32_t, std::uint32_t>> deps) {
+  trace::Job job;
+  job.id = 0;
+  job.task_durations = std::move(durations);
+  job.deps = std::move(deps);
+  return job;
+}
+
+/// A google-profile trace with `shape` edges on every multi-task job.
+trace::Trace DagTrace(std::size_t jobs, std::size_t workers, double load,
+                      std::uint64_t seed, const std::string& shape,
+                      double fraction = 1.0) {
+  auto gen = trace::ProfileByName("google");
+  gen.num_jobs = jobs;
+  gen.num_workers = workers;
+  gen.target_load = load;
+  gen.seed = seed;
+  const auto flat = trace::GenerateTrace("google", gen);
+  return workflow::ApplyDagShape(flat, shape, fraction, seed);
+}
+
+runner::RunOptions DagOptions(bool dag = true, bool deadline = false) {
+  runner::RunOptions o;
+  o.scheduler = "phoenix";
+  o.config.workflow.dag = dag;
+  o.config.workflow.deadline = deadline;
+  o.obs.audit = true;  // the runner aborts on any auditor violation
+  return o;
+}
+
+// ---- DagState construction ------------------------------------------------
+
+TEST(DagStateTest, ChainIndegreesSuccessorsAndCriticalPath) {
+  const auto job = MakeJob({2, 3, 4}, {{0, 1}, {1, 2}});
+  const auto state = workflow::BuildDagState(job);
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->indegree, (std::vector<std::uint32_t>{0, 1, 1}));
+  EXPECT_EQ(state->succ_offsets, (std::vector<std::uint32_t>{0, 1, 2, 2}));
+  EXPECT_EQ(state->succ, (std::vector<std::uint32_t>{1, 2}));
+  // downstream = own duration + longest chain below.
+  EXPECT_DOUBLE_EQ(state->downstream[0], 9.0);
+  EXPECT_DOUBLE_EQ(state->downstream[1], 7.0);
+  EXPECT_DOUBLE_EQ(state->downstream[2], 4.0);
+  EXPECT_DOUBLE_EQ(state->CriticalPath(), 9.0);
+  EXPECT_DOUBLE_EQ(workflow::CriticalPathLength(job), 9.0);
+}
+
+TEST(DagStateTest, DiamondPrioritizesTheHeavierBranch) {
+  // 0 -> {1, 2} -> 3 with durations {1, 2, 3, 4}: the branch through task 2
+  // carries more downstream work, so it must rank above task 1.
+  const auto job = MakeJob({1, 2, 3, 4}, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const auto state = workflow::BuildDagState(job);
+  EXPECT_EQ(state->indegree, (std::vector<std::uint32_t>{0, 1, 1, 2}));
+  EXPECT_DOUBLE_EQ(state->downstream[3], 4.0);
+  EXPECT_DOUBLE_EQ(state->downstream[1], 6.0);
+  EXPECT_DOUBLE_EQ(state->downstream[2], 7.0);
+  EXPECT_DOUBLE_EQ(state->downstream[0], 8.0);
+  EXPECT_DOUBLE_EQ(state->CriticalPath(), 8.0);
+}
+
+TEST(DagStateTest, FlatJobCriticalPathIsMaxDuration) {
+  // No edges: every task could run in parallel, so the expected critical
+  // path is the longest single task — not the summed work.
+  const auto job = MakeJob({2, 5, 3}, {});
+  EXPECT_DOUBLE_EQ(workflow::CriticalPathLength(job), 5.0);
+}
+
+TEST(DagStateTest, MalformedEdgesAbort) {
+  EXPECT_DEATH(workflow::BuildDagState(MakeJob({1, 2}, {{0, 7}})), "");
+  EXPECT_DEATH(workflow::BuildDagState(MakeJob({1, 2}, {{1, 1}})), "");
+  // A cycle: Kahn's algorithm cannot consume every task.
+  EXPECT_DEATH(workflow::BuildDagState(MakeJob({1, 2}, {{0, 1}, {1, 0}})),
+               "");
+}
+
+// ---- The synthetic shape overlay ------------------------------------------
+
+TEST(DagShapeTest, KnownShapesOnly) {
+  EXPECT_TRUE(workflow::KnownDagShape("chain"));
+  EXPECT_TRUE(workflow::KnownDagShape("fanout"));
+  EXPECT_TRUE(workflow::KnownDagShape("diamond"));
+  EXPECT_FALSE(workflow::KnownDagShape("steady"));
+  EXPECT_FALSE(workflow::KnownDagShape(""));
+}
+
+TEST(DagShapeTest, OverlayTagsMultiTaskJobsAndPreservesTheTrace) {
+  auto gen = trace::ProfileByName("google");
+  gen.num_jobs = 200;
+  gen.num_workers = 16;
+  gen.seed = 11;
+  const auto flat = trace::GenerateTrace("google", gen);
+  const auto dag = workflow::ApplyDagShape(flat, "chain", 1.0, 11);
+  ASSERT_EQ(dag.size(), flat.size());
+  EXPECT_EQ(dag.name(), flat.name());
+  EXPECT_EQ(dag.short_cutoff(), flat.short_cutoff());
+  std::size_t tagged = 0;
+  for (trace::JobId id = 0; id < dag.size(); ++id) {
+    const auto& before = flat.job(id);
+    const auto& after = dag.job(id);
+    // Arrivals, durations, and constraints are untouched — only edges land.
+    EXPECT_EQ(after.submit_time, before.submit_time);
+    EXPECT_EQ(after.task_durations, before.task_durations);
+    if (before.num_tasks() < 2) {
+      EXPECT_FALSE(after.has_deps());
+    } else {
+      // Fraction 1: every multi-task job gets the full chain.
+      ASSERT_TRUE(after.has_deps());
+      EXPECT_EQ(after.deps.size(), after.num_tasks() - 1);
+      ++tagged;
+    }
+  }
+  EXPECT_GT(tagged, 0u);
+  // Fraction 0 is a no-op; the same seed reproduces the same tagging.
+  const auto none = workflow::ApplyDagShape(flat, "chain", 0.0, 11);
+  for (trace::JobId id = 0; id < none.size(); ++id) {
+    EXPECT_FALSE(none.job(id).has_deps());
+  }
+  const auto again = workflow::ApplyDagShape(flat, "chain", 0.4, 11);
+  const auto again2 = workflow::ApplyDagShape(flat, "chain", 0.4, 11);
+  for (trace::JobId id = 0; id < again.size(); ++id) {
+    EXPECT_EQ(again.job(id).deps, again2.job(id).deps);
+  }
+}
+
+TEST(DagShapeTest, UnknownShapeAndBadFractionAbort) {
+  auto gen = trace::ProfileByName("google");
+  gen.num_jobs = 10;
+  gen.num_workers = 4;
+  const auto flat = trace::GenerateTrace("google", gen);
+  EXPECT_DEATH(workflow::ApplyDagShape(flat, "mesh", 0.5, 1), "unknown");
+  EXPECT_DEATH(workflow::ApplyDagShape(flat, "chain", 1.5, 1), "fraction");
+}
+
+TEST(DagShapeTest, UnknownLoadShapeIsFindableNotFatal) {
+  // The nullable lookup the CLI frontends use for usage errors.
+  EXPECT_NE(trace::FindShapeByName("steady"), nullptr);
+  EXPECT_NE(trace::FindShapeByName("diurnal"), nullptr);
+  EXPECT_NE(trace::FindShapeByName("flash-crowd"), nullptr);
+  EXPECT_EQ(trace::FindShapeByName("tsunami"), nullptr);
+  EXPECT_EQ(trace::FindShapeByName(""), nullptr);
+  EXPECT_EQ(trace::FindShapeByName("diurnal")->burst_factor, 2.5);
+}
+
+// ---- End-to-end DAG runs --------------------------------------------------
+
+TEST(DagRun, AuditCleanAndReleasesEveryTask) {
+  // The auditor enforces precedence (kTaskStart with an unfinished
+  // predecessor aborts) and full release (released == task count per DAG
+  // job at Finish), so an audit-clean run is the correctness assertion.
+  const auto cl = MakeUniverse(24, 13);
+  for (const char* shape : {"chain", "fanout", "diamond"}) {
+    const auto t = DagTrace(300, 24, 0.5, 13, shape);
+    std::uint64_t dag_jobs = 0;
+    std::uint64_t dag_tasks = 0;
+    for (trace::JobId id = 0; id < t.size(); ++id) {
+      if (!t.job(id).has_deps()) continue;
+      ++dag_jobs;
+      dag_tasks += t.job(id).num_tasks();
+    }
+    ASSERT_GT(dag_jobs, 0u);
+    for (const char* sched : {"phoenix", "eagle-c"}) {
+      auto o = DagOptions();
+      o.scheduler = sched;
+      const auto r = runner::RunSimulation(t, cl, o);
+      EXPECT_EQ(r.jobs.size(), t.size()) << sched << " " << shape;
+      EXPECT_TRUE(r.dag_enabled);
+      EXPECT_EQ(r.counters.dag_jobs, dag_jobs) << sched << " " << shape;
+      EXPECT_EQ(r.counters.dag_tasks_released, dag_tasks)
+          << sched << " " << shape;
+    }
+  }
+}
+
+TEST(DagRun, DisabledGateIgnoresEdgesByteIdentically) {
+  // The byte-identity contract: with the dag gate off, a trace carrying
+  // precedence edges must schedule exactly like the same trace without
+  // them — no branch of the workflow code may move a decision.
+  const auto cl = MakeUniverse(24, 17);
+  auto gen = trace::ProfileByName("google");
+  gen.num_jobs = 300;
+  gen.num_workers = 24;
+  gen.target_load = 0.6;
+  gen.seed = 17;
+  const auto flat = trace::GenerateTrace("google", gen);
+  const auto dag = workflow::ApplyDagShape(flat, "chain", 1.0, 17);
+  runner::RunOptions off;
+  off.scheduler = "phoenix";
+  // Twiddling the multipliers without the gates must also stay inert.
+  runner::RunOptions knobs = off;
+  knobs.config.workflow.deadline_multiplier = {0.1, 0.1, 0.1};
+  ASSERT_FALSE(knobs.config.workflow.enabled());
+  const auto r_flat = runner::RunSimulation(flat, cl, off);
+  const auto r_deps = runner::RunSimulation(dag, cl, off);
+  const auto r_knobs = runner::RunSimulation(dag, cl, knobs);
+  EXPECT_EQ(r_flat.makespan, r_deps.makespan);
+  EXPECT_EQ(r_flat.counters.probes_sent, r_deps.counters.probes_sent);
+  EXPECT_EQ(r_flat.counters.tasks_stolen, r_deps.counters.tasks_stolen);
+  EXPECT_EQ(r_deps.makespan, r_knobs.makespan);
+  EXPECT_FALSE(r_deps.dag_enabled);
+  EXPECT_EQ(r_deps.counters.dag_jobs, 0u);
+  EXPECT_EQ(r_deps.counters.deadline_jobs, 0u);
+  const auto p_flat = r_flat.QueuingSummary(metrics::ClassFilter::kShort,
+                                            metrics::ConstraintFilter::kAll);
+  const auto p_deps = r_deps.QueuingSummary(metrics::ClassFilter::kShort,
+                                            metrics::ConstraintFilter::kAll);
+  EXPECT_EQ(p_flat.p99, p_deps.p99);
+}
+
+// ---- Deadline scheduling --------------------------------------------------
+
+TEST(DeadlineRun, TracksEveryJobInItsSlaSlice) {
+  const auto cl = MakeUniverse(24, 19);
+  const auto t = DagTrace(400, 24, 0.6, 19, "diamond", 0.4);
+  const auto r =
+      runner::RunSimulation(t, cl, DagOptions(true, /*deadline=*/true));
+  EXPECT_TRUE(r.deadline_enabled);
+  EXPECT_EQ(r.counters.deadline_jobs, t.size());
+  std::uint64_t tracked = 0;
+  for (std::size_t rank = 0; rank < 3; ++rank) {
+    tracked += r.class_deadline_jobs[rank];
+    EXPECT_GE(r.DeadlineAttainment(rank), 0.0);
+    EXPECT_LE(r.DeadlineAttainment(rank), 1.0);
+  }
+  EXPECT_EQ(tracked, t.size());
+  // CheckInvariants ties misses to the per-class slices; re-assert here.
+  std::uint64_t attained = 0;
+  for (std::size_t rank = 0; rank < 3; ++rank) {
+    attained += r.class_deadline_attained[rank];
+  }
+  EXPECT_EQ(tracked - attained, r.counters.deadline_misses);
+}
+
+TEST(DeadlineRun, EdfPromotionsFireUnderLoad) {
+  // At meaningful utilization the queues are deep enough that an
+  // earlier-deadline job sits behind a later one somewhere; the tie-break
+  // must actually promote (and count) or the flag is dead code.
+  const auto cl = MakeUniverse(16, 23);
+  const auto t = DagTrace(500, 16, 0.85, 23, "chain", 0.3);
+  const auto r = runner::RunSimulation(t, cl, DagOptions(true, true));
+  EXPECT_GT(r.counters.deadline_promotions, 0u);
+  // Deadlines bind tighter down the class ladder only in budget, not in
+  // attainment ordering (prod has the tightest multiplier), so just assert
+  // the slices are populated.
+  EXPECT_GT(r.class_deadline_jobs[0] + r.class_deadline_jobs[1] +
+                r.class_deadline_jobs[2],
+            0u);
+}
+
+TEST(DeadlineRun, WorksWithoutDagEdges) {
+  // `--deadline` alone: flat jobs get max-duration critical paths and the
+  // EDF tie-break still runs.
+  const auto cl = MakeUniverse(16, 29);
+  auto gen = trace::ProfileByName("google");
+  gen.num_jobs = 300;
+  gen.num_workers = 16;
+  gen.target_load = 0.7;
+  gen.seed = 29;
+  const auto t = trace::GenerateTrace("google", gen);
+  const auto r = runner::RunSimulation(t, cl, DagOptions(false, true));
+  EXPECT_FALSE(r.dag_enabled);
+  EXPECT_TRUE(r.deadline_enabled);
+  EXPECT_EQ(r.counters.deadline_jobs, t.size());
+  EXPECT_EQ(r.counters.dag_jobs, 0u);
+}
+
+// ---- Determinism ----------------------------------------------------------
+
+TEST(DagRun, BitIdenticalAcrossThreadCounts) {
+  const auto cl = MakeUniverse(24, 31);
+  const auto t = DagTrace(300, 24, 0.6, 31, "diamond", 0.5);
+  const auto o = DagOptions(true, true);
+  auto summarize = [&](std::size_t threads) {
+    ScopedThreads guard(threads);
+    const runner::RepeatedRuns runs(t, cl, o, 3);
+    std::vector<double> values;
+    for (const auto& r : runs.reports()) {
+      values.push_back(r.makespan);
+      values.push_back(static_cast<double>(r.counters.dag_tasks_released));
+      values.push_back(static_cast<double>(r.counters.deadline_misses));
+      values.push_back(static_cast<double>(r.counters.deadline_promotions));
+      for (std::size_t rank = 0; rank < 3; ++rank) {
+        values.push_back(static_cast<double>(r.class_deadline_attained[rank]));
+      }
+      values.push_back(r.QueuingSummary(metrics::ClassFilter::kShort,
+                                        metrics::ConstraintFilter::kAll)
+                           .p99);
+    }
+    return values;
+  };
+  const auto serial = summarize(1);
+  const auto parallel = summarize(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "summary value " << i;
+  }
+}
+
+}  // namespace
+}  // namespace phoenix
